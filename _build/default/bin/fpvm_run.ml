@@ -1,0 +1,171 @@
+(* fpvm_run: the command-line face of the reproduction.
+
+   Runs a workload binary natively or under FPVM with a chosen
+   alternative arithmetic system, approach, machine model and trap
+   deployment, then prints the program output and (optionally) the
+   virtualization statistics.
+
+     fpvm_run --list
+     fpvm_run -w lorenz -a mpfr --prec 200 --stats
+     fpvm_run -w "NAS CG" -a posit --posit 32
+     fpvm_run -w three-body --approach patch --machine 7220
+     fpvm_run -w lorenz --disasm | head *)
+
+module CM = Machine.Cost_model
+module W = Workloads
+
+module E_vanilla = Fpvm.Engine.Make (Fpvm.Alt_vanilla)
+module E_mpfr = Fpvm.Engine.Make (Fpvm.Alt_mpfr)
+module E_posit = Fpvm.Engine.Make (Fpvm.Alt_posit)
+module E_interval = Fpvm.Engine.Make (Fpvm.Alt_interval)
+module E_slash = Fpvm.Engine.Make (Fpvm.Alt_slash)
+
+let run workload arith prec posit_bits approach machine deployment scale stats
+    disasm spy list_only =
+  if list_only then begin
+    List.iter
+      (fun (e : W.entry) -> Printf.printf "%-12s %s\n" e.W.name e.W.specifics)
+      W.all;
+    `Ok ()
+  end
+  else
+    match W.find workload with
+    | None ->
+        `Error (false, Printf.sprintf "unknown workload %S (try --list)" workload)
+    | Some e ->
+        let scale = if scale = "s" then W.S else W.Test in
+        let prog = e.W.program scale in
+        if disasm then begin
+          print_string (Machine.Program.disassemble prog);
+          `Ok ()
+        end
+        else if spy then begin
+          (* FPSpy mode: profile the binary's floating point events *)
+          let r = Fpvm.Fpspy.run prog in
+          print_string r.Fpvm.Fpspy.run.Fpvm.Engine.output;
+          Format.eprintf "--- fpspy profile ---@.%a@." Fpvm.Fpspy.pp_profile
+            r.Fpvm.Fpspy.profile;
+          Format.eprintf "top sites:@.";
+          List.iter
+            (fun (site : Fpvm.Fpspy.site) ->
+              Format.eprintf "  %8d hits  [%4d] %s (%s)@."
+                site.Fpvm.Fpspy.hits site.Fpvm.Fpspy.index
+                site.Fpvm.Fpspy.mnemonic
+                (String.concat "+" (Ieee754.Flags.names site.Fpvm.Fpspy.events)))
+            (Fpvm.Fpspy.top_sites ~n:8 r.Fpvm.Fpspy.profile);
+          `Ok ()
+        end
+        else begin
+          let cost =
+            match String.lowercase_ascii machine with
+            | "r815" -> CM.r815
+            | "7220" -> CM.xeon7220
+            | "r730xd" -> CM.r730xd
+            | m -> failwith ("unknown machine " ^ m)
+          in
+          let deployment =
+            match deployment with
+            | "user" -> Trapkern.User_signal
+            | "kernel" -> Trapkern.Kernel_module
+            | "uu" -> Trapkern.User_to_user
+            | d -> failwith ("unknown deployment " ^ d)
+          in
+          let approach =
+            match approach with
+            | "emulate" -> Fpvm.Engine.Trap_and_emulate
+            | "patch" -> Fpvm.Engine.Trap_and_patch
+            | "static" -> Fpvm.Engine.Static_transform
+            | a -> failwith ("unknown approach " ^ a)
+          in
+          let config =
+            { Fpvm.Engine.default_config with
+              Fpvm.Engine.approach; cost; deployment }
+          in
+          let result =
+            match String.lowercase_ascii arith with
+            | "native" -> Fpvm.Engine.run_native ~cost prog
+            | "vanilla" -> E_vanilla.run ~config prog
+            | "mpfr" ->
+                Fpvm.Alt_mpfr.precision := prec;
+                E_mpfr.run ~config prog
+            | "posit" ->
+                Fpvm.Alt_posit.spec :=
+                  (match posit_bits with
+                  | 8 -> Posit.posit8
+                  | 16 -> Posit.posit16
+                  | 32 -> Posit.posit32
+                  | n -> Posit.spec ~nbits:n ~es:2);
+                E_posit.run ~config prog
+            | "interval" -> E_interval.run ~config prog
+            | "slash" ->
+                Fpvm.Alt_slash.bits := prec;
+                E_slash.run ~config prog
+            | a -> failwith ("unknown arithmetic " ^ a)
+          in
+          print_string result.Fpvm.Engine.output;
+          if stats then begin
+            let s = result.Fpvm.Engine.stats in
+            Printf.eprintf "--- fpvm stats ---\n";
+            Printf.eprintf "instructions executed: %d (%d FP)\n"
+              result.Fpvm.Engine.insns result.Fpvm.Engine.fp_insns;
+            Printf.eprintf "cycles: %d\n" result.Fpvm.Engine.cycles;
+            Printf.eprintf "fp traps: %d, correctness traps: %d\n"
+              s.Fpvm.Stats.fp_traps s.Fpvm.Stats.correctness_traps;
+            Printf.eprintf "emulated insns: %d, math calls: %d\n"
+              s.Fpvm.Stats.emulated_insns s.Fpvm.Stats.math_calls;
+            Printf.eprintf "decode cache: %d hits / %d misses\n"
+              s.Fpvm.Stats.decode_hits s.Fpvm.Stats.decode_misses;
+            Printf.eprintf "boxes allocated: %d, gc passes: %d, freed: %d\n"
+              s.Fpvm.Stats.boxes_allocated s.Fpvm.Stats.gc_passes
+              s.Fpvm.Stats.gc_freed;
+            let b = Fpvm.Stats.breakdown s in
+            Printf.eprintf "avg cycles/virtualized insn: %.0f\n"
+              b.Fpvm.Stats.avg_total
+          end;
+          `Ok ()
+        end
+
+open Cmdliner
+
+let workload =
+  Arg.(value & opt string "lorenz" & info [ "w"; "workload" ] ~doc:"Workload name (see --list).")
+
+let arith =
+  Arg.(value & opt string "vanilla"
+       & info [ "a"; "arith" ] ~doc:"Arithmetic: native, vanilla, mpfr, posit, interval, slash.")
+
+let prec =
+  Arg.(value & opt int 200 & info [ "prec" ] ~doc:"Precision in bits (mpfr significand / slash num+den budget).")
+
+let posit_bits =
+  Arg.(value & opt int 32 & info [ "posit" ] ~doc:"Posit width (8, 16, 32).")
+
+let approach =
+  Arg.(value & opt string "emulate"
+       & info [ "approach" ] ~doc:"FPVM approach: emulate, patch, static.")
+
+let machine =
+  Arg.(value & opt string "r815" & info [ "machine" ] ~doc:"Cost model: r815, 7220, r730xd.")
+
+let deployment =
+  Arg.(value & opt string "user"
+       & info [ "deployment" ] ~doc:"Trap delivery: user, kernel, uu.")
+
+let scale =
+  Arg.(value & opt string "test" & info [ "scale" ] ~doc:"Problem scale: test or s.")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print FPVM statistics to stderr.")
+let disasm = Arg.(value & flag & info [ "disasm" ] ~doc:"Disassemble the workload binary and exit.")
+let spy = Arg.(value & flag & info [ "spy" ] ~doc:"FPSpy mode: profile FP events without emulating.")
+let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List available workloads and exit.")
+
+let cmd =
+  let doc = "run workloads under the floating point virtual machine" in
+  Cmd.v
+    (Cmd.info "fpvm_run" ~doc)
+    Term.(
+      ret
+        (const run $ workload $ arith $ prec $ posit_bits $ approach $ machine
+       $ deployment $ scale $ stats $ disasm $ spy $ list_only))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/approach_compare.ml: Fpvm Printf Trapkern Workloads

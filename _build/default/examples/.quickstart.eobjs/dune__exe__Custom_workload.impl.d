@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Array Fpvm Fpvm_ir Machine Posit Printf

@@ -1,0 +1,1 @@
+examples/lorenz_divergence.ml: Array Bytes Float Fpvm Int64 Printf String Workloads

@@ -1,0 +1,1 @@
+examples/lorenz_divergence.mli:

@@ -1,0 +1,1 @@
+examples/precision_sweep.ml: Float Fpvm List Printf String Workloads

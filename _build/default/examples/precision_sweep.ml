@@ -1,0 +1,42 @@
+(* Precision sweep: run the three-body simulation under FPVM+MPFR at
+   increasing precision and watch the total-energy drift shrink - the
+   "one variable changed: the arithmetic" experiment the paper's Figure 1
+   motivates for analysts.
+
+     dune exec examples/precision_sweep.exe *)
+
+module E_mpfr = Fpvm.Engine.Make (Fpvm.Alt_mpfr)
+
+(* The three-body program prints six positions then the total energy. *)
+let final_energy output =
+  let lines = String.split_on_char '\n' (String.trim output) in
+  float_of_string (List.nth lines (List.length lines - 1))
+
+let () =
+  let steps = 1200 in
+  let binary = Workloads.Three_body.program ~steps ~dt:0.01 () in
+  let native = Fpvm.Engine.run_native binary in
+  let e_native = final_energy native.Fpvm.Engine.output in
+  (* Reference energy at very high precision. *)
+  Fpvm.Alt_mpfr.precision := 600;
+  let gold = final_energy (E_mpfr.run binary).Fpvm.Engine.output in
+  Printf.printf "three-body, %d steps; final total energy per arithmetic:\n\n" steps;
+  Printf.printf "%12s %22s %14s\n" "precision" "energy" "|delta vs 600b|";
+  Printf.printf "%12s %22.15g %14.3e\n" "ieee-53"
+    e_native
+    (Float.abs (e_native -. gold));
+  List.iter
+    (fun prec ->
+      Fpvm.Alt_mpfr.precision := prec;
+      let e = final_energy (E_mpfr.run binary).Fpvm.Engine.output in
+      Printf.printf "%12s %22.15g %14.3e\n"
+        (Printf.sprintf "mpfr-%d" prec)
+        e
+        (Float.abs (e -. gold)))
+    [ 64; 96; 128; 200; 300 ];
+  print_string
+    "\nHigher precision converges on the reference energy: the residual\n\
+     differences below ~1e-15 are the demotion to a printable double.\n\
+     (The symplectic-ish integrator drifts too - precision only removes\n\
+     the rounding share of the error, exactly the separation an analyst\n\
+     wants to observe.)\n"

@@ -1,0 +1,1 @@
+lib/bigfloat/bigfloat.ml: Bignum Float Format Ieee754 Int64 Option Printf Stdlib String

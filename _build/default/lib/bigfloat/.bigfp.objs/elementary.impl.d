@@ -1,0 +1,1 @@
+lib/bigfloat/elementary.ml: Bigfloat Bignum Hashtbl Stdlib

@@ -1,0 +1,1 @@
+lib/bigfloat/elementary.mli: Bigfloat

@@ -1,0 +1,38 @@
+(** Elementary functions over {!Bigfloat} at arbitrary precision.
+
+    All results are *faithfully* rounded: computed with >= 32 guard bits
+    and rounded once, so the result is one of the two representable
+    neighbours of the true value (almost always the correctly rounded
+    one). This mirrors MPFR's role in the paper's evaluation; exact
+    correct rounding of transcendentals (Ziv loops) is out of scope.
+
+    Domain conventions follow C's libm: [log] of a negative number is
+    NaN, [log ~prec zero] is -inf, [atan2] honors signed zeros through
+    its quadrant logic, etc. *)
+
+val pi : prec:int -> Bigfloat.t
+val ln2 : prec:int -> Bigfloat.t
+val euler_e : prec:int -> Bigfloat.t
+
+val exp : prec:int -> Bigfloat.t -> Bigfloat.t
+val expm1 : prec:int -> Bigfloat.t -> Bigfloat.t
+val log : prec:int -> Bigfloat.t -> Bigfloat.t
+val log2 : prec:int -> Bigfloat.t -> Bigfloat.t
+val log10 : prec:int -> Bigfloat.t -> Bigfloat.t
+
+val sin : prec:int -> Bigfloat.t -> Bigfloat.t
+val cos : prec:int -> Bigfloat.t -> Bigfloat.t
+val tan : prec:int -> Bigfloat.t -> Bigfloat.t
+
+val asin : prec:int -> Bigfloat.t -> Bigfloat.t
+val acos : prec:int -> Bigfloat.t -> Bigfloat.t
+val atan : prec:int -> Bigfloat.t -> Bigfloat.t
+val atan2 : prec:int -> Bigfloat.t -> Bigfloat.t -> Bigfloat.t
+
+val sinh : prec:int -> Bigfloat.t -> Bigfloat.t
+val cosh : prec:int -> Bigfloat.t -> Bigfloat.t
+val tanh : prec:int -> Bigfloat.t -> Bigfloat.t
+
+val pow : prec:int -> Bigfloat.t -> Bigfloat.t -> Bigfloat.t
+val cbrt : prec:int -> Bigfloat.t -> Bigfloat.t
+val hypot : prec:int -> Bigfloat.t -> Bigfloat.t -> Bigfloat.t

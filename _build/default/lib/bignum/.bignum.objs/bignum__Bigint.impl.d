@@ -1,0 +1,1 @@
+lib/bignum/bigint.ml: Format Int64 Nat Stdlib String

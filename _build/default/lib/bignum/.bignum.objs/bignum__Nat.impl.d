@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Buffer Char Format Int64 Printf Stdlib String

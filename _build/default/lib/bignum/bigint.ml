@@ -1,0 +1,72 @@
+(* Sign-magnitude integers over Nat. The invariant is that zero always has
+   sign 0, so structural comparisons of (sign, magnitude) pairs agree with
+   numeric equality. *)
+
+type t = { sg : int; mag : Nat.t }
+
+let make sg mag = if Nat.is_zero mag then { sg = 0; mag = Nat.zero } else { sg; mag }
+
+let zero = { sg = 0; mag = Nat.zero }
+let one = { sg = 1; mag = Nat.one }
+let minus_one = { sg = -1; mag = Nat.one }
+
+let of_nat n = make 1 n
+let to_nat a = a.mag
+let sign a = a.sg
+
+let of_int n = if n >= 0 then make 1 (Nat.of_int n) else make (-1) (Nat.of_int (-n))
+
+let to_int_opt a =
+  match Nat.to_int_opt a.mag with
+  | Some m -> Some (if a.sg < 0 then -m else m)
+  | None -> None
+
+let of_int64 v =
+  if Int64.compare v 0L >= 0 then make 1 (Nat.of_int64 v)
+  else if Int64.equal v Int64.min_int then
+    make (-1) (Nat.shift_left Nat.one 63)
+  else make (-1) (Nat.of_int64 (Int64.neg v))
+
+let neg a = make (-a.sg) a.mag
+let abs a = make (Stdlib.abs a.sg) a.mag
+let is_zero a = a.sg = 0
+
+let add a b =
+  if a.sg = 0 then b
+  else if b.sg = 0 then a
+  else if a.sg = b.sg then make a.sg (Nat.add a.mag b.mag)
+  else begin
+    let c = Nat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sg (Nat.sub a.mag b.mag)
+    else make b.sg (Nat.sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let mul a b = make (a.sg * b.sg) (Nat.mul a.mag b.mag)
+
+let divmod a b =
+  if b.sg = 0 then raise Division_by_zero
+  else begin
+    let q, r = Nat.divmod a.mag b.mag in
+    (make (a.sg * b.sg) q, make a.sg r)
+  end
+
+let compare a b =
+  if a.sg <> b.sg then Stdlib.compare a.sg b.sg
+  else a.sg * Nat.compare a.mag b.mag
+
+let equal a b = compare a b = 0
+let shift_left a k = make a.sg (Nat.shift_left a.mag k)
+let shift_right a k = make a.sg (Nat.shift_right a.mag k)
+let num_bits a = Nat.num_bits a.mag
+
+let of_string s =
+  if String.length s > 0 && s.[0] = '-' then
+    make (-1) (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  else make 1 (Nat.of_string s)
+
+let to_string a =
+  if a.sg < 0 then "-" ^ Nat.to_string a.mag else Nat.to_string a.mag
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,45 @@
+(** Arbitrary-precision signed integers built on {!Nat}.
+
+    Sign-magnitude representation with a canonical zero (never "negative
+    zero"). *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_nat : Nat.t -> t
+val to_nat : t -> Nat.t
+(** Magnitude. *)
+
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val of_int : int -> t
+val to_int_opt : t -> int option
+val of_int64 : int64 -> t
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division (C semantics): the remainder has the sign of the
+    dividend. Raises [Division_by_zero]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic shift of the magnitude (truncates toward zero). *)
+
+val num_bits : t -> int
+
+val of_string : string -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,483 @@
+(* Arbitrary-precision naturals: immutable little-endian base-2^30 limb
+   arrays, normalized (no leading zero limb). Base 2^30 keeps every
+   intermediate product of two limbs, plus a carry, inside OCaml's 63-bit
+   native int. *)
+
+let limb_bits = 30
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let is_zero a = Array.length a = 0
+
+(* Drop leading zero limbs; shares the array when already normalized. *)
+let normalize (a : int array) : t =
+  let n = Array.length a in
+  let rec top i = if i > 0 && a.(i - 1) = 0 then top (i - 1) else i in
+  let m = top n in
+  if m = n then a else Array.sub a 0 m
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative"
+  else if n = 0 then zero
+  else if n < base then [| n |]
+  else begin
+    let rec count k v = if v = 0 then k else count (k + 1) (v lsr limb_bits) in
+    let len = count 0 n in
+    Array.init len (fun i -> (n lsr (i * limb_bits)) land limb_mask)
+  end
+
+let to_int_opt a =
+  (* OCaml ints hold 62 significand bits safely; 3 limbs can overflow. *)
+  let n = Array.length a in
+  if n = 0 then Some 0
+  else if n = 1 then Some a.(0)
+  else if n = 2 then Some (a.(0) lor (a.(1) lsl limb_bits))
+  else if n = 3 && a.(2) < 4 then
+    Some (a.(0) lor (a.(1) lsl limb_bits) lor (a.(2) lsl (2 * limb_bits)))
+  else None
+
+let to_int a =
+  match to_int_opt a with
+  | Some v -> v
+  | None -> failwith "Nat.to_int: overflow"
+
+let of_int64 v =
+  if Int64.compare v 0L < 0 then invalid_arg "Nat.of_int64: negative"
+  else if Int64.compare v (Int64.of_int max_int) <= 0 then of_int (Int64.to_int v)
+  else begin
+    (* 63 or 64-bit positive value: split into three 30-bit chunks plus top. *)
+    let l0 = Int64.to_int (Int64.logand v 0x3FFFFFFFL) in
+    let l1 = Int64.to_int (Int64.logand (Int64.shift_right_logical v 30) 0x3FFFFFFFL) in
+    let l2 = Int64.to_int (Int64.shift_right_logical v 60) in
+    normalize [| l0; l1; l2 |]
+  end
+
+let to_int64_opt a =
+  let n = Array.length a in
+  if n = 0 then Some 0L
+  else if n <= 2 then Some (Int64.of_int (to_int a))
+  else if n = 3 && a.(2) < 8 then
+    let open Int64 in
+    Some
+      (logor (of_int a.(0))
+         (logor (shift_left (of_int a.(1)) 30) (shift_left (of_int a.(2)) 60)))
+  else None
+
+let compare (a : t) (b : t) =
+  let na = Array.length a and nb = Array.length b in
+  if na <> nb then Stdlib.compare na nb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (na - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let num_bits a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width w v = if v = 0 then w else width (w + 1) (v lsr 1) in
+    ((n - 1) * limb_bits) + width 0 top
+  end
+
+let testbit a i =
+  if i < 0 then invalid_arg "Nat.testbit"
+  else begin
+    let limb = i / limb_bits in
+    if limb >= Array.length a then false
+    else (a.(limb) lsr (i mod limb_bits)) land 1 = 1
+  end
+
+let is_even a = not (testbit a 0)
+
+let add (a : t) (b : t) : t =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then b
+  else if nb = 0 then a
+  else begin
+    let n = max na nb in
+    let r = Array.make (n + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let s = (if i < na then a.(i) else 0) + (if i < nb then b.(i) else 0) + !carry in
+      r.(i) <- s land limb_mask;
+      carry := s lsr limb_bits
+    done;
+    r.(n) <- !carry;
+    normalize r
+  end
+
+let add_int a k =
+  if k < 0 then invalid_arg "Nat.add_int: negative" else add a (of_int k)
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Nat.sub: underflow"
+  else begin
+    let na = Array.length a and nb = Array.length b in
+    let r = Array.make na 0 in
+    let borrow = ref 0 in
+    for i = 0 to na - 1 do
+      let d = a.(i) - (if i < nb then b.(i) else 0) - !borrow in
+      if d < 0 then begin
+        r.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(i) <- d;
+        borrow := 0
+      end
+    done;
+    normalize r
+  end
+
+let succ a = add a one
+let pred a = if is_zero a then invalid_arg "Nat.pred: zero" else sub a one
+
+let mul_int (a : t) k =
+  if k < 0 then invalid_arg "Nat.mul_int: negative"
+  else if k = 0 || is_zero a then zero
+  else if k >= base then invalid_arg "Nat.mul_int: multiplier too large"
+  else begin
+    let na = Array.length a in
+    let r = Array.make (na + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to na - 1 do
+      let p = (a.(i) * k) + !carry in
+      r.(i) <- p land limb_mask;
+      carry := p lsr limb_bits
+    done;
+    r.(na) <- !carry;
+    normalize r
+  end
+
+let mul_school (a : t) (b : t) : t =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then zero
+  else begin
+    let r = Array.make (na + nb) 0 in
+    for i = 0 to na - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to nb - 1 do
+          let p = (ai * b.(j)) + r.(i + j) + !carry in
+          r.(i + j) <- p land limb_mask;
+          carry := p lsr limb_bits
+        done;
+        (* The final carry fits in one limb: ai*bj + r + c < 2^60 + 2^31. *)
+        let k = ref (i + nb) in
+        while !carry <> 0 do
+          let p = r.(!k) + !carry in
+          r.(!k) <- p land limb_mask;
+          carry := p lsr limb_bits;
+          incr k
+        done
+      end
+    done;
+    normalize r
+  end
+
+let karatsuba_threshold = 32
+
+(* Split [a] into (low limbs < k, high limbs >= k). *)
+let split_at (a : t) k =
+  let n = Array.length a in
+  if n <= k then (a, zero)
+  else (normalize (Array.sub a 0 k), Array.sub a k (n - k))
+
+let shift_limbs (a : t) k =
+  if is_zero a then zero
+  else begin
+    let n = Array.length a in
+    let r = Array.make (n + k) 0 in
+    Array.blit a 0 r k n;
+    r
+  end
+
+let rec mul (a : t) (b : t) : t =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then zero
+  else if min na nb < karatsuba_threshold then mul_school a b
+  else begin
+    let k = (max na nb + 1) / 2 in
+    let a0, a1 = split_at a k and b0, b1 = split_at b k in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+  end
+
+let shift_left (a : t) bits =
+  if bits < 0 then invalid_arg "Nat.shift_left"
+  else if bits = 0 || is_zero a then a
+  else begin
+    let limbs = bits / limb_bits and rest = bits mod limb_bits in
+    let na = Array.length a in
+    let r = Array.make (na + limbs + 1) 0 in
+    if rest = 0 then Array.blit a 0 r limbs na
+    else begin
+      let carry = ref 0 in
+      for i = 0 to na - 1 do
+        let v = (a.(i) lsl rest) lor !carry in
+        r.(i + limbs) <- v land limb_mask;
+        carry := v lsr limb_bits
+      done;
+      r.(na + limbs) <- !carry
+    end;
+    normalize r
+  end
+
+let shift_right (a : t) bits =
+  if bits < 0 then invalid_arg "Nat.shift_right"
+  else if bits = 0 || is_zero a then a
+  else begin
+    let limbs = bits / limb_bits and rest = bits mod limb_bits in
+    let na = Array.length a in
+    if limbs >= na then zero
+    else begin
+      let n = na - limbs in
+      let r = Array.make n 0 in
+      if rest = 0 then Array.blit a limbs r 0 n
+      else
+        for i = 0 to n - 1 do
+          let lo = a.(i + limbs) lsr rest in
+          let hi = if i + limbs + 1 < na then (a.(i + limbs + 1) lsl (limb_bits - rest)) land limb_mask else 0 in
+          r.(i) <- lo lor hi
+        done;
+      normalize r
+    end
+  end
+
+let divmod_int (a : t) d =
+  if d <= 0 then invalid_arg "Nat.divmod_int"
+  else if d >= base then invalid_arg "Nat.divmod_int: divisor too large"
+  else begin
+    let na = Array.length a in
+    let q = Array.make na 0 in
+    let r = ref 0 in
+    for i = na - 1 downto 0 do
+      let cur = (!r lsl limb_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (normalize q, !r)
+  end
+
+(* Knuth algorithm D over base-2^30 limbs. *)
+let divmod_knuth (u0 : t) (v0 : t) : t * t =
+  let nv = Array.length v0 in
+  (* Normalize: shift so the top limb of v has its high bit set. *)
+  let top = v0.(nv - 1) in
+  let rec lead s v = if v land (base lsr 1) <> 0 then s else lead (s + 1) (v lsl 1) in
+  let s = lead 0 top in
+  let u = shift_left u0 s and v = shift_left v0 s in
+  let n = Array.length v in
+  let m = Array.length u - n in
+  if m < 0 then (zero, u0)
+  else begin
+    (* Working copy of u with one extra limb. *)
+    let w = Array.make (Array.length u + 1) 0 in
+    Array.blit u 0 w 0 (Array.length u);
+    let q = Array.make (m + 1) 0 in
+    let vn1 = v.(n - 1) in
+    let vn2 = if n >= 2 then v.(n - 2) else 0 in
+    for j = m downto 0 do
+      (* Estimate q_hat from the top two limbs of the current remainder. *)
+      let num = (w.(j + n) lsl limb_bits) lor w.(j + n - 1) in
+      let qhat = ref (num / vn1) and rhat = ref (num mod vn1) in
+      if !qhat >= base then begin
+        qhat := base - 1;
+        rhat := num - (!qhat * vn1)
+      end;
+      let continue = ref true in
+      while !continue && !rhat < base do
+        let lhs = !qhat * vn2 in
+        let rhs = (!rhat lsl limb_bits) lor (if j + n - 2 >= 0 then w.(j + n - 2) else 0) in
+        if lhs > rhs then begin
+          decr qhat;
+          rhat := !rhat + vn1
+        end
+        else continue := false
+      done;
+      (* Multiply-and-subtract w[j..j+n] -= qhat * v. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr limb_bits;
+        let d = w.(i + j) - (p land limb_mask) - !borrow in
+        if d < 0 then begin
+          w.(i + j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          w.(i + j) <- d;
+          borrow := 0
+        end
+      done;
+      let d = w.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add back. *)
+        w.(j + n) <- d + base;
+        decr qhat;
+        let c = ref 0 in
+        for i = 0 to n - 1 do
+          let sum = w.(i + j) + v.(i) + !c in
+          w.(i + j) <- sum land limb_mask;
+          c := sum lsr limb_bits
+        done;
+        w.(j + n) <- (w.(j + n) + !c) land limb_mask
+      end
+      else w.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub w 0 n) in
+    (normalize q, shift_right r s)
+  end
+
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero
+  else if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_int a b.(0) in
+    (q, of_int r)
+  end
+  else divmod_knuth a b
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let sqrt_rem (a : t) : t * t =
+  if is_zero a then (zero, zero)
+  else begin
+    (* Newton: x_{k+1} = (x_k + a/x_k) / 2, starting above the root. *)
+    let x0 = shift_left one ((num_bits a + 1) / 2) in
+    let rec go x =
+      let x' = shift_right (add x (div a x)) 1 in
+      if compare x' x < 0 then go x' else x
+    in
+    let s = go x0 in
+    (s, sub a (mul s s))
+  end
+
+let pow (a : t) k =
+  if k < 0 then invalid_arg "Nat.pow"
+  else begin
+    let rec go acc b k =
+      if k = 0 then acc
+      else begin
+        let acc = if k land 1 = 1 then mul acc b else acc in
+        go acc (mul b b) (k lsr 1)
+      end
+    in
+    go one a k
+  end
+
+let logand (a : t) (b : t) =
+  let n = min (Array.length a) (Array.length b) in
+  normalize (Array.init n (fun i -> a.(i) land b.(i)))
+
+let logor (a : t) (b : t) =
+  let na = Array.length a and nb = Array.length b in
+  let n = max na nb in
+  normalize
+    (Array.init n (fun i ->
+         (if i < na then a.(i) else 0) lor (if i < nb then b.(i) else 0)))
+
+let extract_bits a ~lo ~len =
+  if lo < 0 || len < 0 then invalid_arg "Nat.extract_bits"
+  else begin
+    let shifted = shift_right a lo in
+    let nlimbs = (len + limb_bits - 1) / limb_bits in
+    let n = min nlimbs (Array.length shifted) in
+    let r = Array.sub shifted 0 n in
+    let top_bits = len - ((nlimbs - 1) * limb_bits) in
+    if n = nlimbs && top_bits < limb_bits then
+      r.(n - 1) <- r.(n - 1) land ((1 lsl top_bits) - 1);
+    normalize r
+  end
+
+let bits_below_nonzero (a : t) k =
+  if k <= 0 then false
+  else begin
+    let full = k / limb_bits and rest = k mod limb_bits in
+    let na = Array.length a in
+    let rec any i = i < min full na && (a.(i) <> 0 || any (i + 1)) in
+    any 0 || (rest > 0 && full < na && a.(full) land ((1 lsl rest) - 1) <> 0)
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Nat.of_string: empty"
+  else if len > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then begin
+    let acc = ref zero in
+    for i = 2 to len - 1 do
+      let d =
+        match s.[i] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | '_' -> -1
+        | _ -> invalid_arg "Nat.of_string: bad hex digit"
+      in
+      if d >= 0 then acc := add_int (shift_left !acc 4) d
+    done;
+    !acc
+  end
+  else begin
+    let acc = ref zero in
+    String.iter
+      (fun c ->
+        match c with
+        | '0' .. '9' -> acc := add_int (mul_int !acc 10) (Char.code c - Char.code '0')
+        | '_' -> ()
+        | _ -> invalid_arg "Nat.of_string: bad digit")
+      s;
+    !acc
+  end
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go a =
+      if is_zero a then ()
+      else begin
+        let q, r = divmod_int a 1_000_000_000 in
+        if is_zero q then Buffer.add_string buf (string_of_int r)
+        else begin
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%09d" r)
+        end
+      end
+    in
+    go a;
+    Buffer.contents buf
+  end
+
+let to_string_hex a =
+  if is_zero a then "0x0"
+  else begin
+    let nb = num_bits a in
+    let digits = (nb + 3) / 4 in
+    let buf = Buffer.create (digits + 2) in
+    Buffer.add_string buf "0x";
+    for i = digits - 1 downto 0 do
+      let d = to_int (extract_bits a ~lo:(i * 4) ~len:4) in
+      Buffer.add_char buf "0123456789abcdef".[d]
+    done;
+    Buffer.contents buf
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,1 @@
+lib/core/alt_interval.ml: Arith Float Ieee754 Int64 Printf Stdlib

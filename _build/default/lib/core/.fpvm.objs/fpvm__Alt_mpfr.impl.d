@@ -1,0 +1,1 @@
+lib/core/alt_mpfr.ml: Arith Bigfloat Bignum Elementary Float Ieee754 Int32 Int64

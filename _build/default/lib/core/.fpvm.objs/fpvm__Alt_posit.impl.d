@@ -1,0 +1,1 @@
+lib/core/alt_posit.ml: Arith Float Ieee754 Int32 Int64 Posit Quire Stdlib

@@ -1,0 +1,1 @@
+lib/core/alt_vanilla.ml: Arith Float Ieee754 Int64 Printf Stdlib

@@ -1,0 +1,1 @@
+lib/core/arith.ml: Ieee754 Machine

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Arena Arith Array Buffer Decoder Ieee754 Int64 List Machine Nanbox Printf Stats Trapkern Unix Vsa

@@ -1,0 +1,1 @@
+lib/core/fpspy.ml: Array Engine Format Hashtbl Ieee754 List Machine Stats Trapkern

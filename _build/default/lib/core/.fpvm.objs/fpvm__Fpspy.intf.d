@@ -1,0 +1,1 @@
+lib/core/fpspy.mli: Engine Format Hashtbl Ieee754 Machine Trapkern

@@ -1,0 +1,1 @@
+lib/core/nanbox.ml: Int64

@@ -1,0 +1,1 @@
+lib/core/vsa.ml: Array Int64 List Machine Queue Set Stdlib

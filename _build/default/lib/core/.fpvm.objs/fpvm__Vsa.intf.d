@@ -1,0 +1,1 @@
+lib/core/vsa.mli: Machine Set

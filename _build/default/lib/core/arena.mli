@@ -1,0 +1,43 @@
+(** The shadow-value arena (paper section 4.1).
+
+    Stores values of the alternative arithmetic system; NaN-boxes carry
+    indices into it. Allocation reuses a free list so indices stay
+    dense; the conservative garbage collector drives {!clear_marks} /
+    {!mark} / {!sweep}. *)
+
+type 'a cell = { mutable v : 'a option; mutable mark : bool }
+
+type 'a t = {
+  mutable cells : 'a cell array;
+  mutable next_fresh : int;
+  mutable free : int list;
+  mutable live : int;
+  mutable total_alloc : int;  (** allocations over the run *)
+  mutable total_freed : int;  (** frees over the run *)
+  mutable high_water : int;  (** max simultaneous live cells *)
+}
+
+val create : ?capacity:int -> unit -> 'a t
+
+val alloc : 'a t -> 'a -> int
+(** Store a shadow value; returns its index (to be NaN-boxed). *)
+
+val get : 'a t -> int -> 'a option
+(** [None] for never-allocated or swept indices (a dangling box). *)
+
+val is_live : 'a t -> int -> bool
+
+val mark : 'a t -> int -> unit
+(** Mark a cell reachable (no-op on dead indices). *)
+
+val clear_marks : 'a t -> unit
+
+val sweep : 'a t -> int
+(** Free every unmarked live cell; returns the number freed and clears
+    all marks. *)
+
+val free : 'a t -> int -> unit
+(** Eagerly free one live cell (used by compiler-inserted shadow-death
+    hints); no-op on dead indices. *)
+
+val live_count : 'a t -> int

@@ -1,0 +1,93 @@
+(* The alternative arithmetic interface (paper section 4.3).
+
+   Like the paper's, it consists of scalar functions only — the emulator
+   handles vector instructions by calling them per lane — organized as
+   23 arithmetic operations, 10 conversions and 4 comparisons, plus
+   promotion/demotion and a cost model used for cycle accounting. A new
+   arithmetic system is a module of this type (the paper reports ~350
+   lines per port; ours are comparable). *)
+
+type op_class =
+  | C_add
+  | C_sub
+  | C_mul
+  | C_div
+  | C_sqrt
+  | C_fma
+  | C_cmp
+  | C_cvt
+  | C_libm
+
+module type S = sig
+  type value
+
+  val name : string
+
+  (* --- promotion / demotion --- *)
+
+  val promote : int64 -> value
+  (** From IEEE binary64 bits. *)
+
+  val demote : value -> int64
+  (** To IEEE binary64 bits (rounding as needed). *)
+
+  (* --- arithmetic (23) --- *)
+
+  val add : value -> value -> value
+  val sub : value -> value -> value
+  val mul : value -> value -> value
+  val div : value -> value -> value
+  val sqrt : value -> value
+  val fma : value -> value -> value -> value
+  val neg : value -> value
+  val abs : value -> value
+  val min_v : value -> value -> value
+  val max_v : value -> value -> value
+  val sin : value -> value
+  val cos : value -> value
+  val tan : value -> value
+  val asin : value -> value
+  val acos : value -> value
+  val atan : value -> value
+  val atan2 : value -> value -> value
+  val exp : value -> value
+  val log : value -> value
+  val log10 : value -> value
+  val pow : value -> value -> value
+  val fmod : value -> value -> value
+  val hypot : value -> value -> value
+
+  (* --- conversions (10) --- *)
+
+  val of_i64 : int64 -> value
+  val of_i32 : int32 -> value
+  val to_i64 : Ieee754.Softfp.rounding -> value -> int64
+  val to_i32 : Ieee754.Softfp.rounding -> value -> int32
+  val of_f32_bits : int64 -> value
+  val to_f32_bits : value -> int64
+  val round_int : Ieee754.Softfp.rounding -> value -> value
+  val floor_v : value -> value
+  val ceil_v : value -> value
+  val to_string : value -> string
+  (** Used by the hijacked printf. *)
+
+  (* --- comparisons (4) --- *)
+
+  val cmp_quiet : value -> value -> Ieee754.Softfp.cmp
+  val cmp_signaling : value -> value -> Ieee754.Softfp.cmp
+  val is_nan_v : value -> bool
+  val is_zero_v : value -> bool
+
+  (* --- modeled cost (cycles) of one scalar operation, for Figure 9 --- *)
+
+  val op_cycles : op_class -> int
+end
+
+let class_of_fp_op (op : Machine.Isa.fp_op) =
+  match op with
+  | Machine.Isa.FADD -> C_add
+  | Machine.Isa.FSUB -> C_sub
+  | Machine.Isa.FMUL -> C_mul
+  | Machine.Isa.FDIV -> C_div
+  | Machine.Isa.FSQRT -> C_sqrt
+  | Machine.Isa.FMIN | Machine.Isa.FMAX -> C_cmp

@@ -1,0 +1,80 @@
+(* Decoding (paper section 4.1).
+
+   The "Capstone-dependent" layer is the VX64 instruction itself; this
+   module lowers it to the Capstone-independent abstract representation
+   the rest of FPVM consumes: one of a small set of operation types plus
+   width/lane/operand descriptors. A decode cache keyed by instruction
+   index amortizes the (modeled, expensive) decode cost to near zero,
+   reproducing the paper's observation that decode vanishes from the
+   Figure 9 breakdown. *)
+
+type aop =
+  | A_arith of Machine.Isa.fp_op
+  | A_cmp of { signaling : bool }
+  | A_cmppred of Machine.Isa.fp_pred
+  | A_round of Machine.Isa.rounding_imm
+  | A_f2f of Machine.Isa.fp_width (* source width *)
+  | A_f2i of { truncate : bool; size : int }
+  | A_i2f of { size : int }
+
+type decoded = {
+  aop : aop;
+  w : Machine.Isa.fp_width;
+  lanes : int;
+  dst : Machine.Isa.operand;
+  src : Machine.Isa.operand;
+}
+
+(* Decode one instruction; None for instructions FPVM never emulates. *)
+let rec decode_insn (insn : Machine.Isa.insn) : decoded option =
+  match insn with
+  | Machine.Isa.Fp_arith { op; w; packed; dst; src } ->
+      Some { aop = A_arith op; w; lanes = (if packed then 2 else 1); dst; src }
+  | Machine.Isa.Fp_cmp { signaling; w; a; b } ->
+      Some { aop = A_cmp { signaling }; w; lanes = 1; dst = a; src = b }
+  | Machine.Isa.Fp_cmppred { pred; w; dst; src } ->
+      Some { aop = A_cmppred pred; w; lanes = 1; dst; src }
+  | Machine.Isa.Fp_round { imm; w; dst; src } ->
+      Some { aop = A_round imm; w; lanes = 1; dst; src }
+  | Machine.Isa.Cvt_f2f { from_w; dst; src } ->
+      Some { aop = A_f2f from_w; w = from_w; lanes = 1; dst; src }
+  | Machine.Isa.Cvt_f2i { w; truncate; size; dst; src } ->
+      Some { aop = A_f2i { truncate; size }; w; lanes = 1; dst; src }
+  | Machine.Isa.Cvt_i2f { w; size; dst; src } ->
+      Some { aop = A_i2f { size }; w; lanes = 1; dst; src }
+  | Machine.Isa.Mov_f _ | Machine.Isa.Mov_x _ | Machine.Isa.Fp_bit _
+  | Machine.Isa.Movq_xr _ | Machine.Isa.Movq_rx _ | Machine.Isa.Mov _
+  | Machine.Isa.Lea _ | Machine.Isa.Int_arith _ | Machine.Isa.Cmp _
+  | Machine.Isa.Test _ | Machine.Isa.Inc _ | Machine.Isa.Dec _
+  | Machine.Isa.Neg _ | Machine.Isa.Push _ | Machine.Isa.Pop _
+  | Machine.Isa.Jmp _ | Machine.Isa.Jcc _ | Machine.Isa.Call _
+  | Machine.Isa.Ret | Machine.Isa.Call_ext _ | Machine.Isa.Nop
+  | Machine.Isa.Halt | Machine.Isa.Free_hint _ -> None
+  | Machine.Isa.Correctness_trap i | Machine.Isa.Checked i
+  | Machine.Isa.Patched { original = i; _ } -> decode_insn i
+
+type cache = {
+  table : (int, decoded) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable enabled : bool;
+}
+
+let create_cache ?(enabled = true) () =
+  { table = Hashtbl.create 256; hits = 0; misses = 0; enabled }
+
+exception Undecodable of int
+
+let decode cache idx insn : decoded =
+  match if cache.enabled then Hashtbl.find_opt cache.table idx else None with
+  | Some d ->
+      cache.hits <- cache.hits + 1;
+      d
+  | None -> begin
+      cache.misses <- cache.misses + 1;
+      match decode_insn insn with
+      | Some d ->
+          if cache.enabled then Hashtbl.replace cache.table idx d;
+          d
+      | None -> raise (Undecodable idx)
+    end

@@ -1,0 +1,44 @@
+(** Instruction decoding with the decode cache (paper section 4.1).
+
+    Lowers a VX64 instruction to the "Capstone-independent"
+    representation the emulator consumes: an abstract operation type
+    plus width, lane count and operand descriptors. The cache maps
+    instruction index -> decoded form so the (modeled, expensive) decode
+    runs once per static instruction, amortizing to noise — the paper's
+    explanation for decode's absence from the Figure 9 breakdown. *)
+
+type aop =
+  | A_arith of Machine.Isa.fp_op
+  | A_cmp of { signaling : bool }
+  | A_cmppred of Machine.Isa.fp_pred
+  | A_round of Machine.Isa.rounding_imm
+  | A_f2f of Machine.Isa.fp_width  (** source width *)
+  | A_f2i of { truncate : bool; size : int }
+  | A_i2f of { size : int }
+
+type decoded = {
+  aop : aop;
+  w : Machine.Isa.fp_width;
+  lanes : int;  (** 1 for scalar, 2 for packed f64 *)
+  dst : Machine.Isa.operand;
+  src : Machine.Isa.operand;
+}
+
+val decode_insn : Machine.Isa.insn -> decoded option
+(** Cache-free decode; [None] for instructions FPVM never emulates.
+    Unwraps instrumentation wrappers. *)
+
+type cache = {
+  table : (int, decoded) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable enabled : bool;
+}
+
+val create_cache : ?enabled:bool -> unit -> cache
+
+exception Undecodable of int
+
+val decode : cache -> int -> Machine.Isa.insn -> decoded
+(** Decode the instruction at an index through the cache. Raises
+    {!Undecodable} on non-FP instructions. *)

@@ -1,0 +1,679 @@
+(* The FPVM engine (paper section 4): trap-and-emulate core with the two
+   alternative execution strategies (trap-and-patch, static binary
+   transformation) layered on the same decode/bind/emulate machinery.
+
+   Functorized over the alternative arithmetic system. *)
+
+module Isa = Machine.Isa
+module State = Machine.State
+module Cpu = Machine.Cpu
+module Program = Machine.Program
+module CM = Machine.Cost_model
+module Mx = Ieee754.Mxcsr
+module F = Ieee754.Flags
+
+type approach = Trap_and_emulate | Trap_and_patch | Static_transform
+
+type config = {
+  approach : approach;
+  deployment : Trapkern.deployment;
+  use_vsa : bool; (* run static analysis and insert correctness traps *)
+  gc_interval : int; (* emulated instructions between GC passes *)
+  decode_cache : bool;
+  always_emulate : bool;
+      (* the paper's footnote-2 variant: never run FP on the hardware,
+         emulate every FP instruction with the alternative system (only
+         meaningful under Static_transform, where every FP instruction
+         carries a check stub) *)
+  cost : CM.t;
+  max_insns : int;
+}
+
+let default_config =
+  { approach = Trap_and_emulate;
+    deployment = Trapkern.User_signal;
+    use_vsa = true;
+    gc_interval = 20_000;
+    decode_cache = true;
+    always_emulate = false;
+    cost = CM.r815;
+    max_insns = 400_000_000 }
+
+type result = {
+  output : string;
+  serialized : string;
+  stats : Stats.t;
+  cycles : int; (* total machine cycles including FPVM *)
+  insns : int;
+  fp_insns : int;
+  st : State.t;
+}
+
+module Make (A : Arith.S) = struct
+  type t = {
+    config : config;
+    stats : Stats.t;
+    arena : A.value Arena.t;
+    cache : Decoder.cache;
+    mutable since_gc : int;
+    mutable patch_sites : int;
+  }
+
+  let create config =
+    { config;
+      stats = Stats.create ();
+      arena = Arena.create ();
+      cache = Decoder.create_cache ~enabled:config.decode_cache ();
+      since_gc = 0;
+      patch_sites = 0 }
+
+  (* ---- boxing ----------------------------------------------------- *)
+
+  let unbox t bits : A.value =
+    if Nanbox.is_boxed bits then
+      match Arena.get t.arena (Nanbox.unbox bits) with
+      | Some v -> v
+      | None ->
+          (* Dangling box (freed by GC while still reachable would be a
+             bug; a stale pattern read from never-initialized memory is
+             not): treat as a universal NaN. *)
+          A.promote Ieee754.Soft64.default_qnan
+    else A.promote bits
+
+  let box t (v : A.value) : int64 =
+    let idx = Arena.alloc t.arena v in
+    t.stats.Stats.boxes_allocated <- t.stats.Stats.boxes_allocated + 1;
+    Nanbox.box idx
+
+  (* ---- binding ------------------------------------------------------ *)
+
+  (* A bound operand: a concrete place in machine state holding 64 bits. *)
+  type loc = L_xmm of int * int | L_mem of int | L_gpr of Isa.gpr
+
+  let bind_lane st (o : Isa.operand) lane : loc =
+    match o with
+    | Isa.Xmm i -> L_xmm (i, lane)
+    | Isa.Mem m -> L_mem (State.ea st m + (8 * lane))
+    | Isa.Reg r -> L_gpr r
+    | Isa.Imm _ -> invalid_arg "bind_lane: immediate"
+
+  let read_loc st = function
+    | L_xmm (i, lane) -> State.get_xmm st i lane
+    | L_mem a -> State.load64 st a
+    | L_gpr r -> State.get_gpr st r
+
+  let write_loc st l v =
+    match l with
+    | L_xmm (i, lane) -> State.set_xmm st i lane v
+    | L_mem a -> State.store64 st a v
+    | L_gpr r -> State.set_gpr st r v
+
+  (* ---- garbage collection (paper 4.1) --------------------------------- *)
+
+  let gc t (st : State.t) =
+    let t0 = Unix.gettimeofday () in
+    Arena.clear_marks t.arena;
+    let words = ref 0 in
+    (* Roots: xmm registers, gprs, and all writable memory. *)
+    for i = 0 to 31 do
+      let v = st.State.xmm.(i) in
+      if Nanbox.is_boxed v then Arena.mark t.arena (Nanbox.unbox v)
+    done;
+    for i = 0 to 15 do
+      let v = st.State.gpr.(i) in
+      if Nanbox.is_boxed v then Arena.mark t.arena (Nanbox.unbox v)
+    done;
+    List.iter
+      (fun (lo, hi) ->
+        let a = ref (lo land lnot 7) in
+        while !a + 8 <= hi do
+          incr words;
+          let v = State.load64 st !a in
+          if Nanbox.is_boxed v then Arena.mark t.arena (Nanbox.unbox v);
+          a := !a + 8
+        done)
+      (State.scannable_ranges st);
+    let freed = Arena.sweep t.arena in
+    let dt = Unix.gettimeofday () -. t0 in
+    let cost = t.config.cost in
+    let cyc =
+      (!words * cost.CM.gc_per_word)
+      + (t.arena.Arena.next_fresh * cost.CM.gc_per_cell)
+    in
+    State.add_cycles st cyc;
+    let s = t.stats in
+    s.Stats.gc_passes <- s.Stats.gc_passes + 1;
+    s.Stats.gc_freed <- s.Stats.gc_freed + freed;
+    s.Stats.gc_alive_last <- Arena.live_count t.arena;
+    s.Stats.gc_latency_s <- s.Stats.gc_latency_s +. dt;
+    s.Stats.cyc_gc <- s.Stats.cyc_gc + cyc
+
+  let maybe_gc t st =
+    if t.since_gc >= t.config.gc_interval then begin
+      t.since_gc <- 0;
+      gc t st
+    end
+
+  (* ---- emulation ------------------------------------------------------- *)
+
+  let charge_emu t st cls =
+    let c = t.config.cost.CM.emu_dispatch + A.op_cycles cls in
+    State.add_cycles st c;
+    t.stats.Stats.cyc_emulate <- t.stats.Stats.cyc_emulate + c;
+    t.stats.Stats.emulated_ops <- t.stats.Stats.emulated_ops + 1
+
+  let set_compare_flags st (c : Ieee754.Softfp.cmp) =
+    (match c with
+    | Ieee754.Softfp.Cmp_unordered ->
+        st.State.zf <- true; st.State.pf <- true; st.State.cf <- true
+    | Ieee754.Softfp.Cmp_lt ->
+        st.State.zf <- false; st.State.pf <- false; st.State.cf <- true
+    | Ieee754.Softfp.Cmp_gt ->
+        st.State.zf <- false; st.State.pf <- false; st.State.cf <- false
+    | Ieee754.Softfp.Cmp_eq ->
+        st.State.zf <- true; st.State.pf <- false; st.State.cf <- false);
+    st.State.of_ <- false;
+    st.State.sf <- false
+
+  let rounding_of st = Mx.rounding st.State.mxcsr
+
+  (* Read an f32 operand's raw 32-bit pattern. *)
+  let read_f32_bits st (o : Isa.operand) =
+    match o with
+    | Isa.Xmm i -> Int64.logand (State.get_xmm st i 0) 0xFFFFFFFFL
+    | Isa.Mem m -> Int64.logand (State.load32 st (State.ea st m)) 0xFFFFFFFFL
+    | _ -> invalid_arg "read_f32_bits"
+
+  let write_f32_bits st (o : Isa.operand) v =
+    match o with
+    | Isa.Xmm i ->
+        State.set_xmm st i 0
+          (Int64.logor
+             (Int64.logand (State.get_xmm st i 0) 0xFFFFFFFF00000000L)
+             (Int64.logand v 0xFFFFFFFFL))
+    | Isa.Mem m -> State.store32 st (State.ea st m) v
+    | _ -> invalid_arg "write_f32_bits"
+
+  (* Emulate the (already decoded) instruction at [idx] with the
+     alternative arithmetic, writing NaN-boxed results, and advance RIP.
+     This is the core of trap-and-emulate. *)
+  let emulate t st idx (insn : Isa.insn) =
+    let cost = t.config.cost in
+    (* decode (with cache) *)
+    let misses_before = t.cache.Decoder.misses in
+    let d = Decoder.decode t.cache idx insn in
+    let dc =
+      if t.cache.Decoder.misses > misses_before then cost.CM.decode_miss
+      else cost.CM.decode_hit
+    in
+    State.add_cycles st dc;
+    t.stats.Stats.cyc_decode <- t.stats.Stats.cyc_decode + dc;
+    (* bind *)
+    State.add_cycles st cost.CM.bind;
+    t.stats.Stats.cyc_bind <- t.stats.Stats.cyc_bind + cost.CM.bind;
+    t.stats.Stats.emulated_insns <- t.stats.Stats.emulated_insns + 1;
+    t.since_gc <- t.since_gc + 1;
+    (* emulate per abstract op *)
+    (match d.Decoder.aop with
+    | Decoder.A_arith op -> begin
+        match d.Decoder.w with
+        | Isa.F64 ->
+            for lane = 0 to d.Decoder.lanes - 1 do
+              let src = bind_lane st d.Decoder.src lane in
+              let dst = bind_lane st d.Decoder.dst lane in
+              let b = unbox t (read_loc st src) in
+              let r =
+                match op with
+                | Isa.FSQRT -> A.sqrt b
+                | Isa.FADD -> A.add (unbox t (read_loc st dst)) b
+                | Isa.FSUB -> A.sub (unbox t (read_loc st dst)) b
+                | Isa.FMUL -> A.mul (unbox t (read_loc st dst)) b
+                | Isa.FDIV -> A.div (unbox t (read_loc st dst)) b
+                | Isa.FMIN -> A.min_v (unbox t (read_loc st dst)) b
+                | Isa.FMAX -> A.max_v (unbox t (read_loc st dst)) b
+              in
+              charge_emu t st (Arith.class_of_fp_op op);
+              write_loc st dst (box t r)
+            done
+        | Isa.F32 ->
+            (* The "float problem": 23 payload bits cannot hold a box, so
+               binary32 results are computed in the alternative system
+               and immediately demoted to f32 bits. *)
+            let b = A.of_f32_bits (read_f32_bits st d.Decoder.src) in
+            let r =
+              match op with
+              | Isa.FSQRT -> A.sqrt b
+              | Isa.FADD -> A.add (A.of_f32_bits (read_f32_bits st d.Decoder.dst)) b
+              | Isa.FSUB -> A.sub (A.of_f32_bits (read_f32_bits st d.Decoder.dst)) b
+              | Isa.FMUL -> A.mul (A.of_f32_bits (read_f32_bits st d.Decoder.dst)) b
+              | Isa.FDIV -> A.div (A.of_f32_bits (read_f32_bits st d.Decoder.dst)) b
+              | Isa.FMIN -> A.min_v (A.of_f32_bits (read_f32_bits st d.Decoder.dst)) b
+              | Isa.FMAX -> A.max_v (A.of_f32_bits (read_f32_bits st d.Decoder.dst)) b
+            in
+            charge_emu t st (Arith.class_of_fp_op op);
+            write_f32_bits st d.Decoder.dst (A.to_f32_bits r)
+      end
+    | Decoder.A_cmp { signaling } ->
+        let a = unbox t (read_loc st (bind_lane st d.Decoder.dst 0)) in
+        let b = unbox t (read_loc st (bind_lane st d.Decoder.src 0)) in
+        charge_emu t st Arith.C_cmp;
+        set_compare_flags st
+          (if signaling then A.cmp_signaling a b else A.cmp_quiet a b)
+    | Decoder.A_cmppred pred ->
+        let dst = bind_lane st d.Decoder.dst 0 in
+        let a = unbox t (read_loc st dst) in
+        let b = unbox t (read_loc st (bind_lane st d.Decoder.src 0)) in
+        charge_emu t st Arith.C_cmp;
+        let c = A.cmp_quiet a b in
+        let open Ieee754.Softfp in
+        let holds =
+          match (pred, c) with
+          | Isa.EQ, Cmp_eq -> true
+          | Isa.LT, Cmp_lt -> true
+          | Isa.LE, (Cmp_lt | Cmp_eq) -> true
+          | Isa.NEQ, (Cmp_lt | Cmp_gt | Cmp_unordered) -> true
+          | Isa.NLT, (Cmp_gt | Cmp_eq | Cmp_unordered) -> true
+          | Isa.NLE, (Cmp_gt | Cmp_unordered) -> true
+          | Isa.ORD, (Cmp_lt | Cmp_eq | Cmp_gt) -> true
+          | Isa.UNORD, Cmp_unordered -> true
+          | _ -> false
+        in
+        write_loc st dst (if holds then -1L else 0L)
+    | Decoder.A_round imm ->
+        let src = bind_lane st d.Decoder.src 0 in
+        let dst = bind_lane st d.Decoder.dst 0 in
+        let mode =
+          match imm with
+          | Isa.RN -> Ieee754.Softfp.Nearest_even
+          | Isa.RD -> Ieee754.Softfp.Toward_neg
+          | Isa.RU -> Ieee754.Softfp.Toward_pos
+          | Isa.RZ -> Ieee754.Softfp.Toward_zero
+        in
+        charge_emu t st Arith.C_cvt;
+        write_loc st dst (box t (A.round_int mode (unbox t (read_loc st src))))
+    | Decoder.A_f2f from_w -> begin
+        charge_emu t st Arith.C_cvt;
+        match from_w with
+        | Isa.F64 ->
+            (* narrow: demote to f32 bits *)
+            let v = unbox t (read_loc st (bind_lane st d.Decoder.src 0)) in
+            write_f32_bits st d.Decoder.dst (A.to_f32_bits v)
+        | Isa.F32 ->
+            let v = A.of_f32_bits (read_f32_bits st d.Decoder.src) in
+            write_loc st (bind_lane st d.Decoder.dst 0) (box t v)
+      end
+    | Decoder.A_f2i { truncate; size } ->
+        let v = unbox t (read_loc st (bind_lane st d.Decoder.src 0)) in
+        let mode =
+          if truncate then Ieee754.Softfp.Toward_zero else rounding_of st
+        in
+        charge_emu t st Arith.C_cvt;
+        let bits =
+          if size = 8 then A.to_i64 mode v
+          else Int64.of_int32 (A.to_i32 mode v)
+        in
+        (match d.Decoder.dst with
+        | Isa.Reg r -> State.set_gpr st r bits
+        | Isa.Mem m -> State.store_size st size (State.ea st m) bits
+        | _ -> invalid_arg "f2i dst")
+    | Decoder.A_i2f { size } ->
+        let iv =
+          match d.Decoder.src with
+          | Isa.Reg r -> State.get_gpr st r
+          | Isa.Mem m -> State.load_size st size (State.ea st m)
+          | Isa.Imm v -> v
+          | _ -> invalid_arg "i2f src"
+        in
+        let iv = if size = 4 then Int64.of_int32 (Int64.to_int32 iv) else iv in
+        charge_emu t st Arith.C_cvt;
+        write_loc st (bind_lane st d.Decoder.dst 0) (box t (A.of_i64 iv)));
+    st.State.rip <- idx + 1;
+    maybe_gc t st
+
+  (* ---- software checks (patch handlers / static-transform stubs) ---- *)
+
+  (* Does this operand currently hold a NaN-boxed (or foreign-sNaN)
+     value in any lane? *)
+  let operand_boxed t st (o : Isa.operand) lanes =
+    match o with
+    | Isa.Imm _ | Isa.Reg _ -> false
+    | Isa.Xmm _ | Isa.Mem _ ->
+        let rec chk lane =
+          if lane >= lanes then false
+          else begin
+            let bits = read_loc st (bind_lane st o lane) in
+            Nanbox.is_boxed bits
+            || Nanbox.is_foreign_snan bits
+            || chk (lane + 1)
+          end
+        in
+        chk 0
+
+  (* Execute [insn] at [idx] under software pre/postcondition checks.
+     Precondition: no input operand is NaN-boxed. Postcondition: the
+     native execution raised no FP events. Either failing routes to the
+     emulator, exactly like a trap-and-patch custom handler. *)
+  let software_execute t st idx (insn : Isa.insn) =
+    match Decoder.decode_insn insn with
+    | None ->
+        (* not an FP instruction: nothing to check *)
+        ignore (Cpu.dispatch st idx insn)
+    | Some d ->
+        let pre_fail =
+          t.config.always_emulate
+          || operand_boxed t st d.Decoder.src d.Decoder.lanes
+          || operand_boxed t st d.Decoder.dst d.Decoder.lanes
+        in
+        if pre_fail then emulate t st idx insn
+        else begin
+          (* Save inputs so a postcondition failure can rerun. *)
+          let saved =
+            List.filter_map
+              (fun (o : Isa.operand) ->
+                match o with
+                | Isa.Xmm _ | Isa.Mem _ ->
+                    Some
+                      (Array.init d.Decoder.lanes (fun lane ->
+                           let l = bind_lane st o lane in
+                           (l, read_loc st l)))
+                | Isa.Reg _ | Isa.Imm _ -> None)
+              [ d.Decoder.dst; d.Decoder.src ]
+          in
+          let saved_flags = Mx.flags st.State.mxcsr in
+          Mx.clear_flags st.State.mxcsr;
+          (* Native execution cannot fault here: this path is only used
+             when exceptions are masked (static/patched modes). *)
+          (match Cpu.dispatch st idx insn with
+          | Cpu.Running | Cpu.Halted -> ()
+          | Cpu.Fp_fault _ | Cpu.Correctness_fault _ ->
+              (* Masked mode cannot fault; treat defensively. *)
+              emulate t st idx insn);
+          let events = Mx.flags st.State.mxcsr in
+          Mx.clear_flags st.State.mxcsr;
+          Mx.set_flags st.State.mxcsr saved_flags;
+          if events <> F.none then begin
+            (* postcondition failed: restore inputs and emulate *)
+            List.iter
+              (fun arr -> Array.iter (fun (l, v) -> write_loc st l v) arr)
+              saved;
+            st.State.rip <- idx; (* emulate advances it *)
+            emulate t st idx insn
+          end
+        end
+
+  (* ---- correctness traps (paper 4.2) ---------------------------------- *)
+
+  let demote_bits t st (l : loc) =
+    let bits = read_loc st l in
+    if Nanbox.is_boxed bits then begin
+      let v = unbox t bits in
+      write_loc st l (A.demote v);
+      t.stats.Stats.correctness_demotions <-
+        t.stats.Stats.correctness_demotions + 1
+    end
+
+  (* Demote any NaN-boxed data the wrapped instruction is about to
+     reinterpret as raw bits. *)
+  let demote_for t st (insn : Isa.insn) =
+    match insn with
+    | Isa.Mov { size; src = Isa.Mem m; _ } when size >= 4 ->
+        (* integer load of possibly-FP memory: demote the containing
+           8-byte word(s) *)
+        let a = State.ea st m in
+        demote_bits t st (L_mem (a land lnot 7));
+        if size = 8 && a land 7 <> 0 then
+          demote_bits t st (L_mem ((a + 7) land lnot 7))
+    | Isa.Movq_xr { src; _ } -> demote_bits t st (L_xmm (src, 0))
+    | Isa.Fp_bit { dst; src; _ } -> begin
+        (match dst with
+        | Isa.Xmm i ->
+            demote_bits t st (L_xmm (i, 0));
+            demote_bits t st (L_xmm (i, 1))
+        | _ -> ());
+        match src with
+        | Isa.Xmm i ->
+            demote_bits t st (L_xmm (i, 0));
+            demote_bits t st (L_xmm (i, 1))
+        | Isa.Mem m ->
+            let a = State.ea st m in
+            demote_bits t st (L_mem a);
+            demote_bits t st (L_mem (a + 8))
+        | _ -> ()
+      end
+    | Isa.Call_ext (Isa.Print_f64 | Isa.Write_f64) ->
+        demote_bits t st (L_xmm (0, 0))
+    | Isa.Call_ext _ ->
+        (* conservative: demote the xmm argument registers *)
+        for i = 0 to 7 do
+          demote_bits t st (L_xmm (i, 0))
+        done
+    | _ -> ()
+
+  (* ---- external call interposition ------------------------------------- *)
+
+  let math_ext (fn : Isa.ext_fn) :
+      [ `Unary of A.value -> A.value
+      | `Binary of A.value -> A.value -> A.value
+      | `Other ] =
+    match fn with
+    | Isa.Sin -> `Unary A.sin
+    | Isa.Cos -> `Unary A.cos
+    | Isa.Tan -> `Unary A.tan
+    | Isa.Asin -> `Unary A.asin
+    | Isa.Acos -> `Unary A.acos
+    | Isa.Atan -> `Unary A.atan
+    | Isa.Exp -> `Unary A.exp
+    | Isa.Log -> `Unary A.log
+    | Isa.Log10 -> `Unary A.log10
+    | Isa.Floor -> `Unary A.floor_v
+    | Isa.Ceil -> `Unary A.ceil_v
+    | Isa.Fabs -> `Unary A.abs
+    | Isa.Cbrt -> `Unary (fun v -> A.pow v (A.promote (Int64.bits_of_float (1.0 /. 3.0))))
+    | Isa.Sinh | Isa.Cosh | Isa.Tanh ->
+        (* via exp in the alternative system *)
+        let f v =
+          let e = A.exp v and en = A.exp (A.neg v) in
+          let two = A.promote (Int64.bits_of_float 2.0) in
+          match fn with
+          | Isa.Sinh -> A.div (A.sub e en) two
+          | Isa.Cosh -> A.div (A.add e en) two
+          | _ -> A.div (A.sub e en) (A.add e en)
+        in
+        `Unary f
+    | Isa.Atan2 -> `Binary A.atan2
+    | Isa.Pow -> `Binary A.pow
+    | Isa.Fmod -> `Binary A.fmod
+    | Isa.Hypot -> `Binary A.hypot
+    | Isa.Print_f64 | Isa.Print_i64 | Isa.Print_str _ | Isa.Write_f64
+    | Isa.Alloc | Isa.Exit -> `Other
+
+  let on_ext_call t st (fn : Isa.ext_fn) : bool =
+    match math_ext fn with
+    | `Unary f ->
+        (* The math wrapper: emulate libm in the alternative system so
+           boxed arguments work and precision carries through. *)
+        t.stats.Stats.math_calls <- t.stats.Stats.math_calls + 1;
+        charge_emu t st Arith.C_libm;
+        let v = f (unbox t (State.get_xmm st 0 0)) in
+        State.set_xmm st 0 0 (box t v);
+        State.set_xmm st 0 1 0L;
+        t.since_gc <- t.since_gc + 1;
+        maybe_gc t st;
+        true
+    | `Binary f ->
+        t.stats.Stats.math_calls <- t.stats.Stats.math_calls + 1;
+        charge_emu t st Arith.C_libm;
+        let v =
+          f (unbox t (State.get_xmm st 0 0)) (unbox t (State.get_xmm st 1 0))
+        in
+        State.set_xmm st 0 0 (box t v);
+        State.set_xmm st 0 1 0L;
+        t.since_gc <- t.since_gc + 1;
+        maybe_gc t st;
+        true
+    | `Other -> begin
+        match fn with
+        | Isa.Print_f64 ->
+            (* The printing problem: hijack printf and demote/print the
+               shadow value. *)
+            let bits = State.get_xmm st 0 0 in
+            if Nanbox.is_boxed bits then begin
+              t.stats.Stats.printf_hijacks <- t.stats.Stats.printf_hijacks + 1;
+              let v = unbox t bits in
+              Buffer.add_string st.State.out
+                (Printf.sprintf "%.17g\n" (Int64.float_of_bits (A.demote v)));
+              true
+            end
+            else false
+        | Isa.Write_f64 ->
+            (* The serialization problem: demote at the boundary. *)
+            let bits = State.get_xmm st 0 0 in
+            if Nanbox.is_boxed bits then begin
+              t.stats.Stats.serialize_demotions <-
+                t.stats.Stats.serialize_demotions + 1;
+              Buffer.add_int64_le st.State.serialized
+                (A.demote (unbox t bits));
+              true
+            end
+            else false
+        | _ -> false
+      end
+
+  (* ---- run -------------------------------------------------------------- *)
+
+  let run ?(config = default_config) (prog : Program.t) : result =
+    let t = create config in
+    let prog = Program.copy prog in
+    (* Static analysis + patching (the hybrid's correctness traps). *)
+    if config.use_vsa && config.approach <> Static_transform then begin
+      let analysis = Vsa.analyze prog in
+      Vsa.apply_patches prog analysis
+    end;
+    if config.approach = Static_transform then begin
+      (* Patch every FP instruction and every VSA sink with an inline
+         software check; no hardware traps at all. *)
+      let analysis = Vsa.analyze prog in
+      Array.iteri
+        (fun i insn ->
+          if Isa.is_fp_insn insn then prog.Program.insns.(i) <- Isa.Checked insn)
+        prog.Program.insns;
+      Vsa.apply_patches prog analysis
+    end;
+    let st = State.create ~cost:config.cost prog in
+    let kern = Trapkern.create ~deployment:config.deployment () in
+    (* Hooks *)
+    st.State.hooks.State.on_ext_call <- Some (fun st fn -> on_ext_call t st fn);
+    st.State.hooks.State.on_free_hint <-
+      Some
+        (fun st o ->
+          (* compiler-hinted shadow death (section 3.4): free the cell
+             now instead of waiting for a GC pass *)
+          match o with
+          | Isa.Mem _ | Isa.Xmm _ ->
+              let bits = read_loc st (bind_lane st o 0) in
+              if Nanbox.is_boxed bits then begin
+                Arena.free t.arena (Nanbox.unbox bits);
+                t.stats.Stats.eager_frees <- t.stats.Stats.eager_frees + 1
+              end
+          | Isa.Reg _ | Isa.Imm _ -> ());
+    st.State.hooks.State.on_checked <-
+      Some
+        (fun st idx insn ->
+          t.stats.Stats.checked_invocations <-
+            t.stats.Stats.checked_invocations + 1;
+          software_execute t st idx insn;
+          true);
+    st.State.hooks.State.on_patched <-
+      Some
+        (fun st idx _site insn ->
+          t.stats.Stats.patch_invocations <-
+            t.stats.Stats.patch_invocations + 1;
+          let c = config.cost.CM.patch_check in
+          t.stats.Stats.cyc_patch_checks <- t.stats.Stats.cyc_patch_checks + c;
+          software_execute t st idx insn;
+          true);
+    (* Hardware exceptions: unmask unless purely static. *)
+    if config.approach <> Static_transform then
+      Mx.unmask_all st.State.mxcsr;
+    Trapkern.install_sigfpe kern (fun st frame ->
+        t.stats.Stats.fp_traps <- t.stats.Stats.fp_traps + 1;
+        let idx = frame.Trapkern.fault_index in
+        Mx.clear_flags st.State.mxcsr;
+        (match config.approach with
+        | Trap_and_patch ->
+            (* Rewrite the site so subsequent executions skip the kernel. *)
+            let original = prog.Program.insns.(idx) in
+            (match original with
+            | Isa.Patched _ -> ()
+            | _ ->
+                t.patch_sites <- t.patch_sites + 1;
+                prog.Program.insns.(idx) <-
+                  Isa.Patched { site_id = t.patch_sites; original })
+        | Trap_and_emulate | Static_transform -> ());
+        let insn =
+          match prog.Program.insns.(idx) with
+          | Isa.Patched { original; _ } -> original
+          | i -> i
+        in
+        emulate t st idx insn);
+    Trapkern.install_sigtrap kern (fun st frame ->
+        t.stats.Stats.correctness_traps <- t.stats.Stats.correctness_traps + 1;
+        let idx = frame.Trapkern.trap_index in
+        let original = frame.Trapkern.original in
+        let c = config.cost.CM.single_step in
+        State.add_cycles st c;
+        t.stats.Stats.cyc_correctness_handler <-
+          t.stats.Stats.cyc_correctness_handler + c;
+        demote_for t st original;
+        (* Single-step the original instruction. *)
+        match Cpu.dispatch st idx original with
+        | Cpu.Running | Cpu.Halted -> ()
+        | Cpu.Fp_fault _ ->
+            (* The demoted re-execution raised an FP event: emulate. *)
+            Mx.clear_flags st.State.mxcsr;
+            emulate t st idx original
+        | Cpu.Correctness_fault _ -> assert false);
+    (* Go. *)
+    Trapkern.run ~max_insns:config.max_insns kern st;
+    (* final GC pass for the books *)
+    gc t st;
+    (* Fold kernel delivery accounting into stats. Every delivery (FP
+       fault or correctness trap) costs the same, so apportion the three
+       buckets by event counts: the FP-fault share stays in hw/kernel/
+       user, the correctness-trap share becomes "correctness overhead"
+       (the paper's Fig 9 split). *)
+    let fpe = kern.Trapkern.fpe_count and corr = kern.Trapkern.trap_count in
+    let events = max 1 (fpe + corr) in
+    let fp_share v = v * fpe / events in
+    let corr_share v = v - fp_share v in
+    t.stats.Stats.cyc_hw <- fp_share kern.Trapkern.hw_cycles;
+    t.stats.Stats.cyc_kernel <- fp_share kern.Trapkern.kernel_cycles;
+    t.stats.Stats.cyc_delivery <- fp_share kern.Trapkern.user_cycles;
+    t.stats.Stats.cyc_correctness <-
+      corr_share kern.Trapkern.hw_cycles
+      + corr_share kern.Trapkern.kernel_cycles
+      + corr_share kern.Trapkern.user_cycles;
+    t.stats.Stats.decode_hits <- t.cache.Decoder.hits;
+    t.stats.Stats.decode_misses <- t.cache.Decoder.misses;
+    { output = State.output st;
+      serialized = State.serialized_output st;
+      stats = t.stats;
+      cycles = st.State.cycles;
+      insns = st.State.insn_count;
+      fp_insns = st.State.fp_insn_count;
+      st }
+end
+
+(* Run the same program natively (no FPVM), for baselines and
+   validation. *)
+let run_native ?(cost = CM.r815) ?(max_insns = 400_000_000) (prog : Program.t) :
+    result =
+  let st = State.create ~cost prog in
+  Cpu.run_native ~max_insns st;
+  { output = State.output st;
+    serialized = State.serialized_output st;
+    stats = Stats.create ();
+    cycles = st.State.cycles;
+    insns = st.State.insn_count;
+    fp_insns = st.State.fp_insn_count;
+    st }

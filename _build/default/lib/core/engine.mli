@@ -1,0 +1,64 @@
+(** The FPVM engine (paper section 4).
+
+    Functorized over the alternative arithmetic system ({!Arith.S}).
+    The trap-and-emulate core installs itself as the simulated kernel's
+    SIGFPE handler, unmasks every %mxcsr exception, and services each
+    fault through decode (cached) -> bind -> emulate, NaN-boxing results
+    into the shadow arena. Correctness traps inserted by the static
+    analysis demote boxed operands and single-step the original
+    instruction. Two alternative strategies reuse the same machinery:
+    trap-and-patch (faulting sites are rewritten with inline-check
+    patches after their first trap) and the static binary transformation
+    (every FP instruction runs behind an inline software check; the
+    hardware never traps). *)
+
+type approach =
+  | Trap_and_emulate  (** the hybrid default (paper section 4) *)
+  | Trap_and_patch  (** patch sites after their first fault (3.2) *)
+  | Static_transform  (** software checks everywhere, no traps (3.3) *)
+
+type config = {
+  approach : approach;
+  deployment : Trapkern.deployment;
+      (** trap delivery path: user signal / kernel module / user->user *)
+  use_vsa : bool;
+      (** run the static analysis and insert correctness traps *)
+  gc_interval : int;  (** emulated instructions between GC passes *)
+  decode_cache : bool;
+  always_emulate : bool;
+      (** the paper's footnote-2 variant: never execute FP on the
+          hardware; every FP instruction goes to the alternative system
+          (meaningful under [Static_transform]) *)
+  cost : Machine.Cost_model.t;
+  max_insns : int;  (** runaway-execution guard *)
+}
+
+val default_config : config
+(** Trap-and-emulate, user-signal delivery, VSA on, GC every 20k
+    emulations, decode cache on, R815 cost model. *)
+
+type result = {
+  output : string;  (** the program's printed output *)
+  serialized : string;  (** bytes written through the Write_f64 channel *)
+  stats : Stats.t;
+  cycles : int;  (** total machine cycles including FPVM overheads *)
+  insns : int;  (** dynamic instructions executed *)
+  fp_insns : int;  (** dynamic floating point instructions *)
+  st : Machine.State.t;  (** final machine state, for inspection *)
+}
+
+module Make (A : Arith.S) : sig
+  type t
+
+  val create : config -> t
+
+  val run : ?config:config -> Machine.Program.t -> result
+  (** Run a binary to completion under FPVM with arithmetic [A]. The
+      input program is copied; analysis patches and trap-and-patch
+      rewrites never mutate the caller's binary. *)
+end
+
+val run_native :
+  ?cost:Machine.Cost_model.t -> ?max_insns:int -> Machine.Program.t -> result
+(** Run the binary with no FPVM attached (all exceptions masked): the
+    baseline for validation and slowdown measurements. *)

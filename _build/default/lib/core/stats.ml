@@ -1,0 +1,97 @@
+(* Per-run accounting for the evaluation figures.
+
+   Cycle buckets mirror Figure 9's breakdown: hardware trap cost, kernel
+   cost, (user) delivery cost, decode, bind, emulate, garbage collection,
+   correctness-trap overhead and correctness-handler work. GC behavior
+   (Figure 10) is tracked as pass-by-pass alive/freed counts and
+   wall-clock latency. *)
+
+type t = {
+  mutable fp_traps : int;
+  mutable correctness_traps : int;
+  mutable correctness_demotions : int;
+  mutable patch_invocations : int;
+  mutable checked_invocations : int;
+  mutable emulated_ops : int;
+  mutable emulated_insns : int;
+  mutable math_calls : int;
+  mutable printf_hijacks : int;
+  mutable serialize_demotions : int;
+  (* decode cache *)
+  mutable decode_hits : int;
+  mutable decode_misses : int;
+  (* cycle buckets *)
+  mutable cyc_hw : int;
+  mutable cyc_kernel : int;
+  mutable cyc_delivery : int;
+  mutable cyc_decode : int;
+  mutable cyc_bind : int;
+  mutable cyc_emulate : int;
+  mutable cyc_gc : int;
+  mutable cyc_correctness : int;
+  mutable cyc_correctness_handler : int;
+  mutable cyc_patch_checks : int;
+  (* gc *)
+  mutable gc_passes : int;
+  mutable gc_freed : int;
+  mutable gc_alive_last : int;
+  mutable gc_latency_s : float;
+  (* allocator *)
+  mutable boxes_allocated : int;
+  mutable eager_frees : int;
+      (* shadow values freed by compiler hints rather than the GC *)
+}
+
+let create () =
+  { fp_traps = 0; correctness_traps = 0; correctness_demotions = 0;
+    patch_invocations = 0; checked_invocations = 0; emulated_ops = 0;
+    emulated_insns = 0; math_calls = 0; printf_hijacks = 0;
+    serialize_demotions = 0; decode_hits = 0; decode_misses = 0;
+    cyc_hw = 0; cyc_kernel = 0; cyc_delivery = 0; cyc_decode = 0;
+    cyc_bind = 0; cyc_emulate = 0; cyc_gc = 0; cyc_correctness = 0;
+    cyc_correctness_handler = 0; cyc_patch_checks = 0; gc_passes = 0;
+    gc_freed = 0; gc_alive_last = 0; gc_latency_s = 0.0;
+    boxes_allocated = 0; eager_frees = 0 }
+
+let total_fpvm_cycles t =
+  t.cyc_hw + t.cyc_kernel + t.cyc_delivery + t.cyc_decode + t.cyc_bind
+  + t.cyc_emulate + t.cyc_gc + t.cyc_correctness + t.cyc_correctness_handler
+  + t.cyc_patch_checks
+
+(* Average cost of virtualizing one floating point instruction (the Fig 9
+   metric), with its component breakdown. *)
+type breakdown = {
+  events : int;
+  avg_total : float;
+  avg_hw : float;
+  avg_kernel : float;
+  avg_delivery : float;
+  avg_decode : float;
+  avg_bind : float;
+  avg_emulate : float;
+  avg_gc : float;
+  avg_correctness : float;
+  avg_correctness_handler : float;
+}
+
+let breakdown t =
+  let n = max 1 (t.fp_traps + t.checked_invocations + t.patch_invocations) in
+  let f v = float_of_int v /. float_of_int n in
+  { events = n;
+    avg_total = f (total_fpvm_cycles t);
+    avg_hw = f t.cyc_hw;
+    avg_kernel = f t.cyc_kernel;
+    avg_delivery = f t.cyc_delivery;
+    avg_decode = f t.cyc_decode;
+    avg_bind = f t.cyc_bind;
+    avg_emulate = f t.cyc_emulate;
+    avg_gc = f t.cyc_gc;
+    avg_correctness = f t.cyc_correctness;
+    avg_correctness_handler = f t.cyc_correctness_handler }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "traps=%d corr=%d emu_insns=%d emu_ops=%d math=%d decode=%d/%d gc=%d(passes) freed=%d alive=%d boxes=%d"
+    t.fp_traps t.correctness_traps t.emulated_insns t.emulated_ops
+    t.math_calls t.decode_hits t.decode_misses t.gc_passes t.gc_freed
+    t.gc_alive_last t.boxes_allocated

@@ -1,0 +1,35 @@
+(** Static binary analysis and patching (paper section 4.2).
+
+    A value-set analysis over the binary's CFG finds the instructions
+    that can move floating point data where the hardware cannot trap on
+    it: integer loads of FP-written memory ({e sinks} of the Figure 6/7
+    idioms), gpr<-xmm bit moves, and xmm bitwise logic. {!apply_patches}
+    rewrites each sink with an explicit correctness trap (the e9patch
+    stand-in); the engine's trap handler then demotes any NaN-boxed
+    operand and single-steps the original instruction. *)
+
+type aloc =
+  | Global of int  (** static base displacement in the data segment *)
+  | Stack of int  (** rsp-relative slot *)
+  | Heap of int  (** allocation site (instruction index of the Alloc) *)
+  | Anywhere  (** unknown: aliases everything *)
+
+module AlocSet : Set.S with type elt = aloc
+
+type analysis = {
+  sinks : int list;  (** instruction indices needing correctness traps *)
+  sources : int list;  (** instructions that taint memory with FP data *)
+  tainted : AlocSet.t;  (** the FP-tainted abstract locations *)
+  total_int_loads : int;
+  proven_safe_loads : int;  (** loads the analysis discharged *)
+  iterations : int;  (** dataflow iterations across all taint rounds *)
+}
+
+val analyze : Machine.Program.t -> analysis
+(** Run the iterated dataflow + taint analysis. Pure: does not modify
+    the program. Instrumentation wrappers are analyzed through to the
+    original instruction. *)
+
+val apply_patches : Machine.Program.t -> analysis -> unit
+(** Rewrite every sink instruction in place with
+    [Correctness_trap original]. Idempotent. *)

@@ -1,0 +1,1 @@
+lib/fpvm_ir/ast.ml: Format

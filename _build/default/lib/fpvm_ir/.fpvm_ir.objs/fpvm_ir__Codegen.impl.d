@@ -1,0 +1,1 @@
+lib/fpvm_ir/codegen.ml: Array Ast Hashtbl Int64 Ir List Lower Machine

@@ -1,0 +1,1 @@
+lib/fpvm_ir/ir.ml: Ast

@@ -1,0 +1,1 @@
+lib/fpvm_ir/lower.ml: Ast Int64 Ir List

@@ -1,0 +1,1 @@
+lib/ieee754/convert.ml: Flags Int64 Soft32 Soft64 Softfp

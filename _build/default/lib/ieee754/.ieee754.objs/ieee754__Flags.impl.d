@@ -1,0 +1,1 @@
+lib/ieee754/flags.ml: Format List String

@@ -1,0 +1,1 @@
+lib/ieee754/flags.mli: Format

@@ -1,0 +1,1 @@
+lib/ieee754/mxcsr.ml: Flags Format Softfp

@@ -1,0 +1,1 @@
+lib/ieee754/soft32.ml: Softfp

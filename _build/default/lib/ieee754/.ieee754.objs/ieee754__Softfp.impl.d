@@ -1,0 +1,1 @@
+lib/ieee754/softfp.ml: Bignum Flags Format Int32 Int64 Wide

@@ -1,0 +1,1 @@
+lib/ieee754/wide.ml: Int64

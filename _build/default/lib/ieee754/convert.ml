@@ -1,0 +1,30 @@
+(* Cross-format conversions (cvtsd2ss / cvtss2sd). Converting a signaling
+   NaN raises invalid and quiets it, per x64. *)
+
+let f64_to_f32 mode (b : Soft64.bits) : Soft32.bits * Flags.t =
+  match Soft64.to_parts b with
+  | Softfp.P_nan { sign; signaling; payload } ->
+      let r, _ =
+        Soft32.of_parts mode
+          (Softfp.P_nan
+             { sign; signaling = false; payload = Int64.shift_right_logical payload 29 })
+      in
+      (r, if signaling then Flags.invalid else Flags.none)
+  | p ->
+      let de = if Soft64.is_subnormal b then Flags.denormal else Flags.none in
+      let r, fl = Soft32.of_parts mode p in
+      (r, Flags.union fl de)
+
+let f32_to_f64 mode (b : Soft32.bits) : Soft64.bits * Flags.t =
+  match Soft32.to_parts b with
+  | Softfp.P_nan { sign; signaling; payload } ->
+      let r, _ =
+        Soft64.of_parts mode
+          (Softfp.P_nan
+             { sign; signaling = false; payload = Int64.shift_left payload 29 })
+      in
+      (r, if signaling then Flags.invalid else Flags.none)
+  | p ->
+      let de = if Soft32.is_subnormal b then Flags.denormal else Flags.none in
+      let r, fl = Soft64.of_parts mode p in
+      (r, Flags.union fl de)

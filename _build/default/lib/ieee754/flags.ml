@@ -1,0 +1,24 @@
+type t = int
+
+let none = 0
+let invalid = 1
+let denormal = 2
+let div_by_zero = 4
+let overflow = 8
+let underflow = 16
+let inexact = 32
+let all = 63
+
+let union = ( lor )
+let inter = ( land )
+let mem ~flag t = t land flag <> 0
+
+let names t =
+  List.filter_map
+    (fun (f, n) -> if mem ~flag:f t then Some n else None)
+    [ (invalid, "IE"); (denormal, "DE"); (div_by_zero, "ZE");
+      (overflow, "OE"); (underflow, "UE"); (inexact, "PE") ]
+
+let pp fmt t =
+  if t = 0 then Format.pp_print_string fmt "-"
+  else Format.pp_print_string fmt (String.concat "+" (names t))

@@ -1,0 +1,23 @@
+(** IEEE-754 / x64 SSE exception flags.
+
+    A flag set is a bitmask matching the low six bits of [%mxcsr]:
+    invalid (IE), denormal-operand (DE), divide-by-zero (ZE), overflow
+    (OE), underflow (UE), precision/inexact (PE). *)
+
+type t = int
+
+val none : t
+val invalid : t
+val denormal : t
+val div_by_zero : t
+val overflow : t
+val underflow : t
+val inexact : t
+
+val all : t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val mem : flag:t -> t -> bool
+val names : t -> string list
+val pp : Format.formatter -> t -> unit

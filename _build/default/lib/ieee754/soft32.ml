@@ -1,0 +1,9 @@
+(* IEEE-754 binary32 ("float") softfloat instance. Bit patterns occupy the
+   low 32 bits of the int64 carrier. *)
+
+include Softfp.Make (struct
+  let name = "binary32"
+  let width = 32
+  let exp_bits = 8
+  let man_bits = 23
+end)

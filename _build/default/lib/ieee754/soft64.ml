@@ -1,0 +1,8 @@
+(* IEEE-754 binary64 ("double") softfloat instance. *)
+
+include Softfp.Make (struct
+  let name = "binary64"
+  let width = 64
+  let exp_bits = 11
+  let man_bits = 52
+end)

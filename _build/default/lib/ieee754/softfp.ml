@@ -1,0 +1,768 @@
+(* Software IEEE-754 arithmetic with full status flags.
+
+   The kernel is a functor over the binary interchange format, so binary64
+   and binary32 share one implementation. Values travel as raw bit patterns
+   held in an int64 (binary32 uses the low 32 bits). Every operation
+   returns the result bits together with the set of exception flags it
+   raised, which is exactly the observability the FPVM engine needs and
+   which native OCaml floats cannot provide.
+
+   Internal convention: finite nonzero numbers unpack to (sign, e, man)
+   with [man] holding [man_bits + 1] significant bits (implicit bit made
+   explicit, subnormals normalized) and value = man * 2^(e - man_bits),
+   i.e. [e] is the unbiased exponent of the leading bit. The rounding
+   funnel [round_pack] accepts an arbitrary-position significand in a
+   128-bit register plus a sticky bit, so every operation can produce its
+   exact (or exactly-sticky-summarized) result and round once. *)
+
+type rounding = Nearest_even | Toward_zero | Toward_pos | Toward_neg
+
+let pp_rounding fmt r =
+  Format.pp_print_string fmt
+    (match r with
+    | Nearest_even -> "rne"
+    | Toward_zero -> "rtz"
+    | Toward_pos -> "rup"
+    | Toward_neg -> "rdn")
+
+type parts =
+  | P_zero of int
+  | P_inf of int
+  | P_nan of { sign : int; signaling : bool; payload : int64 }
+  | P_fin of { sign : int; e : int; man : int64; man_bits : int }
+
+type cmp = Cmp_lt | Cmp_eq | Cmp_gt | Cmp_unordered
+
+module type FORMAT = sig
+  val name : string
+  val width : int
+  val exp_bits : int
+  val man_bits : int
+end
+
+module type S = sig
+  type bits = int64
+
+  val name : string
+  val width : int
+  val man_bits : int
+  val exp_bits : int
+
+  (* Distinguished values *)
+  val pos_zero : bits
+  val neg_zero : bits
+  val pos_inf : bits
+  val neg_inf : bits
+  val default_qnan : bits
+  val max_finite : bits
+  val min_normal : bits
+  val min_subnormal : bits
+  val one : bits
+
+  (* Classification (no flags) *)
+  val is_nan : bits -> bool
+  val is_snan : bits -> bool
+  val is_qnan : bits -> bool
+  val is_inf : bits -> bool
+  val is_zero : bits -> bool
+  val is_subnormal : bits -> bool
+  val is_finite : bits -> bool
+  val sign_bit : bits -> int
+  val nan_payload : bits -> int64
+  val make_qnan : payload:int64 -> bits
+  val make_snan : payload:int64 -> bits
+  val quiet : bits -> bits
+
+  (* Bitwise sign ops (never raise flags, like andpd/xorpd) *)
+  val neg : bits -> bits
+  val abs : bits -> bits
+  val copysign : bits -> bits -> bits
+
+  (* Arithmetic: result bits * flags raised *)
+  val add : rounding -> bits -> bits -> bits * Flags.t
+  val sub : rounding -> bits -> bits -> bits * Flags.t
+  val mul : rounding -> bits -> bits -> bits * Flags.t
+  val div : rounding -> bits -> bits -> bits * Flags.t
+  val sqrt : rounding -> bits -> bits * Flags.t
+  val fma : rounding -> bits -> bits -> bits -> bits * Flags.t
+  val min_op : bits -> bits -> bits * Flags.t
+  val max_op : bits -> bits -> bits * Flags.t
+
+  val compare_quiet : bits -> bits -> cmp * Flags.t
+  (** ucomis*-style: invalid only on signaling NaN. *)
+
+  val compare_signaling : bits -> bits -> cmp * Flags.t
+  (** comis*-style: invalid on any NaN. *)
+
+  val round_to_integral : rounding -> bits -> bits * Flags.t
+
+  val of_int64 : rounding -> int64 -> bits * Flags.t
+  val of_int32 : rounding -> int32 -> bits * Flags.t
+  val to_int64 : rounding -> bits -> int64 * Flags.t
+  val to_int32 : rounding -> bits -> int32 * Flags.t
+
+  (* Format-conversion plumbing *)
+  val to_parts : bits -> parts
+  val of_parts : rounding -> parts -> bits * Flags.t
+
+  (* Interop with native OCaml floats (for oracles and printing). For
+     binary64 this is the identity on bit patterns. *)
+  val of_float : float -> bits
+  val to_float : bits -> float
+end
+
+module Make (F : FORMAT) : S = struct
+  type bits = int64
+
+  let name = F.name
+  let width = F.width
+  let man_bits = F.man_bits
+  let exp_bits = F.exp_bits
+  let bias = (1 lsl (exp_bits - 1)) - 1
+  let exp_max = (1 lsl exp_bits) - 1
+  let man_mask = Int64.sub (Int64.shift_left 1L man_bits) 1L
+  let qnan_bit = Int64.shift_left 1L (man_bits - 1)
+  let width_mask =
+    if width = 64 then -1L else Int64.sub (Int64.shift_left 1L width) 1L
+
+  let pack_raw sign biased_exp man =
+    Int64.logor
+      (Int64.shift_left (Int64.of_int sign) (width - 1))
+      (Int64.logor (Int64.shift_left (Int64.of_int biased_exp) man_bits) man)
+
+  let pos_zero = 0L
+  let neg_zero = pack_raw 1 0 0L
+  let pos_inf = pack_raw 0 exp_max 0L
+  let neg_inf = pack_raw 1 exp_max 0L
+
+  (* x64's "real indefinite": a negative quiet NaN with empty payload. *)
+  let default_qnan = pack_raw 1 exp_max qnan_bit
+  let max_finite = pack_raw 0 (exp_max - 1) man_mask
+  let min_normal = pack_raw 0 1 0L
+  let min_subnormal = pack_raw 0 0 1L
+  let one = pack_raw 0 bias 0L
+
+  let sign_bit b = Int64.to_int (Int64.shift_right_logical (Int64.logand b width_mask) (width - 1))
+  let exp_field b = Int64.to_int (Int64.logand (Int64.shift_right_logical b man_bits) (Int64.of_int exp_max))
+  let man_field b = Int64.logand b man_mask
+
+  let is_nan b = exp_field b = exp_max && not (Int64.equal (man_field b) 0L)
+  let is_qnan b = is_nan b && not (Int64.equal (Int64.logand b qnan_bit) 0L)
+  let is_snan b = is_nan b && Int64.equal (Int64.logand b qnan_bit) 0L
+  let is_inf b = exp_field b = exp_max && Int64.equal (man_field b) 0L
+  let is_zero b = exp_field b = 0 && Int64.equal (man_field b) 0L
+  let is_subnormal b = exp_field b = 0 && not (Int64.equal (man_field b) 0L)
+  let is_finite b = exp_field b <> exp_max
+  let nan_payload b = Int64.logand (man_field b) (Int64.lognot qnan_bit)
+
+  let make_qnan ~payload =
+    pack_raw 0 exp_max (Int64.logor qnan_bit (Int64.logand payload (Int64.lognot qnan_bit)))
+
+  let make_snan ~payload =
+    let p = Int64.logand payload (Int64.logand man_mask (Int64.lognot qnan_bit)) in
+    let p = if Int64.equal p 0L then 1L else p in
+    pack_raw 0 exp_max p
+
+  let quiet b = Int64.logor b qnan_bit
+  let sign_mask = Int64.shift_left 1L (width - 1)
+  let neg b = Int64.logand (Int64.logxor b sign_mask) width_mask
+  let abs b = Int64.logand b (Int64.logand width_mask (Int64.lognot sign_mask))
+  let copysign b s = Int64.logor (abs b) (Int64.logand s sign_mask)
+
+  let to_parts b =
+    let sign = sign_bit b in
+    let e = exp_field b in
+    let m = man_field b in
+    if e = exp_max then
+      if Int64.equal m 0L then P_inf sign
+      else P_nan { sign; signaling = is_snan b; payload = nan_payload b }
+    else if e = 0 then
+      if Int64.equal m 0L then P_zero sign
+      else begin
+        (* Normalize the subnormal so [man] carries man_bits+1 bits. *)
+        let rec norm e m =
+          if Int64.logand m (Int64.shift_left 1L man_bits) <> 0L then (e, m)
+          else norm (e - 1) (Int64.shift_left m 1)
+        in
+        let e', m' = norm (1 - bias) m in
+        P_fin { sign; e = e'; man = m'; man_bits }
+      end
+    else
+      P_fin
+        { sign; e = e - bias;
+          man = Int64.logor m (Int64.shift_left 1L man_bits); man_bits }
+
+  (* ---- The rounding funnel ---------------------------------------- *)
+
+  (* Decide whether to round away from zero given the 10 round bits and
+     the sticky. *)
+  let round_up mode sign lsb_set round_bits sticky =
+    match mode with
+    | Nearest_even ->
+        round_bits > 0x200 || (round_bits = 0x200 && (sticky || lsb_set))
+    | Toward_zero -> false
+    | Toward_pos -> sign = 0 && (round_bits <> 0 || sticky)
+    | Toward_neg -> sign = 1 && (round_bits <> 0 || sticky)
+
+  let overflow_result mode sign =
+    let huge = if sign = 0 then pos_inf else neg_inf in
+    let big = if sign = 0 then max_finite else Int64.logor max_finite sign_mask in
+    match mode with
+    | Nearest_even -> huge
+    | Toward_zero -> big
+    | Toward_pos -> if sign = 0 then pos_inf else big
+    | Toward_neg -> if sign = 1 then neg_inf else big
+
+  (* [round_pack mode sign e_unit sigv sticky]: value = sigv * 2^e_unit,
+     sigv an exact 128-bit significand, sticky summarizing lost low bits. *)
+  let round_pack mode sign e_unit sigv sticky =
+    if Wide.is_zero sigv then begin
+      if sticky then
+        (* Magnitude underflowed below every representable bit. *)
+        let tiny =
+          match mode with
+          | Toward_pos when sign = 0 -> min_subnormal
+          | Toward_neg when sign = 1 -> Int64.logor min_subnormal sign_mask
+          | _ -> if sign = 0 then pos_zero else neg_zero
+        in
+        (tiny, Flags.(union underflow inexact))
+      else ((if sign = 0 then pos_zero else neg_zero), Flags.none)
+    end
+    else begin
+      let p = Wide.num_bits sigv - 1 in
+      let e = e_unit + p in
+      (* Bring the leading bit to position man_bits + 10. *)
+      let target = man_bits + 10 in
+      let sig64, sticky =
+        if p > target then begin
+          let w, dropped = Wide.shift_right_sticky sigv (p - target) in
+          (w.Wide.lo, sticky || dropped)
+        end
+        else ((Wide.shift_left sigv (target - p)).Wide.lo, sticky)
+      in
+      let biased = e + bias in
+      if biased >= exp_max then
+        (overflow_result mode sign, Flags.(union overflow inexact))
+      else if biased <= 0 then begin
+        (* Subnormal (or rounds to zero): shift further right. *)
+        let shift = 1 - biased in
+        let sig64, sticky =
+          if shift > 62 then (0L, true)
+          else
+            ( Int64.shift_right_logical sig64 shift,
+              sticky
+              || not (Int64.equal (Int64.shift_left sig64 (64 - shift)) 0L) )
+        in
+        let round_bits = Int64.to_int (Int64.logand sig64 0x3FFL) in
+        let kept = Int64.shift_right_logical sig64 10 in
+        let lsb_set = Int64.logand kept 1L = 1L in
+        let inc = round_up mode sign lsb_set round_bits sticky in
+        let mant = if inc then Int64.add kept 1L else kept in
+        let inexact = round_bits <> 0 || sticky in
+        let fl =
+          if inexact then Flags.(union underflow inexact) else Flags.none
+        in
+        (* mant may have become 2^man_bits: that is the smallest normal,
+           and packing it with exponent field 0 + implicit carry gives
+           exactly biased exponent 1. *)
+        ( Int64.logor (Int64.shift_left (Int64.of_int sign) (width - 1))
+            mant,
+          fl )
+      end
+      else begin
+        let round_bits = Int64.to_int (Int64.logand sig64 0x3FFL) in
+        let kept = Int64.shift_right_logical sig64 10 in
+        let lsb_set = Int64.logand kept 1L = 1L in
+        let inc = round_up mode sign lsb_set round_bits sticky in
+        let mant = if inc then Int64.add kept 1L else kept in
+        let inexact = round_bits <> 0 || sticky in
+        let mant, biased =
+          if Int64.equal mant (Int64.shift_left 1L (man_bits + 1)) then
+            (Int64.shift_right_logical mant 1, biased + 1)
+          else (mant, biased)
+        in
+        if biased >= exp_max then
+          (overflow_result mode sign, Flags.(union overflow inexact))
+        else
+          ( pack_raw sign biased (Int64.logand mant man_mask),
+            if inexact then Flags.inexact else Flags.none )
+      end
+    end
+
+  let of_parts mode = function
+    | P_zero s -> ((if s = 0 then pos_zero else neg_zero), Flags.none)
+    | P_inf s -> ((if s = 0 then pos_inf else neg_inf), Flags.none)
+    | P_nan { sign; signaling; payload } ->
+        (* Truncate the payload into this format; signaling NaNs stay
+           signaling when converted without being consumed arithmetically
+           (callers decide whether conversion itself signals). *)
+        let pl = Int64.logand payload (Int64.logand man_mask (Int64.lognot qnan_bit)) in
+        let m = if signaling then (if Int64.equal pl 0L then 1L else pl) else Int64.logor qnan_bit pl in
+        (Int64.logor (pack_raw sign exp_max m) 0L, Flags.none)
+    | P_fin { sign; e; man; man_bits = src_mb } ->
+        round_pack mode sign (e - src_mb) (Wide.of_int64 man) false
+
+  (* Denormal-operand flag: x64 raises DE when an arithmetic instruction
+     consumes a subnormal input. *)
+  let de_of b = if is_subnormal b then Flags.denormal else Flags.none
+  let de2 a b = Flags.union (de_of a) (de_of b)
+
+  (* NaN propagation (x64 SSE): prefer the first operand's NaN, quieted. *)
+  let propagate_nan a b =
+    let fl =
+      if is_snan a || is_snan b then Flags.invalid else Flags.none
+    in
+    let r = if is_nan a then quiet a else quiet b in
+    (r, fl)
+
+  (* ---- add / sub ---------------------------------------------------- *)
+
+  (* Working position for exact alignment: leading bits live near bit 100
+     of a u128, leaving ~47 bits of exact headroom below the rounding
+     boundary so that borrow-with-sticky subtraction stays exact. *)
+  let wpos = 100
+
+  let add_core mode sign_a ea ma sign_b eb mb =
+    (* Ensure ea >= eb. *)
+    let sign_a, ea, ma, sign_b, eb, mb =
+      if ea > eb || (ea = eb && Int64.unsigned_compare ma mb >= 0) then
+        (sign_a, ea, ma, sign_b, eb, mb)
+      else (sign_b, eb, mb, sign_a, ea, ma)
+    in
+    let siga = Wide.shift_left (Wide.of_int64 ma) (wpos - man_bits) in
+    let d = ea - eb in
+    let sigb_unshifted = Wide.shift_left (Wide.of_int64 mb) (wpos - man_bits) in
+    let sigb, sticky = Wide.shift_right_sticky sigb_unshifted d in
+    let e_unit = ea - wpos in
+    if sign_a = sign_b then
+      round_pack mode sign_a e_unit (Wide.add siga sigb) sticky
+    else begin
+      (* |a| >= |b| is guaranteed by the swap above. *)
+      let diff = Wide.sub siga sigb in
+      let diff = if sticky then Wide.sub diff (Wide.of_int64 1L) else diff in
+      if Wide.is_zero diff && not sticky then
+        ( (if mode = Toward_neg then neg_zero else pos_zero), Flags.none )
+      else round_pack mode sign_a e_unit diff sticky
+    end
+
+  let add mode a b =
+    let de = de2 a b in
+    match (to_parts a, to_parts b) with
+    | (P_nan _, _) | (_, P_nan _) ->
+        let r, fl = propagate_nan a b in
+        (r, Flags.union fl de)
+    | P_inf sa, P_inf sb ->
+        if sa = sb then ((if sa = 0 then pos_inf else neg_inf), Flags.none)
+        else (default_qnan, Flags.invalid)
+    | P_inf s, _ -> ((if s = 0 then pos_inf else neg_inf), de)
+    | _, P_inf s -> ((if s = 0 then pos_inf else neg_inf), de)
+    | P_zero sa, P_zero sb ->
+        if sa = sb then ((if sa = 0 then pos_zero else neg_zero), Flags.none)
+        else
+          (((if mode = Toward_neg then neg_zero else pos_zero)), Flags.none)
+    | P_zero _, P_fin f ->
+        let r, fl = round_pack mode f.sign (f.e - man_bits) (Wide.of_int64 f.man) false in
+        (r, Flags.union fl de)
+    | P_fin f, P_zero _ ->
+        let r, fl = round_pack mode f.sign (f.e - man_bits) (Wide.of_int64 f.man) false in
+        (r, Flags.union fl de)
+    | P_fin fa, P_fin fb ->
+        let r, fl = add_core mode fa.sign fa.e fa.man fb.sign fb.e fb.man in
+        (r, Flags.union fl de)
+
+  let sub mode a b =
+    (* Not just add(a, neg b): subsd propagates an input NaN with its
+       sign intact, so NaN handling must see the original operands. *)
+    if is_nan a || is_nan b then begin
+      let r, fl = propagate_nan a b in
+      (r, Flags.union fl (de2 a b))
+    end
+    else add mode a (neg b)
+
+  (* ---- mul ----------------------------------------------------------- *)
+
+  let mul mode a b =
+    let de = de2 a b in
+    match (to_parts a, to_parts b) with
+    | (P_nan _, _) | (_, P_nan _) ->
+        let r, fl = propagate_nan a b in
+        (r, Flags.union fl de)
+    | P_inf sa, P_inf sb ->
+        ((if sa lxor sb = 0 then pos_inf else neg_inf), Flags.none)
+    | P_inf sa, P_fin fb ->
+        ((if sa lxor fb.sign = 0 then pos_inf else neg_inf), de)
+    | P_fin fa, P_inf sb ->
+        ((if fa.sign lxor sb = 0 then pos_inf else neg_inf), de)
+    | (P_inf _, P_zero _) | (P_zero _, P_inf _) -> (default_qnan, Flags.invalid)
+    | P_zero sa, P_zero sb ->
+        ((if sa lxor sb = 0 then pos_zero else neg_zero), Flags.none)
+    | P_zero sa, P_fin fb ->
+        ((if sa lxor fb.sign = 0 then pos_zero else neg_zero), de)
+    | P_fin fa, P_zero sb ->
+        ((if fa.sign lxor sb = 0 then pos_zero else neg_zero), de)
+    | P_fin fa, P_fin fb ->
+        let sign = fa.sign lxor fb.sign in
+        let prod = Wide.mul_64_64 fa.man fb.man in
+        let e_unit = fa.e - man_bits + (fb.e - man_bits) in
+        let r, fl = round_pack mode sign e_unit prod false in
+        (r, Flags.union fl de)
+
+  (* ---- div ----------------------------------------------------------- *)
+
+  let div mode a b =
+    let de = de2 a b in
+    match (to_parts a, to_parts b) with
+    | (P_nan _, _) | (_, P_nan _) ->
+        let r, fl = propagate_nan a b in
+        (r, Flags.union fl de)
+    | P_inf _, P_inf _ -> (default_qnan, Flags.invalid)
+    | P_inf sa, P_zero sb | P_inf sa, P_fin { sign = sb; _ } ->
+        ((if sa lxor sb = 0 then pos_inf else neg_inf), de)
+    | P_zero sa, P_inf sb | P_fin { sign = sa; _ }, P_inf sb ->
+        ((if sa lxor sb = 0 then pos_zero else neg_zero), de)
+    | P_zero _, P_zero _ -> (default_qnan, Flags.invalid)
+    | P_zero sa, P_fin fb ->
+        ((if sa lxor fb.sign = 0 then pos_zero else neg_zero), de)
+    | P_fin fa, P_zero sb ->
+        ( (if fa.sign lxor sb = 0 then pos_inf else neg_inf),
+          Flags.union Flags.div_by_zero de )
+    | P_fin fa, P_fin fb ->
+        let sign = fa.sign lxor fb.sign in
+        (* q = (ma << 62) / mb gives ~62 quotient bits: far more than
+           man_bits + 2, so a sticky remainder is rounding-safe. *)
+        let num = Wide.shift_left (Wide.of_int64 fa.man) 62 in
+        let q, r = Wide.div_rem_64 num fb.man in
+        let sticky = not (Int64.equal r 0L) in
+        let e_unit = fa.e - fb.e - 62 in
+        let res, fl = round_pack mode sign e_unit (Wide.of_int64 q) sticky in
+        (res, Flags.union fl de)
+
+  (* ---- sqrt ---------------------------------------------------------- *)
+
+  (* Unsigned int64 <-> Nat plumbing: Nat.of_int64 rejects bit-63-set
+     values, so split into 32-bit halves. *)
+  let nat_of_u64 v =
+    Bignum.Nat.logor
+      (Bignum.Nat.shift_left
+         (Bignum.Nat.of_int (Int64.to_int (Int64.shift_right_logical v 32)))
+         32)
+      (Bignum.Nat.of_int (Int64.to_int (Int64.logand v 0xFFFFFFFFL)))
+
+  let u64_of_nat n =
+    (* Assumes num_bits n <= 64. *)
+    let lo = Bignum.Nat.to_int (Bignum.Nat.extract_bits n ~lo:0 ~len:32) in
+    let hi = Bignum.Nat.to_int (Bignum.Nat.extract_bits n ~lo:32 ~len:32) in
+    Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo)
+
+  let nat_of_wide (w : Wide.t) =
+    Bignum.Nat.logor
+      (Bignum.Nat.shift_left (nat_of_u64 w.Wide.hi) 64)
+      (nat_of_u64 w.Wide.lo)
+
+  let sqrt mode a =
+    let de = de_of a in
+    match to_parts a with
+    | P_nan _ ->
+        let r, fl = propagate_nan a a in
+        (r, Flags.union fl de)
+    | P_zero s -> ((if s = 0 then pos_zero else neg_zero), Flags.none)
+    | P_inf 0 -> (pos_inf, Flags.none)
+    | P_inf _ -> (default_qnan, Flags.invalid)
+    | P_fin { sign = 1; _ } -> (default_qnan, Flags.union Flags.invalid de)
+    | P_fin f ->
+        (* value = man * 2^(e - man_bits); shift so the exponent of the
+           shifted integer is even, with >= 60 extra bits of precision. *)
+        let e0 = f.e - man_bits in
+        let k = if (e0 - 60) land 1 = 0 then 60 else 61 in
+        let wide = Wide.shift_left (Wide.of_int64 f.man) k in
+        let s, r = Bignum.Nat.sqrt_rem (nat_of_wide wide) in
+        let sticky = not (Bignum.Nat.is_zero r) in
+        let s64 = u64_of_nat s in
+        let e_unit = (e0 - k) / 2 in
+        let res, fl = round_pack mode 0 e_unit (Wide.of_int64 s64) sticky in
+        (res, Flags.union fl de)
+
+  (* ---- fma ----------------------------------------------------------- *)
+
+  let fma mode a b c =
+    let de = Flags.union (de2 a b) (de_of c) in
+    let pa = to_parts a and pb = to_parts b and pc = to_parts c in
+    match (pa, pb, pc) with
+    | (P_nan _, _, _) | (_, P_nan _, _) | (_, _, P_nan _) ->
+        let fl =
+          if is_snan a || is_snan b || is_snan c then Flags.invalid
+          else Flags.none
+        in
+        let r =
+          if is_nan a then quiet a
+          else if is_nan b then quiet b
+          else quiet c
+        in
+        (* inf*0 + qNaN is invalid on x64 FMA. *)
+        let fl =
+          match (pa, pb) with
+          | (P_inf _, P_zero _) | (P_zero _, P_inf _) ->
+              Flags.union fl Flags.invalid
+          | _ -> fl
+        in
+        (r, Flags.union fl de)
+    | (P_inf _, P_zero _, _) | (P_zero _, P_inf _, _) ->
+        (default_qnan, Flags.invalid)
+    | (P_inf sa, P_inf sb, pc) | (P_inf sa, P_fin { sign = sb; _ }, pc)
+    | (P_fin { sign = sa; _ }, P_inf sb, pc) -> begin
+        let sp = sa lxor sb in
+        match pc with
+        | P_inf sc when sc <> sp -> (default_qnan, Flags.invalid)
+        | _ -> ((if sp = 0 then pos_inf else neg_inf), de)
+      end
+    | (_, _, P_inf sc) -> ((if sc = 0 then pos_inf else neg_inf), de)
+    | (P_zero sa, P_zero sb, P_zero sc)
+    | (P_zero sa, P_fin { sign = sb; _ }, P_zero sc)
+    | (P_fin { sign = sa; _ }, P_zero sb, P_zero sc) ->
+        let sp = sa lxor sb in
+        if sp = sc then ((if sp = 0 then pos_zero else neg_zero), de)
+        else
+          ( (if mode = Toward_neg then neg_zero else pos_zero),
+            de )
+    | (P_zero _, P_zero _, P_fin fc)
+    | (P_zero _, P_fin _, P_fin fc)
+    | (P_fin _, P_zero _, P_fin fc) ->
+        let r, fl =
+          round_pack mode fc.sign (fc.e - man_bits) (Wide.of_int64 fc.man) false
+        in
+        (r, Flags.union fl de)
+    | (P_fin fa, P_fin fb, pc) ->
+        (* Exact via Nat: product + aligned addend, then one rounding. *)
+        let sp = fa.sign lxor fb.sign in
+        let prod = Bignum.Nat.mul (Bignum.Nat.of_int64 fa.man) (Bignum.Nat.of_int64 fb.man) in
+        let ep = fa.e - man_bits + (fb.e - man_bits) in
+        let sign_c, man_c, ec =
+          match pc with
+          | P_zero s -> (s, Bignum.Nat.zero, ep)
+          | P_fin fc -> (fc.sign, Bignum.Nat.of_int64 fc.man, fc.e - man_bits)
+          | P_inf _ | P_nan _ -> assert false
+        in
+        let e_unit = min ep ec in
+        let prod = Bignum.Nat.shift_left prod (ep - e_unit) in
+        let addend = Bignum.Nat.shift_left man_c (ec - e_unit) in
+        let sign, total =
+          if sp = sign_c then (sp, Bignum.Nat.add prod addend)
+          else if Bignum.Nat.compare prod addend >= 0 then (sp, Bignum.Nat.sub prod addend)
+          else (sign_c, Bignum.Nat.sub addend prod)
+        in
+        if Bignum.Nat.is_zero total then
+          ( (if mode = Toward_neg then neg_zero else pos_zero),
+            de )
+        else begin
+          (* Reduce the exact Nat result to <= 120 bits + sticky. *)
+          let nb = Bignum.Nat.num_bits total in
+          let sig_, e_unit, sticky =
+            if nb <= 120 then (total, e_unit, false)
+            else begin
+              let drop = nb - 120 in
+              ( Bignum.Nat.shift_right total drop,
+                e_unit + drop,
+                Bignum.Nat.bits_below_nonzero total drop )
+            end
+          in
+          let wide =
+            Wide.make
+              ~hi:(u64_of_nat (Bignum.Nat.shift_right sig_ 64))
+              ~lo:(u64_of_nat (Bignum.Nat.extract_bits sig_ ~lo:0 ~len:64))
+          in
+          let r, fl = round_pack mode sign e_unit wide sticky in
+          (r, Flags.union fl de)
+        end
+
+  (* ---- comparisons ---------------------------------------------------- *)
+
+  let raw_compare a b =
+    if is_nan a || is_nan b then Cmp_unordered
+    else if is_zero a && is_zero b then Cmp_eq
+    else begin
+      let sa = sign_bit a and sb = sign_bit b in
+      if sa <> sb then (if sa = 1 then Cmp_lt else Cmp_gt)
+      else begin
+        let c = Int64.unsigned_compare (Int64.logand a width_mask) (Int64.logand b width_mask) in
+        let c = if sa = 1 then -c else c in
+        if c < 0 then Cmp_lt else if c > 0 then Cmp_gt else Cmp_eq
+      end
+    end
+
+  let compare_quiet a b =
+    let fl = if is_snan a || is_snan b then Flags.invalid else Flags.none in
+    (raw_compare a b, Flags.union fl (de2 a b))
+
+  let compare_signaling a b =
+    let fl = if is_nan a || is_nan b then Flags.invalid else Flags.none in
+    (raw_compare a b, Flags.union fl (de2 a b))
+
+  (* x64 MINSD/MAXSD: if either source is a NaN, or both are zero, or the
+     comparison is ambiguous, the result is the *second* source operand. *)
+  let min_op a b =
+    let fl = if is_snan a || is_snan b then Flags.invalid else Flags.none in
+    let fl = Flags.union fl (de2 a b) in
+    match raw_compare a b with
+    | Cmp_lt -> (a, fl)
+    | Cmp_gt | Cmp_eq | Cmp_unordered -> (b, fl)
+
+  let max_op a b =
+    let fl = if is_snan a || is_snan b then Flags.invalid else Flags.none in
+    let fl = Flags.union fl (de2 a b) in
+    match raw_compare a b with
+    | Cmp_gt -> (a, fl)
+    | Cmp_lt | Cmp_eq | Cmp_unordered -> (b, fl)
+
+  (* ---- integral rounding and integer conversions ---------------------- *)
+
+  let round_to_integral mode a =
+    match to_parts a with
+    | P_nan _ ->
+        let r, fl = propagate_nan a a in
+        (r, fl)
+    | P_zero _ | P_inf _ -> (a, Flags.none)
+    | P_fin f ->
+        if f.e >= man_bits then (a, de_of a)
+        else begin
+          (* value = man * 2^(e - man_bits); fractional bits: man_bits - e. *)
+          let frac_bits = man_bits - f.e in
+          if frac_bits > man_bits + 1 then begin
+            (* |a| < 1/2-ish: rounds to 0 or +-1. *)
+            let to_one =
+              match mode with
+              | Nearest_even ->
+                  (* Halfway only when |a| = 0.5 exactly. *)
+                  f.e = -1 && false
+                  || (f.e = -1 && Int64.equal f.man (Int64.shift_left 1L man_bits) && false)
+              | Toward_zero -> false
+              | Toward_pos -> f.sign = 0
+              | Toward_neg -> f.sign = 1
+            in
+            let r =
+              if to_one then pack_raw f.sign bias 0L
+              else if f.sign = 0 then pos_zero
+              else neg_zero
+            in
+            (r, Flags.union Flags.inexact (de_of a))
+          end
+          else begin
+            let kept = Int64.shift_right_logical f.man frac_bits in
+            let dropped =
+              Int64.logand f.man (Int64.sub (Int64.shift_left 1L frac_bits) 1L)
+            in
+            let half = Int64.shift_left 1L (frac_bits - 1) in
+            let inc =
+              match mode with
+              | Nearest_even ->
+                  Int64.unsigned_compare dropped half > 0
+                  || (Int64.equal dropped half && Int64.logand kept 1L = 1L)
+              | Toward_zero -> false
+              | Toward_pos -> f.sign = 0 && not (Int64.equal dropped 0L)
+              | Toward_neg -> f.sign = 1 && not (Int64.equal dropped 0L)
+            in
+            let v = if inc then Int64.add kept 1L else kept in
+            let inexact = not (Int64.equal dropped 0L) in
+            if Int64.equal v 0L then
+              ( (if f.sign = 0 then pos_zero else neg_zero),
+                Flags.union (if inexact then Flags.inexact else Flags.none) (de_of a) )
+            else begin
+              let r, _ = round_pack mode f.sign 0 (Wide.of_int64 v) false in
+              ( r,
+                Flags.union
+                  (if inexact then Flags.inexact else Flags.none)
+                  (de_of a) )
+            end
+          end
+        end
+
+  let of_int64 mode v =
+    if Int64.equal v 0L then (pos_zero, Flags.none)
+    else begin
+      let sign = if Int64.compare v 0L < 0 then 1 else 0 in
+      let mag =
+        if Int64.equal v Int64.min_int then
+          Wide.shift_left (Wide.of_int64 1L) 63
+        else Wide.of_int64 (Int64.abs v)
+      in
+      round_pack mode sign 0 mag false
+    end
+
+  let of_int32 mode v = of_int64 mode (Int64.of_int32 v)
+
+  let int_indefinite64 = Int64.min_int
+  let int_indefinite32 = Int32.min_int
+
+  let to_int64 mode a =
+    match to_parts a with
+    | P_nan _ | P_inf _ -> (int_indefinite64, Flags.invalid)
+    | P_zero _ -> (0L, Flags.none)
+    | P_fin f ->
+        let frac_bits = man_bits - f.e in
+        let magnitude_and_inexact =
+          if frac_bits <= 0 then begin
+            (* Integer already; magnitude = man << (-frac_bits). *)
+            if f.e >= 64 then None
+            else begin
+              let m = Int64.shift_left f.man (-frac_bits) in
+              (* Detect shift overflow. *)
+              if
+                -frac_bits > 0
+                && not
+                     (Int64.equal
+                        (Int64.shift_right_logical m (-frac_bits))
+                        f.man)
+              then None
+              else Some (m, false)
+            end
+          end
+          else if frac_bits > 63 then Some (0L, true)
+          else begin
+            let kept = Int64.shift_right_logical f.man frac_bits in
+            let dropped =
+              Int64.logand f.man (Int64.sub (Int64.shift_left 1L frac_bits) 1L)
+            in
+            let half = Int64.shift_left 1L (frac_bits - 1) in
+            let inc =
+              match mode with
+              | Nearest_even ->
+                  Int64.unsigned_compare dropped half > 0
+                  || (Int64.equal dropped half && Int64.logand kept 1L = 1L)
+              | Toward_zero -> false
+              | Toward_pos -> f.sign = 0 && not (Int64.equal dropped 0L)
+              | Toward_neg -> f.sign = 1 && not (Int64.equal dropped 0L)
+            in
+            Some
+              ( (if inc then Int64.add kept 1L else kept),
+                not (Int64.equal dropped 0L) )
+          end
+        in
+        (match magnitude_and_inexact with
+        | None -> (int_indefinite64, Flags.invalid)
+        | Some (m, inexact) ->
+            let in_range =
+              if f.sign = 0 then Int64.compare m 0L >= 0 (* < 2^63 *)
+              else Int64.unsigned_compare m 0x8000000000000000L <= 0
+            in
+            if not in_range then (int_indefinite64, Flags.invalid)
+            else begin
+              let v = if f.sign = 1 then Int64.neg m else m in
+              (v, if inexact then Flags.inexact else Flags.none)
+            end)
+
+  let to_int32 mode a =
+    let v, fl = to_int64 mode a in
+    if Flags.mem ~flag:Flags.invalid fl then (int_indefinite32, Flags.invalid)
+    else if
+      Int64.compare v (Int64.of_int32 Int32.max_int) > 0
+      || Int64.compare v (Int64.of_int32 Int32.min_int) < 0
+    then (int_indefinite32, Flags.invalid)
+    else (Int64.to_int32 v, fl)
+
+  let of_float f =
+    if width = 64 then Int64.bits_of_float f
+    else Int64.logand (Int64.of_int32 (Int32.bits_of_float f)) 0xFFFFFFFFL
+
+  let to_float b =
+    if width = 64 then Int64.float_of_bits b
+    else Int32.float_of_bits (Int64.to_int32 b)
+end

@@ -1,0 +1,38 @@
+(** Unsigned 128-bit integers for significand arithmetic.
+
+    Just enough of a u128 to hold double-width products and division
+    intermediates inside the softfloat kernels. *)
+
+type t = { hi : int64; lo : int64 }
+
+val zero : t
+val of_int64 : int64 -> t
+val make : hi:int64 -> lo:int64 -> t
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val mul_64_64 : int64 -> int64 -> t
+(** Full 64x64 -> 128 unsigned product. *)
+
+val shift_left : t -> int -> t
+(** [0 <= n]; bits shifted past 127 are lost. *)
+
+val shift_right : t -> int -> t
+
+val shift_right_sticky : t -> int -> t * bool
+(** Logical right shift reporting whether any dropped bit was set. Shifts
+    of 128 or more collapse the whole value into the sticky bit. *)
+
+val num_bits : t -> int
+(** Position of highest set bit plus one; 0 for zero. *)
+
+val testbit : t -> int -> bool
+
+val div_rem_64 : t -> int64 -> int64 * int64
+(** [div_rem_64 a b] divides a 128-bit value by a 64-bit divisor, assuming
+    the quotient fits in 64 bits (caller guarantees [a.hi < b] unsigned).
+    Returns (quotient, remainder). *)

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Buffer Cost_model Float Ieee754 Int64 Isa Printf Program State Stdlib

@@ -1,0 +1,1 @@
+lib/machine/program.ml: Array Buffer Format Int64 Isa List String

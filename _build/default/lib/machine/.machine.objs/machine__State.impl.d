@@ -1,0 +1,1 @@
+lib/machine/state.ml: Array Buffer Bytes Cost_model Ieee754 Int64 Isa List Program String

@@ -1,0 +1,1 @@
+lib/machine/state.mli: Buffer Bytes Cost_model Ieee754 Isa Program

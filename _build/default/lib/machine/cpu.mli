@@ -1,0 +1,32 @@
+(** The VX64 interpreter.
+
+    Floating point semantics come from the ieee754 softfloat kernel;
+    every FP instruction ORs its exception flags into the sticky %mxcsr
+    bits and faults precisely (destination unwritten, RIP still at the
+    faulting instruction) when an unmasked event occurs. Moves, xmm
+    bitwise operations and integer loads of FP data never fault — the
+    x64 coverage holes that force the paper's hybrid static analysis. *)
+
+type outcome =
+  | Running
+  | Halted
+  | Fp_fault of { index : int; events : Ieee754.Flags.t }
+      (** unmasked FP exception at instruction [index] *)
+  | Correctness_fault of { index : int; original : Isa.insn }
+      (** explicit trap inserted by the static analysis *)
+
+exception Invalid_insn of string
+
+val dispatch : State.t -> int -> Isa.insn -> outcome
+(** Execute [insn] as the instruction at index [idx]: advances RIP (or
+    redirects it for control flow); on a fault RIP is left at the
+    faulting instruction and the destination is unwritten. Exposed so
+    trap handlers can single-step an original instruction. *)
+
+val step : State.t -> outcome
+(** Fetch and dispatch the instruction at the current RIP. *)
+
+val run_native : ?max_insns:int -> State.t -> unit
+(** Run to halt with no handler attached — the native baseline. Fails
+    if a fault occurs (callers keep exceptions masked) or the
+    instruction budget is exceeded. *)

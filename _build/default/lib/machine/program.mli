@@ -1,0 +1,56 @@
+(** VX64 programs ("binaries") and the assembler used to build them.
+
+    A program owns a mutable instruction array — static patching (the
+    e9patch stand-in) and trap-and-patch rewriting mutate it in place —
+    plus a synthetic byte address per instruction and the initial
+    contents of its data segment. *)
+
+type t = {
+  name : string;
+  mutable insns : Isa.insn array;
+  addrs : int array;  (** synthetic byte address per instruction *)
+  data_init : (int * string) list;  (** offset, little-endian bytes *)
+  data_size : int;  (** bytes reserved for globals *)
+  mem_size : int;  (** total memory: globals + heap + stack *)
+  entry : int;  (** entry instruction index *)
+}
+
+val recompute_addrs : Isa.insn array -> int array
+
+(** {1 The assembler} *)
+
+type label
+type builder
+
+val create : ?name:string -> ?mem_size:int -> unit -> builder
+
+val emit : builder -> Isa.insn -> unit
+
+val here : builder -> int
+(** Index the next emitted instruction will get. *)
+
+val new_label : builder -> label
+val place : builder -> label -> unit
+(** Pin a label at the current position. Each label is placed once. *)
+
+val jmp : builder -> label -> unit
+val jcc : builder -> Isa.cond -> label -> unit
+val call : builder -> label -> unit
+
+val data_f64 : builder -> float array -> int
+(** Reserve initialized doubles in the data segment; returns the byte
+    offset (8-aligned). *)
+
+val data_i64 : builder -> int64 array -> int
+val data_zero : builder -> int -> int
+(** Reserve [n] zeroed bytes. *)
+
+val finish : builder -> t
+(** Resolve label fixups and produce the binary. Raises
+    [Invalid_argument] on unplaced labels. *)
+
+val copy : t -> t
+(** Deep-copy the mutable parts, so patching one copy never affects
+    another. *)
+
+val disassemble : t -> string

@@ -1,0 +1,161 @@
+(* Machine state: registers, flat memory, flags, %mxcsr, cycle counter,
+   output channels, and the hook points FPVM uses to interpose without a
+   kernel trap (inline checks, patched sites, external-call shims). *)
+
+type hooks = {
+  mutable on_checked : (t -> int -> Isa.insn -> bool) option;
+      (* static-transform stub fired; return true if FPVM emulated the
+         instruction (CPU skips it), false to run it natively *)
+  mutable on_patched : (t -> int -> int -> Isa.insn -> bool) option;
+      (* state, insn index, site_id, original *)
+  mutable on_ext_call : (t -> Isa.ext_fn -> bool) option;
+      (* return true if interposed (handled); false for native behavior *)
+  mutable on_free_hint : (t -> Isa.operand -> unit) option;
+      (* compiler-inserted shadow-death callback *)
+}
+
+and t = {
+  mem : Bytes.t;
+  gpr : int64 array; (* 16 *)
+  xmm : int64 array; (* 16 x 2 lanes *)
+  mutable rip : int; (* instruction index *)
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable of_ : bool;
+  mutable pf : bool;
+  mxcsr : Ieee754.Mxcsr.t;
+  mutable cycles : int;
+  mutable insn_count : int;
+  mutable fp_insn_count : int;
+  mutable halted : bool;
+  mutable heap_ptr : int;
+  heap_base : int;
+  stack_base : int;
+  out : Buffer.t;
+  serialized : Buffer.t;
+  prog : Program.t;
+  cost : Cost_model.t;
+  hooks : hooks;
+}
+
+let create ?(cost = Cost_model.r815) (prog : Program.t) : t =
+  let mem = Bytes.make prog.mem_size '\000' in
+  List.iter
+    (fun (off, blob) -> Bytes.blit_string blob 0 mem off (String.length blob))
+    prog.data_init;
+  let heap_base = ((prog.data_size + 15) / 16 * 16) + 16 in
+  let stack_base = prog.mem_size - 16 in
+  let gpr = Array.make 16 0L in
+  gpr.(Isa.gpr_index Isa.RSP) <- Int64.of_int stack_base;
+  { mem;
+    gpr;
+    xmm = Array.make 32 0L;
+    rip = prog.entry;
+    zf = false; sf = false; cf = false; of_ = false; pf = false;
+    mxcsr = Ieee754.Mxcsr.create ();
+    cycles = 0;
+    insn_count = 0;
+    fp_insn_count = 0;
+    halted = false;
+    heap_ptr = heap_base;
+    heap_base;
+    stack_base;
+    out = Buffer.create 256;
+    serialized = Buffer.create 64;
+    prog;
+    cost;
+    hooks = { on_checked = None; on_patched = None; on_ext_call = None;
+              on_free_hint = None } }
+
+exception Mem_fault of int
+
+let check_range t a n =
+  if a < 0 || a + n > Bytes.length t.mem then raise (Mem_fault a)
+
+let load64 t a =
+  check_range t a 8;
+  Bytes.get_int64_le t.mem a
+
+let store64 t a v =
+  check_range t a 8;
+  Bytes.set_int64_le t.mem a v
+
+let load32 t a =
+  check_range t a 4;
+  Int64.of_int32 (Bytes.get_int32_le t.mem a)
+
+let store32 t a v =
+  check_range t a 4;
+  Bytes.set_int32_le t.mem a (Int64.to_int32 v)
+
+let load16 t a =
+  check_range t a 2;
+  Int64.of_int (Bytes.get_uint16_le t.mem a)
+
+let store16 t a v =
+  check_range t a 2;
+  Bytes.set_uint16_le t.mem a (Int64.to_int v land 0xFFFF)
+
+let load8 t a =
+  check_range t a 1;
+  Int64.of_int (Bytes.get_uint8 t.mem a)
+
+let store8 t a v =
+  check_range t a 1;
+  Bytes.set_uint8 t.mem a (Int64.to_int v land 0xFF)
+
+let load_size t size a =
+  match size with
+  | 8 -> load64 t a
+  | 4 -> load32 t a
+  | 2 -> load16 t a
+  | 1 -> load8 t a
+  | _ -> invalid_arg "load_size"
+
+let store_size t size a v =
+  match size with
+  | 8 -> store64 t a v
+  | 4 -> store32 t a v
+  | 2 -> store16 t a v
+  | 1 -> store8 t a v
+  | _ -> invalid_arg "store_size"
+
+let get_gpr t r = t.gpr.(Isa.gpr_index r)
+let set_gpr t r v = t.gpr.(Isa.gpr_index r) <- v
+
+let get_xmm t i lane = t.xmm.((2 * i) + lane)
+let set_xmm t i lane v = t.xmm.((2 * i) + lane) <- v
+
+(* Effective address of an x64 memory operand. *)
+let ea t (m : Isa.mem_addr) =
+  let base = match m.base with Some r -> Int64.to_int (get_gpr t r) | None -> 0 in
+  let index =
+    match m.index with
+    | Some r -> Int64.to_int (get_gpr t r) * m.scale
+    | None -> 0
+  in
+  base + index + m.disp
+
+let add_cycles t n = t.cycles <- t.cycles + n
+
+(* Stack helpers *)
+let push64 t v =
+  let rsp = Int64.to_int (get_gpr t Isa.RSP) - 8 in
+  set_gpr t Isa.RSP (Int64.of_int rsp);
+  store64 t rsp v
+
+let pop64 t =
+  let rsp = Int64.to_int (get_gpr t Isa.RSP) in
+  let v = load64 t rsp in
+  set_gpr t Isa.RSP (Int64.of_int (rsp + 8));
+  v
+
+let output t = Buffer.contents t.out
+let serialized_output t = Buffer.contents t.serialized
+
+(* The memory span a conservative GC must scan: globals + live heap +
+   live stack. *)
+let scannable_ranges t =
+  let rsp = Int64.to_int (get_gpr t Isa.RSP) in
+  [ (0, t.heap_ptr); (max 0 (min rsp t.stack_base), t.stack_base) ]

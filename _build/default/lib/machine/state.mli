@@ -1,0 +1,87 @@
+(** Machine state: registers, flat little-endian memory, integer flags,
+    %mxcsr, the cycle counter, output channels, and the hook points FPVM
+    uses to interpose without a kernel trap. *)
+
+type hooks = {
+  mutable on_checked : (t -> int -> Isa.insn -> bool) option;
+      (** static-transform stub fired; return true if FPVM handled the
+          instruction (the CPU then skips it) *)
+  mutable on_patched : (t -> int -> int -> Isa.insn -> bool) option;
+      (** trap-and-patch site fired: state, index, site id, original *)
+  mutable on_ext_call : (t -> Isa.ext_fn -> bool) option;
+      (** library-call interposition (math wrapper, printf hijack);
+          return false for the native behavior *)
+  mutable on_free_hint : (t -> Isa.operand -> unit) option;
+      (** compiler-inserted shadow-death callback *)
+}
+
+and t = {
+  mem : Bytes.t;
+  gpr : int64 array;  (** 16 general purpose registers *)
+  xmm : int64 array;  (** 16 xmm registers x 2 64-bit lanes *)
+  mutable rip : int;  (** instruction index *)
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable of_ : bool;
+  mutable pf : bool;
+  mxcsr : Ieee754.Mxcsr.t;
+  mutable cycles : int;
+  mutable insn_count : int;
+  mutable fp_insn_count : int;
+  mutable halted : bool;
+  mutable heap_ptr : int;  (** bump-allocator frontier *)
+  heap_base : int;
+  stack_base : int;  (** initial rsp; the stack grows down from here *)
+  out : Buffer.t;  (** printf output *)
+  serialized : Buffer.t;  (** Write_f64 binary channel *)
+  prog : Program.t;
+  cost : Cost_model.t;
+  hooks : hooks;
+}
+
+val create : ?cost:Cost_model.t -> Program.t -> t
+(** Fresh machine with the program's data segment loaded, rsp at the
+    stack top, %mxcsr at its architectural default (all masked, RNE). *)
+
+exception Mem_fault of int
+
+(** {1 Memory access} (all little-endian, bounds-checked) *)
+
+val load64 : t -> int -> int64
+val store64 : t -> int -> int64 -> unit
+val load32 : t -> int -> int64
+val store32 : t -> int -> int64 -> unit
+val load16 : t -> int -> int64
+val store16 : t -> int -> int64 -> unit
+val load8 : t -> int -> int64
+val store8 : t -> int -> int64 -> unit
+val load_size : t -> int -> int -> int64
+(** [load_size t size addr] for size in 1/2/4/8 bytes. *)
+
+val store_size : t -> int -> int -> int64 -> unit
+
+(** {1 Registers} *)
+
+val get_gpr : t -> Isa.gpr -> int64
+val set_gpr : t -> Isa.gpr -> int64 -> unit
+val get_xmm : t -> int -> int -> int64
+(** [get_xmm t reg lane] with lane 0 or 1. *)
+
+val set_xmm : t -> int -> int -> int64 -> unit
+
+val ea : t -> Isa.mem_addr -> int
+(** Effective address of an x64 memory operand under the current
+    register values. *)
+
+val add_cycles : t -> int -> unit
+
+val push64 : t -> int64 -> unit
+val pop64 : t -> int64
+
+val output : t -> string
+val serialized_output : t -> string
+
+val scannable_ranges : t -> (int * int) list
+(** The memory spans a conservative GC must scan: globals + live heap,
+    and the live stack. *)

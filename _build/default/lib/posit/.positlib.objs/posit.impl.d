@@ -1,0 +1,1 @@
+lib/posit/posit.ml: Bignum Float Ieee754 Int64 Printf Stdlib

@@ -1,0 +1,1 @@
+lib/posit/posit.mli:

@@ -1,0 +1,1 @@
+lib/posit/quire.ml: Array Bignum Int64 Posit

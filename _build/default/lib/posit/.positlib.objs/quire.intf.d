@@ -1,0 +1,1 @@
+lib/posit/quire.mli: Posit

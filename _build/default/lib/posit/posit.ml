@@ -1,0 +1,315 @@
+(* Posit<nbits,es> arithmetic on raw bit patterns.
+
+   Every operation decodes to an exact (sign, scale, fraction) triple,
+   computes the exact result (or an exact prefix plus a sticky bit), and
+   re-encodes with round-to-nearest-even applied in the posit's tapered
+   bit space — the regime/exponent/fraction assembly is built at full
+   precision and cut at nbits-1 bits, which is where posit rounding
+   differs from ordinary floating point. *)
+
+type spec = { nbits : int; es : int }
+
+let spec ~nbits ~es =
+  if nbits < 2 || nbits > 32 then invalid_arg "Posit.spec: nbits out of range";
+  if es < 0 || es > 3 then invalid_arg "Posit.spec: es out of range";
+  { nbits; es }
+
+let posit8 = { nbits = 8; es = 0 }
+let posit16 = { nbits = 16; es = 1 }
+let posit32 = { nbits = 32; es = 2 }
+
+type t = int64
+
+let mask s = Int64.sub (Int64.shift_left 1L s.nbits) 1L
+let sign_bit_of s = Int64.shift_left 1L (s.nbits - 1)
+
+let zero : t = 0L
+let nar s : t = sign_bit_of s
+let max_pos s : t = Int64.sub (sign_bit_of s) 1L
+let min_pos : spec -> t = fun _ -> 1L
+
+let is_zero p = Int64.equal p 0L
+let is_nar s p = Int64.equal (Int64.logand p (mask s)) (sign_bit_of s)
+
+let neg s p =
+  if is_nar s p then p else Int64.logand (Int64.neg p) (mask s)
+
+type num = { sign : int; scale : int; frac : int64; frac_bits : int }
+
+type decoded =
+  | D_zero
+  | D_nar
+  | D_num of num
+
+let decode s (p : t) : decoded =
+  let p = Int64.logand p (mask s) in
+  if Int64.equal p 0L then D_zero
+  else if Int64.equal p (sign_bit_of s) then D_nar
+  else begin
+    let sign = if Int64.logand p (sign_bit_of s) <> 0L then 1 else 0 in
+    let mag = if sign = 1 then Int64.logand (Int64.neg p) (mask s) else p in
+    (* Regime: run of identical bits starting at position nbits-2. *)
+    let bit i = Int64.logand (Int64.shift_right_logical mag i) 1L = 1L in
+    let r0 = bit (s.nbits - 2) in
+    let rec run i m =
+      if i < 0 || bit i <> r0 then m else run (i - 1) (m + 1)
+    in
+    let m = run (s.nbits - 2) 0 in
+    let k = if r0 then m - 1 else -m in
+    (* Position just below the regime terminator. *)
+    let after = s.nbits - 2 - m - 1 in
+    (* Exponent: up to es bits; missing low bits are zero. *)
+    let avail = min s.es (after + 1) in
+    let e =
+      if avail <= 0 then 0
+      else begin
+        let bits =
+          Int64.to_int
+            (Int64.logand
+               (Int64.shift_right_logical mag (after + 1 - avail))
+               (Int64.sub (Int64.shift_left 1L avail) 1L))
+        in
+        bits lsl (s.es - avail)
+      end
+    in
+    let frac_bits = max 0 (after + 1 - s.es) in
+    let frac_field =
+      if frac_bits = 0 then 0L
+      else Int64.logand mag (Int64.sub (Int64.shift_left 1L frac_bits) 1L)
+    in
+    let frac = Int64.logor (Int64.shift_left 1L frac_bits) frac_field in
+    D_num { sign; scale = (k lsl s.es) + e; frac; frac_bits }
+  end
+
+let floordiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let encode s ~sign ~scale ~frac ~frac_bits ~sticky : t =
+  if Int64.equal frac 0L then
+    (* A nonzero posit computation never produces exact zero except through
+       true cancellation, which the caller passes as frac = 0. *)
+    (if sticky then (if sign = 1 then neg s (min_pos s) else min_pos s) else zero)
+  else begin
+    (* Normalize: leading 1 exactly at [frac_bits]. *)
+    let rec top i = if Int64.shift_right_logical frac i = 1L then i else top (i + 1) in
+    let t = top 0 in
+    let scale = scale + (t - frac_bits) in
+    let frac_bits = t in
+    let useed_pow = 1 lsl s.es in
+    let k = floordiv scale useed_pow in
+    let e = scale - (k * useed_pow) in
+    if k >= s.nbits - 2 then
+      (if sign = 1 then neg s (max_pos s) else max_pos s)
+    else if k <= -(s.nbits - 1) then
+      (if sign = 1 then neg s (min_pos s) else min_pos s)
+    else begin
+      (* Assemble regime ++ exponent ++ fraction at exact length in a
+         128-bit register (worst case ~98 bits), then cut at nbits-1. *)
+      let module W = Ieee754.Wide in
+      let regime_len = if k >= 0 then k + 2 else -k + 1 in
+      let regime_val = if k >= 0 then Int64.sub (Int64.shift_left 1L (k + 2)) 2L else 1L in
+      let frac_field = Int64.logand frac (Int64.sub (Int64.shift_left 1L frac_bits) 1L) in
+      let total = regime_len + s.es + frac_bits in
+      let body =
+        W.add
+          (W.shift_left (W.of_int64 regime_val) (s.es + frac_bits))
+          (W.add
+             (W.shift_left (W.of_int64 (Int64.of_int e)) frac_bits)
+             (W.of_int64 frac_field))
+      in
+      let keep = s.nbits - 1 in
+      let mag =
+        if total <= keep then begin
+          (* Exact bits fit; a pending sticky rounds toward the truncated
+             value under RNE (it is strictly below the half-ulp). *)
+          (W.shift_left body (keep - total)).W.lo
+        end
+        else begin
+          let cut = total - keep in
+          let kept = (W.shift_right body cut).W.lo in
+          let guard = W.testbit body (cut - 1) in
+          let rest =
+            sticky
+            || (cut > 1 && not (W.is_zero (W.shift_left body (128 - (cut - 1)))))
+          in
+          let round_up = guard && (rest || Int64.logand kept 1L = 1L) in
+          let kept = if round_up then Int64.add kept 1L else kept in
+          (* Round-up past maxpos saturates; never round nonzero to zero. *)
+          let kept =
+            if Int64.unsigned_compare kept (max_pos s) > 0 then max_pos s else kept
+          in
+          if Int64.equal kept 0L then 1L else kept
+        end
+      in
+      let mag = if Int64.equal mag 0L then 1L else mag in
+      if sign = 1 then Int64.logand (Int64.neg mag) (mask s) else mag
+    end
+  end
+
+let one s = encode s ~sign:0 ~scale:0 ~frac:1L ~frac_bits:0 ~sticky:false
+let abs s p = if Int64.logand p (sign_bit_of s) <> 0L && not (is_nar s p) then neg s p else p
+
+(* Sign-extended view: posits order like two's-complement integers. *)
+let signed_view s p =
+  let p = Int64.logand p (mask s) in
+  let shift = 64 - s.nbits in
+  Int64.shift_right (Int64.shift_left p shift) shift
+
+let compare s a b = Int64.compare (signed_view s a) (signed_view s b)
+
+let min_op s a b =
+  if is_nar s a then b else if is_nar s b then a
+  else if compare s a b <= 0 then a else b
+
+let max_op s a b =
+  if is_nar s a then b else if is_nar s b then a
+  else if compare s a b >= 0 then a else b
+
+(* ---- arithmetic ------------------------------------------------------ *)
+
+(* Working position for exact add alignment: leading bits near bit 58,
+   leaving >= 20 guard bits below any posit's rounding boundary. *)
+let wpos = 58
+
+let add s a b =
+  if is_nar s a || is_nar s b then nar s
+  else
+    match (decode s a, decode s b) with
+    | D_zero, _ -> Int64.logand b (mask s)
+    | _, D_zero -> Int64.logand a (mask s)
+    | D_num x, D_num y ->
+        (* Ensure x has the larger (scale, magnitude). *)
+        let x, y =
+          if
+            x.scale > y.scale
+            || (x.scale = y.scale
+                && Int64.unsigned_compare
+                     (Int64.shift_left x.frac (wpos - x.frac_bits))
+                     (Int64.shift_left y.frac (wpos - y.frac_bits))
+                   >= 0)
+          then (x, y)
+          else (y, x)
+        in
+        let fx = Int64.shift_left x.frac (wpos - x.frac_bits) in
+        let fy0 = Int64.shift_left y.frac (wpos - y.frac_bits) in
+        let d = x.scale - y.scale in
+        let fy, sticky =
+          if d = 0 then (fy0, false)
+          else if d > 62 then (0L, true)
+          else
+            ( Int64.shift_right_logical fy0 d,
+              not (Int64.equal (Int64.shift_left fy0 (64 - d)) 0L) )
+        in
+        if x.sign = y.sign then
+          encode s ~sign:x.sign ~scale:x.scale ~frac:(Int64.add fx fy)
+            ~frac_bits:wpos ~sticky
+        else begin
+          let diff = Int64.sub fx fy in
+          let diff = if sticky then Int64.sub diff 1L else diff in
+          if Int64.equal diff 0L && not sticky then zero
+          else
+            encode s ~sign:x.sign ~scale:x.scale ~frac:diff ~frac_bits:wpos
+              ~sticky
+        end
+    | (D_nar, _ | _, D_nar) -> nar s
+
+let sub s a b = add s a (neg s b)
+
+let mul s a b =
+  if is_nar s a || is_nar s b then nar s
+  else
+    match (decode s a, decode s b) with
+    | D_zero, _ | _, D_zero -> zero
+    | D_num x, D_num y ->
+        (* Fractions carry <= 31 bits each: the product is exact in 62. *)
+        encode s ~sign:(x.sign lxor y.sign) ~scale:(x.scale + y.scale)
+          ~frac:(Int64.mul x.frac y.frac) ~frac_bits:(x.frac_bits + y.frac_bits)
+          ~sticky:false
+    | (D_nar, _ | _, D_nar) -> nar s
+
+let div s a b =
+  if is_nar s a || is_nar s b then nar s
+  else
+    match (decode s a, decode s b) with
+    | _, D_zero -> nar s (* x/0 is NaR in the posit standard *)
+    | D_zero, _ -> zero
+    | D_num x, D_num y ->
+        (* Quotient with ~50 significant bits plus a sticky remainder. *)
+        let shift = 50 + y.frac_bits - x.frac_bits in
+        let shift = max shift 0 in
+        let num = Ieee754.Wide.shift_left (Ieee754.Wide.of_int64 x.frac) shift in
+        let q, r = Ieee754.Wide.div_rem_64 num y.frac in
+        (* value = q * 2^(sx - sy + fby - fbx - shift), plus remainder. *)
+        encode s ~sign:(x.sign lxor y.sign)
+          ~scale:(x.scale - y.scale + y.frac_bits - x.frac_bits - shift)
+          ~frac:q ~frac_bits:0
+          ~sticky:(not (Int64.equal r 0L))
+    | (D_nar, _ | _, D_nar) -> nar s
+
+let sqrt s a =
+  if is_nar s a then nar s
+  else
+    match decode s a with
+    | D_zero -> zero
+    | D_num { sign = 1; _ } -> nar s
+    | D_num x ->
+        (* value = frac * 2^(scale - frac_bits); make the shifted exponent
+           even and take an integer square root with ~25+ result bits. *)
+        let e0 = x.scale - x.frac_bits in
+        let k = if (e0 - 50) land 1 = 0 then 50 else 51 in
+        let wide = Ieee754.Wide.shift_left (Ieee754.Wide.of_int64 x.frac) k in
+        let to_nat (w : Ieee754.Wide.t) =
+          let u64 v =
+            Bignum.Nat.logor
+              (Bignum.Nat.shift_left
+                 (Bignum.Nat.of_int (Int64.to_int (Int64.shift_right_logical v 32)))
+                 32)
+              (Bignum.Nat.of_int (Int64.to_int (Int64.logand v 0xFFFFFFFFL)))
+          in
+          Bignum.Nat.logor (Bignum.Nat.shift_left (u64 w.Ieee754.Wide.hi) 64) (u64 w.Ieee754.Wide.lo)
+        in
+        let sq, r = Bignum.Nat.sqrt_rem (to_nat wide) in
+        let sq64 = Bignum.Nat.to_int sq |> Int64.of_int in
+        (* value = sq * 2^((e0-k)/2); encode normalizes the integer frac. *)
+        encode s ~sign:0 ~scale:((e0 - k) / 2) ~frac:sq64 ~frac_bits:0
+          ~sticky:(not (Bignum.Nat.is_zero r))
+    | D_nar -> nar s
+
+(* ---- conversions ------------------------------------------------------ *)
+
+let of_float s f =
+  if Float.is_nan f || Float.is_finite f = false then nar s
+  else if f = 0.0 then zero
+  else begin
+    let bits = Int64.bits_of_float f in
+    let sign = if Int64.compare bits 0L < 0 then 1 else 0 in
+    let biased = Int64.to_int (Int64.logand (Int64.shift_right_logical bits 52) 0x7FFL) in
+    let man = Int64.logand bits 0xFFFFFFFFFFFFFL in
+    let scale, frac =
+      if biased = 0 then (-1022 - 52, man) (* subnormal: integer * 2^-1074 *)
+      else (biased - 1023, Int64.logor man (Int64.shift_left 1L 52))
+    in
+    let scale = if biased = 0 then scale + 52 else scale in
+    encode s ~sign ~scale ~frac ~frac_bits:52 ~sticky:false
+  end
+
+let to_float s p =
+  match decode s p with
+  | D_zero -> 0.0
+  | D_nar -> Float.nan
+  | D_num x ->
+      let m = Int64.to_float x.frac in
+      let v = Float.ldexp m (x.scale - x.frac_bits) in
+      if x.sign = 1 then -.v else v
+
+let of_int s n =
+  if n = 0 then zero
+  else
+    encode s
+      ~sign:(if n < 0 then 1 else 0)
+      ~scale:0
+      ~frac:(Int64.of_int (Stdlib.abs n))
+      ~frac_bits:0 ~sticky:false
+
+let to_string s p =
+  if is_nar s p then "NaR"
+  else Printf.sprintf "%.9g" (to_float s p)

@@ -1,0 +1,89 @@
+(* The quire: the posit standard's exact fixed-point accumulator.
+
+   Every product of two posit<n,es> values is exact in a wide-enough
+   fixed-point register, so a dot product can be accumulated with *no*
+   intermediate rounding and rounded to a posit exactly once at the end
+   - the posit standard's answer to fused multiply-add chains, and the
+   reason posit hardware proposals carry a 2^(n^2/2)-ish bit register.
+
+   Representation: an arbitrary-precision signed integer holding the
+   accumulated value scaled by 2^offset, with offset large enough that
+   every posit product's least significant bit is representable
+   (products have scale >= -2*useed_max - 2n, comfortably inside
+   offset = 4 * nbits * 2^es + 64). *)
+
+module Nat = Bignum.Nat
+module Bigint = Bignum.Bigint
+
+type t = {
+  spec : Posit.spec;
+  offset : int; (* value = acc * 2^-offset *)
+  mutable acc : Bigint.t;
+  mutable nar : bool;
+}
+
+let create (spec : Posit.spec) : t =
+  let offset = (4 * spec.Posit.nbits * (1 lsl spec.Posit.es)) + 64 in
+  { spec; offset; acc = Bigint.zero; nar = false }
+
+let clear q =
+  q.acc <- Bigint.zero;
+  q.nar <- false
+
+let is_nar q = q.nar
+
+(* Add (-1)^neg * (value of p1 * value of p2) exactly. *)
+let qma_signed q ~neg p1 p2 =
+  if q.nar || Posit.is_nar q.spec p1 || Posit.is_nar q.spec p2 then q.nar <- true
+  else
+    match (Posit.decode q.spec p1, Posit.decode q.spec p2) with
+    | Posit.D_zero, _ | _, Posit.D_zero -> ()
+    | Posit.D_num a, Posit.D_num b ->
+        (* exact product: frac <= 2^62, shift = offset + scale - fbits *)
+        let frac = Int64.mul a.Posit.frac b.Posit.frac in
+        let scale =
+          a.Posit.scale + b.Posit.scale - a.Posit.frac_bits - b.Posit.frac_bits
+        in
+        let shift = q.offset + scale in
+        if shift < 0 then
+          (* cannot happen with the chosen offset; be safe anyway *)
+          q.nar <- true
+        else begin
+          let sign = (if a.Posit.sign = 1 then -1 else 1) * (if b.Posit.sign = 1 then -1 else 1) in
+          let sign = if neg then -sign else sign in
+          let mag = Bigint.shift_left (Bigint.of_int64 frac) shift in
+          let term = if sign < 0 then Bigint.neg mag else mag in
+          q.acc <- Bigint.add q.acc term
+        end
+    | (Posit.D_nar, _ | _, Posit.D_nar) -> q.nar <- true
+
+let qma q p1 p2 = qma_signed q ~neg:false p1 p2
+let qms q p1 p2 = qma_signed q ~neg:true p1 p2
+
+(* Add a single posit value exactly (multiply by one). *)
+let add q p = qma q p (Posit.one q.spec)
+let sub q p = qms q p (Posit.one q.spec)
+
+(* Round the accumulated value to a posit - the single rounding. *)
+let to_posit q : Posit.t =
+  if q.nar then Posit.nar q.spec
+  else if Bigint.is_zero q.acc then Posit.zero
+  else begin
+    let sign = if Bigint.sign q.acc < 0 then 1 else 0 in
+    let mag = Bigint.to_nat (Bigint.abs q.acc) in
+    (* value = mag * 2^-offset; feed the top <=62 bits to the encoder *)
+    let nb = Nat.num_bits mag in
+    let drop = max 0 (nb - 62) in
+    let kept = Nat.shift_right mag drop in
+    let sticky = drop > 0 && Nat.bits_below_nonzero mag drop in
+    let frac = Int64.of_int (Nat.to_int kept) in
+    Posit.encode q.spec ~sign ~scale:(drop - q.offset) ~frac ~frac_bits:0
+      ~sticky
+  end
+
+(* Convenience: exact dot product of two posit vectors. *)
+let dot spec (xs : Posit.t array) (ys : Posit.t array) : Posit.t =
+  if Array.length xs <> Array.length ys then invalid_arg "Quire.dot";
+  let q = create spec in
+  Array.iteri (fun i x -> qma q x ys.(i)) xs;
+  to_posit q

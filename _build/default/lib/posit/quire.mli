@@ -1,0 +1,28 @@
+(** The quire: the posit standard's exact fixed-point accumulator.
+
+    Every posit<n,es> product is exact in a wide-enough fixed-point
+    register, so dot products accumulate with no intermediate rounding
+    and round to a posit exactly once at the end. *)
+
+type t
+
+val create : Posit.spec -> t
+(** Fresh accumulator holding exact zero. *)
+
+val clear : t -> unit
+val is_nar : t -> bool
+
+val qma : t -> Posit.t -> Posit.t -> unit
+(** [qma q a b] adds the exact product a*b; any NaR poisons the quire. *)
+
+val qms : t -> Posit.t -> Posit.t -> unit
+(** Subtract the exact product. *)
+
+val add : t -> Posit.t -> unit
+val sub : t -> Posit.t -> unit
+
+val to_posit : t -> Posit.t
+(** The single rounding: round-to-nearest-even into posit space. *)
+
+val dot : Posit.spec -> Posit.t array -> Posit.t array -> Posit.t
+(** Exact dot product (order-independent by construction). *)

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Astro Fbench List Lorenz Machine Miniaero Nas_cg Nas_ep Nas_is Nas_lu Nas_mg String Three_body

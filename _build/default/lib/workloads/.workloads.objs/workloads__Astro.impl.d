@@ -1,0 +1,1 @@
+lib/workloads/astro.ml: Array Fpvm_ir Int64 Printf Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/fbench.ml: Array Fpvm_ir List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/lorenz.ml: Fpvm_ir Printf Stdlib

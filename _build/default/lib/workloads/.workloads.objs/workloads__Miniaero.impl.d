@@ -1,0 +1,1 @@
+lib/workloads/miniaero.ml: Array Fpvm_ir List Printf

@@ -1,0 +1,1 @@
+lib/workloads/nas_cg.ml: Array Float Fpvm_ir Printf

@@ -1,0 +1,1 @@
+lib/workloads/nas_ep.ml: Array Buffer Float Fpvm_ir Printf Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/nas_is.ml: Array Float Fpvm_ir Printf Stdlib

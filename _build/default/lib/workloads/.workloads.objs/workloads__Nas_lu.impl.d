@@ -1,0 +1,1 @@
+lib/workloads/nas_lu.ml: Array Float Fpvm_ir Printf Stdlib

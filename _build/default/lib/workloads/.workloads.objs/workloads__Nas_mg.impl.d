@@ -1,0 +1,1 @@
+lib/workloads/nas_mg.ml: Array Float Fpvm_ir List Printf

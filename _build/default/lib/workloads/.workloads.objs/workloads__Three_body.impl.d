@@ -1,0 +1,1 @@
+lib/workloads/three_body.ml: Array Buffer Float Fpvm_ir List Printf Stdlib

@@ -1,0 +1,123 @@
+(* Enzo stand-in ("astro"): a two-level AMR-flavoured advection-diffusion
+   hydro toy. Crucially, its inner loop contains the double->int
+   bit-reinterpretation idiom (an inlined isnan/exponent check on every
+   cell, as Enzo's C/Fortran mix does through its field sanity checks).
+   Static analysis cannot prove those loads safe, so correctness traps
+   land in the critical loop - reproducing Enzo's outsized correctness
+   overhead in Figure 9. *)
+
+open Fpvm_ir.Ast
+
+let ast ?(n = 24) ?(steps = 4) () : program =
+  let nf = n / 2 in
+  (* coarse grid: advection-diffusion; fine grid overlays the center *)
+  let rho0 =
+    Array.init n (fun k ->
+        let x = Stdlib.( /. ) (float_of_int k) (float_of_int n) in
+        Stdlib.( +. ) 1.0
+          (Stdlib.( *. ) 0.5 (Stdlib.sin (Stdlib.( *. ) 6.28318 x))))
+  in
+  let exp_mask = 0x7FF0000000000000 in
+  { name = "astro";
+    decls =
+      [ Farray ("rho", rho0);
+        Farray ("rho2", Array.copy rho0);
+        Farray ("fine", Array.make nf 1.0);
+        Fscalar ("flux", 0.0); Fscalar ("d", 0.0); Fscalar ("v", 0.0);
+        Fscalar ("badsum", 0.0); Fscalar ("mass", 0.0);
+        Iscalar ("t", 0); Iscalar ("k", 0); Iscalar ("bits", 0);
+        Iscalar ("nan_count", 0) ];
+    body =
+      [ For
+          ( "t", i 0, i steps,
+            [ (* coarse update: upwind advection + diffusion *)
+              For
+                ( "k", i 1, i (n - 1),
+                  [ Fset ("v", Fload ("rho", iv "k"));
+                    (* the Enzo-like per-cell sanity check: inspect the
+                       exponent bits of the freshly computed value *)
+                    Iset ("bits", Ibits_of_float (fv "v"));
+                    If
+                      ( Icmp (Eq, Ibin (IAnd, iv "bits", i exp_mask), i exp_mask),
+                        [ Iset ("nan_count", Ibin (IAdd, iv "nan_count", i 1)) ],
+                        [] );
+                    Fset
+                      ( "flux",
+                        f 0.4 *: (Fload ("rho", Ibin (ISub, iv "k", i 1)) -: fv "v") );
+                    Fset
+                      ( "d",
+                        f 0.1
+                        *: ((Fload ("rho", Ibin (ISub, iv "k", i 1))
+                            +: Fload ("rho", Ibin (IAdd, iv "k", i 1)))
+                           -: (f 2.0 *: fv "v")) );
+                    Fstore ("rho2", iv "k", (fv "v" +: fv "flux") +: fv "d") ] );
+              For
+                ( "k", i 1, i (n - 1),
+                  [ Fstore ("rho", iv "k", Fload ("rho2", iv "k")) ] );
+              (* fine-level refinement over the center cells: two
+                 sub-steps per coarse step *)
+              For
+                ( "k", i 0, i nf,
+                  [ Fstore
+                      ( "fine", iv "k",
+                        Fload ("rho", Ibin (IAdd, iv "k", i (n / 4))) ) ] );
+              For
+                ( "k", i 1, i (nf - 1),
+                  [ Fset
+                      ( "flux",
+                        f 0.2 *: (Fload ("fine", Ibin (ISub, iv "k", i 1)) -: Fload ("fine", iv "k")) );
+                    Fstore ("fine", iv "k", Fload ("fine", iv "k") +: fv "flux") ] );
+              (* project the fine solution back *)
+              For
+                ( "k", i 1, i (nf - 1),
+                  [ Fstore
+                      ( "rho", Ibin (IAdd, iv "k", i (n / 4)),
+                        Fload ("fine", iv "k") ) ] ) ] ) ]
+      @ [ Fset ("mass", f 0.0);
+          For ("k", i 0, i n, [ Fset ("mass", fv "mass" +: Fload ("rho", iv "k")) ]);
+          Print_f (fv "mass");
+          Print_i (iv "nan_count");
+          Print_f (Fload ("rho", i (n / 2))) ] }
+
+let program ?n ?steps ?mode () =
+  Fpvm_ir.Codegen.compile_program ?mode (ast ?n ?steps ())
+
+let reference ?(n = 24) ?(steps = 4) () =
+  let nf = n / 2 in
+  let rho =
+    Array.init n (fun k ->
+        let x = float_of_int k /. float_of_int n in
+        1.0 +. (0.5 *. Stdlib.sin (6.28318 *. x)))
+  in
+  let rho2 = Array.copy rho in
+  let fine = Array.make nf 1.0 in
+  let nan_count = ref 0 in
+  for _ = 1 to steps do
+    for k = 1 to n - 2 do
+      let v = rho.(k) in
+      let bits = Int64.bits_of_float v in
+      if
+        Int64.equal
+          (Int64.logand bits 0x7FF0000000000000L)
+          0x7FF0000000000000L
+      then incr nan_count;
+      let flux = 0.4 *. (rho.(k - 1) -. v) in
+      let d = 0.1 *. ((rho.(k - 1) +. rho.(k + 1)) -. (2.0 *. v)) in
+      rho2.(k) <- v +. flux +. d
+    done;
+    for k = 1 to n - 2 do
+      rho.(k) <- rho2.(k)
+    done;
+    for k = 0 to nf - 1 do
+      fine.(k) <- rho.(k + (n / 4))
+    done;
+    for k = 1 to nf - 2 do
+      let flux = 0.2 *. (fine.(k - 1) -. fine.(k)) in
+      fine.(k) <- fine.(k) +. flux
+    done;
+    for k = 1 to nf - 2 do
+      rho.(k + (n / 4)) <- fine.(k)
+    done
+  done;
+  let mass = Array.fold_left ( +. ) 0.0 rho in
+  Printf.sprintf "%.17g\n%d\n%.17g\n" mass !nan_count rho.(n / 2)

@@ -1,0 +1,95 @@
+(* FBench (Walker's floating point trigonometry benchmark, section 5.1):
+   repeated geometric ray traces through a four-surface lens design. The
+   operation mix is dominated by sin/asin/tan/sqrt library calls plus
+   divisions - the same profile as the original. The trace loop below
+   follows fbench's transit_surface for the marginal ray.
+
+   The surface table is the classic 4-element telescope objective. *)
+
+open Fpvm_ir.Ast
+
+(* radius, refractive index after surface, thickness to next surface *)
+let surfaces =
+  [| (27.05, 1.5137, 0.52);
+     (-16.68, 1.0, 0.138);
+     (-16.68, 1.6164, 0.38);
+     (-78.1, 1.0, 0.0) |]
+
+let clear_aperture = 4.0
+
+(* The whole marginal-ray trace, one surface at a time, unrolled into
+   AST statements. State: od (object distance), sa (axis slope angle),
+   nf (index of the medium the ray is in). *)
+let trace_once =
+  let od = fv "od" and sa = fv "sa" and nf = fv "nf" in
+  let per_surface k (radius, n_to, thickness) =
+    [ (* iang_sin = (od - radius) / radius * sin(sa), or height/radius for
+         an object at infinity on the first surface *)
+      (if k = 0 then
+         Fset ("iang_sin", f (Stdlib.( /. ) (Stdlib.( /. ) clear_aperture 2.0) radius))
+       else Fset ("iang_sin", (od -: f radius) /: f radius *: sin_ sa));
+      Fset ("iang", Fcall ("asin", [ fv "iang_sin" ]));
+      Fset ("rang_sin", nf /: f n_to *: fv "iang_sin");
+      Fset ("old_sa", sa);
+      Fset ("sa", (sa +: fv "iang") -: Fcall ("asin", [ fv "rang_sin" ]));
+      Fset ("sagitta", sin_ ((fv "old_sa" +: fv "iang") /: f 2.0));
+      Fset ("sagitta", f (Stdlib.( *. ) 2.0 radius) *: fv "sagitta" *: fv "sagitta");
+      Fset
+        ( "od",
+          (f radius *: sin_ (fv "old_sa" +: fv "iang")
+           *: (f 1.0 /: Fcall ("tan", [ sa ])))
+          +: fv "sagitta" );
+      Fset ("nf", f n_to);
+      (* move to the next surface *)
+      Fset ("od", od -: f thickness) ]
+  in
+  List.concat (List.mapi per_surface (Array.to_list surfaces))
+
+let ast ?(iterations = 100) () : program =
+  { name = "fbench";
+    decls =
+      [ Fscalar ("od", 0.0); Fscalar ("sa", 0.0); Fscalar ("nf", 1.0);
+        Fscalar ("iang_sin", 0.0); Fscalar ("iang", 0.0);
+        Fscalar ("rang_sin", 0.0); Fscalar ("old_sa", 0.0);
+        Fscalar ("sagitta", 0.0); Fscalar ("acc", 0.0);
+        Iscalar ("it", 0) ];
+    body =
+      [ For
+          ( "it", i 0, i iterations,
+            [ Fset ("od", f 0.0); Fset ("sa", f 0.0); Fset ("nf", f 1.0) ]
+            @ trace_once
+            @ [ Fset ("acc", fv "acc" +: fv "od") ] );
+        Print_f (fv "od");
+        Print_f (fv "sa");
+        Print_f (fv "acc") ] }
+
+let program ?iterations ?mode () =
+  Fpvm_ir.Codegen.compile_program ?mode (ast ?iterations ())
+
+let reference ?(iterations = 100) () =
+  let od = ref 0.0 and sa = ref 0.0 and nf = ref 1.0 and acc = ref 0.0 in
+  for _ = 1 to iterations do
+    od := 0.0;
+    sa := 0.0;
+    nf := 1.0;
+    Array.iteri
+      (fun k (radius, n_to, thickness) ->
+        let iang_sin =
+          if k = 0 then clear_aperture /. 2.0 /. radius
+          else (!od -. radius) /. radius *. Stdlib.sin !sa
+        in
+        let iang = Stdlib.asin iang_sin in
+        let rang_sin = !nf /. n_to *. iang_sin in
+        let old_sa = !sa in
+        sa := old_sa +. iang -. Stdlib.asin rang_sin;
+        let sagitta0 = Stdlib.sin ((old_sa +. iang) /. 2.0) in
+        let sagitta = 2.0 *. radius *. sagitta0 *. sagitta0 in
+        od :=
+          (radius *. Stdlib.sin (old_sa +. iang) *. (1.0 /. Stdlib.tan !sa))
+          +. sagitta;
+        nf := n_to;
+        od := !od -. thickness)
+      surfaces;
+    acc := !acc +. !od
+  done;
+  Printf.sprintf "%.17g\n%.17g\n%.17g\n" !od !sa !acc

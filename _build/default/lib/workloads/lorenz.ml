@@ -1,0 +1,52 @@
+(* The Lorenz system simulator (paper section 5.4, Figure 13): forward
+   Euler on the classic sigma/rho/beta = 10/28/8-3 chaotic system. Every
+   step's state can be serialized so trajectory divergence between
+   arithmetic systems is observable, and the final state is printed. *)
+
+open Fpvm_ir.Ast
+
+let ast ?(steps = 2500) ?(dt = 0.005) ?(emit_every = 0) () : program =
+  let x = fv "x" and y = fv "y" and z = fv "z" in
+  let dt' = f dt in
+  let body =
+    [ For
+        ( "step", i 0, i steps,
+          [ Fset ("dx", f 10.0 *: (y -: x));
+            Fset ("dy", (x *: (f 28.0 -: z)) -: y);
+            Fset ("dz", (x *: y) -: (f (Stdlib.( /. ) 8.0 3.0) *: z));
+            Fset ("x", x +: (dt' *: fv "dx"));
+            Fset ("y", y +: (dt' *: fv "dy"));
+            Fset ("z", z +: (dt' *: fv "dz")) ]
+          @
+          if emit_every > 0 then
+            [ If
+                ( Icmp (Eq, Ibin (IAnd, iv "step", i (emit_every - 1)), i 0),
+                  [ Serialize_f x; Serialize_f y; Serialize_f z ],
+                  [] ) ]
+          else [] );
+      Print_f x;
+      Print_f y;
+      Print_f z ]
+  in
+  { name = "lorenz";
+    decls =
+      [ Fscalar ("x", 1.0); Fscalar ("y", 1.0); Fscalar ("z", 1.0);
+        Fscalar ("dx", 0.0); Fscalar ("dy", 0.0); Fscalar ("dz", 0.0);
+        Iscalar ("step", 0) ];
+    body }
+
+let program ?steps ?dt ?emit_every ?mode () =
+  Fpvm_ir.Codegen.compile_program ?mode (ast ?steps ?dt ?emit_every ())
+
+(* Pure-OCaml oracle with identical operation order. *)
+let reference ?(steps = 2500) ?(dt = 0.005) () =
+  let x = ref 1.0 and y = ref 1.0 and z = ref 1.0 in
+  for _ = 1 to steps do
+    let dx = 10.0 *. (!y -. !x) in
+    let dy = (!x *. (28.0 -. !z)) -. !y in
+    let dz = (!x *. !y) -. (8.0 /. 3.0 *. !z) in
+    x := !x +. (dt *. dx);
+    y := !y +. (dt *. dy);
+    z := !z +. (dt *. dz)
+  done;
+  Printf.sprintf "%.17g\n%.17g\n%.17g\n" !x !y !z

@@ -1,0 +1,165 @@
+(* miniAero stand-in (Mantevo miniapp, section 5.1): a 2D compressible
+   Euler solver on a structured grid - Lax-Friedrichs fluxes over the
+   conserved variables (rho, rho*u, rho*v, E) with an ideal-gas pressure
+   closure, initialized with a flat-plate-like density step. The flux
+   kernel's mix of multiplies, divides (pressure, velocities) and adds
+   matches the original's profile. *)
+
+open Fpvm_ir.Ast
+
+let gamma_m1 = 0.4
+
+let ast ?(nx = 12) ?(ny = 12) ?(steps = 5) () : program =
+  let n = nx * ny in
+  let cell r c = Ibin (IAdd, Ibin (IMul, r, i nx), c) in
+  let at name r c = Fload (name, cell r c) in
+  let store name r c v = Fstore (name, cell r c, v) in
+  (* initial condition: density step ("flat plate" wake) *)
+  let rho0 =
+    Array.init n (fun k -> if k mod nx < nx / 2 then 1.0 else 0.5)
+  in
+  let en0 = Array.init n (fun k -> if k mod nx < nx / 2 then 2.5 else 1.25) in
+  let prim r c =
+    (* u = ru/rho, v = rv/rho, p = 0.4*(E - 0.5*rho*(u^2+v^2)) *)
+    [ Fset ("rr", at "rho" r c);
+      Fset ("uu", at "ru" r c /: fv "rr");
+      Fset ("vv", at "rv" r c /: fv "rr");
+      Fset
+        ( "pp",
+          f gamma_m1
+          *: (at "en" r c
+             -: (f 0.5 *: fv "rr" *: ((fv "uu" *: fv "uu") +: (fv "vv" *: fv "vv")))) ) ]
+  in
+  let interior body =
+    For ("r", i 1, i (ny - 1), [ For ("c", i 1, i (nx - 1), body) ])
+  in
+  (* Lax-Friedrichs: Unew = avg(4 neighbors) - lam*(Fx(E)-Fx(W)) - lam*(Fy(N)-Fy(S))
+     with flux components computed from primitives of each neighbor. *)
+  let flux_x r c dst_suffix =
+    prim r c
+    @ [ Fset ("fr" ^ dst_suffix, fv "rr" *: fv "uu");
+        Fset ("fu" ^ dst_suffix, (fv "rr" *: fv "uu" *: fv "uu") +: fv "pp");
+        Fset ("fv" ^ dst_suffix, fv "rr" *: fv "uu" *: fv "vv");
+        Fset ("fe" ^ dst_suffix, (at "en" r c +: fv "pp") *: fv "uu") ]
+  in
+  let flux_y r c dst_suffix =
+    prim r c
+    @ [ Fset ("fr" ^ dst_suffix, fv "rr" *: fv "vv");
+        Fset ("fu" ^ dst_suffix, fv "rr" *: fv "uu" *: fv "vv");
+        Fset ("fv" ^ dst_suffix, (fv "rr" *: fv "vv" *: fv "vv") +: fv "pp");
+        Fset ("fe" ^ dst_suffix, (at "en" r c +: fv "pp") *: fv "vv") ]
+  in
+  let lam = 0.1 in
+  let east r c = (r, Ibin (IAdd, c, i 1)) in
+  let west r c = (r, Ibin (ISub, c, i 1)) in
+  let north r c = (Ibin (IAdd, r, i 1), c) in
+  let south r c = (Ibin (ISub, r, i 1), c) in
+  let update =
+    let r = iv "r" and c = iv "c" in
+    let re, ce = east r c and rw, cw = west r c in
+    let rn, cn = north r c and rs, cs = south r c in
+    flux_x re ce "e" @ flux_x rw cw "w" @ flux_y rn cn "n" @ flux_y rs cs "s"
+    @ List.concat_map
+        (fun (u, fr) ->
+          [ store (u ^ "2") r c
+              ((f 0.25
+               *: (((at u re ce +: at u rw cw) +: at u rn cn) +: at u rs cs))
+              -: (f lam
+                 *: ((fv (fr ^ "e") -: fv (fr ^ "w"))
+                    +: (fv (fr ^ "n") -: fv (fr ^ "s")))) ) ])
+        [ ("rho", "fr"); ("ru", "fu"); ("rv", "fv"); ("en", "fe") ]
+  in
+  let copy_back =
+    List.map
+      (fun u -> store u (iv "r") (iv "c") (at (u ^ "2") (iv "r") (iv "c")))
+      [ "rho"; "ru"; "rv"; "en" ]
+  in
+  { name = "miniaero";
+    decls =
+      [ Farray ("rho", rho0); Farray ("ru", Array.make n 0.1);
+        Farray ("rv", Array.make n 0.0); Farray ("en", en0);
+        Farray ("rho2", Array.copy rho0); Farray ("ru2", Array.make n 0.1);
+        Farray ("rv2", Array.make n 0.0); Farray ("en2", Array.copy en0);
+        Fscalar ("rr", 0.0); Fscalar ("uu", 0.0); Fscalar ("vv", 0.0);
+        Fscalar ("pp", 0.0);
+        Fscalar ("fre", 0.0); Fscalar ("fue", 0.0); Fscalar ("fve", 0.0); Fscalar ("fee", 0.0);
+        Fscalar ("frw", 0.0); Fscalar ("fuw", 0.0); Fscalar ("fvw", 0.0); Fscalar ("few", 0.0);
+        Fscalar ("frn", 0.0); Fscalar ("fun", 0.0); Fscalar ("fvn", 0.0); Fscalar ("fen", 0.0);
+        Fscalar ("frs", 0.0); Fscalar ("fus", 0.0); Fscalar ("fvs", 0.0); Fscalar ("fes", 0.0);
+        Fscalar ("mass", 0.0); Fscalar ("etot", 0.0);
+        Iscalar ("t", 0); Iscalar ("r", 0); Iscalar ("c", 0); Iscalar ("k", 0) ];
+    body =
+      [ For ("t", i 0, i steps, [ interior update; interior copy_back ]) ]
+      @ [ Fset ("mass", f 0.0);
+          Fset ("etot", f 0.0);
+          For
+            ( "k", i 0, i n,
+              [ Fset ("mass", fv "mass" +: Fload ("rho", iv "k"));
+                Fset ("etot", fv "etot" +: Fload ("en", iv "k")) ] );
+          Print_f (fv "mass");
+          Print_f (fv "etot");
+          Print_f (at "rho" (i (ny / 2)) (i (nx / 2))) ] }
+
+let program ?nx ?ny ?steps ?mode () =
+  Fpvm_ir.Codegen.compile_program ?mode (ast ?nx ?ny ?steps ())
+
+let reference ?(nx = 12) ?(ny = 12) ?(steps = 5) () =
+  let n = nx * ny in
+  let rho = Array.init n (fun k -> if k mod nx < nx / 2 then 1.0 else 0.5) in
+  let en = Array.init n (fun k -> if k mod nx < nx / 2 then 2.5 else 1.25) in
+  let ru = Array.make n 0.1 and rv = Array.make n 0.0 in
+  let rho2 = Array.copy rho and ru2 = Array.copy ru in
+  let rv2 = Array.copy rv and en2 = Array.copy en in
+  let lam = 0.1 in
+  let prim k =
+    let rr = rho.(k) in
+    let uu = ru.(k) /. rr in
+    let vv = rv.(k) /. rr in
+    let pp = gamma_m1 *. (en.(k) -. (0.5 *. rr *. ((uu *. uu) +. (vv *. vv)))) in
+    (rr, uu, vv, pp)
+  in
+  let flux_x k =
+    let rr, uu, vv, pp = prim k in
+    (rr *. uu, (rr *. uu *. uu) +. pp, rr *. uu *. vv, (en.(k) +. pp) *. uu)
+  in
+  let flux_y k =
+    let rr, uu, vv, pp = prim k in
+    (rr *. vv, rr *. uu *. vv, (rr *. vv *. vv) +. pp, (en.(k) +. pp) *. vv)
+  in
+  for _ = 1 to steps do
+    for r = 1 to ny - 2 do
+      for c = 1 to nx - 2 do
+        let k = (r * nx) + c in
+        let ke = k + 1 and kw = k - 1 and kn = k + nx and ks = k - nx in
+        let fre, fue, fve, fee = flux_x ke in
+        let frw, fuw, fvw, few = flux_x kw in
+        let frn, fun_, fvn, fen = flux_y kn in
+        let frs, fus, fvs, fes = flux_y ks in
+        let upd dst src fe fw fn fs =
+          dst.(k) <-
+            (0.25 *. (((src.(ke) +. src.(kw)) +. src.(kn)) +. src.(ks)))
+            -. (lam *. ((fe -. fw) +. (fn -. fs)))
+        in
+        upd rho2 rho fre frw frn frs;
+        upd ru2 ru fue fuw fun_ fus;
+        upd rv2 rv fve fvw fvn fvs;
+        upd en2 en fee few fen fes
+      done
+    done;
+    for r = 1 to ny - 2 do
+      for c = 1 to nx - 2 do
+        let k = (r * nx) + c in
+        rho.(k) <- rho2.(k);
+        ru.(k) <- ru2.(k);
+        rv.(k) <- rv2.(k);
+        en.(k) <- en2.(k)
+      done
+    done
+  done;
+  let mass = ref 0.0 and etot = ref 0.0 in
+  for k = 0 to n - 1 do
+    mass := !mass +. rho.(k);
+    etot := !etot +. en.(k)
+  done;
+  Printf.sprintf "%.17g\n%.17g\n%.17g\n" !mass !etot
+    rho.(((ny / 2) * nx) + (nx / 2))

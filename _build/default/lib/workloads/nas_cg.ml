@@ -1,0 +1,124 @@
+(* NAS CG kernel (class S scaled down): conjugate gradient iterations on
+   a dense symmetric positive definite system. Division-heavy (alpha,
+   beta) with dot products and AXPYs - under FPVM nearly every operation
+   rounds, which is why CG shows the worst slowdowns in Figure 12. *)
+
+open Fpvm_ir.Ast
+
+let build_matrix n seed =
+  (* SPD matrix: A = M^T M + n I, from a deterministic LCG. *)
+  let st = ref seed in
+  let rand () =
+    st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+    (float_of_int !st /. 1073741824.0) -. 0.5
+  in
+  let m = Array.init (n * n) (fun _ -> rand ()) in
+  let a = Array.make (n * n) 0.0 in
+  for ii = 0 to n - 1 do
+    for jj = 0 to n - 1 do
+      let s = ref 0.0 in
+      for k = 0 to n - 1 do
+        s := !s +. (m.((k * n) + ii) *. m.((k * n) + jj))
+      done;
+      a.((ii * n) + jj) <- (!s +. if ii = jj then float_of_int n else 0.0)
+    done
+  done;
+  a
+
+let build_rhs n =
+  Array.init n (fun k -> 1.0 +. (float_of_int k /. float_of_int n))
+
+(* dot product: s = u . v *)
+let dot n dst u v =
+  [ Fset (dst, f 0.0);
+    For
+      ( "jj", i 0, i n,
+        [ Fset (dst, fv dst +: (Fload (u, iv "jj") *: Fload (v, iv "jj"))) ] ) ]
+
+let ast ?(n = 24) ?(cg_iters = 15) () : program =
+  let a = build_matrix n 12345 in
+  let b = build_rhs n in
+  { name = "nas-cg";
+    decls =
+      [ Farray ("A", a); Farray ("b", b); Farray ("x", Array.make n 0.0);
+        Farray ("r", Array.make n 0.0); Farray ("p", Array.make n 0.0);
+        Farray ("q", Array.make n 0.0);
+        Fscalar ("rho", 0.0); Fscalar ("rho0", 0.0); Fscalar ("alpha", 0.0);
+        Fscalar ("beta", 0.0); Fscalar ("pq", 0.0); Fscalar ("s", 0.0);
+        Fscalar ("xb", 0.0);
+        Iscalar ("it", 0); Iscalar ("ii", 0); Iscalar ("jj", 0) ];
+    body =
+      (* x = 0, r = b, p = r *)
+      [ For
+          ( "ii", i 0, i n,
+            [ Fstore ("x", iv "ii", f 0.0);
+              Fstore ("r", iv "ii", Fload ("b", iv "ii"));
+              Fstore ("p", iv "ii", Fload ("b", iv "ii")) ] ) ]
+      @ dot n "rho" "r" "r"
+      @ [ For
+            ( "it", i 0, i cg_iters,
+              (* q = A p *)
+              [ For
+                  ( "ii", i 0, i n,
+                    [ Fset ("s", f 0.0);
+                      For
+                        ( "jj", i 0, i n,
+                          [ Fset
+                              ( "s",
+                                fv "s"
+                                +: (Fload ("A", Ibin (IAdd, Ibin (IMul, iv "ii", i n), iv "jj"))
+                                   *: Fload ("p", iv "jj")) ) ] );
+                      Fstore ("q", iv "ii", fv "s") ] ) ]
+              @ dot n "pq" "p" "q"
+              @ [ Fset ("alpha", fv "rho" /: fv "pq");
+                  For
+                    ( "ii", i 0, i n,
+                      [ Fstore ("x", iv "ii", Fload ("x", iv "ii") +: (fv "alpha" *: Fload ("p", iv "ii")));
+                        Fstore ("r", iv "ii", Fload ("r", iv "ii") -: (fv "alpha" *: Fload ("q", iv "ii"))) ] );
+                  Fset ("rho0", fv "rho") ]
+              @ dot n "rho" "r" "r"
+              @ [ Fset ("beta", fv "rho" /: fv "rho0");
+                  For
+                    ( "ii", i 0, i n,
+                      [ Fstore ("p", iv "ii", Fload ("r", iv "ii") +: (fv "beta" *: Fload ("p", iv "ii"))) ] ) ] ) ]
+      @ dot n "xb" "x" "b"
+      @ [ Print_f (Fcall ("sqrt", [ fv "rho" ])); Print_f (fv "xb") ] }
+
+let program ?n ?cg_iters ?mode () =
+  Fpvm_ir.Codegen.compile_program ?mode (ast ?n ?cg_iters ())
+
+let reference ?(n = 24) ?(cg_iters = 15) () =
+  let a = build_matrix n 12345 and b = build_rhs n in
+  let x = Array.make n 0.0 in
+  let r = Array.copy b and p = Array.copy b in
+  let q = Array.make n 0.0 in
+  let dot u v =
+    let s = ref 0.0 in
+    for jj = 0 to n - 1 do
+      s := !s +. (u.(jj) *. v.(jj))
+    done;
+    !s
+  in
+  let rho = ref (dot r r) in
+  for _ = 1 to cg_iters do
+    for ii = 0 to n - 1 do
+      let s = ref 0.0 in
+      for jj = 0 to n - 1 do
+        s := !s +. (a.((ii * n) + jj) *. p.(jj))
+      done;
+      q.(ii) <- !s
+    done;
+    let pq = dot p q in
+    let alpha = !rho /. pq in
+    for ii = 0 to n - 1 do
+      x.(ii) <- x.(ii) +. (alpha *. p.(ii));
+      r.(ii) <- r.(ii) -. (alpha *. q.(ii))
+    done;
+    let rho0 = !rho in
+    rho := dot r r;
+    let beta = !rho /. rho0 in
+    for ii = 0 to n - 1 do
+      p.(ii) <- r.(ii) +. (beta *. p.(ii))
+    done
+  done;
+  Printf.sprintf "%.17g\n%.17g\n" (Float.sqrt !rho) (dot x b)

@@ -1,0 +1,95 @@
+(* NAS EP kernel (embarrassingly parallel, scaled down): generate
+   pseudo-random pairs with an integer LCG, apply the Marsaglia polar
+   method (log, sqrt, divisions), and histogram the Gaussian deviates by
+   annulus. The integer/FP mix matches EP's moderate Figure 12 slowdown:
+   much of the dynamic instruction stream is the integer LCG, which FPVM
+   never touches. *)
+
+open Fpvm_ir.Ast
+
+let ast ?(pairs = 2000) () : program =
+  let mask46 = (1 lsl 46) - 1 in
+  let scale = Stdlib.( /. ) 1.0 70368744177664.0 (* 2^-46 *) in
+  let next_random dst =
+    (* seed <- (5^13 * seed) mod 2^46 ; dst <- 2*seed/2^46 - 1 *)
+    [ Iset ("seed", Ibin (IAnd, Ibin (IMul, iv "seed", i 1220703125), i mask46));
+      Fset (dst, (f 2.0 *: (Fof_int (iv "seed") *: f scale)) -: f 1.0) ]
+  in
+  { name = "nas-ep";
+    decls =
+      [ Iscalar ("seed", 271828183);
+        Iarray ("bins", Array.make 10 0L);
+        Fscalar ("xr", 0.0); Fscalar ("yr", 0.0); Fscalar ("t", 0.0);
+        Fscalar ("fac", 0.0); Fscalar ("gx", 0.0); Fscalar ("gy", 0.0);
+        Fscalar ("sx", 0.0); Fscalar ("sy", 0.0); Fscalar ("m", 0.0);
+        Iscalar ("k", 0); Iscalar ("bin", 0); Iscalar ("accepted", 0) ];
+    body =
+      [ For
+          ( "k", i 0, i pairs,
+            next_random "xr" @ next_random "yr"
+            @ [ Fset ("t", (fv "xr" *: fv "xr") +: (fv "yr" *: fv "yr"));
+                If
+                  ( Fcmp (Le, fv "t", f 1.0),
+                    [ Fset
+                        ( "fac",
+                          Fcall
+                            ( "sqrt",
+                              [ f (-2.0) *: Fcall ("log", [ fv "t" ]) /: fv "t" ] ) );
+                      Fset ("gx", fv "xr" *: fv "fac");
+                      Fset ("gy", fv "yr" *: fv "fac");
+                      Fset ("sx", fv "sx" +: fv "gx");
+                      Fset ("sy", fv "sy" +: fv "gy");
+                      (* annulus = floor(max(|gx|,|gy|)) *)
+                      Fset ("m", Fcall ("fabs", [ fv "gx" ]));
+                      If
+                        ( Fcmp (Gt, Fcall ("fabs", [ fv "gy" ]), fv "m"),
+                          [ Fset ("m", Fcall ("fabs", [ fv "gy" ])) ],
+                          [] );
+                      Iset ("bin", Iof_float (fv "m"));
+                      If
+                        ( Icmp (Lt, iv "bin", i 10),
+                          [ Istore
+                              ( "bins", iv "bin",
+                                Ibin (IAdd, Iload ("bins", iv "bin"), i 1) ) ],
+                          [] );
+                      Iset ("accepted", Ibin (IAdd, iv "accepted", i 1)) ],
+                    [] ) ] );
+        Print_i (iv "accepted");
+        Print_f (fv "sx");
+        Print_f (fv "sy");
+        For ("k", i 0, i 10, [ Print_i (Iload ("bins", iv "k")) ]) ] }
+
+let program ?pairs ?mode () =
+  Fpvm_ir.Codegen.compile_program ?mode (ast ?pairs ())
+
+let reference ?(pairs = 2000) () =
+  let mask46 = (1 lsl 46) - 1 in
+  let scale = 1.0 /. 70368744177664.0 in
+  let seed = ref 271828183 in
+  let next () =
+    seed := !seed * 1220703125 land mask46;
+    (2.0 *. (float_of_int !seed *. scale)) -. 1.0
+  in
+  let bins = Array.make 10 0 in
+  let sx = ref 0.0 and sy = ref 0.0 and accepted = ref 0 in
+  for _ = 1 to pairs do
+    let xr = next () in
+    let yr = next () in
+    let t = (xr *. xr) +. (yr *. yr) in
+    if t <= 1.0 then begin
+      let fac = Float.sqrt (-2.0 *. Float.log t /. t) in
+      let gx = xr *. fac and gy = yr *. fac in
+      sx := !sx +. gx;
+      sy := !sy +. gy;
+      let m = Float.max (Float.abs gx) (Float.abs gy) in
+      let bin = int_of_float (Float.trunc m) in
+      if bin < 10 then bins.(bin) <- bins.(bin) + 1;
+      incr accepted
+    end
+  done;
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "%d\n" !accepted);
+  Buffer.add_string buf (Printf.sprintf "%.17g\n" !sx);
+  Buffer.add_string buf (Printf.sprintf "%.17g\n" !sy);
+  Array.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%d\n" c)) bins;
+  Buffer.contents buf

@@ -1,0 +1,85 @@
+(* NAS IS kernel (integer sort, scaled down): keys generated with the
+   NAS-style double-precision LCG (like randlc), then bucket sorted with
+   a counting sort. The sort itself is pure integer work; only key
+   generation and the final average touch floating point — which is why
+   IS shows the *smallest* slowdown in Figure 12. *)
+
+open Fpvm_ir.Ast
+
+let two46 = 70368744177664.0 (* 2^46 *)
+
+let ast ?(nkeys = 2048) ?(max_key = 512) () : program =
+  let scale = Stdlib.( /. ) (float_of_int max_key) two46 in
+  { name = "nas-is";
+    decls =
+      [ Iarray ("keys", Array.make nkeys 0L);
+        Iarray ("count", Array.make max_key 0L);
+        Iarray ("rank", Array.make nkeys 0L);
+        Fscalar ("fs", 314159265.0);
+        Iscalar ("k", 0); Iscalar ("c", 0); Iscalar ("acc", 0);
+        Iscalar ("kk", 0);
+        Fscalar ("avg", 0.0) ];
+    body =
+      [ (* generate keys with the double-precision LCG *)
+        For
+          ( "k", i 0, i nkeys,
+            [ Fset ("fs", Fcall ("fmod", [ fv "fs" *: f 1220703125.0; f two46 ]));
+              Istore ("keys", iv "k", Iof_float (fv "fs" *: f scale)) ] );
+        (* histogram *)
+        For
+          ( "k", i 0, i nkeys,
+            [ Iset ("kk", Iload ("keys", iv "k"));
+              Istore ("count", iv "kk", Ibin (IAdd, Iload ("count", iv "kk"), i 1)) ] );
+        (* prefix sums *)
+        Iset ("acc", i 0);
+        For
+          ( "k", i 0, i max_key,
+            [ Iset ("c", Iload ("count", iv "k"));
+              Istore ("count", iv "k", iv "acc");
+              Iset ("acc", Ibin (IAdd, iv "acc", iv "c")) ] );
+        (* ranks *)
+        For
+          ( "k", i 0, i nkeys,
+            [ Iset ("kk", Iload ("keys", iv "k"));
+              Istore ("rank", iv "k", Iload ("count", iv "kk"));
+              Istore ("count", iv "kk", Ibin (IAdd, Iload ("count", iv "kk"), i 1)) ] );
+        (* partial verification + FP average *)
+        Print_i (Iload ("rank", i 0));
+        Print_i (Iload ("rank", i (nkeys / 2)));
+        Print_i (Iload ("rank", i (nkeys - 1)));
+        Iset ("acc", i 0);
+        For
+          ( "k", i 0, i nkeys,
+            [ Iset ("acc", Ibin (IAdd, iv "acc", Iload ("keys", iv "k"))) ] );
+        Fset ("avg", Fof_int (iv "acc") /: Fof_int (i nkeys));
+        Print_f (fv "avg") ] }
+
+let program ?nkeys ?max_key ?mode () =
+  Fpvm_ir.Codegen.compile_program ?mode (ast ?nkeys ?max_key ())
+
+let reference ?(nkeys = 2048) ?(max_key = 512) () =
+  let scale = float_of_int max_key /. two46 in
+  let keys = Array.make nkeys 0 in
+  let fs = ref 314159265.0 in
+  for k = 0 to nkeys - 1 do
+    fs := Float.rem (!fs *. 1220703125.0) two46;
+    keys.(k) <- int_of_float (Float.trunc (!fs *. scale))
+  done;
+  let count = Array.make max_key 0 in
+  Array.iter (fun k -> count.(k) <- count.(k) + 1) keys;
+  let acc = ref 0 in
+  for k = 0 to max_key - 1 do
+    let c = count.(k) in
+    count.(k) <- !acc;
+    acc := !acc + c
+  done;
+  let rank = Array.make nkeys 0 in
+  for k = 0 to nkeys - 1 do
+    rank.(k) <- count.(keys.(k));
+    count.(keys.(k)) <- count.(keys.(k)) + 1
+  done;
+  let total = Array.fold_left ( + ) 0 keys in
+  Printf.sprintf "%d\n%d\n%d\n%.17g\n" rank.(0)
+    rank.(nkeys / 2)
+    rank.(nkeys - 1)
+    (float_of_int total /. float_of_int nkeys)

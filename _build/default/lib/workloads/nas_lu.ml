@@ -1,0 +1,124 @@
+(* NAS LU kernel (scaled down): in-place Doolittle LU factorization of a
+   diagonally dominant dense matrix, followed by forward/back
+   substitution and a residual check. The per-pivot reciprocal divisions
+   and the triple-nested update loop make this the most division-dense
+   workload, matching LU's very large slowdown in Figure 12. *)
+
+open Fpvm_ir.Ast
+
+let build_matrix n =
+  let st = ref 987654321 in
+  let rand () =
+    st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+    (float_of_int !st /. 1073741824.0) -. 0.5
+  in
+  Array.init (n * n) (fun k ->
+      let ii = k / n and jj = k mod n in
+      if ii = jj then float_of_int n +. rand () else rand ())
+
+let ast ?(n = 20) () : program =
+  let a = build_matrix n in
+  let b = Array.init n (fun k -> Stdlib.( +. ) 1.0 (float_of_int (k mod 3))) in
+  let at name row col = Fload (name, Ibin (IAdd, Ibin (IMul, row, i n), col)) in
+  let store name row col v =
+    Fstore (name, Ibin (IAdd, Ibin (IMul, row, i n), col), v)
+  in
+  { name = "nas-lu";
+    decls =
+      [ Farray ("A", Array.copy a); Farray ("A0", Array.copy a);
+        Farray ("b", Array.copy b); Farray ("y", Array.make n 0.0);
+        Farray ("x", Array.make n 0.0);
+        Fscalar ("s", 0.0); Fscalar ("rn", 0.0);
+        Iscalar ("k", 0); Iscalar ("ii", 0); Iscalar ("jj", 0) ];
+    body =
+      (* factorization *)
+      [ For
+          ( "k", i 0, i n,
+            [ For
+                ( "ii", Ibin (IAdd, iv "k", i 1), i n,
+                  [ store "A" (iv "ii") (iv "k")
+                      (at "A" (iv "ii") (iv "k") /: at "A" (iv "k") (iv "k"));
+                    For
+                      ( "jj", Ibin (IAdd, iv "k", i 1), i n,
+                        [ store "A" (iv "ii") (iv "jj")
+                            (at "A" (iv "ii") (iv "jj")
+                            -: (at "A" (iv "ii") (iv "k")
+                               *: at "A" (iv "k") (iv "jj"))) ] ) ] ) ] )
+      ]
+      (* forward solve L y = b (unit diagonal) *)
+      @ [ For
+            ( "ii", i 0, i n,
+              [ Fset ("s", Fload ("b", iv "ii"));
+                For
+                  ( "jj", i 0, iv "ii",
+                    [ Fset
+                        ( "s",
+                          fv "s" -: (at "A" (iv "ii") (iv "jj") *: Fload ("y", iv "jj")) ) ] );
+                Fstore ("y", iv "ii", fv "s") ] ) ]
+      (* back solve U x = y *)
+      @ [ For
+            ( "k", i 0, i n,
+              [ Iset ("ii", Ibin (ISub, i (n - 1), iv "k"));
+                Fset ("s", Fload ("y", iv "ii"));
+                For
+                  ( "jj", Ibin (IAdd, iv "ii", i 1), i n,
+                    [ Fset
+                        ( "s",
+                          fv "s" -: (at "A" (iv "ii") (iv "jj") *: Fload ("x", iv "jj")) ) ] );
+                Fstore ("x", iv "ii", fv "s" /: at "A" (iv "ii") (iv "ii")) ] ) ]
+      (* residual ||A0 x - b||_2 *)
+      @ [ Fset ("rn", f 0.0);
+          For
+            ( "ii", i 0, i n,
+              [ Fset ("s", Fneg (Fload ("b", iv "ii")));
+                For
+                  ( "jj", i 0, i n,
+                    [ Fset
+                        ( "s",
+                          fv "s" +: (at "A0" (iv "ii") (iv "jj") *: Fload ("x", iv "jj")) ) ] );
+                Fset ("rn", fv "rn" +: (fv "s" *: fv "s")) ] );
+          Print_f (Fcall ("sqrt", [ fv "rn" ]));
+          Print_f (Fload ("x", i 0)) ] }
+
+let program ?n ?mode () =
+  Fpvm_ir.Codegen.compile_program ?mode (ast ?n ())
+
+let reference ?(n = 20) () =
+  let a0 = build_matrix n in
+  let a = Array.copy a0 in
+  let b = Array.init n (fun k -> 1.0 +. float_of_int (k mod 3)) in
+  for k = 0 to n - 1 do
+    for ii = k + 1 to n - 1 do
+      a.((ii * n) + k) <- a.((ii * n) + k) /. a.((k * n) + k);
+      for jj = k + 1 to n - 1 do
+        a.((ii * n) + jj) <-
+          a.((ii * n) + jj) -. (a.((ii * n) + k) *. a.((k * n) + jj))
+      done
+    done
+  done;
+  let y = Array.make n 0.0 in
+  for ii = 0 to n - 1 do
+    let s = ref b.(ii) in
+    for jj = 0 to ii - 1 do
+      s := !s -. (a.((ii * n) + jj) *. y.(jj))
+    done;
+    y.(ii) <- !s
+  done;
+  let x = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    let ii = n - 1 - k in
+    let s = ref y.(ii) in
+    for jj = ii + 1 to n - 1 do
+      s := !s -. (a.((ii * n) + jj) *. x.(jj))
+    done;
+    x.(ii) <- !s /. a.((ii * n) + ii)
+  done;
+  let rn = ref 0.0 in
+  for ii = 0 to n - 1 do
+    let s = ref (-.b.(ii)) in
+    for jj = 0 to n - 1 do
+      s := !s +. (a0.((ii * n) + jj) *. x.(jj))
+    done;
+    rn := !rn +. (!s *. !s)
+  done;
+  Printf.sprintf "%.17g\n%.17g\n" (Float.sqrt !rn) x.(0)

@@ -1,0 +1,162 @@
+(* NAS MG kernel (scaled down to 2D): a two-grid multigrid V-cycle —
+   Jacobi smoothing on the fine grid, residual restriction to the coarse
+   grid, coarse smoothing, prolongation, and a final smoothing pass.
+   Pure stencil adds/multiplies: nearly every dynamic instruction is a
+   rounding FP op, giving MG its large Figure 12 slowdown. *)
+
+open Fpvm_ir.Ast
+
+(* A dense pseudo-random charge field: every smoothing operation rounds,
+   as in the real benchmark's Class-S data. *)
+let rhs_field n =
+  let st = ref 69069 in
+  Array.init (n * n) (fun _ ->
+      st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+      float_of_int !st /. 1073741824.0)
+
+(* fine grid: n x n, coarse: (n/2+1) x (n/2+1); n must be even *)
+let ast ?(n = 17) ?(cycles = 2) ?(smooth = 2) () : program =
+  let nc = ((n - 1) / 2) + 1 in
+  let at name sz row col = Fload (name, Ibin (IAdd, Ibin (IMul, row, i sz), col)) in
+  let store name sz row col v = Fstore (name, Ibin (IAdd, Ibin (IMul, row, i sz), col), v) in
+  let interior sz body = For ("ii", i 1, i (sz - 1), [ For ("jj", i 1, i (sz - 1), body) ]) in
+  let jacobi u rhs sz =
+    (* u <- 0.25 (u[N]+u[S]+u[E]+u[W] - h^2 rhs), Gauss-Seidel style in place *)
+    interior sz
+      [ store u sz (iv "ii") (iv "jj")
+          (f 0.25
+          *: ((((at u sz (Ibin (ISub, iv "ii", i 1)) (iv "jj")
+                +: at u sz (Ibin (IAdd, iv "ii", i 1)) (iv "jj"))
+               +: at u sz (iv "ii") (Ibin (ISub, iv "jj", i 1)))
+              +: at u sz (iv "ii") (Ibin (IAdd, iv "jj", i 1)))
+             -: at rhs sz (iv "ii") (iv "jj"))) ]
+  in
+  let residual u rhs r sz =
+    interior sz
+      [ store r sz (iv "ii") (iv "jj")
+          (at rhs sz (iv "ii") (iv "jj")
+          -: ((f 4.0 *: at u sz (iv "ii") (iv "jj"))
+             -: (((at u sz (Ibin (ISub, iv "ii", i 1)) (iv "jj")
+                  +: at u sz (Ibin (IAdd, iv "ii", i 1)) (iv "jj"))
+                 +: at u sz (iv "ii") (Ibin (ISub, iv "jj", i 1)))
+                +: at u sz (iv "ii") (Ibin (IAdd, iv "jj", i 1))))) ]
+  in
+  let repeat k body = List.concat (List.init k (fun _ -> body)) in
+  let rhs_init = rhs_field n in
+  { name = "nas-mg";
+    decls =
+      [ Farray ("u", Array.make (n * n) 0.0);
+        Farray ("rhs", rhs_init);
+        Farray ("res", Array.make (n * n) 0.0);
+        Farray ("uc", Array.make (nc * nc) 0.0);
+        Farray ("rc", Array.make (nc * nc) 0.0);
+        Fscalar ("s", 0.0);
+        Iscalar ("cy", 0); Iscalar ("ii", 0); Iscalar ("jj", 0);
+        Iarray ("dummy", [| 0L |]) ];
+    body =
+      [ For
+          ( "cy", i 0, i cycles,
+            repeat smooth [ jacobi "u" "rhs" n ]
+            @ [ residual "u" "rhs" "res" n ]
+            (* restrict (injection) to the coarse grid *)
+            @ [ For
+                  ( "ii", i 1, i (nc - 1),
+                    [ For
+                        ( "jj", i 1, i (nc - 1),
+                          [ store "rc" nc (iv "ii") (iv "jj")
+                              (at "res" n
+                                 (Ibin (IMul, iv "ii", i 2))
+                                 (Ibin (IMul, iv "jj", i 2)));
+                            store "uc" nc (iv "ii") (iv "jj") (f 0.0) ] ) ] ) ]
+            @ repeat (2 * smooth) [ jacobi "uc" "rc" nc ]
+            (* prolong (injection) and correct *)
+            @ [ For
+                  ( "ii", i 1, i (nc - 1),
+                    [ For
+                        ( "jj", i 1, i (nc - 1),
+                          [ store "u" n
+                              (Ibin (IMul, iv "ii", i 2))
+                              (Ibin (IMul, iv "jj", i 2))
+                              (at "u" n
+                                 (Ibin (IMul, iv "ii", i 2))
+                                 (Ibin (IMul, iv "jj", i 2))
+                              +: at "uc" nc (iv "ii") (iv "jj")) ] ) ] ) ]
+            @ repeat smooth [ jacobi "u" "rhs" n ] ) ]
+      (* output: residual norm and center value *)
+      @ [ residual "u" "rhs" "res" n; Fset ("s", f 0.0) ]
+      @ [ For
+            ( "ii", i 0, i n,
+              [ For
+                  ( "jj", i 0, i n,
+                    [ Fset
+                        ( "s",
+                          fv "s"
+                          +: (at "res" n (iv "ii") (iv "jj")
+                             *: at "res" n (iv "ii") (iv "jj")) ) ] ) ] );
+          Print_f (Fcall ("sqrt", [ fv "s" ]));
+          Print_f (at "u" n (i (n / 2)) (i (n / 2))) ] }
+
+let program ?n ?cycles ?smooth ?mode () =
+  Fpvm_ir.Codegen.compile_program ?mode (ast ?n ?cycles ?smooth ())
+
+let reference ?(n = 17) ?(cycles = 2) ?(smooth = 2) () =
+  let nc = ((n - 1) / 2) + 1 in
+  let u = Array.make (n * n) 0.0 in
+  let rhs = rhs_field n in
+  let res = Array.make (n * n) 0.0 in
+  let uc = Array.make (nc * nc) 0.0 in
+  let rc = Array.make (nc * nc) 0.0 in
+  let jacobi u rhs sz =
+    for ii = 1 to sz - 2 do
+      for jj = 1 to sz - 2 do
+        u.((ii * sz) + jj) <-
+          0.25
+          *. ((((u.(((ii - 1) * sz) + jj) +. u.(((ii + 1) * sz) + jj))
+               +. u.((ii * sz) + (jj - 1)))
+              +. u.((ii * sz) + (jj + 1)))
+             -. rhs.((ii * sz) + jj))
+      done
+    done
+  in
+  let residual u rhs r sz =
+    for ii = 1 to sz - 2 do
+      for jj = 1 to sz - 2 do
+        r.((ii * sz) + jj) <-
+          rhs.((ii * sz) + jj)
+          -. ((4.0 *. u.((ii * sz) + jj))
+             -. (((u.(((ii - 1) * sz) + jj) +. u.(((ii + 1) * sz) + jj))
+                 +. u.((ii * sz) + (jj - 1)))
+                +. u.((ii * sz) + (jj + 1))))
+      done
+    done
+  in
+  for _ = 1 to cycles do
+    for _ = 1 to smooth do
+      jacobi u rhs n
+    done;
+    residual u rhs res n;
+    for ii = 1 to nc - 2 do
+      for jj = 1 to nc - 2 do
+        rc.((ii * nc) + jj) <- res.((ii * 2 * n) + (jj * 2));
+        uc.((ii * nc) + jj) <- 0.0
+      done
+    done;
+    for _ = 1 to 2 * smooth do
+      jacobi uc rc nc
+    done;
+    for ii = 1 to nc - 2 do
+      for jj = 1 to nc - 2 do
+        u.((ii * 2 * n) + (jj * 2)) <-
+          u.((ii * 2 * n) + (jj * 2)) +. uc.((ii * nc) + jj)
+      done
+    done;
+    for _ = 1 to smooth do
+      jacobi u rhs n
+    done
+  done;
+  residual u rhs res n;
+  let s = ref 0.0 in
+  for k = 0 to (n * n) - 1 do
+    s := !s +. (res.(k) *. res.(k))
+  done;
+  Printf.sprintf "%.17g\n%.17g\n" (Float.sqrt !s) u.(((n / 2) * n) + (n / 2))

@@ -1,0 +1,121 @@
+(* Planar three-body problem (paper sections 5.1/5.4): symplectic-ish
+   Euler on three gravitating bodies. Chaotic, so precision changes the
+   trajectory; the total energy drift is a quality metric. *)
+
+open Fpvm_ir.Ast
+
+let masses = [| 1.0; 0.9; 0.8 |]
+
+let init_pos = [| -1.0; 0.0; 1.0; 0.0; 0.0; 1.0 |] (* x0 y0 x1 y1 x2 y2 *)
+let init_vel = [| 0.0; -0.5; 0.0; 0.5; 0.5; 0.0 |]
+
+let ast ?(steps = 1000) ?(dt = 0.001) () : program =
+  let dt' = f dt in
+  (* acceleration accumulation for body a from body b *)
+  let pair a b =
+    let ax = Fload ("pos", i (2 * a)) and ay = Fload ("pos", i (2 * a + 1)) in
+    let bx = Fload ("pos", i (2 * b)) and by = Fload ("pos", i (2 * b + 1)) in
+    [ Fset ("rx", bx -: ax);
+      Fset ("ry", by -: ay);
+      Fset ("r2", (fv "rx" *: fv "rx") +: (fv "ry" *: fv "ry"));
+      Fset ("r", sqrt_ (fv "r2"));
+      Fset ("inv3", f 1.0 /: (fv "r2" *: fv "r"));
+      (* acc[a] += m_b * r * inv3 ; acc[b] -= m_a * r * inv3 *)
+      Fstore ("acc", i (2 * a),
+        Fload ("acc", i (2 * a)) +: (f masses.(b) *: fv "rx" *: fv "inv3"));
+      Fstore ("acc", i (2 * a + 1),
+        Fload ("acc", i (2 * a + 1)) +: (f masses.(b) *: fv "ry" *: fv "inv3"));
+      Fstore ("acc", i (2 * b),
+        Fload ("acc", i (2 * b)) -: (f masses.(a) *: fv "rx" *: fv "inv3"));
+      Fstore ("acc", i (2 * b + 1),
+        Fload ("acc", i (2 * b + 1)) -: (f masses.(a) *: fv "ry" *: fv "inv3")) ]
+  in
+  let clear_acc =
+    [ For ("k", i 0, i 6, [ Fstore ("acc", iv "k", f 0.0) ]) ]
+  in
+  let kick_drift =
+    [ For
+        ( "k", i 0, i 6,
+          [ Fstore ("vel", iv "k", Fload ("vel", iv "k") +: (dt' *: Fload ("acc", iv "k")));
+            Fstore ("pos", iv "k", Fload ("pos", iv "k") +: (dt' *: Fload ("vel", iv "k"))) ] ) ]
+  in
+  (* total energy: kinetic + potential *)
+  let energy =
+    [ Fset ("en", f 0.0);
+      For
+        ( "bi", i 0, i 3,
+          [ Fset ("vx", Fload ("vel", Ibin (IMul, iv "bi", i 2)));
+            Fset ("vy", Fload ("vel", Ibin (IAdd, Ibin (IMul, iv "bi", i 2), i 1)));
+            Fset ("mk", Fload ("mass", iv "bi"));
+            Fset ("en", fv "en" +: (f 0.5 *: fv "mk" *: ((fv "vx" *: fv "vx") +: (fv "vy" *: fv "vy")))) ] ) ]
+    @ List.concat_map
+        (fun (a, b) ->
+          [ Fset ("rx", Fload ("pos", i (2 * b)) -: Fload ("pos", i (2 * a)));
+            Fset ("ry", Fload ("pos", i (2 * b + 1)) -: Fload ("pos", i (2 * a + 1)));
+            Fset ("r", sqrt_ ((fv "rx" *: fv "rx") +: (fv "ry" *: fv "ry")));
+            Fset ("en", fv "en" -: (f (Stdlib.( *. ) masses.(a) masses.(b)) /: fv "r")) ])
+        [ (0, 1); (0, 2); (1, 2) ]
+  in
+  { name = "three-body";
+    decls =
+      [ Farray ("pos", Array.copy init_pos);
+        Farray ("vel", Array.copy init_vel);
+        Farray ("acc", Array.make 6 0.0);
+        Farray ("mass", Array.copy masses);
+        Fscalar ("rx", 0.0); Fscalar ("ry", 0.0); Fscalar ("r2", 0.0);
+        Fscalar ("r", 0.0); Fscalar ("inv3", 0.0); Fscalar ("en", 0.0);
+        Fscalar ("vx", 0.0); Fscalar ("vy", 0.0); Fscalar ("mk", 0.0);
+        Iscalar ("step", 0); Iscalar ("k", 0); Iscalar ("bi", 0) ];
+    body =
+      [ For
+          ( "step", i 0, i steps,
+            clear_acc @ pair 0 1 @ pair 0 2 @ pair 1 2 @ kick_drift ) ]
+      @ [ For ("k", i 0, i 6, [ Print_f (Fload ("pos", iv "k")) ]) ]
+      @ energy
+      @ [ Print_f (fv "en") ] }
+
+let program ?steps ?dt ?mode () =
+  Fpvm_ir.Codegen.compile_program ?mode (ast ?steps ?dt ())
+
+let reference ?(steps = 1000) ?(dt = 0.001) () =
+  let pos = Array.copy init_pos and vel = Array.copy init_vel in
+  let acc = Array.make 6 0.0 in
+  let pair a b =
+    let rx = pos.(2 * b) -. pos.(2 * a) in
+    let ry = pos.((2 * b) + 1) -. pos.((2 * a) + 1) in
+    let r2 = (rx *. rx) +. (ry *. ry) in
+    let r = Float.sqrt r2 in
+    let inv3 = 1.0 /. (r2 *. r) in
+    acc.(2 * a) <- acc.(2 * a) +. (masses.(b) *. rx *. inv3);
+    acc.((2 * a) + 1) <- acc.((2 * a) + 1) +. (masses.(b) *. ry *. inv3);
+    acc.(2 * b) <- acc.(2 * b) -. (masses.(a) *. rx *. inv3);
+    acc.((2 * b) + 1) <- acc.((2 * b) + 1) -. (masses.(a) *. ry *. inv3)
+  in
+  for _ = 1 to steps do
+    Array.fill acc 0 6 0.0;
+    pair 0 1;
+    pair 0 2;
+    pair 1 2;
+    for k = 0 to 5 do
+      vel.(k) <- vel.(k) +. (dt *. acc.(k));
+      pos.(k) <- pos.(k) +. (dt *. vel.(k))
+    done
+  done;
+  let buf = Buffer.create 128 in
+  for k = 0 to 5 do
+    Buffer.add_string buf (Printf.sprintf "%.17g\n" pos.(k))
+  done;
+  let en = ref 0.0 in
+  for bi = 0 to 2 do
+    let vx = vel.(2 * bi) and vy = vel.((2 * bi) + 1) in
+    en := !en +. (0.5 *. masses.(bi) *. ((vx *. vx) +. (vy *. vy)))
+  done;
+  List.iter
+    (fun (a, b) ->
+      let rx = pos.(2 * b) -. pos.(2 * a) in
+      let ry = pos.((2 * b) + 1) -. pos.((2 * a) + 1) in
+      let r = Float.sqrt ((rx *. rx) +. (ry *. ry)) in
+      en := !en -. (masses.(a) *. masses.(b) /. r))
+    [ (0, 1); (0, 2); (1, 2) ];
+  Buffer.add_string buf (Printf.sprintf "%.17g\n" !en);
+  Buffer.contents buf

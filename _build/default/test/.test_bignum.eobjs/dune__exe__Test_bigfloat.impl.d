@@ -1,0 +1,1 @@
+test/test_bigfloat.ml: Alcotest Bigfloat Bignum Elementary Float Ieee754 Int64 Printf QCheck QCheck_alcotest

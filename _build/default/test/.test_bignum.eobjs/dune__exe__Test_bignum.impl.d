@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bigint Bignum Int64 List Nat Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Buffer Float Format Fpvm Fpvm_ir Hashtbl Int64 List Printf QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_fpvm.ml: Alcotest Float Fpvm Ieee754 Int64 Isa List Machine Posit Program QCheck QCheck_alcotest String

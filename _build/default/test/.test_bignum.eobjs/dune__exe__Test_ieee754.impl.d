@@ -1,0 +1,1 @@
+test/test_ieee754.ml: Alcotest Convert Flags Float Format Ieee754 Int32 Int64 List Mxcsr Printf QCheck QCheck_alcotest Soft32 Soft64 Softfp

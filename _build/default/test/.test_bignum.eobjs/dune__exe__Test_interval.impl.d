@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Float Fpvm Int64 List Printf QCheck QCheck_alcotest Stdlib String Workloads

@@ -1,0 +1,1 @@
+test/test_lowlevel.ml: Alcotest Array Bignum Cpu Ieee754 Int64 Isa Machine Printf Program QCheck QCheck_alcotest State Stdlib Wide

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Cost_model Cpu Ieee754 Int64 Isa Machine Program State Str Trapkern

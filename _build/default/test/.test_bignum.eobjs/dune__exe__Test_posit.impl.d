@@ -1,0 +1,1 @@
+test/test_posit.ml: Alcotest Array Float Format Int64 List Posit Printf QCheck QCheck_alcotest Quire Random Stdlib

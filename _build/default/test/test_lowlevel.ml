@@ -1,0 +1,183 @@
+(* Low-level substrate tests: the 128-bit Wide arithmetic against a
+   bignum oracle, the assembler's label/fixup machinery, instruction
+   encodings, and interval-free odds and ends that the higher suites
+   exercise only indirectly. *)
+
+open Ieee754
+module Nat = Bignum.Nat
+
+let q name ?(count = 2000) arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* --- Wide (u128) vs Nat oracle --- *)
+
+let nat_of_u64 v =
+  Nat.logor
+    (Nat.shift_left (Nat.of_int (Int64.to_int (Int64.shift_right_logical v 32))) 32)
+    (Nat.of_int (Int64.to_int (Int64.logand v 0xFFFFFFFFL)))
+
+let nat_of_wide (w : Wide.t) =
+  Nat.logor (Nat.shift_left (nat_of_u64 w.Wide.hi) 64) (nat_of_u64 w.Wide.lo)
+
+let gen_u64 = QCheck.Gen.(map Int64.of_int int)
+let gen_wide =
+  QCheck.Gen.(
+    let* hi = gen_u64 in
+    let* lo = gen_u64 in
+    return (Wide.make ~hi ~lo))
+
+let arb_wide =
+  QCheck.make
+    ~print:(fun w -> Printf.sprintf "{hi=%016Lx; lo=%016Lx}" w.Wide.hi w.Wide.lo)
+    gen_wide
+
+let mask128 = Nat.sub (Nat.shift_left Nat.one 128) Nat.one
+
+let wide_tests =
+  [ q "mul_64_64 exact" (QCheck.pair (QCheck.make gen_u64) (QCheck.make gen_u64))
+      (fun (a, b) ->
+        Nat.equal
+          (nat_of_wide (Wide.mul_64_64 a b))
+          (Nat.mul (nat_of_u64 a) (nat_of_u64 b)));
+    q "add mod 2^128" (QCheck.pair arb_wide arb_wide) (fun (a, b) ->
+        Nat.equal
+          (nat_of_wide (Wide.add a b))
+          (Nat.logand (Nat.add (nat_of_wide a) (nat_of_wide b)) mask128));
+    q "sub then add roundtrips" (QCheck.pair arb_wide arb_wide) (fun (a, b) ->
+        Wide.equal a (Wide.add (Wide.sub a b) b));
+    q "shifts match Nat" (QCheck.pair arb_wide (QCheck.int_range 0 130))
+      (fun (a, k) ->
+        Nat.equal
+          (nat_of_wide (Wide.shift_left a k))
+          (Nat.logand (Nat.shift_left (nat_of_wide a) k) mask128)
+        && Nat.equal
+             (nat_of_wide (Wide.shift_right a k))
+             (Nat.shift_right (nat_of_wide a) k));
+    q "shift_right_sticky reports dropped bits"
+      (QCheck.pair arb_wide (QCheck.int_range 0 130)) (fun (a, k) ->
+        let _, sticky = Wide.shift_right_sticky a k in
+        sticky = Nat.bits_below_nonzero (nat_of_wide a) (min k 128));
+    q "div_rem_64 exact" (QCheck.pair arb_wide (QCheck.make gen_u64))
+      (fun (a, b) ->
+        QCheck.assume (not (Int64.equal b 0L));
+        (* precondition: hi < b (unsigned) so the quotient fits *)
+        QCheck.assume (Int64.unsigned_compare a.Wide.hi b < 0);
+        let quot, rem = Wide.div_rem_64 a b in
+        let nb = nat_of_u64 b in
+        let nq, nr = Nat.divmod (nat_of_wide a) nb in
+        Nat.equal (nat_of_u64 quot) nq && Nat.equal (nat_of_u64 rem) nr);
+    q "num_bits matches Nat" arb_wide (fun a ->
+        Wide.num_bits a = Nat.num_bits (nat_of_wide a));
+    q "compare matches Nat" (QCheck.pair arb_wide arb_wide) (fun (a, b) ->
+        let c = Wide.compare a b and n = Nat.compare (nat_of_wide a) (nat_of_wide b) in
+        Stdlib.compare c 0 = Stdlib.compare n 0)
+  ]
+
+(* --- assembler / program machinery --- *)
+
+open Machine
+
+let asm_tests =
+  [ Alcotest.test_case "labels resolve forward and backward" `Quick (fun () ->
+        let b = Program.create () in
+        let fwd = Program.new_label b in
+        let back = Program.new_label b in
+        Program.place b back;
+        Program.emit b Isa.Nop;
+        Program.jmp b fwd;
+        Program.emit b Isa.Halt; (* skipped *)
+        Program.place b fwd;
+        Program.jcc b Isa.Jz back;
+        Program.emit b Isa.Halt;
+        let p = Program.finish b in
+        (match p.Program.insns.(1) with
+        | Isa.Jmp t -> Alcotest.(check int) "fwd target" 3 t
+        | _ -> Alcotest.fail "expected jmp");
+        match p.Program.insns.(3) with
+        | Isa.Jcc (_, t) -> Alcotest.(check int) "back target" 0 t
+        | _ -> Alcotest.fail "expected jcc");
+    Alcotest.test_case "unplaced label is rejected" `Quick (fun () ->
+        let b = Program.create () in
+        let l = Program.new_label b in
+        Program.jmp b l;
+        Alcotest.check_raises "unplaced" (Invalid_argument "Asm: unplaced label")
+          (fun () -> ignore (Program.finish b)));
+    Alcotest.test_case "double placement is rejected" `Quick (fun () ->
+        let b = Program.create () in
+        let l = Program.new_label b in
+        Program.place b l;
+        Alcotest.check_raises "twice" (Invalid_argument "Asm: label placed twice")
+          (fun () -> Program.place b l));
+    Alcotest.test_case "byte addresses are monotone and length-consistent"
+      `Quick (fun () ->
+        let b = Program.create () in
+        Program.emit b (Isa.Fp_arith { op = Isa.FADD; w = Isa.F64; packed = false; dst = Isa.Xmm 0; src = Isa.Xmm 1 });
+        Program.emit b (Isa.Mov { size = 8; dst = Isa.Reg Isa.RAX; src = Isa.Imm 1L });
+        Program.emit b Isa.Ret;
+        Program.emit b Isa.Halt;
+        let p = Program.finish b in
+        for i = 0 to Array.length p.Program.insns - 2 do
+          Alcotest.(check int)
+            (Printf.sprintf "addr %d" i)
+            (p.Program.addrs.(i) + Isa.insn_length p.Program.insns.(i))
+            p.Program.addrs.(i + 1)
+        done);
+    Alcotest.test_case "program copy isolates patching" `Quick (fun () ->
+        let b = Program.create () in
+        Program.emit b Isa.Nop;
+        Program.emit b Isa.Halt;
+        let p = Program.finish b in
+        let p2 = Program.copy p in
+        p2.Program.insns.(0) <- Isa.Correctness_trap Isa.Nop;
+        (match p.Program.insns.(0) with
+        | Isa.Nop -> ()
+        | _ -> Alcotest.fail "original mutated"));
+    Alcotest.test_case "data segment layout and alignment" `Quick (fun () ->
+        let b = Program.create () in
+        let o1 = Program.data_zero b 3 in
+        let o2 = Program.data_f64 b [| 1.0 |] in
+        Alcotest.(check int) "first at 0" 0 o1;
+        Alcotest.(check int) "aligned" 0 (o2 mod 8);
+        Alcotest.(check bool) "after blob" true (o2 >= 3));
+    Alcotest.test_case "instruction lengths look like x64" `Quick (fun () ->
+        Alcotest.(check int) "ret" 1 (Isa.insn_length Isa.Ret);
+        Alcotest.(check bool) "reg-reg fp short (< 5: needs patch tricks)" true
+          (Isa.insn_length (Isa.Fp_arith { op = Isa.FADD; w = Isa.F64; packed = false; dst = Isa.Xmm 0; src = Isa.Xmm 1 }) < 5);
+        Alcotest.(check bool) "mem fp is patchable (>= 5)" true
+          (Isa.insn_length (Isa.Fp_arith { op = Isa.FADD; w = Isa.F64; packed = false; dst = Isa.Xmm 0; src = Isa.Mem (Isa.addr 0) }) >= 5))
+  ]
+
+(* --- free-hint plumbing at the machine level --- *)
+
+let free_hint_tests =
+  [ Alcotest.test_case "Free_hint is a nop without a hook" `Quick (fun () ->
+        let b = Program.create () in
+        let slot = Program.data_f64 b [| 4.5 |] in
+        Program.emit b (Isa.Free_hint (Isa.Mem (Isa.addr slot)));
+        Program.emit b (Isa.Mov_f { w = Isa.F64; dst = Isa.Xmm 0; src = Isa.Mem (Isa.addr slot) });
+        Program.emit b (Isa.Call_ext Isa.Print_f64);
+        Program.emit b Isa.Halt;
+        let st = State.create (Program.finish b) in
+        Cpu.run_native st;
+        Alcotest.(check string) "value untouched" "4.5\n" (State.output st));
+    Alcotest.test_case "Free_hint invokes the hook with its operand" `Quick
+      (fun () ->
+        let b = Program.create () in
+        let slot = Program.data_f64 b [| 1.25 |] in
+        Program.emit b (Isa.Free_hint (Isa.Mem (Isa.addr slot)));
+        Program.emit b Isa.Halt;
+        let st = State.create (Program.finish b) in
+        let seen = ref [] in
+        st.State.hooks.State.on_free_hint <-
+          Some (fun st o ->
+              match o with
+              | Isa.Mem m -> seen := State.ea st m :: !seen
+              | _ -> ());
+        Cpu.run_native st;
+        Alcotest.(check (list int)) "hook saw the slot" [ slot ] !seen)
+  ]
+
+let () =
+  Alcotest.run "lowlevel"
+    [ ("wide", wide_tests); ("assembler", asm_tests);
+      ("free-hint", free_hint_tests) ]

@@ -1,0 +1,263 @@
+(* VX64 machine tests: instruction semantics against expected values,
+   program-level runs with output checks, fault generation under unmasked
+   %mxcsr, and the kernel signal path. *)
+
+open Machine
+
+let xmm n = Isa.Xmm n
+let reg r = Isa.Reg r
+let imm v = Isa.Imm v
+let immi v = Isa.Imm (Int64.of_int v)
+
+let run_prog ?(cost = Cost_model.r815) prog =
+  let st = State.create ~cost prog in
+  Cpu.run_native st;
+  st
+
+let check_out name expected st =
+  Alcotest.(check string) name expected (State.output st)
+
+let simple_tests =
+  [ Alcotest.test_case "fp arithmetic and print" `Quick (fun () ->
+        let b = Program.create ~name:"t" () in
+        let c0 = Program.data_f64 b [| 1.5; 2.25; 3.0 |] in
+        Program.emit b (Isa.Mov_f { w = Isa.F64; dst = xmm 0; src = Isa.Mem (Isa.addr c0) });
+        Program.emit b (Isa.Fp_arith { op = Isa.FADD; w = Isa.F64; packed = false; dst = xmm 0; src = Isa.Mem (Isa.addr (c0 + 8)) });
+        Program.emit b (Isa.Fp_arith { op = Isa.FMUL; w = Isa.F64; packed = false; dst = xmm 0; src = Isa.Mem (Isa.addr (c0 + 16)) });
+        Program.emit b (Isa.Call_ext Isa.Print_f64);
+        Program.emit b Isa.Halt;
+        let st = run_prog (Program.finish b) in
+        check_out "result" "11.25\n" st);
+    Alcotest.test_case "array sum loop" `Quick (fun () ->
+        let b = Program.create () in
+        let arr = Program.data_f64 b (Array.init 10 (fun i -> float_of_int (i + 1))) in
+        (* rax = i, xmm0 = acc *)
+        Program.emit b (Isa.Int_arith { op = Isa.XOR; dst = reg Isa.RAX; src = reg Isa.RAX });
+        Program.emit b (Isa.Fp_bit { op = Isa.BXOR; dst = xmm 0; src = xmm 0 });
+        let loop = Program.new_label b in
+        Program.place b loop;
+        Program.emit b
+          (Isa.Fp_arith
+             { op = Isa.FADD; w = Isa.F64; packed = false; dst = xmm 0;
+               src = Isa.Mem (Isa.addr ~index:Isa.RAX ~scale:8 arr) });
+        Program.emit b (Isa.Inc (reg Isa.RAX));
+        Program.emit b (Isa.Cmp { a = reg Isa.RAX; b = immi 10 });
+        Program.jcc b Isa.Jl loop;
+        Program.emit b (Isa.Call_ext Isa.Print_f64);
+        Program.emit b Isa.Halt;
+        let st = run_prog (Program.finish b) in
+        check_out "sum" "55\n" st);
+    Alcotest.test_case "factorial via imul" `Quick (fun () ->
+        let b = Program.create () in
+        Program.emit b (Isa.Mov { size = 8; dst = reg Isa.RAX; src = immi 1 });
+        Program.emit b (Isa.Mov { size = 8; dst = reg Isa.RCX; src = immi 10 });
+        let loop = Program.new_label b in
+        Program.place b loop;
+        Program.emit b (Isa.Int_arith { op = Isa.IMUL; dst = reg Isa.RAX; src = reg Isa.RCX });
+        Program.emit b (Isa.Dec (reg Isa.RCX));
+        Program.emit b (Isa.Cmp { a = reg Isa.RCX; b = immi 0 });
+        Program.jcc b Isa.Jg loop;
+        Program.emit b (Isa.Mov { size = 8; dst = reg Isa.RDI; src = reg Isa.RAX });
+        Program.emit b (Isa.Call_ext Isa.Print_i64);
+        Program.emit b Isa.Halt;
+        let st = run_prog (Program.finish b) in
+        check_out "10!" "3628800\n" st);
+    Alcotest.test_case "call/ret with stack" `Quick (fun () ->
+        let b = Program.create () in
+        let fn = Program.new_label b in
+        let over = Program.new_label b in
+        Program.jmp b over;
+        Program.place b fn;
+        Program.emit b
+          (Isa.Fp_arith { op = Isa.FMUL; w = Isa.F64; packed = false; dst = xmm 0; src = xmm 0 });
+        Program.emit b Isa.Ret;
+        Program.place b over;
+        let c = Program.data_f64 b [| 3.0 |] in
+        Program.emit b (Isa.Mov_f { w = Isa.F64; dst = xmm 0; src = Isa.Mem (Isa.addr c) });
+        Program.call b fn;
+        Program.call b fn;
+        Program.emit b (Isa.Call_ext Isa.Print_f64);
+        Program.emit b Isa.Halt;
+        let st = run_prog (Program.finish b) in
+        check_out "(3^2)^2" "81\n" st);
+    Alcotest.test_case "comisd branching" `Quick (fun () ->
+        let b = Program.create () in
+        let c = Program.data_f64 b [| 1.0; 2.0 |] in
+        Program.emit b (Isa.Mov_f { w = Isa.F64; dst = xmm 0; src = Isa.Mem (Isa.addr c) });
+        Program.emit b (Isa.Mov_f { w = Isa.F64; dst = xmm 1; src = Isa.Mem (Isa.addr (c + 8)) });
+        Program.emit b (Isa.Fp_cmp { signaling = false; w = Isa.F64; a = xmm 0; b = xmm 1 });
+        let ge = Program.new_label b in
+        Program.jcc b Isa.Jae ge;
+        Program.emit b (Isa.Call_ext (Isa.Print_str "less\n"));
+        Program.emit b Isa.Halt;
+        Program.place b ge;
+        Program.emit b (Isa.Call_ext (Isa.Print_str "geq\n"));
+        Program.emit b Isa.Halt;
+        let st = run_prog (Program.finish b) in
+        check_out "branch" "less\n" st);
+    Alcotest.test_case "cvt roundtrip" `Quick (fun () ->
+        let b = Program.create () in
+        Program.emit b (Isa.Mov { size = 8; dst = reg Isa.RBX; src = immi 42 });
+        Program.emit b (Isa.Cvt_i2f { w = Isa.F64; size = 8; dst = xmm 0; src = reg Isa.RBX });
+        Program.emit b (Isa.Cvt_f2i { w = Isa.F64; truncate = true; size = 8; dst = reg Isa.RDI; src = xmm 0 });
+        Program.emit b (Isa.Call_ext Isa.Print_i64);
+        Program.emit b Isa.Halt;
+        let st = run_prog (Program.finish b) in
+        check_out "42" "42\n" st);
+    Alcotest.test_case "xorpd sign flip" `Quick (fun () ->
+        let b = Program.create () in
+        let c = Program.data_f64 b [| 2.5 |] in
+        let m = Program.data_f64 b [| -0.0; -0.0 |] in
+        Program.emit b (Isa.Mov_f { w = Isa.F64; dst = xmm 0; src = Isa.Mem (Isa.addr c) });
+        Program.emit b (Isa.Fp_bit { op = Isa.BXOR; dst = xmm 0; src = Isa.Mem (Isa.addr m) });
+        Program.emit b (Isa.Call_ext Isa.Print_f64);
+        Program.emit b Isa.Halt;
+        let st = run_prog (Program.finish b) in
+        check_out "negated" "-2.5\n" st);
+    Alcotest.test_case "movq bit reinterpretation" `Quick (fun () ->
+        let b = Program.create () in
+        let c = Program.data_f64 b [| 1.0 |] in
+        Program.emit b (Isa.Mov_f { w = Isa.F64; dst = xmm 0; src = Isa.Mem (Isa.addr c) });
+        Program.emit b (Isa.Movq_xr { dst = Isa.RDI; src = 0 });
+        Program.emit b (Isa.Call_ext Isa.Print_i64);
+        Program.emit b Isa.Halt;
+        let st = run_prog (Program.finish b) in
+        check_out "bits of 1.0" "4607182418800017408\n" st);
+    Alcotest.test_case "packed add (both lanes)" `Quick (fun () ->
+        let b = Program.create () in
+        let c = Program.data_f64 b [| 1.0; 10.0; 2.0; 20.0 |] in
+        Program.emit b (Isa.Mov_x { dst = xmm 0; src = Isa.Mem (Isa.addr c) });
+        Program.emit b (Isa.Fp_arith { op = Isa.FADD; w = Isa.F64; packed = true; dst = xmm 0; src = Isa.Mem (Isa.addr (c + 16)) });
+        Program.emit b (Isa.Call_ext Isa.Print_f64); (* lane 0 *)
+        (* move lane 1 down via memory *)
+        let tmp = Program.data_zero b 16 in
+        Program.emit b (Isa.Mov_x { dst = Isa.Mem (Isa.addr tmp); src = xmm 0 });
+        Program.emit b (Isa.Mov_f { w = Isa.F64; dst = xmm 0; src = Isa.Mem (Isa.addr (tmp + 8)) });
+        Program.emit b (Isa.Call_ext Isa.Print_f64);
+        Program.emit b Isa.Halt;
+        let st = run_prog (Program.finish b) in
+        check_out "lanes" "3\n30\n" st);
+    Alcotest.test_case "alloc bump allocator" `Quick (fun () ->
+        let b = Program.create () in
+        Program.emit b (Isa.Mov { size = 8; dst = reg Isa.RDI; src = immi 64 });
+        Program.emit b (Isa.Call_ext Isa.Alloc);
+        Program.emit b (Isa.Mov { size = 8; dst = reg Isa.RBX; src = reg Isa.RAX });
+        Program.emit b (Isa.Mov { size = 8; dst = reg Isa.RDI; src = immi 64 });
+        Program.emit b (Isa.Call_ext Isa.Alloc);
+        (* distance between the two allocations *)
+        Program.emit b (Isa.Int_arith { op = Isa.SUB; dst = reg Isa.RAX; src = reg Isa.RBX });
+        Program.emit b (Isa.Mov { size = 8; dst = reg Isa.RDI; src = reg Isa.RAX });
+        Program.emit b (Isa.Call_ext Isa.Print_i64);
+        Program.emit b Isa.Halt;
+        let st = run_prog (Program.finish b) in
+        check_out "alloc distance" "64\n" st)
+  ]
+
+(* ---- fault generation and kernel delivery --- *)
+
+let fault_tests =
+  [ Alcotest.test_case "inexact faults when unmasked" `Quick (fun () ->
+        let b = Program.create () in
+        let c = Program.data_f64 b [| 0.1; 0.2 |] in
+        Program.emit b (Isa.Mov_f { w = Isa.F64; dst = xmm 0; src = Isa.Mem (Isa.addr c) });
+        Program.emit b (Isa.Fp_arith { op = Isa.FADD; w = Isa.F64; packed = false; dst = xmm 0; src = Isa.Mem (Isa.addr (c + 8)) });
+        Program.emit b Isa.Halt;
+        let st = State.create (Program.finish b) in
+        Ieee754.Mxcsr.unmask_all st.State.mxcsr;
+        (* first insn (mov) runs fine *)
+        Alcotest.(check bool) "mov ok" true (Cpu.step st = Cpu.Running);
+        (match Cpu.step st with
+        | Cpu.Fp_fault { index; events } ->
+            Alcotest.(check int) "fault index" 1 index;
+            Alcotest.(check bool) "inexact" true
+              (Ieee754.Flags.mem ~flag:Ieee754.Flags.inexact events)
+        | _ -> Alcotest.fail "expected Fp_fault");
+        (* destination must be unwritten (precise fault) *)
+        Alcotest.(check (float 0.0)) "dst unwritten" 0.1
+          (Int64.float_of_bits (State.get_xmm st 0 0)));
+    Alcotest.test_case "masked run sets sticky flags only" `Quick (fun () ->
+        let b = Program.create () in
+        let c = Program.data_f64 b [| 1.0; 3.0 |] in
+        Program.emit b (Isa.Mov_f { w = Isa.F64; dst = xmm 0; src = Isa.Mem (Isa.addr c) });
+        Program.emit b (Isa.Fp_arith { op = Isa.FDIV; w = Isa.F64; packed = false; dst = xmm 0; src = Isa.Mem (Isa.addr (c + 8)) });
+        Program.emit b Isa.Halt;
+        let st = run_prog (Program.finish b) in
+        Alcotest.(check bool) "PE sticky" true
+          (Ieee754.Flags.mem ~flag:Ieee754.Flags.inexact
+             (Ieee754.Mxcsr.flags st.State.mxcsr)));
+    Alcotest.test_case "kernel delivers SIGFPE to handler" `Quick (fun () ->
+        let b = Program.create () in
+        let c = Program.data_f64 b [| 0.1; 0.2 |] in
+        Program.emit b (Isa.Mov_f { w = Isa.F64; dst = xmm 0; src = Isa.Mem (Isa.addr c) });
+        Program.emit b (Isa.Fp_arith { op = Isa.FADD; w = Isa.F64; packed = false; dst = xmm 0; src = Isa.Mem (Isa.addr (c + 8)) });
+        Program.emit b (Isa.Call_ext Isa.Print_f64);
+        Program.emit b Isa.Halt;
+        let st = State.create (Program.finish b) in
+        Ieee754.Mxcsr.unmask_all st.State.mxcsr;
+        let kern = Trapkern.create () in
+        let hits = ref 0 in
+        Trapkern.install_sigfpe kern (fun st frame ->
+            incr hits;
+            (* emulate: write 0.5 to the destination and skip the insn *)
+            State.set_xmm st 0 0 (Int64.bits_of_float 0.5);
+            Ieee754.Mxcsr.clear_flags st.State.mxcsr;
+            st.State.rip <- frame.Trapkern.fault_index + 1);
+        Trapkern.run kern st;
+        Alcotest.(check int) "one trap" 1 !hits;
+        Alcotest.(check int) "kernel count" 1 kern.Trapkern.fpe_count;
+        Alcotest.(check string) "handler result used" "0.5\n" (State.output st);
+        Alcotest.(check bool) "cycles charged" true
+          (kern.Trapkern.user_cycles > 0));
+    Alcotest.test_case "deployment costs ordered" `Quick (fun () ->
+        let cost = Cost_model.r815 in
+        let user = Cost_model.delivery_cost cost Cost_model.User_signal in
+        let kern = Cost_model.delivery_cost cost Cost_model.Kernel_module in
+        let uu = Cost_model.delivery_cost cost Cost_model.User_to_user in
+        Alcotest.(check bool) "user > kernel" true (user > kern);
+        Alcotest.(check bool) "kernel > uu" true (kern > uu);
+        (* paper: kernel delivery is 7-30x cheaper than user delivery *)
+        let ratio = float_of_int user /. float_of_int kern in
+        Alcotest.(check bool) "ratio in band" true (ratio >= 2.0 && ratio <= 30.0));
+    Alcotest.test_case "correctness trap delivered as SIGTRAP" `Quick (fun () ->
+        let b = Program.create () in
+        let c = Program.data_f64 b [| 7.0 |] in
+        Program.emit b
+          (Isa.Correctness_trap
+             (Isa.Mov { size = 8; dst = reg Isa.RDI; src = Isa.Mem (Isa.addr c) }));
+        Program.emit b (Isa.Call_ext Isa.Print_i64);
+        Program.emit b Isa.Halt;
+        let st = State.create (Program.finish b) in
+        let kern = Trapkern.create () in
+        Trapkern.install_sigtrap kern (fun st frame ->
+            (* no demotion needed; single-step the original *)
+            ignore (Cpu.dispatch st frame.Trapkern.trap_index frame.Trapkern.original));
+        Trapkern.run kern st;
+        Alcotest.(check string) "bits of 7.0" "4619567317775286272\n"
+          (State.output st))
+  ]
+
+let cycle_tests =
+  [ Alcotest.test_case "cycles accumulate" `Quick (fun () ->
+        let b = Program.create () in
+        let c = Program.data_f64 b [| 1.0; 2.0 |] in
+        Program.emit b (Isa.Mov_f { w = Isa.F64; dst = xmm 0; src = Isa.Mem (Isa.addr c) });
+        Program.emit b (Isa.Fp_arith { op = Isa.FDIV; w = Isa.F64; packed = false; dst = xmm 0; src = Isa.Mem (Isa.addr (c + 8)) });
+        Program.emit b Isa.Halt;
+        let st = run_prog (Program.finish b) in
+        Alcotest.(check bool) "div cost" true
+          (st.State.cycles >= Cost_model.r815.Cost_model.fp_div);
+        Alcotest.(check int) "insn count" 3 st.State.insn_count;
+        Alcotest.(check int) "fp insn count" 1 st.State.fp_insn_count);
+    Alcotest.test_case "disassembler prints" `Quick (fun () ->
+        let b = Program.create () in
+        Program.emit b (Isa.Fp_arith { op = Isa.FADD; w = Isa.F64; packed = false; dst = xmm 0; src = xmm 1 });
+        Program.emit b Isa.Halt;
+        let d = Program.disassemble (Program.finish b) in
+        Alcotest.(check bool) "contains addsd" true
+          (try ignore (Str.search_forward (Str.regexp_string "addsd") d 0); true
+           with Not_found -> false))
+  ]
+
+let () =
+  Alcotest.run "machine"
+    [ ("programs", simple_tests); ("faults", fault_tests); ("cycles", cycle_tests) ]

