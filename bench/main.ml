@@ -57,9 +57,11 @@ let measure_ns (pairs : (string * (unit -> unit)) list) : (string * float) list 
 
 let cfg ?(approach = Fpvm.Engine.Trap_and_emulate) ?(cost = CM.r815)
     ?(deployment = Trapkern.User_signal) ?(gc_interval = 20000)
+    ?(incremental_gc = true) ?(full_scan_every = 8) ?(max_trace_len = 64)
     ?(decode_cache = true) () =
   { Fpvm.Engine.approach; deployment; use_vsa = true; gc_interval;
-    decode_cache; always_emulate = false; cost; max_insns = 400_000_000 }
+    incremental_gc; full_scan_every; decode_cache; always_emulate = false;
+    max_trace_len; cost; max_insns = 400_000_000 }
 
 let workloads_fig9 =
   [ "miniAero"; "Enzo(astro)"; "lorenz"; "NAS CG"; "fbench"; "three-body" ]
@@ -549,6 +551,142 @@ let ablate_delivery () =
     "\nExpected shape: each delivery improvement removes its share of the\n\
      per-trap budget (section 6's argument for kernel and hardware support).\n"
 
+(* ---- BENCH_overhead.json: trap coalescing + incremental GC ---------------- *)
+
+(* Machine-readable evidence for the sequence-emulation / dirty-card GC
+   optimization: every fig-9 workload under Trap_and_emulate + MPFR-200,
+   seed configuration (single-step, full-scan GC) against the default
+   (64-instruction traces, incremental GC), with bit-identical outputs
+   asserted. The GC comparison runs separately with a short epoch so
+   enough passes exist to amortize the periodic full scans. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let bench_json () =
+  hr "BENCH_overhead.json: trace emulation + incremental GC evidence";
+  Fpvm.Alt_mpfr.precision := 200;
+  let seed_cfg = cfg ~incremental_gc:false () in
+  let seed_cfg = { seed_cfg with Fpvm.Engine.max_trace_len = 1 } in
+  let opt_cfg = cfg () in
+  let delivery (s : Fpvm.Stats.t) =
+    s.Fpvm.Stats.cyc_hw + s.Fpvm.Stats.cyc_kernel + s.Fpvm.Stats.cyc_delivery
+  in
+  let run_block config prog =
+    let r = E_mpfr.run ~config prog in
+    (r, r.Fpvm.Engine.stats)
+  in
+  let side name (r : Fpvm.Engine.result) (s : Fpvm.Stats.t) =
+    Printf.sprintf
+      "      \"%s\": { \"cycles\": %d, \"delivery_cycles\": %d, \
+       \"fp_traps\": %d, \"traps_avoided\": %d, \"traces\": %d, \
+       \"mean_trace_len\": %.2f, \"trace_cycles\": %d, \
+       \"gc_passes\": %d, \"gc_words_scanned\": %d }"
+      name r.Fpvm.Engine.cycles (delivery s) s.Fpvm.Stats.fp_traps
+      s.Fpvm.Stats.traps_avoided s.Fpvm.Stats.traces
+      (Fpvm.Stats.mean_trace_len s) s.Fpvm.Stats.cyc_trace
+      s.Fpvm.Stats.gc_passes s.Fpvm.Stats.gc_words_scanned
+  in
+  let trace_rows =
+    List.map
+      (fun name ->
+        let e = get name in
+        let prog = e.W.program W.Test in
+        let rs, ss = run_block seed_cfg prog in
+        let ro, so = run_block opt_cfg prog in
+        let identical =
+          rs.Fpvm.Engine.output = ro.Fpvm.Engine.output
+          && rs.Fpvm.Engine.serialized = ro.Fpvm.Engine.serialized
+        in
+        let speedup =
+          float_of_int (delivery ss) /. float_of_int (max 1 (delivery so))
+        in
+        printf "%-12s delivery %9d -> %9d cycles (%.2fx)  traps %6d -> %6d  \
+                mean trace %.1f  identical=%b\n"
+          name (delivery ss) (delivery so) speedup ss.Fpvm.Stats.fp_traps
+          so.Fpvm.Stats.fp_traps
+          (Fpvm.Stats.mean_trace_len so)
+          identical;
+        Printf.sprintf
+          "    { \"workload\": \"%s\",\n\
+           \      \"bit_identical\": %b,\n\
+           \      \"delivery_speedup\": %.3f,\n\
+           %s,\n\
+           %s }"
+          (json_escape name) identical speedup
+          (side "seed" rs ss) (side "traced" ro so))
+      workloads_fig9
+  in
+  (* GC words-per-pass comparison: short epochs, evaluation scale. *)
+  let gc_rows =
+    List.map
+      (fun name ->
+        let e = get name in
+        let prog = e.W.program W.S in
+        let gc_cfg inc fse =
+          let c = cfg ~gc_interval:500 ~incremental_gc:inc () in
+          { c with Fpvm.Engine.full_scan_every = fse }
+        in
+        let rf = E_vanilla.run ~config:(gc_cfg false 8) prog in
+        let ri = E_vanilla.run ~config:(gc_cfg true 16) prog in
+        let sf = rf.Fpvm.Engine.stats and si = ri.Fpvm.Engine.stats in
+        let wpp (s : Fpvm.Stats.t) =
+          float_of_int s.Fpvm.Stats.gc_words_scanned
+          /. float_of_int (max 1 s.Fpvm.Stats.gc_passes)
+        in
+        let ratio = wpp sf /. wpp si in
+        printf "%-12s gc words/pass %7.0f -> %7.0f (%.1fx)  freed %d == %d: %b\n"
+          name (wpp sf) (wpp si) ratio sf.Fpvm.Stats.gc_freed
+          si.Fpvm.Stats.gc_freed
+          (sf.Fpvm.Stats.gc_freed = si.Fpvm.Stats.gc_freed);
+        Printf.sprintf
+          "    { \"workload\": \"%s\", \"scan_reduction\": %.2f,\n\
+           \      \"full\": { \"gc_passes\": %d, \"gc_words_scanned\": %d, \
+           \"gc_freed\": %d, \"gc_alive_last\": %d },\n\
+           \      \"incremental\": { \"gc_passes\": %d, \"gc_full_passes\": %d, \
+           \"gc_words_scanned\": %d, \"gc_freed\": %d, \"gc_alive_last\": %d } }"
+          (json_escape name) ratio sf.Fpvm.Stats.gc_passes
+          sf.Fpvm.Stats.gc_words_scanned sf.Fpvm.Stats.gc_freed
+          sf.Fpvm.Stats.gc_alive_last si.Fpvm.Stats.gc_passes
+          si.Fpvm.Stats.gc_full_passes si.Fpvm.Stats.gc_words_scanned
+          si.Fpvm.Stats.gc_freed si.Fpvm.Stats.gc_alive_last)
+      (workloads_fig9 @ [ "NAS IS" ])
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+       \  \"experiment\": \"trap coalescing (sequence emulation) + \
+       write-barrier incremental GC\",\n\
+       \  \"arithmetic\": \"mpfr-200\",\n\
+       \  \"approach\": \"trap_and_emulate\",\n\
+       \  \"cost_model\": \"r815\",\n\
+       \  \"seed_config\": { \"max_trace_len\": 1, \"incremental_gc\": false },\n\
+       \  \"traced_config\": { \"max_trace_len\": 64, \"incremental_gc\": true, \
+       \"full_scan_every\": 8 },\n\
+       \  \"trace_emulation\": [\n%s\n  ],\n\
+       \  \"gc_comparison_config\": { \"gc_interval\": 500, \
+       \"full_scan_every\": 16, \"scale\": \"S\", \"arithmetic\": \"vanilla\" },\n\
+       \  \"incremental_gc\": [\n%s\n  ]\n\
+       }\n"
+      (String.concat ",\n" trace_rows)
+      (String.concat ",\n" gc_rows)
+  in
+  let oc = open_out "BENCH_overhead.json" in
+  output_string oc doc;
+  close_out oc;
+  printf "\nwrote BENCH_overhead.json\n"
+
 (* ---- main ------------------------------------------------------------------------------------------ *)
 
 let experiments =
@@ -568,7 +706,8 @@ let experiments =
     ("ablate-gc", ablate_gc);
     ("ablate-vsa", ablate_vsa);
     ("ablate-compiler-gc", ablate_compiler_gc);
-    ("ablate-delivery", ablate_delivery) ]
+    ("ablate-delivery", ablate_delivery);
+    ("json", bench_json) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -20,8 +20,8 @@ module E_posit = Fpvm.Engine.Make (Fpvm.Alt_posit)
 module E_interval = Fpvm.Engine.Make (Fpvm.Alt_interval)
 module E_slash = Fpvm.Engine.Make (Fpvm.Alt_slash)
 
-let run workload arith prec posit_bits approach machine deployment scale stats
-    disasm spy list_only =
+let run workload arith prec posit_bits approach machine deployment scale
+    trace_len full_gc stats disasm spy list_only =
   if list_only then begin
     List.iter
       (fun (e : W.entry) -> Printf.printf "%-12s %s\n" e.W.name e.W.specifics)
@@ -79,7 +79,9 @@ let run workload arith prec posit_bits approach machine deployment scale stats
           in
           let config =
             { Fpvm.Engine.default_config with
-              Fpvm.Engine.approach; cost; deployment }
+              Fpvm.Engine.approach; cost; deployment;
+              Fpvm.Engine.max_trace_len = max 1 trace_len;
+              Fpvm.Engine.incremental_gc = not full_gc }
           in
           let result =
             match String.lowercase_ascii arith with
@@ -111,6 +113,11 @@ let run workload arith prec posit_bits approach machine deployment scale stats
             Printf.eprintf "cycles: %d\n" result.Fpvm.Engine.cycles;
             Printf.eprintf "fp traps: %d, correctness traps: %d\n"
               s.Fpvm.Stats.fp_traps s.Fpvm.Stats.correctness_traps;
+            Printf.eprintf
+              "traces: %d (mean len %.1f), in-trace faults absorbed: %d\n"
+              s.Fpvm.Stats.traces
+              (Fpvm.Stats.mean_trace_len s)
+              s.Fpvm.Stats.traps_avoided;
             Printf.eprintf "emulated insns: %d, math calls: %d\n"
               s.Fpvm.Stats.emulated_insns s.Fpvm.Stats.math_calls;
             Printf.eprintf "decode cache: %d hits / %d misses\n"
@@ -118,6 +125,8 @@ let run workload arith prec posit_bits approach machine deployment scale stats
             Printf.eprintf "boxes allocated: %d, gc passes: %d, freed: %d\n"
               s.Fpvm.Stats.boxes_allocated s.Fpvm.Stats.gc_passes
               s.Fpvm.Stats.gc_freed;
+            Printf.eprintf "gc: %d full passes, %d words scanned\n"
+              s.Fpvm.Stats.gc_full_passes s.Fpvm.Stats.gc_words_scanned;
             let b = Fpvm.Stats.breakdown s in
             Printf.eprintf "avg cycles/virtualized insn: %.0f\n"
               b.Fpvm.Stats.avg_total
@@ -154,6 +163,16 @@ let deployment =
 let scale =
   Arg.(value & opt string "test" & info [ "scale" ] ~doc:"Problem scale: test or s.")
 
+let trace_len =
+  Arg.(value & opt int 64
+       & info [ "trace-len" ]
+           ~doc:"Max instructions emulated per trap delivery (1 = classic single-step).")
+
+let full_gc =
+  Arg.(value & flag
+       & info [ "full-gc" ]
+           ~doc:"Disable the incremental (dirty-card) GC; full scan every pass.")
+
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print FPVM statistics to stderr.")
 let disasm = Arg.(value & flag & info [ "disasm" ] ~doc:"Disassemble the workload binary and exit.")
 let spy = Arg.(value & flag & info [ "spy" ] ~doc:"FPSpy mode: profile FP events without emulating.")
@@ -166,6 +185,7 @@ let cmd =
     Term.(
       ret
         (const run $ workload $ arith $ prec $ posit_bits $ approach $ machine
-       $ deployment $ scale $ stats $ disasm $ spy $ list_only))
+       $ deployment $ scale $ trace_len $ full_gc $ stats $ disasm $ spy
+       $ list_only))
 
 let () = exit (Cmd.eval cmd)

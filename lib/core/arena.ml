@@ -2,13 +2,25 @@
    system, indexed by the 50-bit payload of a NaN-box. A free list keeps
    indices dense; the conservative GC marks and sweeps cells. *)
 
-type 'a cell = { mutable v : 'a option; mutable mark : bool }
+type 'a cell = {
+  mutable v : 'a option;
+  mutable mark : bool;
+  mutable on_young : bool;
+      (* already on the young list this epoch: an index must appear
+         there at most once, or an eager free + slot reuse would make
+         the incremental sweep visit it twice — the first visit clears
+         the mark and the second would free a live cell *)
+}
 
 type 'a t = {
   mutable cells : 'a cell array;
   mutable next_fresh : int;
   mutable free : int list;
   mutable live : int;
+  mutable young : int list;
+      (* indices allocated since the last sweep: the only sweep
+         candidates of an incremental (dirty-card) GC pass *)
+  mutable young_count : int;
   (* statistics *)
   mutable total_alloc : int;
   mutable total_freed : int;
@@ -16,10 +28,12 @@ type 'a t = {
 }
 
 let create ?(capacity = 4096) () =
-  { cells = Array.init capacity (fun _ -> { v = None; mark = false });
+  { cells = Array.init capacity (fun _ -> { v = None; mark = false; on_young = false });
     next_fresh = 0;
     free = [];
     live = 0;
+    young = [];
+    young_count = 0;
     total_alloc = 0;
     total_freed = 0;
     high_water = 0 }
@@ -27,7 +41,7 @@ let create ?(capacity = 4096) () =
 let grow t =
   let n = Array.length t.cells in
   let bigger = Array.init (2 * n) (fun i ->
-      if i < n then t.cells.(i) else { v = None; mark = false })
+      if i < n then t.cells.(i) else { v = None; mark = false; on_young = false })
   in
   t.cells <- bigger
 
@@ -47,6 +61,11 @@ let alloc t v : int =
   c.v <- Some v;
   c.mark <- false;
   t.live <- t.live + 1;
+  if not c.on_young then begin
+    c.on_young <- true;
+    t.young <- idx :: t.young;
+    t.young_count <- t.young_count + 1
+  end;
   t.total_alloc <- t.total_alloc + 1;
   if t.live > t.high_water then t.high_water <- t.live;
   idx
@@ -64,7 +83,8 @@ let clear_marks t =
     t.cells.(i).mark <- false
   done
 
-(* Sweep unmarked live cells; returns the number freed. *)
+(* Sweep unmarked live cells; returns the number freed. Resets the
+   young generation: every survivor is now old. *)
 let sweep t =
   let freed = ref 0 in
   for i = 0 to t.next_fresh - 1 do
@@ -76,9 +96,38 @@ let sweep t =
       t.total_freed <- t.total_freed + 1;
       incr freed
     end;
-    c.mark <- false
+    c.mark <- false;
+    c.on_young <- false
   done;
+  t.young <- [];
+  t.young_count <- 0;
   !freed
+
+(* Incremental sweep: only cells allocated since the last sweep are
+   candidates; older cells survive until the next full sweep. Sound
+   because any young cell reachable from memory was necessarily stored
+   since the last sweep, so its card is dirty and the incremental mark
+   saw it. *)
+let sweep_young t =
+  let freed = ref 0 in
+  List.iter
+    (fun i ->
+      let c = t.cells.(i) in
+      if c.v <> None && not c.mark then begin
+        c.v <- None;
+        t.free <- i :: t.free;
+        t.live <- t.live - 1;
+        t.total_freed <- t.total_freed + 1;
+        incr freed
+      end;
+      c.mark <- false;
+      c.on_young <- false)
+    t.young;
+  t.young <- [];
+  t.young_count <- 0;
+  !freed
+
+let young_count t = t.young_count
 
 (* Eagerly free one cell (compiler-hinted shadow death). *)
 let free t idx =

@@ -5,13 +5,21 @@
     dense; the conservative garbage collector drives {!clear_marks} /
     {!mark} / {!sweep}. *)
 
-type 'a cell = { mutable v : 'a option; mutable mark : bool }
+type 'a cell = {
+  mutable v : 'a option;
+  mutable mark : bool;
+  mutable on_young : bool;  (** already on the young list this epoch *)
+}
 
 type 'a t = {
   mutable cells : 'a cell array;
   mutable next_fresh : int;
   mutable free : int list;
   mutable live : int;
+  mutable young : int list;
+      (** indices allocated since the last sweep (incremental-GC
+          sweep candidates) *)
+  mutable young_count : int;
   mutable total_alloc : int;  (** allocations over the run *)
   mutable total_freed : int;  (** frees over the run *)
   mutable high_water : int;  (** max simultaneous live cells *)
@@ -34,7 +42,16 @@ val clear_marks : 'a t -> unit
 
 val sweep : 'a t -> int
 (** Free every unmarked live cell; returns the number freed and clears
-    all marks. *)
+    all marks. Every survivor leaves the young generation. *)
+
+val sweep_young : 'a t -> int
+(** Incremental sweep: free unmarked cells among those allocated since
+    the last sweep only; older cells are kept until the next full
+    {!sweep}. Returns the number freed. *)
+
+val young_count : 'a t -> int
+(** Cells allocated since the last sweep (the incremental sweep's
+    workload, charged per-cell by the cost model). *)
 
 val free : 'a t -> int -> unit
 (** Eagerly free one live cell (used by compiler-inserted shadow-death

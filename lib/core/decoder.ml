@@ -53,6 +53,43 @@ let rec decode_insn (insn : Machine.Isa.insn) : decoded option =
   | Machine.Isa.Correctness_trap i | Machine.Isa.Checked i
   | Machine.Isa.Patched { original = i; _ } -> decode_insn i
 
+(* ---- traceability (sequence emulation, paper 4.1's amortization) ----
+
+   While servicing one trap FPVM can stay resident and execute forward
+   through consecutive instructions instead of returning to native
+   execution only to trap again on the next FP op. This classifier
+   says whether the engine may keep going past an instruction:
+
+   - [T_emulatable]: a trap-capable FP instruction. Executed in-trace:
+     natively when it raises no unmasked event, emulated (without a
+     fresh kernel delivery) when it would have trapped.
+   - [T_glue]: moves, pushes/pops, GPR arithmetic, direct branches —
+     instructions that never enter the FP emulator and behave
+     identically whether the engine is resident or not.
+   - [T_terminator]: ends the trace. Indirect control flow (ret),
+     external calls (the emulator cannot follow the callee), FPVM
+     instrumentation sites (correctness traps must go through the real
+     delivery path; Checked/Patched sites carry their own handlers),
+     and halt. *)
+
+type traceability = T_emulatable | T_glue | T_terminator
+
+let traceability (insn : Machine.Isa.insn) : traceability =
+  match insn with
+  | Machine.Isa.Fp_arith _ | Machine.Isa.Fp_cmp _ | Machine.Isa.Fp_cmppred _
+  | Machine.Isa.Fp_round _ | Machine.Isa.Cvt_f2f _ | Machine.Isa.Cvt_f2i _
+  | Machine.Isa.Cvt_i2f _ -> T_emulatable
+  | Machine.Isa.Mov_f _ | Machine.Isa.Mov_x _ | Machine.Isa.Fp_bit _
+  | Machine.Isa.Movq_xr _ | Machine.Isa.Movq_rx _ | Machine.Isa.Mov _
+  | Machine.Isa.Lea _ | Machine.Isa.Int_arith _ | Machine.Isa.Cmp _
+  | Machine.Isa.Test _ | Machine.Isa.Inc _ | Machine.Isa.Dec _
+  | Machine.Isa.Neg _ | Machine.Isa.Push _ | Machine.Isa.Pop _
+  | Machine.Isa.Jmp _ | Machine.Isa.Jcc _ | Machine.Isa.Call _
+  | Machine.Isa.Nop | Machine.Isa.Free_hint _ -> T_glue
+  | Machine.Isa.Ret | Machine.Isa.Call_ext _ | Machine.Isa.Halt
+  | Machine.Isa.Correctness_trap _ | Machine.Isa.Checked _
+  | Machine.Isa.Patched _ -> T_terminator
+
 type cache = {
   table : (int, decoded) Hashtbl.t;
   mutable hits : int;

@@ -19,12 +19,25 @@ type config = {
   deployment : Trapkern.deployment;
   use_vsa : bool; (* run static analysis and insert correctness traps *)
   gc_interval : int; (* emulated instructions between GC passes *)
+  incremental_gc : bool;
+      (* write-barrier dirty-card GC: mark from registers plus only the
+         64-byte cards dirtied since the last pass, sweeping only cells
+         allocated since then — O(recent stores) instead of O(writable
+         memory) *)
+  full_scan_every : int;
+      (* every Nth GC pass is a full conservative scan (the incremental
+         scheme's safety net; also reclaims old garbage); <= 0 never *)
   decode_cache : bool;
   always_emulate : bool;
       (* the paper's footnote-2 variant: never run FP on the hardware,
          emulate every FP instruction with the alternative system (only
          meaningful under Static_transform, where every FP instruction
          carries a check stub) *)
+  max_trace_len : int;
+      (* sequence (trace) emulation: after servicing a trap, stay
+         resident and execute up to this many instructions before
+         returning to native execution; 1 = emulate only the faulting
+         instruction (the classic single-step engine) *)
   cost : CM.t;
   max_insns : int;
 }
@@ -34,8 +47,11 @@ let default_config =
     deployment = Trapkern.User_signal;
     use_vsa = true;
     gc_interval = 20_000;
+    incremental_gc = true;
+    full_scan_every = 8;
     decode_cache = true;
     always_emulate = false;
+    max_trace_len = 64;
     cost = CM.r815;
     max_insns = 400_000_000 }
 
@@ -56,6 +72,7 @@ module Make (A : Arith.S) = struct
     arena : A.value Arena.t;
     cache : Decoder.cache;
     mutable since_gc : int;
+    mutable gc_count : int;
     mutable patch_sites : int;
   }
 
@@ -65,6 +82,7 @@ module Make (A : Arith.S) = struct
       arena = Arena.create ();
       cache = Decoder.create_cache ~enabled:config.decode_cache ();
       since_gc = 0;
+      gc_count = 0;
       patch_sites = 0 }
 
   (* ---- boxing ----------------------------------------------------- *)
@@ -110,11 +128,22 @@ module Make (A : Arith.S) = struct
 
   (* ---- garbage collection (paper 4.1) --------------------------------- *)
 
-  let gc t (st : State.t) =
+  (* Full pass: conservative scan of every writable word (the seed
+     behavior). Incremental pass: mark from registers plus only the
+     64-byte cards dirtied since the last pass, and sweep only cells
+     allocated since then. Sound because a young cell reachable from
+     memory was necessarily stored since the last pass (its card is
+     dirty); old garbage waits for the periodic full scan. *)
+  let gc ?(full = true) t (st : State.t) =
     let t0 = Unix.gettimeofday () in
     Arena.clear_marks t.arena;
     let words = ref 0 in
-    (* Roots: xmm registers, gprs, and all writable memory. *)
+    let scan_word a =
+      incr words;
+      let v = State.load64 st a in
+      if Nanbox.is_boxed v then Arena.mark t.arena (Nanbox.unbox v)
+    in
+    (* Roots: xmm registers and gprs, always. *)
     for i = 0 to 31 do
       let v = st.State.xmm.(i) in
       if Nanbox.is_boxed v then Arena.mark t.arena (Nanbox.unbox v)
@@ -123,35 +152,65 @@ module Make (A : Arith.S) = struct
       let v = st.State.gpr.(i) in
       if Nanbox.is_boxed v then Arena.mark t.arena (Nanbox.unbox v)
     done;
-    List.iter
-      (fun (lo, hi) ->
-        let a = ref (lo land lnot 7) in
-        while !a + 8 <= hi do
-          incr words;
-          let v = State.load64 st !a in
-          if Nanbox.is_boxed v then Arena.mark t.arena (Nanbox.unbox v);
-          a := !a + 8
-        done)
-      (State.scannable_ranges st);
-    let freed = Arena.sweep t.arena in
+    let ranges = State.scannable_ranges st in
+    let young = Arena.young_count t.arena in
+    let freed =
+      if full then begin
+        List.iter
+          (fun (lo, hi) ->
+            let a = ref (lo land lnot 7) in
+            while !a + 8 <= hi do
+              scan_word !a;
+              a := !a + 8
+            done)
+          ranges;
+        (* A full scan supersedes the dirty set. *)
+        State.clear_dirty st;
+        Arena.sweep t.arena
+      end
+      else begin
+        let in_range a =
+          List.exists (fun (lo, hi) -> a >= lo && a + 8 <= hi) ranges
+        in
+        List.iter
+          (fun card ->
+            let base = card * State.card_size in
+            let a = ref base in
+            while !a < base + State.card_size do
+              if in_range !a then scan_word !a;
+              a := !a + 8
+            done)
+          (State.dirty_cards st);
+        State.clear_dirty st;
+        Arena.sweep_young t.arena
+      end
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let cost = t.config.cost in
+    let cells = if full then t.arena.Arena.next_fresh else young in
     let cyc =
-      (!words * cost.CM.gc_per_word)
-      + (t.arena.Arena.next_fresh * cost.CM.gc_per_cell)
+      (!words * cost.CM.gc_per_word) + (cells * cost.CM.gc_per_cell)
     in
     State.add_cycles st cyc;
     let s = t.stats in
     s.Stats.gc_passes <- s.Stats.gc_passes + 1;
+    if full then s.Stats.gc_full_passes <- s.Stats.gc_full_passes + 1;
     s.Stats.gc_freed <- s.Stats.gc_freed + freed;
     s.Stats.gc_alive_last <- Arena.live_count t.arena;
+    s.Stats.gc_words_scanned <- s.Stats.gc_words_scanned + !words;
     s.Stats.gc_latency_s <- s.Stats.gc_latency_s +. dt;
     s.Stats.cyc_gc <- s.Stats.cyc_gc + cyc
 
   let maybe_gc t st =
     if t.since_gc >= t.config.gc_interval then begin
       t.since_gc <- 0;
-      gc t st
+      t.gc_count <- t.gc_count + 1;
+      let full =
+        (not t.config.incremental_gc)
+        || (t.config.full_scan_every > 0
+           && t.gc_count mod t.config.full_scan_every = 0)
+      in
+      gc ~full t st
     end
 
   (* ---- emulation ------------------------------------------------------- *)
@@ -330,6 +389,52 @@ module Make (A : Arith.S) = struct
     st.State.rip <- idx + 1;
     maybe_gc t st
 
+  (* ---- sequence (trace) emulation ------------------------------------- *)
+
+  (* After servicing the delivered instruction, stay resident and
+     execute forward through the trace: consecutive FP instructions
+     plus traceable glue (moves, stack ops, GPR arithmetic, direct
+     branches), until a terminator (ret, external call, instrumentation
+     site), the budget, or halt. FP instructions that would have
+     trapped are absorbed and emulated in place — one delivery cost per
+     trace instead of per instruction. *)
+  let trace t (st : State.t) =
+    let cost = t.config.cost in
+    let insns = st.State.prog.Program.insns in
+    let n_insns = Array.length insns in
+    let budget = ref (t.config.max_trace_len - 1) in
+    let continue_ = ref true in
+    while !continue_ && !budget > 0 do
+      let idx = st.State.rip in
+      if st.State.halted || idx < 0 || idx >= n_insns then continue_ := false
+      else begin
+        let insn = insns.(idx) in
+        match Decoder.traceability insn with
+        | Decoder.T_terminator -> continue_ := false
+        | Decoder.T_emulatable | Decoder.T_glue -> begin
+            decr budget;
+            st.State.insn_count <- st.State.insn_count + 1;
+            State.add_cycles st cost.CM.trace_step;
+            t.stats.Stats.cyc_trace <-
+              t.stats.Stats.cyc_trace + cost.CM.trace_step;
+            t.stats.Stats.trace_insns <- t.stats.Stats.trace_insns + 1;
+            match Cpu.dispatch st idx insn with
+            | Cpu.Running -> ()
+            | Cpu.Halted -> continue_ := false
+            | Cpu.Fp_fault _ ->
+                (* Would have trapped; we are already resident, so no
+                   fresh delivery: absorb and emulate in place. *)
+                t.stats.Stats.traps_avoided <-
+                  t.stats.Stats.traps_avoided + 1;
+                Mx.clear_flags st.State.mxcsr;
+                emulate t st idx insn
+            | Cpu.Correctness_fault _ ->
+                (* Correctness_trap is a terminator, filtered above. *)
+                assert false
+          end
+      end
+    done
+
   (* ---- software checks (patch handlers / static-transform stubs) ---- *)
 
   (* Does this operand currently hold a NaN-boxed (or foreign-sNaN)
@@ -468,7 +573,15 @@ module Make (A : Arith.S) = struct
     | Isa.Floor -> `Unary A.floor_v
     | Isa.Ceil -> `Unary A.ceil_v
     | Isa.Fabs -> `Unary A.abs
-    | Isa.Cbrt -> `Unary (fun v -> A.pow v (A.promote (Int64.bits_of_float (1.0 /. 3.0))))
+    | Isa.Cbrt ->
+        (* pow(v, 1/3) is NaN for v < 0; transfer the sign instead:
+           cbrt(-x) = -cbrt(x). *)
+        `Unary
+          (fun v ->
+            let third = A.promote (Int64.bits_of_float (1.0 /. 3.0)) in
+            match A.cmp_quiet v (A.promote 0L) with
+            | Ieee754.Softfp.Cmp_lt -> A.neg (A.pow (A.neg v) third)
+            | _ -> A.pow v third)
     | Isa.Sinh | Isa.Cosh | Isa.Tanh ->
         (* via exp in the alternative system *)
         let f v =
@@ -560,6 +673,7 @@ module Make (A : Arith.S) = struct
       Vsa.apply_patches prog analysis
     end;
     let st = State.create ~cost:config.cost prog in
+    if config.incremental_gc then State.set_write_tracking st true;
     let kern = Trapkern.create ~deployment:config.deployment () in
     (* Hooks *)
     st.State.hooks.State.on_ext_call <- Some (fun st fn -> on_ext_call t st fn);
@@ -615,7 +729,15 @@ module Make (A : Arith.S) = struct
           | Isa.Patched { original; _ } -> original
           | i -> i
         in
-        emulate t st idx insn);
+        emulate t st idx insn;
+        (* Sequence emulation: amortize the delivery just paid over the
+           instructions that follow. *)
+        if config.max_trace_len > 1 then begin
+          t.stats.Stats.traces <- t.stats.Stats.traces + 1;
+          t.stats.Stats.trace_insns <- t.stats.Stats.trace_insns + 1;
+          trace t st;
+          Trapkern.charge_trace_exit kern st
+        end);
     Trapkern.install_sigtrap kern (fun st frame ->
         t.stats.Stats.correctness_traps <- t.stats.Stats.correctness_traps + 1;
         let idx = frame.Trapkern.trap_index in
@@ -635,8 +757,10 @@ module Make (A : Arith.S) = struct
         | Cpu.Correctness_fault _ -> assert false);
     (* Go. *)
     Trapkern.run ~max_insns:config.max_insns kern st;
-    (* final GC pass for the books *)
-    gc t st;
+    (* final GC pass for the books: always a full scan, so the ending
+       live set (and hence total freed) is identical whichever GC
+       strategy ran during the run *)
+    gc ~full:true t st;
     (* Fold kernel delivery accounting into stats. Every delivery (FP
        fault or correctness trap) costs the same, so apportion the three
        buckets by event counts: the FP-fault share stays in hw/kernel/

@@ -24,18 +24,33 @@ type config = {
   use_vsa : bool;
       (** run the static analysis and insert correctness traps *)
   gc_interval : int;  (** emulated instructions between GC passes *)
+  incremental_gc : bool;
+      (** write-barrier dirty-card GC: mark from registers plus only
+          the 64-byte cards dirtied since the last pass, sweeping only
+          cells allocated since then — O(recent stores) per pass
+          instead of O(writable memory) *)
+  full_scan_every : int;
+      (** every Nth GC pass is a full conservative scan (safety net and
+          old-garbage reclamation); [<= 0] disables periodic full scans
+          (the final pass is always full) *)
   decode_cache : bool;
   always_emulate : bool;
       (** the paper's footnote-2 variant: never execute FP on the
           hardware; every FP instruction goes to the alternative system
           (meaningful under [Static_transform]) *)
+  max_trace_len : int;
+      (** sequence (trace) emulation: after servicing a trap, stay
+          resident and execute up to this many instructions (the
+          faulting one included) before resuming native execution.
+          [1] reproduces the classic single-step engine exactly. *)
   cost : Machine.Cost_model.t;
   max_insns : int;  (** runaway-execution guard *)
 }
 
 val default_config : config
 (** Trap-and-emulate, user-signal delivery, VSA on, GC every 20k
-    emulations, decode cache on, R815 cost model. *)
+    emulations (incremental, full scan every 8th pass), decode cache
+    on, traces up to 64 instructions, R815 cost model. *)
 
 type result = {
   output : string;  (** the program's printed output *)

@@ -14,6 +14,12 @@ type t = {
   mutable checked_invocations : int;
   mutable emulated_ops : int;
   mutable emulated_insns : int;
+  (* sequence (trace) emulation *)
+  mutable traces : int; (* trap deliveries that started a trace *)
+  mutable trace_insns : int;
+      (* instructions executed while resident, incl. the delivered one *)
+  mutable traps_avoided : int;
+      (* in-trace FP faults absorbed without a kernel delivery *)
   mutable math_calls : int;
   mutable printf_hijacks : int;
   mutable serialize_demotions : int;
@@ -27,14 +33,19 @@ type t = {
   mutable cyc_decode : int;
   mutable cyc_bind : int;
   mutable cyc_emulate : int;
+  mutable cyc_trace : int;
+      (* per-instruction trace residency cost; trace-exit context
+         restores land in the delivery buckets *)
   mutable cyc_gc : int;
   mutable cyc_correctness : int;
   mutable cyc_correctness_handler : int;
   mutable cyc_patch_checks : int;
   (* gc *)
   mutable gc_passes : int;
+  mutable gc_full_passes : int; (* full scans among gc_passes *)
   mutable gc_freed : int;
   mutable gc_alive_last : int;
+  mutable gc_words_scanned : int; (* words examined across all passes *)
   mutable gc_latency_s : float;
   (* allocator *)
   mutable boxes_allocated : int;
@@ -45,18 +56,29 @@ type t = {
 let create () =
   { fp_traps = 0; correctness_traps = 0; correctness_demotions = 0;
     patch_invocations = 0; checked_invocations = 0; emulated_ops = 0;
-    emulated_insns = 0; math_calls = 0; printf_hijacks = 0;
+    emulated_insns = 0; traces = 0; trace_insns = 0; traps_avoided = 0;
+    math_calls = 0; printf_hijacks = 0;
     serialize_demotions = 0; decode_hits = 0; decode_misses = 0;
     cyc_hw = 0; cyc_kernel = 0; cyc_delivery = 0; cyc_decode = 0;
-    cyc_bind = 0; cyc_emulate = 0; cyc_gc = 0; cyc_correctness = 0;
+    cyc_bind = 0; cyc_emulate = 0; cyc_trace = 0; cyc_gc = 0;
+    cyc_correctness = 0;
     cyc_correctness_handler = 0; cyc_patch_checks = 0; gc_passes = 0;
-    gc_freed = 0; gc_alive_last = 0; gc_latency_s = 0.0;
+    gc_full_passes = 0;
+    gc_freed = 0; gc_alive_last = 0; gc_words_scanned = 0;
+    gc_latency_s = 0.0;
     boxes_allocated = 0; eager_frees = 0 }
 
 let total_fpvm_cycles t =
   t.cyc_hw + t.cyc_kernel + t.cyc_delivery + t.cyc_decode + t.cyc_bind
-  + t.cyc_emulate + t.cyc_gc + t.cyc_correctness + t.cyc_correctness_handler
+  + t.cyc_emulate + t.cyc_trace + t.cyc_gc + t.cyc_correctness
+  + t.cyc_correctness_handler
   + t.cyc_patch_checks
+
+(* Mean dynamic length of an emulation trace (>= 1; exactly 1 when
+   sequence emulation is off). *)
+let mean_trace_len t =
+  if t.traces = 0 then 0.0
+  else float_of_int t.trace_insns /. float_of_int t.traces
 
 (* Average cost of virtualizing one floating point instruction (the Fig 9
    metric), with its component breakdown. *)
@@ -69,6 +91,7 @@ type breakdown = {
   avg_decode : float;
   avg_bind : float;
   avg_emulate : float;
+  avg_trace : float;
   avg_gc : float;
   avg_correctness : float;
   avg_correctness_handler : float;
@@ -85,13 +108,15 @@ let breakdown t =
     avg_decode = f t.cyc_decode;
     avg_bind = f t.cyc_bind;
     avg_emulate = f t.cyc_emulate;
+    avg_trace = f t.cyc_trace;
     avg_gc = f t.cyc_gc;
     avg_correctness = f t.cyc_correctness;
     avg_correctness_handler = f t.cyc_correctness_handler }
 
 let pp fmt t =
   Format.fprintf fmt
-    "traps=%d corr=%d emu_insns=%d emu_ops=%d math=%d decode=%d/%d gc=%d(passes) freed=%d alive=%d boxes=%d"
-    t.fp_traps t.correctness_traps t.emulated_insns t.emulated_ops
-    t.math_calls t.decode_hits t.decode_misses t.gc_passes t.gc_freed
-    t.gc_alive_last t.boxes_allocated
+    "traps=%d(avoided %d) traces=%d(mean %.1f) corr=%d emu_insns=%d emu_ops=%d math=%d decode=%d/%d gc=%d/%d(passes full/total) freed=%d alive=%d scanned=%d boxes=%d"
+    t.fp_traps t.traps_avoided t.traces (mean_trace_len t)
+    t.correctness_traps t.emulated_insns t.emulated_ops
+    t.math_calls t.decode_hits t.decode_misses t.gc_full_passes t.gc_passes
+    t.gc_freed t.gc_alive_last t.gc_words_scanned t.boxes_allocated

@@ -38,6 +38,8 @@ type t = {
   emu_dispatch : int; (* op_map dispatch + unbox/box bookkeeping *)
   patch_check : int; (* inline pre/postcondition check of a patch *)
   checked_stub : int; (* static-transform inline check *)
+  trace_step : int; (* per-instruction fetch/classify while resident *)
+  trace_exit : int; (* context restore when a trace ends (resume native) *)
   gc_per_word : int; (* conservative scan cost per 8-byte word *)
   gc_per_cell : int; (* sweep cost per arena cell *)
 }
@@ -50,7 +52,8 @@ let r815 =
     hw_trap = 1400; kernel_trap = 2300; user_delivery = 14300;
     kernel_delivery = 1100; uu_delivery = 110; single_step = 3200;
     decode_miss = 9500; decode_hit = 35; bind = 240; emu_dispatch = 700;
-    patch_check = 18; checked_stub = 14; gc_per_word = 2; gc_per_cell = 6 }
+    patch_check = 18; checked_stub = 14; trace_step = 22; trace_exit = 380;
+    gc_per_word = 2; gc_per_cell = 6 }
 
 let xeon7220 =
   { name = "7220";
@@ -60,7 +63,8 @@ let xeon7220 =
     hw_trap = 1100; kernel_trap = 1700; user_delivery = 9000;
     kernel_delivery = 480; uu_delivery = 100; single_step = 2500;
     decode_miss = 7800; decode_hit = 30; bind = 200; emu_dispatch = 620;
-    patch_check = 15; checked_stub = 12; gc_per_word = 2; gc_per_cell = 5 }
+    patch_check = 15; checked_stub = 12; trace_step = 17; trace_exit = 290;
+    gc_per_word = 2; gc_per_cell = 5 }
 
 let r730xd =
   { name = "R730xd";
@@ -70,7 +74,8 @@ let r730xd =
     hw_trap = 1200; kernel_trap = 1900; user_delivery = 12100;
     kernel_delivery = 420; uu_delivery = 105; single_step = 2700;
     decode_miss = 8200; decode_hit = 32; bind = 210; emu_dispatch = 650;
-    patch_check = 16; checked_stub = 13; gc_per_word = 2; gc_per_cell = 5 }
+    patch_check = 16; checked_stub = 13; trace_step = 18; trace_exit = 310;
+    gc_per_word = 2; gc_per_cell = 5 }
 
 let profiles = [ r815; xeon7220; r730xd ]
 

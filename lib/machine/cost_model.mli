@@ -39,6 +39,12 @@ type t = {
   emu_dispatch : int;  (** op_map dispatch + box/unbox bookkeeping *)
   patch_check : int;  (** inline pre/postcondition check of a patch *)
   checked_stub : int;  (** static-transform inline check *)
+  trace_step : int;
+      (** sequence emulation: per-instruction fetch/classify overhead
+          while FPVM stays resident after a trap *)
+  trace_exit : int;
+      (** sequence emulation: context restore when a trace terminates
+          and native execution resumes *)
   gc_per_word : int;  (** conservative scan, per 8-byte word *)
   gc_per_cell : int;  (** sweep, per arena cell *)
 }

@@ -18,6 +18,13 @@ and t = {
   mem : Bytes.t;
   gpr : int64 array; (* 16 *)
   xmm : int64 array; (* 16 x 2 lanes *)
+  (* write barrier: stores record the 64-byte cards they touch so an
+     incremental GC can mark from recent stores instead of rescanning
+     all writable memory. Off unless an engine turns it on. *)
+  mutable track_writes : bool;
+  dirty_map : Bytes.t; (* one byte per card: 0 clean, 1 dirty *)
+  mutable dirty_cards : int list; (* deduplicated via dirty_map *)
+  mutable dirty_count : int;
   mutable rip : int; (* instruction index *)
   mutable zf : bool;
   mutable sf : bool;
@@ -51,6 +58,10 @@ let create ?(cost = Cost_model.r815) (prog : Program.t) : t =
   { mem;
     gpr;
     xmm = Array.make 32 0L;
+    track_writes = false;
+    dirty_map = Bytes.make ((prog.mem_size lsr 6) + 1) '\000';
+    dirty_cards = [];
+    dirty_count = 0;
     rip = prog.entry;
     zf = false; sf = false; cf = false; of_ = false; pf = false;
     mxcsr = Ieee754.Mxcsr.create ();
@@ -73,12 +84,44 @@ exception Mem_fault of int
 let check_range t a n =
   if a < 0 || a + n > Bytes.length t.mem then raise (Mem_fault a)
 
+(* ---- write barrier (dirty 64-byte cards) ---- *)
+
+let card_size = 64
+let card_shift = 6
+
+let mark_card t c =
+  if Bytes.unsafe_get t.dirty_map c = '\000' then begin
+    Bytes.unsafe_set t.dirty_map c '\001';
+    t.dirty_cards <- c :: t.dirty_cards;
+    t.dirty_count <- t.dirty_count + 1
+  end
+
+(* Record the card(s) an [n]-byte store at [a] touches (a store may
+   straddle a card boundary). Called after the bounds check. *)
+let mark_write t a n =
+  if t.track_writes then begin
+    let c0 = a lsr card_shift in
+    let c1 = (a + n - 1) lsr card_shift in
+    mark_card t c0;
+    if c1 <> c0 then mark_card t c1
+  end
+
+let set_write_tracking t on = t.track_writes <- on
+let dirty_cards t = t.dirty_cards
+let dirty_card_count t = t.dirty_count
+
+let clear_dirty t =
+  List.iter (fun c -> Bytes.unsafe_set t.dirty_map c '\000') t.dirty_cards;
+  t.dirty_cards <- [];
+  t.dirty_count <- 0
+
 let load64 t a =
   check_range t a 8;
   Bytes.get_int64_le t.mem a
 
 let store64 t a v =
   check_range t a 8;
+  mark_write t a 8;
   Bytes.set_int64_le t.mem a v
 
 let load32 t a =
@@ -87,6 +130,7 @@ let load32 t a =
 
 let store32 t a v =
   check_range t a 4;
+  mark_write t a 4;
   Bytes.set_int32_le t.mem a (Int64.to_int32 v)
 
 let load16 t a =
@@ -95,6 +139,7 @@ let load16 t a =
 
 let store16 t a v =
   check_range t a 2;
+  mark_write t a 2;
   Bytes.set_uint16_le t.mem a (Int64.to_int v land 0xFFFF)
 
 let load8 t a =
@@ -103,6 +148,7 @@ let load8 t a =
 
 let store8 t a v =
   check_range t a 1;
+  mark_write t a 1;
   Bytes.set_uint8 t.mem a (Int64.to_int v land 0xFF)
 
 let load_size t size a =

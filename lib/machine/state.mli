@@ -19,6 +19,12 @@ and t = {
   mem : Bytes.t;
   gpr : int64 array;  (** 16 general purpose registers *)
   xmm : int64 array;  (** 16 xmm registers x 2 64-bit lanes *)
+  mutable track_writes : bool;
+      (** write barrier switch: when on, every store records the
+          64-byte card(s) it touches for the incremental GC *)
+  dirty_map : Bytes.t;  (** one byte per card: 0 clean, 1 dirty *)
+  mutable dirty_cards : int list;  (** dirty card indices, deduplicated *)
+  mutable dirty_count : int;
   mutable rip : int;  (** instruction index *)
   mutable zf : bool;
   mutable sf : bool;
@@ -85,3 +91,25 @@ val serialized_output : t -> string
 val scannable_ranges : t -> (int * int) list
 (** The memory spans a conservative GC must scan: globals + live heap,
     and the live stack. *)
+
+(** {1 Write barrier (dirty 64-byte cards)}
+
+    When tracking is on, every store records the card(s) it touches.
+    An incremental GC marks from registers plus only the cards dirtied
+    since the last pass — O(recent stores) instead of O(writable
+    memory). *)
+
+val card_size : int
+(** Bytes per card (64). *)
+
+val set_write_tracking : t -> bool -> unit
+(** Enable/disable the store barrier (off by default; native runs pay
+    nothing). *)
+
+val dirty_cards : t -> int list
+(** Cards dirtied since the last {!clear_dirty}, deduplicated. *)
+
+val dirty_card_count : t -> int
+
+val clear_dirty : t -> unit
+(** Reset the dirty set (start of a GC epoch). *)

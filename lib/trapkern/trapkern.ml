@@ -26,6 +26,7 @@ type t = {
   (* accounting *)
   mutable fpe_count : int;
   mutable trap_count : int;
+  mutable trace_exit_count : int;
   mutable hw_cycles : int;
   mutable kernel_cycles : int;
   mutable user_cycles : int;
@@ -37,6 +38,7 @@ let create ?(deployment = User_signal) () =
     trap_handler = None;
     fpe_count = 0;
     trap_count = 0;
+    trace_exit_count = 0;
     hw_cycles = 0;
     kernel_cycles = 0;
     user_cycles = 0 }
@@ -62,6 +64,19 @@ let charge_delivery t (st : Machine.State.t) =
   | User_to_user ->
       t.hw_cycles <- t.hw_cycles + c.Machine.Cost_model.uu_delivery;
       Machine.State.add_cycles st c.Machine.Cost_model.uu_delivery
+
+(* Sequence emulation: a handler that stayed resident past the faulting
+   instruction must restore the full native context when its trace
+   ends. That restore is part of the delivery round trip, so its cost
+   lands in the same bucket as the handler-side delivery work. *)
+let charge_trace_exit t (st : Machine.State.t) =
+  let c = st.Machine.State.cost in
+  let cyc = c.Machine.Cost_model.trace_exit in
+  t.trace_exit_count <- t.trace_exit_count + 1;
+  (match t.deployment with
+  | User_signal | User_to_user -> t.user_cycles <- t.user_cycles + cyc
+  | Kernel_module -> t.kernel_cycles <- t.kernel_cycles + cyc);
+  Machine.State.add_cycles st cyc
 
 exception Unhandled_sigfpe of int
 exception Unhandled_sigtrap of int

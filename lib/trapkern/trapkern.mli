@@ -26,12 +26,20 @@ type t = {
   mutable trap_handler : (Machine.State.t -> trap_frame -> unit) option;
   mutable fpe_count : int;
   mutable trap_count : int;
+  mutable trace_exit_count : int;
+      (** traces ended (handler stayed resident past the fault) *)
   mutable hw_cycles : int;  (** hardware exception + dispatch cycles *)
   mutable kernel_cycles : int;  (** kernel-side handling cycles *)
   mutable user_cycles : int;  (** signal-frame + sigreturn cycles *)
 }
 
 val create : ?deployment:deployment -> unit -> t
+
+val charge_trace_exit : t -> Machine.State.t -> unit
+(** Charge the context-restore cost of ending a sequence-emulation
+    trace (the handler resuming native execution). Booked into the
+    bucket where the handler lives, so Fig-9-style delivery accounting
+    stays honest. *)
 
 val install_sigfpe : t -> (Machine.State.t -> fpe_frame -> unit) -> unit
 (** Register the process's SIGFPE handler (what FPVM's LD_PRELOAD shim

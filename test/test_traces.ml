@@ -1,0 +1,100 @@
+(* Sequence (trace) emulation differential tests.
+
+   The trace engine must be a pure performance optimization: for every
+   workload and arithmetic, the program-visible results (printed output
+   and the serialized Write_f64 channel) are bit-identical between the
+   classic single-step engine (max_trace_len = 1, full-scan GC — the
+   seed semantics) and the default tracing engine. Only the accounting
+   may differ: delivered traps drop, and delivered + absorbed equals
+   the single-step engine's trap count exactly. *)
+
+module E_vanilla = Fpvm.Engine.Make (Fpvm.Alt_vanilla)
+module E_mpfr = Fpvm.Engine.Make (Fpvm.Alt_mpfr)
+
+let scale = Workloads.Test
+
+(* Seed semantics: single-step servicing, full-scan GC. *)
+let seed_config =
+  { Fpvm.Engine.default_config with
+    Fpvm.Engine.max_trace_len = 1;
+    Fpvm.Engine.incremental_gc = false }
+
+let trace_config = Fpvm.Engine.default_config
+
+let trap_heavy = [ "lorenz"; "three-body"; "NAS CG" ]
+
+let differential run name =
+  List.map
+    (fun (e : Workloads.entry) ->
+      Alcotest.test_case
+        (e.name ^ ": traced == single-step (" ^ name ^ ")")
+        `Quick
+        (fun () ->
+          let prog = e.program scale in
+          let seed = run ~config:seed_config prog in
+          let traced = run ~config:trace_config prog in
+          Alcotest.(check string) "output bit-identical"
+            seed.Fpvm.Engine.output traced.Fpvm.Engine.output;
+          Alcotest.(check string) "serialized bit-identical"
+            seed.Fpvm.Engine.serialized traced.Fpvm.Engine.serialized;
+          let ss = seed.Fpvm.Engine.stats
+          and ts = traced.Fpvm.Engine.stats in
+          (* every fault is still serviced: delivered + absorbed is
+             invariant under the trace length *)
+          Alcotest.(check int) "trap-worthy events conserved"
+            ss.Fpvm.Stats.fp_traps
+            (ts.Fpvm.Stats.fp_traps + ts.Fpvm.Stats.traps_avoided);
+          Alcotest.(check int) "same emulations"
+            ss.Fpvm.Stats.emulated_insns ts.Fpvm.Stats.emulated_insns;
+          Alcotest.(check int) "same instructions" seed.Fpvm.Engine.insns
+            traced.Fpvm.Engine.insns;
+          if List.mem e.name trap_heavy then begin
+            Alcotest.(check bool) "traces formed" true
+              (ts.Fpvm.Stats.traces > 0);
+            Alcotest.(check bool) "delivered traps strictly decrease" true
+              (ts.Fpvm.Stats.fp_traps < ss.Fpvm.Stats.fp_traps);
+            Alcotest.(check bool) "coalescing is substantial" true
+              (Fpvm.Stats.mean_trace_len ts > 2.0)
+          end))
+    Workloads.all
+
+let budget_tests =
+  [ Alcotest.test_case "max_trace_len caps every trace" `Quick (fun () ->
+        let prog = Workloads.Lorenz.program ~steps:300 () in
+        let config =
+          { Fpvm.Engine.default_config with Fpvm.Engine.max_trace_len = 4 }
+        in
+        let r = E_vanilla.run ~config prog in
+        let s = r.Fpvm.Engine.stats in
+        Alcotest.(check bool) "mean length within budget" true
+          (Fpvm.Stats.mean_trace_len s <= 4.0);
+        let seed = E_vanilla.run ~config:seed_config prog in
+        Alcotest.(check string) "output still identical"
+          seed.Fpvm.Engine.output r.Fpvm.Engine.output);
+    Alcotest.test_case "longer traces deliver fewer traps" `Quick (fun () ->
+        let prog = Workloads.Three_body.program ~steps:200 () in
+        let traps len =
+          let config =
+            { Fpvm.Engine.default_config with Fpvm.Engine.max_trace_len = len }
+          in
+          (E_vanilla.run ~config prog).Fpvm.Engine.stats.Fpvm.Stats.fp_traps
+        in
+        let t1 = traps 1 and t8 = traps 8 and t64 = traps 64 in
+        Alcotest.(check bool) "8 < 1" true (t8 < t1);
+        Alcotest.(check bool) "64 <= 8" true (t64 <= t8));
+    Alcotest.test_case "trace exits are charged to delivery" `Quick
+      (fun () ->
+        let prog = Workloads.Lorenz.program ~steps:300 () in
+        let r = E_vanilla.run prog in
+        let s = r.Fpvm.Engine.stats in
+        Alcotest.(check bool) "trace cycles accounted" true
+          (s.Fpvm.Stats.cyc_trace > 0)) ]
+
+let () =
+  Fpvm.Alt_mpfr.precision := 200;
+  Alcotest.run "traces"
+    [ ("vanilla-differential",
+       differential (fun ~config p -> E_vanilla.run ~config p) "vanilla");
+      ("mpfr-differential",
+       differential (fun ~config p -> E_mpfr.run ~config p) "mpfr");
+      ("budget", budget_tests) ]

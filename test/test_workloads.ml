@@ -78,7 +78,7 @@ let structural =
         let r = E_vanilla.run prog in
         let s = r.Fpvm.Engine.stats in
         Alcotest.(check bool) "traps plentiful" true
-          (s.Fpvm.Stats.fp_traps > 1000));
+          (s.Fpvm.Stats.fp_traps + s.Fpvm.Stats.traps_avoided > 1000));
     Alcotest.test_case "lorenz: MPFR-200 diverges from IEEE" `Quick (fun () ->
         Fpvm.Alt_mpfr.precision := 200;
         let prog = Workloads.Lorenz.program ~steps:900 () in
