@@ -687,6 +687,149 @@ let bench_json () =
   close_out oc;
   printf "\nwrote BENCH_overhead.json\n"
 
+(* ---- record/replay: overhead, checkpoint cost, determinism --------------- *)
+
+(* Evidence for lib/replay: recording cost on every fig-9 workload
+   (modeled cycles must be *identical* — the probe layer charges
+   nothing — and host wall-clock overhead is reported honestly),
+   record->replay determinism, and checkpoint size/latency on lorenz.
+   Writes BENCH_replay.json. *)
+
+module RS = Replay.Session.Make (Fpvm.Alt_mpfr)
+
+let bench_replay () =
+  hr "BENCH_replay.json: record/replay overhead + checkpoint cost";
+  Fpvm.Alt_mpfr.precision := 200;
+  let config = cfg () in
+  let meta_of name =
+    { Replay.Log.workload = name; scale = "test"; arith = "mpfr:200";
+      config = "bench" }
+  in
+  let median3 f =
+    let t () =
+      let s = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. s)
+    in
+    let r, _warm = t () in
+    let ts =
+      List.sort compare
+        (List.map
+           (fun _ ->
+             Gc.full_major ();
+             snd (t ()))
+           [ 1; 2; 3; 4; 5 ])
+    in
+    (r, List.nth ts 2)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let e = get name in
+        let prog = e.W.program W.Test in
+        let plain, t_plain = median3 (fun () -> RS.E.run ~config prog) in
+        let rec_, t_rec =
+          median3 (fun () ->
+              RS.record ~checkpoint_every:0 ~meta:(meta_of name) ~config prog)
+        in
+        let r = rec_.Replay.Session.result in
+        let cycles_identical =
+          r.Fpvm.Engine.cycles = plain.Fpvm.Engine.cycles
+          && Fpvm.Stats.fingerprint r.Fpvm.Engine.stats
+             = Fpvm.Stats.fingerprint plain.Fpvm.Engine.stats
+        in
+        let replay_ok =
+          match RS.replay ~config rec_.Replay.Session.log prog with
+          | Replay.Session.Match rr ->
+              rr.Fpvm.Engine.output = r.Fpvm.Engine.output
+              && rr.Fpvm.Engine.serialized = r.Fpvm.Engine.serialized
+          | Replay.Session.Diverged _ -> false
+        in
+        let events = Array.length rec_.Replay.Session.log.Replay.Log.events in
+        let bytes = String.length rec_.Replay.Session.log_bytes in
+        let wall_ovh = 100.0 *. (t_rec -. t_plain) /. t_plain in
+        let us_per_event =
+          1e6 *. (t_rec -. t_plain) /. float_of_int (max 1 events)
+        in
+        printf "%-12s %6d events %8d B  cycles identical=%b  replay=%b  \
+                wall %+.1f%% (%.1f us/event)\n"
+          name events bytes cycles_identical replay_ok wall_ovh us_per_event;
+        assert cycles_identical;
+        assert replay_ok;
+        Printf.sprintf
+          "    { \"workload\": \"%s\", \"events\": %d, \"log_bytes\": %d,\n\
+           \      \"modeled_cycles_plain\": %d, \"modeled_cycles_record\": %d,\n\
+           \      \"cycle_overhead_pct\": %.3f, \"wall_overhead_pct\": %.1f,\n\
+           \      \"replay_matched\": %b }"
+          (json_escape name) events bytes plain.Fpvm.Engine.cycles
+          r.Fpvm.Engine.cycles
+          (100.0
+          *. float_of_int (r.Fpvm.Engine.cycles - plain.Fpvm.Engine.cycles)
+          /. float_of_int plain.Fpvm.Engine.cycles)
+          wall_ovh replay_ok)
+      workloads_fig9
+  in
+  (* checkpoint cost on lorenz: record with and without checkpoints;
+     the time delta over the checkpoint count is the per-checkpoint
+     serialization latency. A mid-run checkpoint must restore and
+     resume to the uninterrupted run's exact result. *)
+  let prog = (get "lorenz").W.program W.Test in
+  let meta = meta_of "lorenz" in
+  let base, t0 =
+    median3 (fun () -> RS.record ~checkpoint_every:0 ~meta ~config prog)
+  in
+  let ck, t1 =
+    median3 (fun () -> RS.record ~checkpoint_every:50 ~meta ~config prog)
+  in
+  let n = List.length ck.Replay.Session.checkpoints in
+  let total_bytes =
+    List.fold_left
+      (fun a (_, b) -> a + String.length b)
+      0 ck.Replay.Session.checkpoints
+  in
+  let lat_us = 1e6 *. (t1 -. t0) /. float_of_int (max 1 n) in
+  let mid_seq, mid_blob = List.nth ck.Replay.Session.checkpoints (n / 2) in
+  let resumed = RS.resume_from ~config prog mid_blob in
+  let b = base.Replay.Session.result in
+  let resume_identical =
+    resumed.Fpvm.Engine.output = b.Fpvm.Engine.output
+    && resumed.Fpvm.Engine.serialized = b.Fpvm.Engine.serialized
+    && resumed.Fpvm.Engine.cycles = b.Fpvm.Engine.cycles
+    && Fpvm.Stats.fingerprint resumed.Fpvm.Engine.stats
+       = Fpvm.Stats.fingerprint b.Fpvm.Engine.stats
+  in
+  printf "\nlorenz checkpoints: %d taken, %d B total (%.0f B avg), \
+          ~%.0f us each; restore@%d resume identical=%b\n"
+    n total_bytes
+    (float_of_int total_bytes /. float_of_int (max 1 n))
+    lat_us mid_seq resume_identical;
+  assert resume_identical;
+  let doc =
+    Printf.sprintf
+      "{\n\
+       \  \"experiment\": \"deterministic record/replay + checkpoint/restore\",\n\
+       \  \"arithmetic\": \"mpfr-200\",\n\
+       \  \"config\": { \"approach\": \"trap_and_emulate\", \
+       \"max_trace_len\": 64, \"incremental_gc\": true },\n\
+       \  \"note\": \"modeled cycles are the acceptance metric: the probe \
+       layer charges no cycles, so recording overhead in the simulated \
+       machine is exactly 0; wall_overhead_pct is the host-side cost of \
+       digesting and serializing events\",\n\
+       \  \"recording\": [\n%s\n  ],\n\
+       \  \"checkpoints\": { \"workload\": \"lorenz\", \"every\": 50, \
+       \"count\": %d, \"total_bytes\": %d, \"avg_bytes\": %.0f, \
+       \"avg_latency_us\": %.1f, \"mid_run_restore_identical\": %b }\n\
+       }\n"
+      (String.concat ",\n" rows)
+      n total_bytes
+      (float_of_int total_bytes /. float_of_int (max 1 n))
+      lat_us resume_identical
+  in
+  let oc = open_out "BENCH_replay.json" in
+  output_string oc doc;
+  close_out oc;
+  printf "wrote BENCH_replay.json\n"
+
 (* ---- main ------------------------------------------------------------------------------------------ *)
 
 let experiments =
@@ -707,7 +850,8 @@ let experiments =
     ("ablate-vsa", ablate_vsa);
     ("ablate-compiler-gc", ablate_compiler_gc);
     ("ablate-delivery", ablate_delivery);
-    ("json", bench_json) ]
+    ("json", bench_json);
+    ("replay", bench_replay) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -3,41 +3,221 @@
    Runs a workload binary natively or under FPVM with a chosen
    alternative arithmetic system, approach, machine model and trap
    deployment, then prints the program output and (optionally) the
-   virtualization statistics.
+   virtualization statistics. Execution can be recorded to an event
+   log, replayed against one, checkpointed and resumed, and two logs
+   can be bisected for their first diverging event.
 
      fpvm_run --list
      fpvm_run -w lorenz -a mpfr --prec 200 --stats
      fpvm_run -w "NAS CG" -a posit --posit 32
      fpvm_run -w three-body --approach patch --machine 7220
-     fpvm_run -w lorenz --disasm | head *)
+     fpvm_run -w lorenz --record lorenz.log --checkpoint-every 50
+     fpvm_run -w lorenz --replay lorenz.log
+     fpvm_run -w lorenz --from-checkpoint lorenz.log.ckpt50
+     fpvm_run bisect a.log b.log --arch-only *)
 
 module CM = Machine.Cost_model
 module W = Workloads
 
-module E_vanilla = Fpvm.Engine.Make (Fpvm.Alt_vanilla)
-module E_mpfr = Fpvm.Engine.Make (Fpvm.Alt_mpfr)
-module E_posit = Fpvm.Engine.Make (Fpvm.Alt_posit)
-module E_interval = Fpvm.Engine.Make (Fpvm.Alt_interval)
-module E_slash = Fpvm.Engine.Make (Fpvm.Alt_slash)
+(* Per-arithmetic drivers. Engine/session types are functor-specific,
+   but [Replay.Session.recording] / [outcome] / [Fpvm.Engine.result]
+   are shared, so a record of closures erases the functor. *)
+type driver = {
+  d_run : config:Fpvm.Engine.config -> Machine.Program.t -> Fpvm.Engine.result;
+  d_record :
+    checkpoint_every:int ->
+    meta:Replay.Log.meta ->
+    config:Fpvm.Engine.config ->
+    Machine.Program.t ->
+    Replay.Session.recording;
+  d_replay :
+    ?checkpoint:string ->
+    config:Fpvm.Engine.config ->
+    Replay.Log.t ->
+    Machine.Program.t ->
+    Replay.Session.outcome;
+  d_resume :
+    config:Fpvm.Engine.config ->
+    Machine.Program.t ->
+    string ->
+    Fpvm.Engine.result;
+}
+
+module D (A : Fpvm.Arith.S) = struct
+  module S = Replay.Session.Make (A)
+
+  let driver =
+    {
+      d_run = (fun ~config prog -> S.E.run ~config prog);
+      d_record =
+        (fun ~checkpoint_every ~meta ~config prog ->
+          S.record ~checkpoint_every ~meta ~config prog);
+      d_replay =
+        (fun ?checkpoint ~config log prog ->
+          S.replay ?checkpoint ~config log prog);
+      d_resume = (fun ~config prog blob -> S.resume_from ~config prog blob);
+    }
+end
+
+module D_vanilla = D (Fpvm.Alt_vanilla)
+module D_mpfr = D (Fpvm.Alt_mpfr)
+module D_posit = D (Fpvm.Alt_posit)
+module D_interval = D (Fpvm.Alt_interval)
+module D_slash = D (Fpvm.Alt_slash)
+
+let config_fingerprint (c : Fpvm.Engine.config) machine =
+  Printf.sprintf
+    "approach=%s;deploy=%d;vsa=%b;gc=%d;inc=%b;full=%d;cache=%b;alw=%b;trace=%d;mach=%s"
+    (match c.Fpvm.Engine.approach with
+    | Fpvm.Engine.Trap_and_emulate -> "emulate"
+    | Fpvm.Engine.Trap_and_patch -> "patch"
+    | Fpvm.Engine.Static_transform -> "static")
+    (Trapkern.deployment_id c.Fpvm.Engine.deployment)
+    c.Fpvm.Engine.use_vsa c.Fpvm.Engine.gc_interval
+    c.Fpvm.Engine.incremental_gc c.Fpvm.Engine.full_scan_every
+    c.Fpvm.Engine.decode_cache c.Fpvm.Engine.always_emulate
+    c.Fpvm.Engine.max_trace_len machine
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let print_json ~workload ~arith ~scale (r : Fpvm.Engine.result) =
+  let s = r.Fpvm.Engine.stats in
+  let kv_s k v = Printf.sprintf "  %S: \"%s\"" k (json_escape v) in
+  let kv_i k v = Printf.sprintf "  %S: %d" k v in
+  let fields =
+    [
+      kv_s "workload" workload;
+      kv_s "arith" arith;
+      kv_s "scale" scale;
+      kv_i "cycles" r.Fpvm.Engine.cycles;
+      kv_i "insns" r.Fpvm.Engine.insns;
+      kv_i "fp_insns" r.Fpvm.Engine.fp_insns;
+      kv_i "fp_traps" s.Fpvm.Stats.fp_traps;
+      kv_i "correctness_traps" s.Fpvm.Stats.correctness_traps;
+      kv_i "traces" s.Fpvm.Stats.traces;
+      kv_i "trace_insns" s.Fpvm.Stats.trace_insns;
+      kv_i "traps_avoided" s.Fpvm.Stats.traps_avoided;
+      kv_i "emulated_insns" s.Fpvm.Stats.emulated_insns;
+      kv_i "math_calls" s.Fpvm.Stats.math_calls;
+      kv_i "decode_hits" s.Fpvm.Stats.decode_hits;
+      kv_i "decode_misses" s.Fpvm.Stats.decode_misses;
+      kv_i "boxes_allocated" s.Fpvm.Stats.boxes_allocated;
+      kv_i "gc_passes" s.Fpvm.Stats.gc_passes;
+      kv_i "gc_full_passes" s.Fpvm.Stats.gc_full_passes;
+      kv_i "gc_freed" s.Fpvm.Stats.gc_freed;
+      kv_i "gc_words_scanned" s.Fpvm.Stats.gc_words_scanned;
+      kv_i "replay_events" s.Fpvm.Stats.replay_events;
+      kv_i "replay_checkpoints" s.Fpvm.Stats.replay_checkpoints;
+      kv_i "replay_checkpoint_bytes" s.Fpvm.Stats.replay_checkpoint_bytes;
+      kv_i "replay_log_bytes" s.Fpvm.Stats.replay_log_bytes;
+      kv_i "output_bytes" (String.length r.Fpvm.Engine.output);
+      kv_i "serialized_bytes" (String.length r.Fpvm.Engine.serialized);
+      kv_s "stats_fingerprint" (Fpvm.Stats.fingerprint s);
+    ]
+  in
+  Printf.printf "{\n%s\n}\n" (String.concat ",\n" fields)
+
+let print_stats (r : Fpvm.Engine.result) =
+  let s = r.Fpvm.Engine.stats in
+  Printf.eprintf "--- fpvm stats ---\n";
+  Printf.eprintf "instructions executed: %d (%d FP)\n" r.Fpvm.Engine.insns
+    r.Fpvm.Engine.fp_insns;
+  Printf.eprintf "cycles: %d\n" r.Fpvm.Engine.cycles;
+  Printf.eprintf "fp traps: %d, correctness traps: %d\n" s.Fpvm.Stats.fp_traps
+    s.Fpvm.Stats.correctness_traps;
+  Printf.eprintf "traces: %d (mean len %.1f), in-trace faults absorbed: %d\n"
+    s.Fpvm.Stats.traces
+    (Fpvm.Stats.mean_trace_len s)
+    s.Fpvm.Stats.traps_avoided;
+  Printf.eprintf "emulated insns: %d, math calls: %d\n"
+    s.Fpvm.Stats.emulated_insns s.Fpvm.Stats.math_calls;
+  Printf.eprintf "decode cache: %d hits / %d misses\n" s.Fpvm.Stats.decode_hits
+    s.Fpvm.Stats.decode_misses;
+  Printf.eprintf "boxes allocated: %d, gc passes: %d, freed: %d\n"
+    s.Fpvm.Stats.boxes_allocated s.Fpvm.Stats.gc_passes s.Fpvm.Stats.gc_freed;
+  Printf.eprintf "gc: %d full passes, %d words scanned\n"
+    s.Fpvm.Stats.gc_full_passes s.Fpvm.Stats.gc_words_scanned;
+  if s.Fpvm.Stats.replay_events > 0 then
+    Printf.eprintf "replay: %d events (%d bytes), %d checkpoints (%d bytes)\n"
+      s.Fpvm.Stats.replay_events s.Fpvm.Stats.replay_log_bytes
+      s.Fpvm.Stats.replay_checkpoints s.Fpvm.Stats.replay_checkpoint_bytes;
+  let b = Fpvm.Stats.breakdown s in
+  Printf.eprintf "avg cycles/virtualized insn: %.0f\n" b.Fpvm.Stats.avg_total
+
+(* Flip one bit of event [n]'s state digest and re-encode: a seeded
+   divergence the bisector and replayer must pin to exactly [n]. *)
+let inject_divergence (log_bytes : string) n =
+  let log = Replay.Log.of_string log_bytes in
+  if n < 0 || n >= Array.length log.Replay.Log.events then
+    failwith
+      (Printf.sprintf "--inject-divergence %d out of range (log has %d events)"
+         n
+         (Array.length log.Replay.Log.events));
+  let w = Replay.Log.writer log.Replay.Log.meta in
+  Array.iteri
+    (fun i (e : Replay.Event.t) ->
+      let e =
+        if i = n then { e with Replay.Event.chk = Int64.logxor e.Replay.Event.chk 1L }
+        else e
+      in
+      Replay.Log.add w e)
+    log.Replay.Log.events;
+  Replay.Log.contents w
+
+(* ---- run command ------------------------------------------------------ *)
+
+(* Log/checkpoint I-O failures are user errors, not crashes. *)
+let guard f =
+  match f () with
+  | r -> r
+  | exception Replay.Codec.Corrupt msg -> `Error (false, msg)
+  | exception Sys_error msg -> `Error (false, msg)
+  | exception Failure msg -> `Error (false, msg)
 
 let run workload arith prec posit_bits approach machine deployment scale
-    trace_len full_gc stats disasm spy list_only =
+    trace_len full_gc gc_interval stats json disasm spy list_only record_file
+    replay_file checkpoint_every from_checkpoint inject =
   if list_only then begin
     List.iter
       (fun (e : W.entry) -> Printf.printf "%-12s %s\n" e.W.name e.W.specifics)
       W.all;
-    `Ok ()
+    `Ok 0
   end
-  else
+  else if trace_len < 1 then
+    `Error (false, Printf.sprintf "--trace-len must be >= 1 (got %d)" trace_len)
+  else if prec < 2 then
+    `Error (false, Printf.sprintf "--prec must be >= 2 (got %d)" prec)
+  else if not (List.mem posit_bits [ 8; 16; 32 ]) then
+    `Error (false, Printf.sprintf "--posit must be 8, 16 or 32 (got %d)" posit_bits)
+  else if gc_interval <= 0 then
+    `Error (false, Printf.sprintf "--gc-interval must be > 0 (got %d)" gc_interval)
+  else if checkpoint_every < 0 then
+    `Error
+      (false, Printf.sprintf "--checkpoint-every must be >= 0 (got %d)" checkpoint_every)
+  else if record_file <> "" && replay_file <> "" then
+    `Error (false, "--record and --replay are mutually exclusive")
+  else begin
     match W.find workload with
     | None ->
         `Error (false, Printf.sprintf "unknown workload %S (try --list)" workload)
-    | Some e ->
-        let scale = if scale = "s" then W.S else W.Test in
-        let prog = e.W.program scale in
+    | Some e -> (
+        let wscale = if scale = "s" then W.S else W.Test in
+        let prog = e.W.program wscale in
         if disasm then begin
           print_string (Machine.Program.disassemble prog);
-          `Ok ()
+          `Ok 0
         end
         else if spy then begin
           (* FPSpy mode: profile the binary's floating point events *)
@@ -53,86 +233,152 @@ let run workload arith prec posit_bits approach machine deployment scale
                 site.Fpvm.Fpspy.mnemonic
                 (String.concat "+" (Ieee754.Flags.names site.Fpvm.Fpspy.events)))
             (Fpvm.Fpspy.top_sites ~n:8 r.Fpvm.Fpspy.profile);
-          `Ok ()
+          `Ok 0
         end
-        else begin
-          let cost =
-            match String.lowercase_ascii machine with
-            | "r815" -> CM.r815
-            | "7220" -> CM.xeon7220
-            | "r730xd" -> CM.r730xd
-            | m -> failwith ("unknown machine " ^ m)
-          in
-          let deployment =
-            match deployment with
-            | "user" -> Trapkern.User_signal
-            | "kernel" -> Trapkern.Kernel_module
-            | "uu" -> Trapkern.User_to_user
-            | d -> failwith ("unknown deployment " ^ d)
-          in
-          let approach =
-            match approach with
-            | "emulate" -> Fpvm.Engine.Trap_and_emulate
-            | "patch" -> Fpvm.Engine.Trap_and_patch
-            | "static" -> Fpvm.Engine.Static_transform
-            | a -> failwith ("unknown approach " ^ a)
-          in
-          let config =
-            { Fpvm.Engine.default_config with
-              Fpvm.Engine.approach; cost; deployment;
-              Fpvm.Engine.max_trace_len = max 1 trace_len;
-              Fpvm.Engine.incremental_gc = not full_gc }
-          in
-          let result =
-            match String.lowercase_ascii arith with
-            | "native" -> Fpvm.Engine.run_native ~cost prog
-            | "vanilla" -> E_vanilla.run ~config prog
-            | "mpfr" ->
-                Fpvm.Alt_mpfr.precision := prec;
-                E_mpfr.run ~config prog
-            | "posit" ->
-                Fpvm.Alt_posit.spec :=
-                  (match posit_bits with
-                  | 8 -> Posit.posit8
-                  | 16 -> Posit.posit16
-                  | 32 -> Posit.posit32
-                  | n -> Posit.spec ~nbits:n ~es:2);
-                E_posit.run ~config prog
-            | "interval" -> E_interval.run ~config prog
-            | "slash" ->
-                Fpvm.Alt_slash.bits := prec;
-                E_slash.run ~config prog
-            | a -> failwith ("unknown arithmetic " ^ a)
-          in
-          print_string result.Fpvm.Engine.output;
-          if stats then begin
-            let s = result.Fpvm.Engine.stats in
-            Printf.eprintf "--- fpvm stats ---\n";
-            Printf.eprintf "instructions executed: %d (%d FP)\n"
-              result.Fpvm.Engine.insns result.Fpvm.Engine.fp_insns;
-            Printf.eprintf "cycles: %d\n" result.Fpvm.Engine.cycles;
-            Printf.eprintf "fp traps: %d, correctness traps: %d\n"
-              s.Fpvm.Stats.fp_traps s.Fpvm.Stats.correctness_traps;
-            Printf.eprintf
-              "traces: %d (mean len %.1f), in-trace faults absorbed: %d\n"
-              s.Fpvm.Stats.traces
-              (Fpvm.Stats.mean_trace_len s)
-              s.Fpvm.Stats.traps_avoided;
-            Printf.eprintf "emulated insns: %d, math calls: %d\n"
-              s.Fpvm.Stats.emulated_insns s.Fpvm.Stats.math_calls;
-            Printf.eprintf "decode cache: %d hits / %d misses\n"
-              s.Fpvm.Stats.decode_hits s.Fpvm.Stats.decode_misses;
-            Printf.eprintf "boxes allocated: %d, gc passes: %d, freed: %d\n"
-              s.Fpvm.Stats.boxes_allocated s.Fpvm.Stats.gc_passes
-              s.Fpvm.Stats.gc_freed;
-            Printf.eprintf "gc: %d full passes, %d words scanned\n"
-              s.Fpvm.Stats.gc_full_passes s.Fpvm.Stats.gc_words_scanned;
-            let b = Fpvm.Stats.breakdown s in
-            Printf.eprintf "avg cycles/virtualized insn: %.0f\n"
-              b.Fpvm.Stats.avg_total
-          end;
-          `Ok ()
-        end
+        else
+          let arith = String.lowercase_ascii arith in
+          match
+            (match String.lowercase_ascii machine with
+            | "r815" -> Ok CM.r815
+            | "7220" -> Ok CM.xeon7220
+            | "r730xd" -> Ok CM.r730xd
+            | m -> Error (Printf.sprintf "unknown machine %S (r815, 7220, r730xd)" m)),
+            (match deployment with
+            | "user" -> Ok Trapkern.User_signal
+            | "kernel" -> Ok Trapkern.Kernel_module
+            | "uu" -> Ok Trapkern.User_to_user
+            | d -> Error (Printf.sprintf "unknown deployment %S (user, kernel, uu)" d)),
+            (match approach with
+            | "emulate" -> Ok Fpvm.Engine.Trap_and_emulate
+            | "patch" -> Ok Fpvm.Engine.Trap_and_patch
+            | "static" -> Ok Fpvm.Engine.Static_transform
+            | a -> Error (Printf.sprintf "unknown approach %S (emulate, patch, static)" a))
+          with
+          | Error m, _, _ | _, Error m, _ | _, _, Error m -> `Error (false, m)
+          | Ok cost, Ok deployment, Ok approach -> (
+              let config =
+                { Fpvm.Engine.default_config with
+                  Fpvm.Engine.approach; cost; deployment; gc_interval;
+                  Fpvm.Engine.max_trace_len = trace_len;
+                  Fpvm.Engine.incremental_gc = not full_gc }
+              in
+              let driver =
+                match arith with
+                | "native" | "vanilla" -> Ok D_vanilla.driver
+                | "mpfr" ->
+                    Fpvm.Alt_mpfr.precision := prec;
+                    Ok D_mpfr.driver
+                | "posit" ->
+                    Fpvm.Alt_posit.spec :=
+                      (match posit_bits with
+                      | 8 -> Posit.posit8
+                      | 16 -> Posit.posit16
+                      | _ -> Posit.posit32);
+                    Ok D_posit.driver
+                | "interval" -> Ok D_interval.driver
+                | "slash" ->
+                    Fpvm.Alt_slash.bits := prec;
+                    Ok D_slash.driver
+                | a ->
+                    Error
+                      (Printf.sprintf
+                         "unknown arithmetic %S (native, vanilla, mpfr, posit, interval, slash)"
+                         a)
+              in
+              match driver with
+              | Error m -> `Error (false, m)
+              | Ok _ when arith = "native" && (record_file <> "" || replay_file <> "" || from_checkpoint <> "") ->
+                  `Error (false, "--record/--replay/--from-checkpoint require an FPVM arithmetic, not native")
+              | Ok d ->
+                  let meta =
+                    { Replay.Log.workload = e.W.name;
+                      scale;
+                      arith =
+                        (match arith with
+                        | "mpfr" | "slash" -> Printf.sprintf "%s:%d" arith prec
+                        | "posit" -> Printf.sprintf "posit:%d" posit_bits
+                        | a -> a);
+                      config = config_fingerprint config machine }
+                  in
+                  let finish ?(code = 0) (r : Fpvm.Engine.result) =
+                    print_string r.Fpvm.Engine.output;
+                    if json then print_json ~workload:e.W.name ~arith:meta.Replay.Log.arith ~scale r;
+                    if stats then print_stats r;
+                    `Ok code
+                  in
+                  if arith = "native" then
+                    finish (Fpvm.Engine.run_native ~cost prog)
+                  else if record_file <> "" then
+                    guard (fun () ->
+                    let rec_ =
+                      d.d_record ~checkpoint_every ~meta ~config prog
+                    in
+                    let log_bytes =
+                      if inject >= 0 then inject_divergence rec_.Replay.Session.log_bytes inject
+                      else rec_.Replay.Session.log_bytes
+                    in
+                    Replay.Codec.write_file record_file log_bytes;
+                    List.iter
+                      (fun (seq, blob) ->
+                        Replay.Codec.write_file
+                          (Printf.sprintf "%s.ckpt%d" record_file seq)
+                          blob)
+                      rec_.Replay.Session.checkpoints;
+                    finish rec_.Replay.Session.result)
+                  else if replay_file <> "" then
+                    guard (fun () ->
+                        let log = Replay.Log.of_file replay_file in
+                        if not (Replay.Log.meta_equal log.Replay.Log.meta meta)
+                        then
+                          `Error
+                            ( false,
+                              Format.asprintf
+                                "log/flag mismatch:@.  log:   %a@.  flags: %a@.(replay with the flags the log was recorded with)"
+                                Replay.Log.pp_meta log.Replay.Log.meta
+                                Replay.Log.pp_meta meta )
+                        else
+                          let checkpoint =
+                            if from_checkpoint = "" then None
+                            else Some (Replay.Codec.read_file from_checkpoint)
+                          in
+                          match d.d_replay ?checkpoint ~config log prog with
+                          | Replay.Session.Match r ->
+                              Printf.eprintf "replay: %d events matched\n"
+                                (Array.length log.Replay.Log.events);
+                              finish r
+                          | Replay.Session.Diverged dv ->
+                              Format.eprintf "%a"
+                                (Replay.Session.pp_divergence ~prog) dv;
+                              `Ok 3)
+                  else if from_checkpoint <> "" then
+                    guard (fun () ->
+                        finish
+                          (d.d_resume ~config prog
+                             (Replay.Codec.read_file from_checkpoint)))
+                  else finish (d.d_run ~config prog)))
+  end
+
+(* ---- bisect command --------------------------------------------------- *)
+
+let bisect log_a log_b arch_only =
+  let a = Replay.Log.of_file log_a and b = Replay.Log.of_file log_b in
+  let mode = if arch_only then Replay.Bisect.Arch else Replay.Bisect.Exact in
+  let prog =
+    (* decode faulting instructions in the report when the logs name a
+       workload we can rebuild *)
+    if a.Replay.Log.meta.Replay.Log.workload = b.Replay.Log.meta.Replay.Log.workload
+    then
+      match W.find a.Replay.Log.meta.Replay.Log.workload with
+      | Some e ->
+          Some
+            (e.W.program
+               (if a.Replay.Log.meta.Replay.Log.scale = "s" then W.S else W.Test))
+      | None -> None
+    else None
+  in
+  let d = Replay.Bisect.first_divergence ~mode a b in
+  print_string (Replay.Bisect.report ?prog a b d);
+  `Ok (match d with None -> 0 | Some _ -> 4)
 
 open Cmdliner
 
@@ -173,19 +419,62 @@ let full_gc =
        & info [ "full-gc" ]
            ~doc:"Disable the incremental (dirty-card) GC; full scan every pass.")
 
+let gc_interval =
+  Arg.(value & opt int Fpvm.Engine.default_config.Fpvm.Engine.gc_interval
+       & info [ "gc-interval" ] ~doc:"Emulated instructions between GC passes.")
+
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print FPVM statistics to stderr.")
+let json = Arg.(value & flag & info [ "json" ] ~doc:"Print machine-readable run statistics (JSON) to stdout.")
 let disasm = Arg.(value & flag & info [ "disasm" ] ~doc:"Disassemble the workload binary and exit.")
 let spy = Arg.(value & flag & info [ "spy" ] ~doc:"FPSpy mode: profile FP events without emulating.")
 let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List available workloads and exit.")
 
+let record_file =
+  Arg.(value & opt string "" & info [ "record" ] ~doc:"Record the execution's event log to $(docv)." ~docv:"FILE")
+
+let replay_file =
+  Arg.(value & opt string ""
+       & info [ "replay" ]
+           ~doc:"Re-execute and validate every event against the log in $(docv); exit 3 on divergence." ~docv:"FILE")
+
+let checkpoint_every =
+  Arg.(value & opt int 0
+       & info [ "checkpoint-every" ]
+           ~doc:"With --record: write a full checkpoint every $(docv) events (0 = never) to FILE.ckptN." ~docv:"N")
+
+let from_checkpoint =
+  Arg.(value & opt string ""
+       & info [ "from-checkpoint" ]
+           ~doc:"Restore the checkpoint in $(docv) and resume (with --replay: validate from there)." ~docv:"FILE")
+
+let inject =
+  Arg.(value & opt int (-1)
+       & info [ "inject-divergence" ]
+           ~doc:"With --record: corrupt the state digest of event $(docv) in the written log (bisector self-test)." ~docv:"N")
+
+let run_term =
+  Term.(
+    ret
+      (const run $ workload $ arith $ prec $ posit_bits $ approach $ machine
+     $ deployment $ scale $ trace_len $ full_gc $ gc_interval $ stats $ json
+     $ disasm $ spy $ list_only $ record_file $ replay_file $ checkpoint_every
+     $ from_checkpoint $ inject))
+
+let bisect_cmd =
+  let log_a = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG_A") in
+  let log_b = Arg.(required & pos 1 (some string) None & info [] ~docv:"LOG_B") in
+  let arch_only =
+    Arg.(value & flag
+         & info [ "arch-only" ]
+             ~doc:"Compare the config-invariant view: GC events dropped, delivered/absorbed faults unified.")
+  in
+  Cmd.v
+    (Cmd.info "bisect"
+       ~doc:"binary-search two event logs for their first diverging event (exit 4 if they diverge)")
+    Term.(ret (const bisect $ log_a $ log_b $ arch_only))
+
 let cmd =
   let doc = "run workloads under the floating point virtual machine" in
-  Cmd.v
-    (Cmd.info "fpvm_run" ~doc)
-    Term.(
-      ret
-        (const run $ workload $ arith $ prec $ posit_bits $ approach $ machine
-       $ deployment $ scale $ trace_len $ full_gc $ stats $ disasm $ spy
-       $ list_only))
+  Cmd.group ~default:run_term (Cmd.info "fpvm_run" ~doc) [ bisect_cmd ]
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

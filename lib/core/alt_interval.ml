@@ -192,3 +192,14 @@ let op_cycles = function
   | Arith.C_cmp -> 70
   | Arith.C_cvt -> 60
   | Arith.C_libm -> 850
+
+(* ---- serialization (lib/replay) ------------------------------------- *)
+
+let encode_value b (v : value) =
+  Wire.i64 b v.lo;
+  Wire.i64 b v.hi
+
+let decode_value s pos : value =
+  let lo = Wire.r_i64 s pos in
+  let hi = Wire.r_i64 s pos in
+  { lo; hi }

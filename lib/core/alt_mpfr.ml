@@ -124,3 +124,36 @@ let op_cycles c =
   | Arith.C_cmp -> 60
   | Arith.C_cvt -> 80
   | Arith.C_libm -> quad 9000
+
+(* ---- serialization (lib/replay) ------------------------------------- *)
+
+(* Exact round trip: a finite bigfloat is (-1)^sign * man * 2^exp with
+   man the full significand, so reconstructing at prec = num_bits man
+   with sticky = false rounds nothing. *)
+let encode_value b (v : value) =
+  match B.classify v with
+  | `Nan -> Wire.u8 b 0
+  | `Inf sign ->
+      Wire.u8 b 1;
+      Wire.u8 b sign
+  | `Zero sign ->
+      Wire.u8 b 2;
+      Wire.u8 b sign
+  | `Fin (sign, exp, man) ->
+      Wire.u8 b 3;
+      Wire.u8 b sign;
+      Wire.zint b exp;
+      Wire.nat b man
+
+let decode_value s pos : value =
+  match Wire.r_u8 s pos with
+  | 0 -> B.nan
+  | 1 -> if Wire.r_u8 s pos = 0 then B.inf else B.neg_inf
+  | 2 -> if Wire.r_u8 s pos = 0 then B.zero else B.neg_zero
+  | 3 ->
+      let sign = Wire.r_u8 s pos in
+      let exp = Wire.r_zint s pos in
+      let man = Wire.r_nat s pos in
+      let prec = max 2 (Bignum.Nat.num_bits man) in
+      B.make ~prec ~mode:B.rne ~sign ~man ~exp ~sticky:false
+  | t -> raise (Wire.Corrupt (Printf.sprintf "bad bigfloat tag %d" t))

@@ -121,3 +121,10 @@ let op_cycles = function
   | Arith.C_cmp -> 20
   | Arith.C_cvt -> 50
   | Arith.C_libm -> 500
+
+(* ---- serialization (lib/replay) ------------------------------------- *)
+
+(* A posit is its bit pattern; the width lives in the engine config
+   fingerprint, not per value. *)
+let encode_value b (v : value) = Wire.i64 b v
+let decode_value s pos : value = Wire.r_i64 s pos

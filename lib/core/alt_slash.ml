@@ -325,3 +325,32 @@ let op_cycles = function
   | Arith.C_cmp -> 600
   | Arith.C_cvt -> 400
   | Arith.C_libm -> 20000
+
+(* ---- serialization (lib/replay) ------------------------------------- *)
+
+(* Stored values are already reduced and budget-rounded, so the fields
+   round-trip structurally - re-running [make] here would be wrong only
+   in being wasted work, but we avoid it to keep restore O(size). *)
+let encode_value b (v : value) =
+  match v.special with
+  | `Nan -> Wire.u8 b 0
+  | `Inf s ->
+      Wire.u8 b 1;
+      Wire.u8 b s
+  | `Fin ->
+      Wire.u8 b 2;
+      Wire.u8 b (if Bigint.sign v.num < 0 then 1 else 0);
+      Wire.nat b (Bigint.to_nat (Bigint.abs v.num));
+      Wire.nat b v.den
+
+let decode_value s pos : value =
+  match Wire.r_u8 s pos with
+  | 0 -> nan_v
+  | 1 -> inf_v (Wire.r_u8 s pos)
+  | 2 ->
+      let neg = Wire.r_u8 s pos = 1 in
+      let mag = Bigint.of_nat (Wire.r_nat s pos) in
+      let num = if neg then Bigint.neg mag else mag in
+      let den = Wire.r_nat s pos in
+      { num; den; special = `Fin }
+  | t -> raise (Wire.Corrupt (Printf.sprintf "bad slash tag %d" t))

@@ -71,3 +71,8 @@ let op_cycles = function
   | Arith.C_cmp -> 30
   | Arith.C_cvt -> 35
   | Arith.C_libm -> 400
+
+(* ---- serialization (lib/replay) ------------------------------------- *)
+
+let encode_value b (v : value) = Wire.i64 b v
+let decode_value s pos : value = Wire.r_i64 s pos

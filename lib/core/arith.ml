@@ -78,6 +78,17 @@ module type S = sig
   val is_nan_v : value -> bool
   val is_zero_v : value -> bool
 
+  (* --- serialization (checkpoint/restore, lib/replay) --- *)
+
+  val encode_value : Buffer.t -> value -> unit
+  (** Append a self-delimiting, exact binary encoding of the value
+      (the {!Wire} codec). Exactness matters: a checkpointed run must
+      resume bit-identically, so no rounding is allowed here. *)
+
+  val decode_value : string -> int ref -> value
+  (** Read one value back, advancing the position; raises
+      {!Wire.Corrupt} on malformed input. *)
+
   (* --- modeled cost (cycles) of one scalar operation, for Figure 9 --- *)
 
   val op_cycles : op_class -> int

@@ -71,6 +71,9 @@ module Make (A : Arith.S) = struct
     stats : Stats.t;
     arena : A.value Arena.t;
     cache : Decoder.cache;
+    probe : Probe.sink;
+        (* record/replay observation points; no-ops until lib/replay
+           installs callbacks *)
     mutable since_gc : int;
     mutable gc_count : int;
     mutable patch_sites : int;
@@ -81,6 +84,7 @@ module Make (A : Arith.S) = struct
       stats = Stats.create ();
       arena = Arena.create ();
       cache = Decoder.create_cache ~enabled:config.decode_cache ();
+      probe = Probe.sink ();
       since_gc = 0;
       gc_count = 0;
       patch_sites = 0 }
@@ -199,7 +203,8 @@ module Make (A : Arith.S) = struct
     s.Stats.gc_alive_last <- Arena.live_count t.arena;
     s.Stats.gc_words_scanned <- s.Stats.gc_words_scanned + !words;
     s.Stats.gc_latency_s <- s.Stats.gc_latency_s +. dt;
-    s.Stats.cyc_gc <- s.Stats.cyc_gc + cyc
+    s.Stats.cyc_gc <- s.Stats.cyc_gc + cyc;
+    Probe.emit t.probe st (Probe.Gc { full; freed; words = !words })
 
   let maybe_gc t st =
     if t.since_gc >= t.config.gc_interval then begin
@@ -421,11 +426,12 @@ module Make (A : Arith.S) = struct
             match Cpu.dispatch st idx insn with
             | Cpu.Running -> ()
             | Cpu.Halted -> continue_ := false
-            | Cpu.Fp_fault _ ->
+            | Cpu.Fp_fault { events; _ } ->
                 (* Would have trapped; we are already resident, so no
                    fresh delivery: absorb and emulate in place. *)
                 t.stats.Stats.traps_avoided <-
                   t.stats.Stats.traps_avoided + 1;
+                Probe.emit t.probe st (Probe.Absorbed { index = idx; events });
                 Mx.clear_flags st.State.mxcsr;
                 emulate t st idx insn
             | Cpu.Correctness_fault _ ->
@@ -654,7 +660,20 @@ module Make (A : Arith.S) = struct
 
   (* ---- run -------------------------------------------------------------- *)
 
-  let run ?(config = default_config) (prog : Program.t) : result =
+  (* A prepared machine: the engine, its state, the simulated kernel,
+     and the engine's working copy of the binary (analysis patches and
+     trap-and-patch rewrites land in this copy). [prepare] builds it
+     and installs every handler; [resume] drives it to completion.
+     Splitting the two lets lib/replay install probe callbacks between
+     them and overwrite the prepared state from a checkpoint. *)
+  type session = {
+    eng : t;
+    st : State.t;
+    kern : Trapkern.t;
+    prog : Program.t;
+  }
+
+  let prepare ?(config = default_config) (prog : Program.t) : session =
     let t = create config in
     let prog = Program.copy prog in
     (* Static analysis + patching (the hybrid's correctness traps). *)
@@ -676,7 +695,12 @@ module Make (A : Arith.S) = struct
     if config.incremental_gc then State.set_write_tracking st true;
     let kern = Trapkern.create ~deployment:config.deployment () in
     (* Hooks *)
-    st.State.hooks.State.on_ext_call <- Some (fun st fn -> on_ext_call t st fn);
+    st.State.hooks.State.on_ext_call <-
+      Some
+        (fun st fn ->
+          let handled = on_ext_call t st fn in
+          Probe.emit t.probe st (Probe.Ext_call { fn; handled });
+          handled);
     st.State.hooks.State.on_free_hint <-
       Some
         (fun st o ->
@@ -712,6 +736,8 @@ module Make (A : Arith.S) = struct
     Trapkern.install_sigfpe kern (fun st frame ->
         t.stats.Stats.fp_traps <- t.stats.Stats.fp_traps + 1;
         let idx = frame.Trapkern.fault_index in
+        Probe.emit t.probe st
+          (Probe.Fp_trap { index = idx; events = frame.Trapkern.events });
         Mx.clear_flags st.State.mxcsr;
         (match config.approach with
         | Trap_and_patch ->
@@ -737,10 +763,13 @@ module Make (A : Arith.S) = struct
           t.stats.Stats.trace_insns <- t.stats.Stats.trace_insns + 1;
           trace t st;
           Trapkern.charge_trace_exit kern st
-        end);
+        end;
+        (* handler done, no frame in flight: a checkpointable moment *)
+        Probe.quiesce t.probe st);
     Trapkern.install_sigtrap kern (fun st frame ->
         t.stats.Stats.correctness_traps <- t.stats.Stats.correctness_traps + 1;
         let idx = frame.Trapkern.trap_index in
+        Probe.emit t.probe st (Probe.Correctness { index = idx });
         let original = frame.Trapkern.original in
         let c = config.cost.CM.single_step in
         State.add_cycles st c;
@@ -748,14 +777,19 @@ module Make (A : Arith.S) = struct
           t.stats.Stats.cyc_correctness_handler + c;
         demote_for t st original;
         (* Single-step the original instruction. *)
-        match Cpu.dispatch st idx original with
+        (match Cpu.dispatch st idx original with
         | Cpu.Running | Cpu.Halted -> ()
         | Cpu.Fp_fault _ ->
             (* The demoted re-execution raised an FP event: emulate. *)
             Mx.clear_flags st.State.mxcsr;
             emulate t st idx original
         | Cpu.Correctness_fault _ -> assert false);
-    (* Go. *)
+        Probe.quiesce t.probe st);
+    { eng = t; st; kern; prog }
+
+  let resume (ses : session) : result =
+    let t = ses.eng and st = ses.st and kern = ses.kern in
+    let config = t.config in
     Trapkern.run ~max_insns:config.max_insns kern st;
     (* final GC pass for the books: always a full scan, so the ending
        live set (and hence total freed) is identical whichever GC
@@ -786,6 +820,9 @@ module Make (A : Arith.S) = struct
       insns = st.State.insn_count;
       fp_insns = st.State.fp_insn_count;
       st }
+
+  let run ?(config = default_config) (prog : Program.t) : result =
+    resume (prepare ~config prog)
 end
 
 (* Run the same program natively (no FPVM), for baselines and

@@ -63,14 +63,54 @@ type result = {
 }
 
 module Make (A : Arith.S) : sig
-  type t
+  (** The engine instance. Concrete so lib/replay can serialize and
+      restore every component; treat as read-only elsewhere. *)
+  type t = {
+    config : config;
+    stats : Stats.t;
+    arena : A.value Arena.t;
+    cache : Decoder.cache;
+    probe : Probe.sink;
+        (** record/replay observation points; inert until callbacks are
+            installed (see {!Probe}) *)
+    mutable since_gc : int;
+    mutable gc_count : int;
+    mutable patch_sites : int;
+  }
 
   val create : config -> t
 
+  (** A prepared machine: engine, machine state, simulated kernel, and
+      the engine's working copy of the binary. All handlers are
+      installed; {!resume} drives it to completion. lib/replay installs
+      probe callbacks (and overwrites the state from a checkpoint)
+      between {!prepare} and {!resume}. *)
+  type session = {
+    eng : t;
+    st : Machine.State.t;
+    kern : Trapkern.t;
+    prog : Machine.Program.t;
+  }
+
+  val prepare : ?config:config -> Machine.Program.t -> session
+  (** Copy the binary, run the static analysis, create the machine and
+      kernel, install all handlers — everything up to (but excluding)
+      the first instruction. Deterministic for a given program and
+      config. *)
+
+  val resume : session -> result
+  (** Execute until halt, run the final full GC pass, and fold the
+      kernel's delivery accounting into the stats. Call at most once
+      per session. *)
+
   val run : ?config:config -> Machine.Program.t -> result
-  (** Run a binary to completion under FPVM with arithmetic [A]. The
-      input program is copied; analysis patches and trap-and-patch
-      rewrites never mutate the caller's binary. *)
+  (** [resume (prepare ~config prog)]. The input program is copied;
+      analysis patches and trap-and-patch rewrites never mutate the
+      caller's binary. *)
+
+  val unbox : t -> int64 -> A.value
+  (** The engine's NaN-box dereference (dangling boxes decay to a quiet
+      NaN), exposed for lib/replay's architectural-state digests. *)
 end
 
 val run_native :

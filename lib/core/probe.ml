@@ -1,0 +1,35 @@
+(* Probe: the engine's observation points for record/replay (lib/replay).
+
+   The engine emits one event per architectural occurrence — a delivered
+   FP trap, an in-trace fault absorbed without delivery, a correctness
+   trap, a GC pass, an interposed external call — through an optional
+   sink installed on the engine instance. With no sink installed the
+   cost is one option match per event, so uninstrumented runs are
+   unaffected.
+
+   [on_quiesce] fires at the end of each trap handler, the only points
+   where the machine is between instructions with no handler frame on
+   the (conceptual) stack: a checkpoint taken there can be restored and
+   resumed without replaying any in-flight delivery. *)
+
+type event =
+  | Fp_trap of { index : int; events : Ieee754.Flags.t }
+      (* a fault delivered through the kernel (one per sigfpe) *)
+  | Absorbed of { index : int; events : Ieee754.Flags.t }
+      (* an in-trace fault emulated in place, no delivery *)
+  | Correctness of { index : int }
+  | Gc of { full : bool; freed : int; words : int }
+  | Ext_call of { fn : Machine.Isa.ext_fn; handled : bool }
+
+type sink = {
+  mutable on_event : (Machine.State.t -> event -> unit) option;
+  mutable on_quiesce : (Machine.State.t -> unit) option;
+}
+
+let sink () = { on_event = None; on_quiesce = None }
+
+let emit sink st ev =
+  match sink.on_event with None -> () | Some f -> f st ev
+
+let quiesce sink st =
+  match sink.on_quiesce with None -> () | Some f -> f st

@@ -51,6 +51,11 @@ type t = {
   mutable boxes_allocated : int;
   mutable eager_frees : int;
       (* shadow values freed by compiler hints rather than the GC *)
+  (* record/replay (lib/replay); written by the recorder, not the engine *)
+  mutable replay_events : int; (* events appended to the log *)
+  mutable replay_checkpoints : int;
+  mutable replay_checkpoint_bytes : int; (* total serialized checkpoint size *)
+  mutable replay_log_bytes : int;
 }
 
 let create () =
@@ -66,7 +71,26 @@ let create () =
     gc_full_passes = 0;
     gc_freed = 0; gc_alive_last = 0; gc_words_scanned = 0;
     gc_latency_s = 0.0;
-    boxes_allocated = 0; eager_frees = 0 }
+    boxes_allocated = 0; eager_frees = 0;
+    replay_events = 0; replay_checkpoints = 0; replay_checkpoint_bytes = 0;
+    replay_log_bytes = 0 }
+
+(* Deterministic counters only: excludes wall-clock GC latency and the
+   recorder's own bookkeeping, so a recorded run, its replay, and a
+   checkpoint-resumed run all fingerprint identically. *)
+let fingerprint t =
+  String.concat ","
+    (List.map string_of_int
+       [ t.fp_traps; t.correctness_traps; t.correctness_demotions;
+         t.patch_invocations; t.checked_invocations; t.emulated_ops;
+         t.emulated_insns; t.traces; t.trace_insns; t.traps_avoided;
+         t.math_calls; t.printf_hijacks; t.serialize_demotions;
+         t.decode_hits; t.decode_misses; t.cyc_hw; t.cyc_kernel;
+         t.cyc_delivery; t.cyc_decode; t.cyc_bind; t.cyc_emulate;
+         t.cyc_trace; t.cyc_gc; t.cyc_correctness;
+         t.cyc_correctness_handler; t.cyc_patch_checks; t.gc_passes;
+         t.gc_full_passes; t.gc_freed; t.gc_alive_last;
+         t.gc_words_scanned; t.boxes_allocated; t.eager_frees ])
 
 let total_fpvm_cycles t =
   t.cyc_hw + t.cyc_kernel + t.cyc_delivery + t.cyc_decode + t.cyc_bind

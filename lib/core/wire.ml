@@ -1,0 +1,204 @@
+(* Wire: the record/replay subsystem's binary codec (no Marshal).
+
+   Every multi-byte quantity is little-endian; variable-length integers
+   are unsigned LEB128 (7 bits per byte, high bit = continue); signed
+   integers are zigzag-folded first. Readers work over an immutable
+   string with an explicit position ref and raise {!Corrupt} instead of
+   returning garbage on truncated or malformed input — the log reader
+   depends on that to reject damaged files.
+
+   The same primitives serialize alternative-arithmetic shadow values
+   (each {!Arith.S} port provides [encode_value]/[decode_value] on top
+   of these), so a checkpoint is one format from registers down to the
+   arena cells. *)
+
+module Nat = Bignum.Nat
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* ---- writers (into a Buffer) ---------------------------------------- *)
+
+let u8 b v = Buffer.add_uint8 b (v land 0xFF)
+let bool_ b v = u8 b (if v then 1 else 0)
+let u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let i64 b (v : int64) = Buffer.add_int64_le b v
+
+(* Unsigned LEB128. Rejects negatives: lengths and counters only. *)
+let varint b v =
+  if v < 0 then invalid_arg "Wire.varint: negative";
+  let rec go v =
+    if v < 0x80 then u8 b v
+    else begin
+      u8 b (0x80 lor (v land 0x7F));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+(* Zigzag-folded signed integer (small magnitudes stay small either
+   sign; exponents are the main customer). *)
+(* Zigzag folding, total on the whole int range: [lsl] wraps and [lsr]
+   is unsigned, so the fold is a bijection on 63-bit patterns (naive
+   [(-v) lsl 1 - 1] overflows for |v| >= 2^61). The folded pattern may
+   read as a negative OCaml int, so it is emitted with an unsigned
+   7-bit group loop rather than [varint]. *)
+let zint b v =
+  let rec go v =
+    if v land lnot 0x7F = 0 then u8 b v
+    else begin
+      u8 b (0x80 lor (v land 0x7F));
+      go (v lsr 7)
+    end
+  in
+  go ((v lsl 1) lxor (v asr 62))
+
+let str b s =
+  varint b (String.length s);
+  Buffer.add_string b s
+
+(* Arbitrary-precision natural: bit length, then 32-bit limbs low
+   to high. *)
+let nat b (n : Nat.t) =
+  let bits = Nat.num_bits n in
+  varint b bits;
+  let i = ref 0 in
+  while !i < bits do
+    u32 b (Nat.to_int (Nat.extract_bits n ~lo:!i ~len:32));
+    i := !i + 32
+  done
+
+(* Zero-run RLE for memory images (mostly-zero address spaces):
+   alternating (zero-run length, literal length, literal bytes) pairs
+   prefixed with the decoded size. A literal run ends at the next span
+   of >= 16 consecutive zero bytes. *)
+let bytes_rle b (src : Bytes.t) =
+  let n = Bytes.length src in
+  varint b n;
+  let zeros_at i =
+    let j = ref i in
+    while !j < n && Bytes.get src !j = '\000' do
+      incr j
+    done;
+    !j - i
+  in
+  let i = ref 0 in
+  while !i < n do
+    let z = zeros_at !i in
+    let lit_start = !i + z in
+    (* extend the literal until a zero span worth encoding *)
+    let j = ref lit_start in
+    let stop = ref false in
+    while (not !stop) && !j < n do
+      if Bytes.get src !j = '\000' then begin
+        let z' = zeros_at !j in
+        if z' >= 16 || !j + z' = n then stop := true else j := !j + z'
+      end
+      else incr j
+    done;
+    varint b z;
+    varint b (!j - lit_start);
+    Buffer.add_subbytes b src lit_start (!j - lit_start);
+    i := !j
+  done
+
+(* ---- readers (string + position ref) -------------------------------- *)
+
+let need s pos n =
+  if !pos < 0 || !pos + n > String.length s then
+    corrupt "truncated input at byte %d (need %d)" !pos n
+
+let r_u8 s pos =
+  need s pos 1;
+  let v = Char.code s.[!pos] in
+  incr pos;
+  v
+
+let r_bool s pos =
+  match r_u8 s pos with
+  | 0 -> false
+  | 1 -> true
+  | v -> corrupt "bad boolean byte %d" v
+
+let r_u32 s pos =
+  need s pos 4;
+  let v = Int32.to_int (String.get_int32_le s !pos) land 0xFFFFFFFF in
+  pos := !pos + 4;
+  v
+
+let r_i64 s pos =
+  need s pos 8;
+  let v = String.get_int64_le s !pos in
+  pos := !pos + 8;
+  v
+
+let r_varint s pos =
+  let rec go shift acc =
+    if shift > 56 then corrupt "varint overflow"
+    else begin
+      let byte = r_u8 s pos in
+      let acc = acc lor ((byte land 0x7F) lsl shift) in
+      if byte land 0x80 = 0 then acc else go (shift + 7) acc
+    end
+  in
+  go 0 0
+
+let r_zint s pos =
+  let folded = r_varint s pos in
+  (folded lsr 1) lxor (-(folded land 1))
+
+let r_str s pos =
+  let len = r_varint s pos in
+  need s pos len;
+  let v = String.sub s !pos len in
+  pos := !pos + len;
+  v
+
+let r_nat s pos =
+  let bits = r_varint s pos in
+  let n = ref Nat.zero in
+  let i = ref 0 in
+  while !i < bits do
+    let limb = r_u32 s pos in
+    n := Nat.logor !n (Nat.shift_left (Nat.of_int limb) !i);
+    i := !i + 32
+  done;
+  !n
+
+let r_bytes_rle s pos =
+  let n = r_varint s pos in
+  let dst = Bytes.make n '\000' in
+  let i = ref 0 in
+  while !i < n do
+    let z = r_varint s pos in
+    let lit = r_varint s pos in
+    if z < 0 || lit < 0 || !i + z + lit > n then corrupt "RLE run overflow";
+    need s pos lit;
+    Bytes.blit_string s !pos dst (!i + z) lit;
+    pos := !pos + lit;
+    i := !i + z + lit
+  done;
+  dst
+
+(* ---- FNV-1a 64-bit -------------------------------------------------- *)
+
+let fnv_basis = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let fnv64_byte h byte =
+  Int64.mul (Int64.logxor h (Int64.of_int (byte land 0xFF))) fnv_prime
+
+let fnv64 h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv64_byte !h (Char.code c)) s;
+  !h
+
+let fnv64_i64 h (v : int64) =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv64_byte !h (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done;
+  !h
+
+let fnv64_int h v = fnv64_i64 h (Int64.of_int v)

@@ -1,0 +1,115 @@
+(* Divergence bisection between two event logs.
+
+   Given logs recorded under two configs (or two builds), find the
+   first comparable event where they disagree. Prefix equality is
+   monotone — once the streams disagree they never "re-agree" in a
+   meaningful way — so the first difference is located by binary
+   search over chained prefix digests: O(n) digest chaining once, then
+   O(log n) O(1) probes, and a direct record comparison at the answer
+   to rule out a hash collision.
+
+   Two modes:
+   - [Exact]: records must match field for field (same config expected;
+     this is the regression harness: record A, record B, expect empty
+     diff).
+   - [Arch]: the config-invariant view ({!Event.normalize}) — GC
+     passes drop out and delivered/absorbed faults unify, so e.g.
+     `--trace-len 1` vs `--trace-len 64` or full vs incremental GC
+     compare clean, and any reported divergence is a real
+     architectural difference. *)
+
+type mode = Exact | Arch
+
+type divergence = {
+  at : int; (* position in the comparable stream *)
+  left : Event.t option; (* None: that stream ended first *)
+  right : Event.t option;
+}
+
+let comparable mode (l : Log.t) : Event.t array =
+  match mode with
+  | Exact -> l.Log.events
+  | Arch ->
+      Array.of_seq
+        (Seq.filter
+           (fun e -> Event.normalize e <> None)
+           (Array.to_seq l.Log.events))
+
+let key mode (e : Event.t) : int64 =
+  match mode with
+  | Exact -> Event.digest e
+  | Arch -> (
+      match Event.normalize e with
+      | Some n -> Event.norm_digest n
+      | None -> assert false (* filtered by [comparable] *))
+
+let events_agree mode (a : Event.t) (b : Event.t) =
+  match mode with
+  | Exact -> Event.equal a b
+  | Arch -> Event.normalize a = Event.normalize b
+
+let first_divergence ?(mode = Exact) (a : Log.t) (b : Log.t) :
+    divergence option =
+  let ea = comparable mode a and eb = comparable mode b in
+  let na = Array.length ea and nb = Array.length eb in
+  let n = min na nb in
+  let chain evs =
+    let p = Array.make (n + 1) Codec.fnv_basis in
+    for i = 0 to n - 1 do
+      p.(i + 1) <- Codec.fnv64_i64 p.(i) (key mode evs.(i))
+    done;
+    p
+  in
+  let pa = chain ea and pb = chain eb in
+  if Int64.equal pa.(n) pb.(n) then
+    if na = nb then None
+    else
+      (* common prefix, one stream longer: first extra event diverges *)
+      Some
+        { at = n;
+          left = (if na > n then Some ea.(n) else None);
+          right = (if nb > n then Some eb.(n) else None) }
+  else begin
+    (* smallest k with pa.(k) <> pb.(k); invariant below: prefixes of
+       length lo agree, prefixes of length hi do not *)
+    let lo = ref 0 and hi = ref n in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if Int64.equal pa.(mid) pb.(mid) then lo := mid else hi := mid
+    done;
+    let at = !hi - 1 in
+    if events_agree mode ea.(at) eb.(at) then
+      (* fnv collision upstream of a real difference: fall back to the
+         direct scan from here (vanishingly rare) *)
+      let rec scan i =
+        if i >= n then
+          if na = nb then None
+          else
+            Some
+              { at = n;
+                left = (if na > n then Some ea.(n) else None);
+                right = (if nb > n then Some eb.(n) else None) }
+        else if events_agree mode ea.(i) eb.(i) then scan (i + 1)
+        else Some { at = i; left = Some ea.(i); right = Some eb.(i) }
+      in
+      scan at
+    else Some { at; left = Some ea.(at); right = Some eb.(at) }
+  end
+
+let report ?prog (a : Log.t) (b : Log.t) (d : divergence option) : string =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "left:  %s\n"
+    (Format.asprintf "%a" Log.pp_meta a.Log.meta);
+  Printf.bprintf buf "right: %s\n"
+    (Format.asprintf "%a" Log.pp_meta b.Log.meta);
+  (match d with
+  | None -> Printf.bprintf buf "logs agree: no diverging event\n"
+  | Some d ->
+      Printf.bprintf buf "first divergence at comparable event %d:\n" d.at;
+      let side name = function
+        | None -> Printf.bprintf buf "  %-5s <stream ended>\n" name
+        | Some e -> Printf.bprintf buf "  %-5s %s\n" name (Event.describe ?prog e)
+      in
+      side "left" d.left;
+      side "right" d.right);
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(* Codec: lib/replay's binary primitives.
+
+   The wire format itself lives in {!Fpvm.Wire} (the arithmetic ports
+   need it to serialize shadow values, so it sits below the engine);
+   this module re-exports it and adds the file plumbing the log and
+   checkpoint containers use. *)
+
+include Fpvm.Wire
+
+let write_file path (s : string) =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

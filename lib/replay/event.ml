@@ -1,0 +1,232 @@
+(* One event-log record.
+
+   An event is an architectural occurrence the engine cannot invent or
+   skip without the execution itself having changed: a delivered FP
+   trap, an in-trace fault absorbed without delivery, a correctness
+   trap, a GC pass, an interposed external call. Each record carries
+   the dynamic instruction count and a standalone FNV-1a digest of the
+   architectural state at emission ([chk]); digests are standalone (not
+   rolled into each other) so the bisector can compare sub-streams
+   across configs.
+
+   Trap records also carry the faulting instruction's bound operands:
+   an unboxed operand is stored as its raw bits, a NaN-boxed operand as
+   the digest of its *encoded shadow value* (arena indices are
+   allocation-order artifacts and differ across GC configs; the shadow
+   value itself does not). The [boxed] bitmask says which is which
+   (bit 0 = dst, bit 1 = src). *)
+
+module Isa = Machine.Isa
+
+type kind =
+  | Fp_trap of
+      { index : int; events : int; boxed : int; dst : int64; src : int64 }
+  | Absorbed of
+      { index : int; events : int; boxed : int; dst : int64; src : int64 }
+  | Correctness of { index : int }
+  | Gc of { full : bool; freed : int; words : int }
+  | Ext_call of { fn : int; arg : int64; handled : bool }
+
+type t = { seq : int; insns : int; chk : int64; kind : kind }
+
+let equal (a : t) (b : t) = a = b
+
+(* ---- external-function ids (wire format: append only) ---------------- *)
+
+let ext_fn_id : Isa.ext_fn -> int = function
+  | Isa.Sin -> 0
+  | Isa.Cos -> 1
+  | Isa.Tan -> 2
+  | Isa.Asin -> 3
+  | Isa.Acos -> 4
+  | Isa.Atan -> 5
+  | Isa.Atan2 -> 6
+  | Isa.Exp -> 7
+  | Isa.Log -> 8
+  | Isa.Log10 -> 9
+  | Isa.Pow -> 10
+  | Isa.Floor -> 11
+  | Isa.Ceil -> 12
+  | Isa.Fabs -> 13
+  | Isa.Fmod -> 14
+  | Isa.Hypot -> 15
+  | Isa.Cbrt -> 16
+  | Isa.Sinh -> 17
+  | Isa.Cosh -> 18
+  | Isa.Tanh -> 19
+  | Isa.Print_f64 -> 20
+  | Isa.Print_i64 -> 21
+  | Isa.Print_str _ -> 22
+  | Isa.Write_f64 -> 23
+  | Isa.Alloc -> 24
+  | Isa.Exit -> 25
+
+let ext_fn_names =
+  [| "sin"; "cos"; "tan"; "asin"; "acos"; "atan"; "atan2"; "exp"; "log";
+     "log10"; "pow"; "floor"; "ceil"; "fabs"; "fmod"; "hypot"; "cbrt";
+     "sinh"; "cosh"; "tanh"; "print_f64"; "print_i64"; "print_str";
+     "write_f64"; "alloc"; "exit" |]
+
+let ext_fn_name id =
+  if id >= 0 && id < Array.length ext_fn_names then ext_fn_names.(id)
+  else Printf.sprintf "ext%d" id
+
+(* A changed string literal must show up as a divergence even though the
+   literal itself is not worth storing. *)
+let ext_fn_arg : Isa.ext_fn -> int64 = function
+  | Isa.Print_str s -> Codec.fnv64 Codec.fnv_basis s
+  | _ -> 0L
+
+(* ---- codec ----------------------------------------------------------- *)
+
+let encode b (e : t) =
+  let tag =
+    match e.kind with
+    | Fp_trap _ -> Trapkern.ev_fp_trap
+    | Absorbed _ -> Trapkern.ev_absorbed
+    | Correctness _ -> Trapkern.ev_correctness
+    | Gc _ -> Trapkern.ev_gc
+    | Ext_call _ -> Trapkern.ev_ext_call
+  in
+  Codec.u8 b tag;
+  Codec.varint b e.seq;
+  Codec.varint b e.insns;
+  Codec.i64 b e.chk;
+  match e.kind with
+  | Fp_trap { index; events; boxed; dst; src }
+  | Absorbed { index; events; boxed; dst; src } ->
+      Codec.varint b index;
+      Codec.u8 b events;
+      Codec.u8 b boxed;
+      Codec.i64 b dst;
+      Codec.i64 b src
+  | Correctness { index } -> Codec.varint b index
+  | Gc { full; freed; words } ->
+      Codec.bool_ b full;
+      Codec.varint b freed;
+      Codec.varint b words
+  | Ext_call { fn; arg; handled } ->
+      Codec.u8 b fn;
+      Codec.i64 b arg;
+      Codec.bool_ b handled
+
+let decode s pos : t =
+  let tag = Codec.r_u8 s pos in
+  let seq = Codec.r_varint s pos in
+  let insns = Codec.r_varint s pos in
+  let chk = Codec.r_i64 s pos in
+  let kind =
+    if tag = Trapkern.ev_fp_trap || tag = Trapkern.ev_absorbed then begin
+      let index = Codec.r_varint s pos in
+      let events = Codec.r_u8 s pos in
+      let boxed = Codec.r_u8 s pos in
+      let dst = Codec.r_i64 s pos in
+      let src = Codec.r_i64 s pos in
+      if tag = Trapkern.ev_fp_trap then
+        Fp_trap { index; events; boxed; dst; src }
+      else Absorbed { index; events; boxed; dst; src }
+    end
+    else if tag = Trapkern.ev_correctness then
+      Correctness { index = Codec.r_varint s pos }
+    else if tag = Trapkern.ev_gc then begin
+      let full = Codec.r_bool s pos in
+      let freed = Codec.r_varint s pos in
+      let words = Codec.r_varint s pos in
+      Gc { full; freed; words }
+    end
+    else if tag = Trapkern.ev_ext_call then begin
+      let fn = Codec.r_u8 s pos in
+      let arg = Codec.r_i64 s pos in
+      let handled = Codec.r_bool s pos in
+      Ext_call { fn; arg; handled }
+    end
+    else Codec.corrupt "bad event tag %d" tag
+  in
+  { seq; insns; chk; kind }
+
+let digest (e : t) : int64 =
+  let b = Buffer.create 48 in
+  encode b e;
+  Codec.fnv64 Codec.fnv_basis (Buffer.contents b)
+
+(* ---- cross-config normalization -------------------------------------- *)
+
+(* The bisector's config-invariant view. GC passes drop out (their
+   schedule is a config artifact: interval, incremental vs full), and
+   delivered vs absorbed faults unify — trace length changes how a
+   fault is *serviced*, never whether it happens. What remains is the
+   architectural story two correct configs must tell identically. *)
+type norm = {
+  n_tag : int; (* 1 fault, 2 correctness, 3 ext call *)
+  n_index : int;
+  n_insns : int;
+  n_chk : int64;
+  n_events : int;
+  n_a : int64;
+  n_b : int64;
+}
+
+let normalize (e : t) : norm option =
+  match e.kind with
+  | Fp_trap { index; events; boxed = _; dst; src }
+  | Absorbed { index; events; boxed = _; dst; src } ->
+      Some
+        { n_tag = 1; n_index = index; n_insns = e.insns; n_chk = e.chk;
+          n_events = events; n_a = dst; n_b = src }
+  | Correctness { index } ->
+      Some
+        { n_tag = 2; n_index = index; n_insns = e.insns; n_chk = e.chk;
+          n_events = 0; n_a = 0L; n_b = 0L }
+  | Gc _ -> None
+  | Ext_call { fn; arg; handled } ->
+      Some
+        { n_tag = 3; n_index = fn; n_insns = e.insns; n_chk = e.chk;
+          n_events = (if handled then 1 else 0); n_a = arg; n_b = 0L }
+
+let norm_digest (n : norm) : int64 =
+  let h = Codec.fnv_basis in
+  let h = Codec.fnv64_int h n.n_tag in
+  let h = Codec.fnv64_int h n.n_index in
+  let h = Codec.fnv64_int h n.n_insns in
+  let h = Codec.fnv64_i64 h n.n_chk in
+  let h = Codec.fnv64_int h n.n_events in
+  let h = Codec.fnv64_i64 h n.n_a in
+  Codec.fnv64_i64 h n.n_b
+
+(* ---- reporting -------------------------------------------------------- *)
+
+let describe ?prog (e : t) : string =
+  let insn_str index =
+    match prog with
+    | Some (p : Machine.Program.t)
+      when index >= 0 && index < Array.length p.Machine.Program.insns ->
+        Format.asprintf "%a" Isa.pp_insn p.Machine.Program.insns.(index)
+    | _ -> "?"
+  in
+  let operand boxed bit v =
+    if boxed land bit <> 0 then Printf.sprintf "box(%016Lx)" v
+    else Printf.sprintf "%.17g(%016Lx)" (Int64.float_of_bits v) v
+  in
+  let head = Printf.sprintf "seq %d insn#%d chk %016Lx" e.seq e.insns e.chk in
+  match e.kind with
+  | Fp_trap { index; events; boxed; dst; src } ->
+      Printf.sprintf "%s fp-trap @%d `%s` [%s] dst=%s src=%s" head index
+        (insn_str index)
+        (String.concat "+" (Ieee754.Flags.names events))
+        (operand boxed 1 dst) (operand boxed 2 src)
+  | Absorbed { index; events; boxed; dst; src } ->
+      Printf.sprintf "%s absorbed @%d `%s` [%s] dst=%s src=%s" head index
+        (insn_str index)
+        (String.concat "+" (Ieee754.Flags.names events))
+        (operand boxed 1 dst) (operand boxed 2 src)
+  | Correctness { index } ->
+      Printf.sprintf "%s correctness-trap @%d `%s`" head index (insn_str index)
+  | Gc { full; freed; words } ->
+      Printf.sprintf "%s gc(%s) freed=%d words=%d" head
+        (if full then "full" else "incremental")
+        freed words
+  | Ext_call { fn; arg; handled } ->
+      Printf.sprintf "%s call %s%s%s" head (ext_fn_name fn)
+        (if Int64.equal arg 0L then ""
+         else Printf.sprintf " arg#%016Lx" arg)
+        (if handled then " (interposed)" else "")

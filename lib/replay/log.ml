@@ -1,0 +1,101 @@
+(* The on-disk event log.
+
+   Layout (all via {!Codec}):
+
+     "FPVMLOG1"            8-byte magic
+     u32 version           (1)
+     meta                  workload / scale / arith / config fingerprint
+     varint event count
+     varint event-region length
+     events                count records ({!Event.encode})
+     i64 FNV-1a            checksum of everything after the magic
+
+   The checksum is verified before any field is decoded, so a flipped
+   byte anywhere in the file rejects it whole rather than decoding
+   into a plausible-but-wrong stream. Readers raise {!Codec.Corrupt}
+   on any malformation. *)
+
+let magic = "FPVMLOG1"
+let version = 1
+
+type meta = {
+  workload : string;
+  scale : string;
+  arith : string;
+  config : string; (* canonical engine-config fingerprint *)
+}
+
+let meta_equal (a : meta) (b : meta) = a = b
+
+let pp_meta fmt (m : meta) =
+  Format.fprintf fmt "%s/%s arith=%s config=%s" m.workload m.scale m.arith
+    m.config
+
+type t = { meta : meta; events : Event.t array }
+
+(* ---- writing --------------------------------------------------------- *)
+
+type writer = { wmeta : meta; ebuf : Buffer.t; mutable count : int }
+
+let writer meta = { wmeta = meta; ebuf = Buffer.create (1 lsl 16); count = 0 }
+
+let add w (ev : Event.t) =
+  Event.encode w.ebuf ev;
+  w.count <- w.count + 1
+
+let encode_meta b (m : meta) =
+  Codec.str b m.workload;
+  Codec.str b m.scale;
+  Codec.str b m.arith;
+  Codec.str b m.config
+
+let decode_meta s pos : meta =
+  let workload = Codec.r_str s pos in
+  let scale = Codec.r_str s pos in
+  let arith = Codec.r_str s pos in
+  let config = Codec.r_str s pos in
+  { workload; scale; arith; config }
+
+let contents (w : writer) : string =
+  let b = Buffer.create (Buffer.length w.ebuf + 128) in
+  Codec.u32 b version;
+  encode_meta b w.wmeta;
+  Codec.varint b w.count;
+  let events = Buffer.contents w.ebuf in
+  Codec.varint b (String.length events);
+  Buffer.add_string b events;
+  let body = Buffer.contents b in
+  magic ^ body
+  ^
+  let cb = Buffer.create 8 in
+  Codec.i64 cb (Codec.fnv64 Codec.fnv_basis body);
+  Buffer.contents cb
+
+let to_file (w : writer) path = Codec.write_file path (contents w)
+
+(* ---- reading --------------------------------------------------------- *)
+
+let of_string (s : string) : t =
+  let mlen = String.length magic in
+  if String.length s < mlen + 8 || String.sub s 0 mlen <> magic then
+    Codec.corrupt "not an FPVM event log (bad magic)";
+  (* checksum everything between magic and trailer before decoding *)
+  let body = String.sub s mlen (String.length s - mlen - 8) in
+  let sum = Codec.r_i64 s (ref (String.length s - 8)) in
+  if not (Int64.equal sum (Codec.fnv64 Codec.fnv_basis body)) then
+    Codec.corrupt "log checksum mismatch (corrupted log)";
+  let pos = ref 0 in
+  let v = Codec.r_u32 body pos in
+  if v <> version then Codec.corrupt "unsupported log version %d" v;
+  let meta = decode_meta body pos in
+  let count = Codec.r_varint body pos in
+  let elen = Codec.r_varint body pos in
+  Codec.need body pos elen;
+  if String.length body <> !pos + elen then
+    Codec.corrupt "trailing bytes in event log";
+  let epos = ref !pos in
+  let events = Array.init count (fun _ -> Event.decode body epos) in
+  if !epos <> !pos + elen then Codec.corrupt "trailing bytes in event region";
+  { meta; events }
+
+let of_file path = of_string (Codec.read_file path)

@@ -1,0 +1,308 @@
+(* Record / replay / restore drivers, functorized over the arithmetic.
+
+   [Make (A)] owns its engine instantiation ([module E]): separate
+   applications of [Engine.Make (A)] produce incompatible types, so
+   callers must run programs through the session's [E].
+
+   The architectural digest hashed into every event is *config
+   invariant*: NaN-boxed register values are unboxed and the encoded
+   shadow value is hashed, never the raw box bits — arena indices are
+   allocation-order artifacts and differ between GC configs even when
+   the computation is identical. Cycle counts and %mxcsr are excluded
+   for the same reason (delivery accounting differs across trace
+   lengths and deployments without the architecture diverging).
+   Registers are GC roots, so whether a register-held shadow value is
+   live is also config-invariant. Memory is not hashed per event
+   (that would be O(|mem|) per trap); memory divergence surfaces at
+   the next event that consumes the differing word, and bit-exact
+   whole-state comparison happens at checkpoints and run end. *)
+
+module State = Machine.State
+module Isa = Machine.Isa
+
+type recording = {
+  result : Fpvm.Engine.result;
+  log : Log.t;
+  log_bytes : string;
+  checkpoints : (int * string) list; (* (event seq, blob), ascending *)
+}
+
+type divergence = {
+  at : int; (* event sequence number *)
+  expected : Event.t option; (* None: log exhausted, run kept going *)
+  got : Event.t option; (* None: run ended, log expects more *)
+}
+
+type outcome = Match of Fpvm.Engine.result | Diverged of divergence
+
+let pp_divergence ?prog fmt (d : divergence) =
+  let side name = function
+    | None -> Format.fprintf fmt "  %s: <stream ended>@." name
+    | Some e -> Format.fprintf fmt "  %s: %s@." name (Event.describe ?prog e)
+  in
+  Format.fprintf fmt "replay diverged at event %d:@." d.at;
+  side "expected (log)" d.expected;
+  side "got (run)" d.got
+
+module Make (A : Fpvm.Arith.S) = struct
+  module E = Fpvm.Engine.Make (A)
+  module P = Fpvm.Probe
+
+  (* ---- architectural digest ------------------------------------------ *)
+
+  let dangling_digest = Codec.fnv64 Codec.fnv_basis "dangling-box"
+
+  (* scratch for value_digest: one buffer per functor instance, not one
+     allocation per digested register *)
+  let scratch = Buffer.create 64
+
+  (* Registers barely change between consecutive events, so memoize
+     shadow-value digests per arena cell. Shadow values are immutable
+     once allocated; the [==] check makes a reused cell (freed, then
+     re-allocated) miss, and a stale hit is impossible — a physically
+     identical value digests identically by construction. *)
+  let memo_sentinel = Obj.repr "digest-memo-empty"
+  let memo_obj : Obj.t array ref = ref [||]
+  let memo_dig : int64 array ref = ref [||]
+
+  let memo_ensure idx =
+    if idx >= Array.length !memo_obj then begin
+      let n = max 1024 (2 * (idx + 1)) in
+      let o = Array.make n memo_sentinel and d = Array.make n 0L in
+      Array.blit !memo_obj 0 o 0 (Array.length !memo_obj);
+      Array.blit !memo_dig 0 d 0 (Array.length !memo_dig);
+      memo_obj := o;
+      memo_dig := d
+    end
+
+  (* Raw bits for unboxed values; the digest of the *encoded shadow
+     value* for boxes. *)
+  let value_digest (eng : E.t) (bits : int64) : int64 =
+    if Fpvm.Nanbox.is_boxed bits then begin
+      let idx = Fpvm.Nanbox.unbox bits in
+      match Fpvm.Arena.get eng.E.arena idx with
+      | Some v ->
+          let o = Obj.repr v in
+          memo_ensure idx;
+          if !memo_obj.(idx) == o then !memo_dig.(idx)
+          else begin
+            Buffer.clear scratch;
+            A.encode_value scratch v;
+            let d = Codec.fnv64 Codec.fnv_basis (Buffer.contents scratch) in
+            !memo_obj.(idx) <- o;
+            !memo_dig.(idx) <- d;
+            d
+          end
+      | None -> dangling_digest
+    end
+    else bits
+
+  (* The per-event digest runs 48 times per event, so it mixes with
+     untagged native-int arithmetic (one xor-multiply round per word;
+     multiplication by an odd constant is bijective, so no difference
+     is ever erased) instead of allocation-heavy boxed Int64 FNV. *)
+  let arch_digest (eng : E.t) (st : State.t) : int64 =
+    let h = ref 0x4BF29CE484222325 in
+    let mixi v = h := (!h lxor v) * 0x100000001B3 in
+    (* to_int keeps bits 0-62; the second round covers the top bits *)
+    let mix v =
+      mixi (Int64.to_int v);
+      mixi (Int64.to_int (Int64.shift_right_logical v 48))
+    in
+    mixi st.State.rip;
+    mixi st.State.insn_count;
+    mixi st.State.fp_insn_count;
+    mixi st.State.heap_ptr;
+    mixi
+      ((if st.State.zf then 1 else 0)
+      lor (if st.State.sf then 2 else 0)
+      lor (if st.State.cf then 4 else 0)
+      lor (if st.State.of_ then 8 else 0)
+      lor if st.State.pf then 16 else 0);
+    mixi (Buffer.length st.State.out);
+    mixi (Buffer.length st.State.serialized);
+    for i = 0 to 15 do
+      mix (value_digest eng st.State.gpr.(i))
+    done;
+    for i = 0 to 31 do
+      mix (value_digest eng st.State.xmm.(i))
+    done;
+    Int64.of_int !h
+
+  (* ---- event construction -------------------------------------------- *)
+
+  let operand_lane0 (st : State.t) (o : Isa.operand) : int64 =
+    match o with
+    | Isa.Xmm i -> State.get_xmm st i 0
+    | Isa.Reg r -> State.get_gpr st r
+    | Isa.Imm v -> v
+    | Isa.Mem m -> ( try State.load64 st (State.ea st m) with _ -> 0L)
+
+  (* Faults cluster on a handful of static sites, so decode each site
+     once per program. A separate memo (not the engine's decode cache)
+     keeps the engine's hit/miss counters — part of the deterministic
+     stats — untouched by recording. Decoding is wrapper-transparent,
+     so sites patched after first decode still memo correctly. *)
+  let dec_prog : Machine.Program.t option ref = ref None
+  let dec_seen = ref Bytes.empty
+  let dec_tab : Fpvm.Decoder.decoded option array ref = ref [||]
+
+  let decode_memo (prog : Machine.Program.t) idx =
+    (match !dec_prog with
+    | Some p when p == prog -> ()
+    | _ ->
+        let n = Array.length prog.Machine.Program.insns in
+        dec_prog := Some prog;
+        dec_seen := Bytes.make n '\000';
+        dec_tab := Array.make n None);
+    if Bytes.get !dec_seen idx = '\001' then !dec_tab.(idx)
+    else begin
+      let d = Fpvm.Decoder.decode_insn prog.Machine.Program.insns.(idx) in
+      Bytes.set !dec_seen idx '\001';
+      !dec_tab.(idx) <- d;
+      d
+    end
+
+  let fault_operands (eng : E.t) (st : State.t) (prog : Machine.Program.t)
+      index =
+    if index < 0 || index >= Array.length prog.Machine.Program.insns then
+      (0, 0L, 0L)
+    else
+      match decode_memo prog index with
+      | None -> (0, 0L, 0L)
+      | Some d ->
+          let dstb = operand_lane0 st d.Fpvm.Decoder.dst in
+          let srcb = operand_lane0 st d.Fpvm.Decoder.src in
+          let boxed =
+            (if Fpvm.Nanbox.is_boxed dstb then 1 else 0)
+            lor if Fpvm.Nanbox.is_boxed srcb then 2 else 0
+          in
+          (boxed, value_digest eng dstb, value_digest eng srcb)
+
+  let event_of_probe (ses : E.session) seq (pev : P.event) : Event.t =
+    let st = ses.E.st in
+    let chk = arch_digest ses.E.eng st in
+    let kind =
+      match pev with
+      | P.Fp_trap { index; events } ->
+          let boxed, dst, src = fault_operands ses.E.eng st ses.E.prog index in
+          Event.Fp_trap { index; events; boxed; dst; src }
+      | P.Absorbed { index; events } ->
+          let boxed, dst, src = fault_operands ses.E.eng st ses.E.prog index in
+          Event.Absorbed { index; events; boxed; dst; src }
+      | P.Correctness { index } -> Event.Correctness { index }
+      | P.Gc { full; freed; words } -> Event.Gc { full; freed; words }
+      | P.Ext_call { fn; handled } ->
+          Event.Ext_call
+            { fn = Event.ext_fn_id fn; arg = Event.ext_fn_arg fn; handled }
+    in
+    { Event.seq; insns = st.State.insn_count; chk; kind }
+
+  (* ---- checkpointing -------------------------------------------------- *)
+
+  let capture ~(meta : Log.meta) ~seq (ses : E.session) : string =
+    Snapshot.capture ~meta ~seq ~enc:A.encode_value ~st:ses.E.st
+      ~arena:ses.E.eng.E.arena ~stats:ses.E.eng.E.stats
+      ~cache:ses.E.eng.E.cache ~kern:ses.E.kern ~prog:ses.E.prog
+      ~since_gc:ses.E.eng.E.since_gc ~gc_count:ses.E.eng.E.gc_count
+      ~patch_sites:ses.E.eng.E.patch_sites
+
+  (* Prepare a fresh session and overwrite its mutable state from the
+     blob. Returns the session and the event sequence number at which
+     the checkpoint was taken. *)
+  let restore ~config (prog : Machine.Program.t) (blob : string) :
+      E.session * Log.meta * int =
+    let ses = E.prepare ~config prog in
+    let r =
+      Snapshot.restore ~dec:A.decode_value ~st:ses.E.st
+        ~arena:ses.E.eng.E.arena ~stats:ses.E.eng.E.stats
+        ~cache:ses.E.eng.E.cache ~kern:ses.E.kern ~prog:ses.E.prog blob
+    in
+    ses.E.eng.E.since_gc <- r.Snapshot.r_since_gc;
+    ses.E.eng.E.gc_count <- r.Snapshot.r_gc_count;
+    ses.E.eng.E.patch_sites <- r.Snapshot.r_patch_sites;
+    (ses, r.Snapshot.r_meta, r.Snapshot.r_seq)
+
+  (* ---- record ---------------------------------------------------------- *)
+
+  let record ?(checkpoint_every = 0) ~(meta : Log.meta) ~config
+      (prog : Machine.Program.t) : recording =
+    let ses = E.prepare ~config prog in
+    let w = Log.writer meta in
+    let seq = ref 0 in
+    let pending = ref 0 in
+    let cps = ref [] in
+    let cp_bytes = ref 0 in
+    ses.E.eng.E.probe.P.on_event <-
+      Some
+        (fun _st pev ->
+          Log.add w (event_of_probe ses !seq pev);
+          incr seq;
+          incr pending);
+    if checkpoint_every > 0 then
+      ses.E.eng.E.probe.P.on_quiesce <-
+        Some
+          (fun _st ->
+            if !pending >= checkpoint_every then begin
+              pending := 0;
+              let blob = capture ~meta ~seq:!seq ses in
+              cp_bytes := !cp_bytes + String.length blob;
+              cps := (!seq, blob) :: !cps
+            end);
+    let result = E.resume ses in
+    let log_bytes = Log.contents w in
+    let s = result.Fpvm.Engine.stats in
+    s.Fpvm.Stats.replay_events <- !seq;
+    s.Fpvm.Stats.replay_checkpoints <- List.length !cps;
+    s.Fpvm.Stats.replay_checkpoint_bytes <- !cp_bytes;
+    s.Fpvm.Stats.replay_log_bytes <- String.length log_bytes;
+    { result;
+      log = Log.of_string log_bytes;
+      log_bytes;
+      checkpoints = List.rev !cps }
+
+  (* ---- replay ----------------------------------------------------------- *)
+
+  exception Divergence_stop of divergence
+
+  (* Re-execute, validating every emitted event against the log. With
+     [?checkpoint], execution starts from the restored state and
+     validation from the checkpoint's sequence number. *)
+  let replay ?checkpoint ~config (log : Log.t) (prog : Machine.Program.t) :
+      outcome =
+    let ses, start_seq =
+      match checkpoint with
+      | None -> (E.prepare ~config prog, 0)
+      | Some blob ->
+          let ses, _meta, seq = restore ~config prog blob in
+          (ses, seq)
+    in
+    let seq = ref start_seq in
+    let evs = log.Log.events in
+    ses.E.eng.E.probe.P.on_event <-
+      Some
+        (fun _st pev ->
+          let got = event_of_probe ses !seq pev in
+          (if !seq >= Array.length evs then
+             raise
+               (Divergence_stop { at = !seq; expected = None; got = Some got })
+           else
+             let exp = evs.(!seq) in
+             if not (Event.equal exp got) then
+               raise
+                 (Divergence_stop
+                    { at = !seq; expected = Some exp; got = Some got }));
+          incr seq);
+    match E.resume ses with
+    | result ->
+        if !seq < Array.length evs then
+          Diverged { at = !seq; expected = Some evs.(!seq); got = None }
+        else Match result
+    | exception Divergence_stop d -> Diverged d
+
+  (* Restore a checkpoint and run to completion with no validation. *)
+  let resume_from ~config (prog : Machine.Program.t) (blob : string) :
+      Fpvm.Engine.result =
+    let ses, _meta, _seq = restore ~config prog blob in
+    E.resume ses
+end

@@ -1,0 +1,353 @@
+(* Checkpoint capture and restore.
+
+   A checkpoint is the complete mutable state of a prepared session at
+   a quiesce point: machine state (registers, memory, flags, %mxcsr,
+   counters, output channels, dirty-card set), the shadow arena with
+   every live value exactly encoded, engine bookkeeping (stats, GC
+   epoch, decode cache, trap-and-patch rewrites), and the simulated
+   kernel's accounting. Restoring overwrites a *freshly prepared*
+   session for the same program and config — [Engine.Make(A).prepare]
+   is deterministic, so everything not serialized here (hooks, analysis
+   patches, code layout) is reproduced by construction and only the
+   mutable run state needs the bytes.
+
+   Layout: "FPVMCKP1", u32 version, meta + sequence number, program
+   sanity header, machine / engine / arena / kernel sections, then an
+   FNV-1a checksum of everything before it (verified before any field
+   is applied).
+
+   The value codec is passed in ([enc]/[dec]) so this module stays
+   independent of which arithmetic port the engine was built with. *)
+
+module State = Machine.State
+module Isa = Machine.Isa
+module Mx = Ieee754.Mxcsr
+
+let magic = "FPVMCKP1"
+let version = 1
+
+(* ---- machine state --------------------------------------------------- *)
+
+let encode_state b (st : State.t) =
+  Codec.varint b st.State.rip;
+  Codec.bool_ b st.State.halted;
+  Codec.bool_ b st.State.track_writes;
+  Codec.u8 b
+    ((if st.State.zf then 1 else 0)
+    lor (if st.State.sf then 2 else 0)
+    lor (if st.State.cf then 4 else 0)
+    lor (if st.State.of_ then 8 else 0)
+    lor if st.State.pf then 16 else 0);
+  Codec.u32 b (Mx.to_bits st.State.mxcsr);
+  Codec.i64 b (Int64.of_int st.State.cycles);
+  Codec.varint b st.State.insn_count;
+  Codec.varint b st.State.fp_insn_count;
+  Codec.varint b st.State.heap_ptr;
+  for i = 0 to 15 do
+    Codec.i64 b st.State.gpr.(i)
+  done;
+  for i = 0 to 31 do
+    Codec.i64 b st.State.xmm.(i)
+  done;
+  Codec.bytes_rle b st.State.mem;
+  Codec.varint b st.State.dirty_count;
+  List.iter (fun c -> Codec.varint b c) st.State.dirty_cards;
+  Codec.str b (Buffer.contents st.State.out);
+  Codec.str b (Buffer.contents st.State.serialized)
+
+let restore_state s pos (st : State.t) =
+  st.State.rip <- Codec.r_varint s pos;
+  st.State.halted <- Codec.r_bool s pos;
+  st.State.track_writes <- Codec.r_bool s pos;
+  let fl = Codec.r_u8 s pos in
+  st.State.zf <- fl land 1 <> 0;
+  st.State.sf <- fl land 2 <> 0;
+  st.State.cf <- fl land 4 <> 0;
+  st.State.of_ <- fl land 8 <> 0;
+  st.State.pf <- fl land 16 <> 0;
+  st.State.mxcsr.Mx.bits <- Codec.r_u32 s pos;
+  st.State.cycles <- Int64.to_int (Codec.r_i64 s pos);
+  st.State.insn_count <- Codec.r_varint s pos;
+  st.State.fp_insn_count <- Codec.r_varint s pos;
+  st.State.heap_ptr <- Codec.r_varint s pos;
+  for i = 0 to 15 do
+    st.State.gpr.(i) <- Codec.r_i64 s pos
+  done;
+  for i = 0 to 31 do
+    st.State.xmm.(i) <- Codec.r_i64 s pos
+  done;
+  let mem = Codec.r_bytes_rle s pos in
+  if Bytes.length mem <> Bytes.length st.State.mem then
+    Codec.corrupt "checkpoint memory image is %d bytes, machine has %d"
+      (Bytes.length mem) (Bytes.length st.State.mem);
+  Bytes.blit mem 0 st.State.mem 0 (Bytes.length mem);
+  let ncards = Codec.r_varint s pos in
+  let cards = List.init ncards (fun _ -> Codec.r_varint s pos) in
+  Bytes.fill st.State.dirty_map 0 (Bytes.length st.State.dirty_map) '\000';
+  List.iter
+    (fun c ->
+      if c < 0 || c >= Bytes.length st.State.dirty_map then
+        Codec.corrupt "dirty card %d out of range" c;
+      Bytes.set st.State.dirty_map c '\001')
+    cards;
+  st.State.dirty_cards <- cards;
+  st.State.dirty_count <- ncards;
+  Buffer.clear st.State.out;
+  Buffer.add_string st.State.out (Codec.r_str s pos);
+  Buffer.clear st.State.serialized;
+  Buffer.add_string st.State.serialized (Codec.r_str s pos)
+
+(* ---- shadow arena ---------------------------------------------------- *)
+
+let encode_arena b enc (ar : 'v Fpvm.Arena.t) =
+  Codec.varint b (Array.length ar.Fpvm.Arena.cells);
+  Codec.varint b ar.Fpvm.Arena.next_fresh;
+  for i = 0 to ar.Fpvm.Arena.next_fresh - 1 do
+    let c = ar.Fpvm.Arena.cells.(i) in
+    (match c.Fpvm.Arena.v with
+    | None -> Codec.u8 b (if c.Fpvm.Arena.on_young then 2 else 0)
+    | Some v ->
+        Codec.u8 b (1 lor if c.Fpvm.Arena.on_young then 2 else 0);
+        enc b v)
+  done;
+  let int_list l =
+    Codec.varint b (List.length l);
+    List.iter (fun i -> Codec.varint b i) l
+  in
+  int_list ar.Fpvm.Arena.free;
+  int_list ar.Fpvm.Arena.young;
+  Codec.varint b ar.Fpvm.Arena.live;
+  Codec.varint b ar.Fpvm.Arena.young_count;
+  Codec.varint b ar.Fpvm.Arena.total_alloc;
+  Codec.varint b ar.Fpvm.Arena.total_freed;
+  Codec.varint b ar.Fpvm.Arena.high_water
+
+let restore_arena s pos dec (ar : 'v Fpvm.Arena.t) =
+  let cap = Codec.r_varint s pos in
+  let next_fresh = Codec.r_varint s pos in
+  if next_fresh > cap then Codec.corrupt "arena next_fresh beyond capacity";
+  let cells =
+    Array.init cap (fun _ ->
+        { Fpvm.Arena.v = None; mark = false; on_young = false })
+  in
+  for i = 0 to next_fresh - 1 do
+    let tag = Codec.r_u8 s pos in
+    let v = if tag land 1 <> 0 then Some (dec s pos) else None in
+    cells.(i) <-
+      { Fpvm.Arena.v; mark = false; on_young = tag land 2 <> 0 }
+  done;
+  let int_list () =
+    let n = Codec.r_varint s pos in
+    List.init n (fun _ -> Codec.r_varint s pos)
+  in
+  ar.Fpvm.Arena.cells <- cells;
+  ar.Fpvm.Arena.next_fresh <- next_fresh;
+  ar.Fpvm.Arena.free <- int_list ();
+  ar.Fpvm.Arena.young <- int_list ();
+  ar.Fpvm.Arena.live <- Codec.r_varint s pos;
+  ar.Fpvm.Arena.young_count <- Codec.r_varint s pos;
+  ar.Fpvm.Arena.total_alloc <- Codec.r_varint s pos;
+  ar.Fpvm.Arena.total_freed <- Codec.r_varint s pos;
+  ar.Fpvm.Arena.high_water <- Codec.r_varint s pos
+
+(* ---- engine statistics ----------------------------------------------- *)
+
+(* Field order is part of the format. *)
+let stats_ints (s : Fpvm.Stats.t) =
+  [ s.fp_traps; s.correctness_traps; s.correctness_demotions;
+    s.patch_invocations; s.checked_invocations; s.emulated_ops;
+    s.emulated_insns; s.traces; s.trace_insns; s.traps_avoided;
+    s.math_calls; s.printf_hijacks; s.serialize_demotions; s.decode_hits;
+    s.decode_misses; s.cyc_hw; s.cyc_kernel; s.cyc_delivery; s.cyc_decode;
+    s.cyc_bind; s.cyc_emulate; s.cyc_trace; s.cyc_gc; s.cyc_correctness;
+    s.cyc_correctness_handler; s.cyc_patch_checks; s.gc_passes;
+    s.gc_full_passes; s.gc_freed; s.gc_alive_last; s.gc_words_scanned;
+    s.boxes_allocated; s.eager_frees; s.replay_events;
+    s.replay_checkpoints; s.replay_checkpoint_bytes; s.replay_log_bytes ]
+
+let encode_stats b (s : Fpvm.Stats.t) =
+  List.iter (fun v -> Codec.i64 b (Int64.of_int v)) (stats_ints s);
+  Codec.i64 b (Int64.bits_of_float s.Fpvm.Stats.gc_latency_s)
+
+let restore_stats s pos (t : Fpvm.Stats.t) =
+  let r () = Int64.to_int (Codec.r_i64 s pos) in
+  t.Fpvm.Stats.fp_traps <- r ();
+  t.Fpvm.Stats.correctness_traps <- r ();
+  t.Fpvm.Stats.correctness_demotions <- r ();
+  t.Fpvm.Stats.patch_invocations <- r ();
+  t.Fpvm.Stats.checked_invocations <- r ();
+  t.Fpvm.Stats.emulated_ops <- r ();
+  t.Fpvm.Stats.emulated_insns <- r ();
+  t.Fpvm.Stats.traces <- r ();
+  t.Fpvm.Stats.trace_insns <- r ();
+  t.Fpvm.Stats.traps_avoided <- r ();
+  t.Fpvm.Stats.math_calls <- r ();
+  t.Fpvm.Stats.printf_hijacks <- r ();
+  t.Fpvm.Stats.serialize_demotions <- r ();
+  t.Fpvm.Stats.decode_hits <- r ();
+  t.Fpvm.Stats.decode_misses <- r ();
+  t.Fpvm.Stats.cyc_hw <- r ();
+  t.Fpvm.Stats.cyc_kernel <- r ();
+  t.Fpvm.Stats.cyc_delivery <- r ();
+  t.Fpvm.Stats.cyc_decode <- r ();
+  t.Fpvm.Stats.cyc_bind <- r ();
+  t.Fpvm.Stats.cyc_emulate <- r ();
+  t.Fpvm.Stats.cyc_trace <- r ();
+  t.Fpvm.Stats.cyc_gc <- r ();
+  t.Fpvm.Stats.cyc_correctness <- r ();
+  t.Fpvm.Stats.cyc_correctness_handler <- r ();
+  t.Fpvm.Stats.cyc_patch_checks <- r ();
+  t.Fpvm.Stats.gc_passes <- r ();
+  t.Fpvm.Stats.gc_full_passes <- r ();
+  t.Fpvm.Stats.gc_freed <- r ();
+  t.Fpvm.Stats.gc_alive_last <- r ();
+  t.Fpvm.Stats.gc_words_scanned <- r ();
+  t.Fpvm.Stats.boxes_allocated <- r ();
+  t.Fpvm.Stats.eager_frees <- r ();
+  t.Fpvm.Stats.replay_events <- r ();
+  t.Fpvm.Stats.replay_checkpoints <- r ();
+  t.Fpvm.Stats.replay_checkpoint_bytes <- r ();
+  t.Fpvm.Stats.replay_log_bytes <- r ();
+  t.Fpvm.Stats.gc_latency_s <- Int64.float_of_bits (Codec.r_i64 s pos)
+
+(* ---- capture / restore ----------------------------------------------- *)
+
+let capture ~(meta : Log.meta) ~seq ~enc ~(st : State.t)
+    ~(arena : 'v Fpvm.Arena.t) ~(stats : Fpvm.Stats.t)
+    ~(cache : Fpvm.Decoder.cache) ~(kern : Trapkern.t)
+    ~(prog : Machine.Program.t) ~since_gc ~gc_count ~patch_sites : string =
+  let b = Buffer.create (1 lsl 16) in
+  Buffer.add_string b magic;
+  Codec.u32 b version;
+  Log.encode_meta b meta;
+  Codec.varint b seq;
+  (* program sanity header *)
+  Codec.str b prog.Machine.Program.name;
+  Codec.varint b (Array.length prog.Machine.Program.insns);
+  encode_state b st;
+  (* engine *)
+  Codec.varint b since_gc;
+  Codec.varint b gc_count;
+  Codec.varint b patch_sites;
+  encode_stats b stats;
+  (* decode cache: enabled flag, counters, cached instruction indices
+     (the decoded entries are reproduced by re-decoding on restore) *)
+  Codec.bool_ b cache.Fpvm.Decoder.enabled;
+  Codec.varint b cache.Fpvm.Decoder.hits;
+  Codec.varint b cache.Fpvm.Decoder.misses;
+  let cached =
+    List.sort compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) cache.Fpvm.Decoder.table [])
+  in
+  Codec.varint b (List.length cached);
+  List.iter (fun i -> Codec.varint b i) cached;
+  (* trap-and-patch rewrites in the working binary *)
+  let patched = ref [] in
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Isa.Patched { site_id; _ } -> patched := (i, site_id) :: !patched
+      | _ -> ())
+    prog.Machine.Program.insns;
+  let patched = List.rev !patched in
+  Codec.varint b (List.length patched);
+  List.iter
+    (fun (i, site) ->
+      Codec.varint b i;
+      Codec.varint b site)
+    patched;
+  encode_arena b enc arena;
+  (* simulated kernel accounting *)
+  Codec.varint b kern.Trapkern.fpe_count;
+  Codec.varint b kern.Trapkern.trap_count;
+  Codec.varint b kern.Trapkern.trace_exit_count;
+  Codec.i64 b (Int64.of_int kern.Trapkern.hw_cycles);
+  Codec.i64 b (Int64.of_int kern.Trapkern.kernel_cycles);
+  Codec.i64 b (Int64.of_int kern.Trapkern.user_cycles);
+  (* trailer checksum over everything above *)
+  let body = Buffer.contents b in
+  Codec.i64 b (Codec.fnv64 Codec.fnv_basis body);
+  Buffer.contents b
+
+type restored = { r_meta : Log.meta; r_seq : int; r_since_gc : int;
+                  r_gc_count : int; r_patch_sites : int }
+
+let restore ~dec ~(st : State.t) ~(arena : 'v Fpvm.Arena.t)
+    ~(stats : Fpvm.Stats.t) ~(cache : Fpvm.Decoder.cache)
+    ~(kern : Trapkern.t) ~(prog : Machine.Program.t) (blob : string) :
+    restored =
+  (* integrity first: nothing is applied from a damaged checkpoint *)
+  if String.length blob < String.length magic + 8 then
+    Codec.corrupt "checkpoint too short";
+  if String.sub blob 0 (String.length magic) <> magic then
+    Codec.corrupt "not an FPVM checkpoint (bad magic)";
+  let body_len = String.length blob - 8 in
+  let sum_pos = ref body_len in
+  let sum = Codec.r_i64 blob sum_pos in
+  if
+    not
+      (Int64.equal sum
+         (Codec.fnv64 Codec.fnv_basis (String.sub blob 0 body_len)))
+  then Codec.corrupt "checkpoint checksum mismatch (corrupted file)";
+  let pos = ref (String.length magic) in
+  let v = Codec.r_u32 blob pos in
+  if v <> version then Codec.corrupt "unsupported checkpoint version %d" v;
+  let r_meta = Log.decode_meta blob pos in
+  let r_seq = Codec.r_varint blob pos in
+  let pname = Codec.r_str blob pos in
+  let ninsns = Codec.r_varint blob pos in
+  if
+    pname <> prog.Machine.Program.name
+    || ninsns <> Array.length prog.Machine.Program.insns
+  then
+    Codec.corrupt "checkpoint is for %S (%d insns), session runs %S (%d)"
+      pname ninsns prog.Machine.Program.name
+      (Array.length prog.Machine.Program.insns);
+  restore_state blob pos st;
+  let r_since_gc = Codec.r_varint blob pos in
+  let r_gc_count = Codec.r_varint blob pos in
+  let r_patch_sites = Codec.r_varint blob pos in
+  restore_stats blob pos stats;
+  let cache_enabled = Codec.r_bool blob pos in
+  let hits = Codec.r_varint blob pos in
+  let misses = Codec.r_varint blob pos in
+  let ncached = Codec.r_varint blob pos in
+  let cached = List.init ncached (fun _ -> Codec.r_varint blob pos) in
+  let npatched = Codec.r_varint blob pos in
+  let patched =
+    List.init npatched (fun _ ->
+        let i = Codec.r_varint blob pos in
+        let site = Codec.r_varint blob pos in
+        (i, site))
+  in
+  (* re-apply trap-and-patch rewrites to the fresh working binary
+     before repopulating the decode cache (decode unwraps them) *)
+  List.iter
+    (fun (i, site_id) ->
+      if i < 0 || i >= Array.length prog.Machine.Program.insns then
+        Codec.corrupt "patched site %d out of range" i;
+      match prog.Machine.Program.insns.(i) with
+      | Isa.Patched _ -> ()
+      | original ->
+          prog.Machine.Program.insns.(i) <- Isa.Patched { site_id; original })
+    patched;
+  Hashtbl.reset cache.Fpvm.Decoder.table;
+  cache.Fpvm.Decoder.enabled <- cache_enabled;
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length prog.Machine.Program.insns then
+        Codec.corrupt "cached decode index %d out of range" i;
+      ignore
+        (Fpvm.Decoder.decode cache i prog.Machine.Program.insns.(i)))
+    cached;
+  cache.Fpvm.Decoder.hits <- hits;
+  cache.Fpvm.Decoder.misses <- misses;
+  restore_arena blob pos dec arena;
+  kern.Trapkern.fpe_count <- Codec.r_varint blob pos;
+  kern.Trapkern.trap_count <- Codec.r_varint blob pos;
+  kern.Trapkern.trace_exit_count <- Codec.r_varint blob pos;
+  kern.Trapkern.hw_cycles <- Int64.to_int (Codec.r_i64 blob pos);
+  kern.Trapkern.kernel_cycles <- Int64.to_int (Codec.r_i64 blob pos);
+  kern.Trapkern.user_cycles <- Int64.to_int (Codec.r_i64 blob pos);
+  if !pos <> body_len then Codec.corrupt "trailing bytes in checkpoint";
+  { r_meta; r_seq; r_since_gc; r_gc_count; r_patch_sites }

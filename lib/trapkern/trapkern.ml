@@ -109,3 +109,25 @@ let run ?(max_insns = max_int) t (st : Machine.State.t) =
         end
   in
   go 0
+
+(* ---- record/replay identifiers (lib/replay) -------------------------- *)
+
+(* Stable event-kind ids for the on-disk event log. These are part of
+   the log format: never renumber, only append. *)
+let ev_fp_trap = 1
+let ev_absorbed = 2
+let ev_correctness = 3
+let ev_gc = 4
+let ev_ext_call = 5
+
+(* Stable deployment ids for config fingerprints and checkpoints. *)
+let deployment_id = function
+  | User_signal -> 0
+  | Kernel_module -> 1
+  | User_to_user -> 2
+
+let deployment_of_id = function
+  | 0 -> Some User_signal
+  | 1 -> Some Kernel_module
+  | 2 -> Some User_to_user
+  | _ -> None

@@ -56,3 +56,17 @@ val run : ?max_insns:int -> t -> Machine.State.t -> unit
     faults to the installed handlers and charging delivery costs.
     Raises the [Unhandled_*] exceptions if a fault occurs with no
     handler (a real process would die of SIGFPE). *)
+
+(** {1 Record/replay identifiers (lib/replay)}
+
+    Stable integer ids used by the on-disk event log and checkpoint
+    formats. Part of the wire format: never renumber, only append. *)
+
+val ev_fp_trap : int
+val ev_absorbed : int
+val ev_correctness : int
+val ev_gc : int
+val ev_ext_call : int
+
+val deployment_id : deployment -> int
+val deployment_of_id : int -> deployment option

@@ -98,7 +98,8 @@ let unit_tests =
   ]
 
 let q name ?(count = 500) arb law =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5EED4 |])
+ (QCheck.Test.make ~count ~name arb law)
 
 let property_tests =
   [ q "add oracle" pair_small (fun (a, b) ->

@@ -1,0 +1,396 @@
+(* lib/replay tests.
+
+   Three layers: the wire codec (property roundtrips + corruption
+   rejection), the event/log format, and whole-engine determinism —
+   record -> replay must Match on every port and GC mode, a mid-run
+   checkpoint must restore and resume to the uninterrupted run's exact
+   result, and the bisector must pin an injected divergence to the
+   exact event. *)
+
+module W = Workloads
+module Wire = Fpvm.Wire
+
+let q name ?(count = 500) arb law =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5EED10 |])
+    (QCheck.Test.make ~count ~name arb law)
+
+(* ---- codec roundtrips ------------------------------------------------- *)
+
+let roundtrip enc dec v =
+  let b = Buffer.create 32 in
+  enc b v;
+  let s = Buffer.contents b in
+  let pos = ref 0 in
+  let v' = dec s pos in
+  v' = v && !pos = String.length s
+
+let arb_nat =
+  QCheck.make
+    ~print:(fun n -> Bignum.Nat.to_string n)
+    QCheck.Gen.(
+      map
+        (fun (a, b, c) ->
+          Bignum.Nat.of_string
+            (Printf.sprintf "%u%u%u" (abs a) (abs b) (abs c)))
+        (triple int int int))
+
+(* byte strings with long zero runs, the case bytes_rle exists for *)
+let arb_sparse_bytes =
+  QCheck.make
+    ~print:(fun s -> Printf.sprintf "%d bytes" (Bytes.length s))
+    QCheck.Gen.(
+      map
+        (fun segs ->
+          let b = Buffer.create 256 in
+          List.iter
+            (fun (zeros, lit) ->
+              Buffer.add_string b (String.make (zeros mod 200) '\000');
+              Buffer.add_string b lit)
+            segs;
+          Buffer.to_bytes b)
+        (small_list (pair small_nat (small_string ~gen:char))))
+
+let codec_tests =
+  [ q "varint roundtrip" QCheck.(map abs int) (fun n ->
+        roundtrip Wire.varint Wire.r_varint n);
+    q "zint roundtrip" QCheck.int (fun n ->
+        roundtrip Wire.zint Wire.r_zint n);
+    q "i64 roundtrip"
+      QCheck.(map Int64.of_int int)
+      (fun v -> roundtrip Wire.i64 Wire.r_i64 v);
+    q "str roundtrip" QCheck.string (fun s ->
+        roundtrip Wire.str Wire.r_str s);
+    q "nat roundtrip" arb_nat (fun n ->
+        let b = Buffer.create 32 in
+        Wire.nat b n;
+        let s = Buffer.contents b in
+        let pos = ref 0 in
+        Bignum.Nat.equal (Wire.r_nat s pos) n && !pos = String.length s);
+    q "bytes_rle roundtrip" arb_sparse_bytes (fun by ->
+        let b = Buffer.create 256 in
+        Wire.bytes_rle b by;
+        let s = Buffer.contents b in
+        let pos = ref 0 in
+        Wire.r_bytes_rle s pos = by && !pos = String.length s);
+    q "varint rejects truncation" QCheck.(map abs int) (fun n ->
+        let b = Buffer.create 16 in
+        Wire.varint b n;
+        let s = Buffer.contents b in
+        String.length s = 1
+        ||
+        let cut = String.sub s 0 (String.length s - 1) in
+        match Wire.r_varint cut (ref 0) with
+        | _ -> false
+        | exception Wire.Corrupt _ -> true) ]
+
+(* ---- shadow-value codecs ---------------------------------------------- *)
+
+(* decode must invert encode exactly: the decoded value re-encodes to
+   the same bytes and demotes to the same binary64 *)
+let value_roundtrip (module A : Fpvm.Arith.S) bits =
+  let v = A.promote bits in
+  let b = Buffer.create 32 in
+  A.encode_value b v;
+  let s = Buffer.contents b in
+  let pos = ref 0 in
+  let v' = A.decode_value s pos in
+  let b' = Buffer.create 32 in
+  A.encode_value b' v';
+  !pos = String.length s
+  && Buffer.contents b' = s
+  && Int64.equal (A.demote v') (A.demote v)
+
+let arb_f64_bits =
+  QCheck.make
+    ~print:(fun v -> Printf.sprintf "%h (%Lx)" (Int64.float_of_bits v) v)
+    QCheck.Gen.(
+      map
+        (fun (i, j) ->
+          Int64.logor
+            (Int64.shift_left (Int64.of_int i) 32)
+            (Int64.of_int (j land 0xFFFFFFFF)))
+        (pair int int))
+
+let value_tests =
+  [ q "vanilla value codec" arb_f64_bits
+      (value_roundtrip (module Fpvm.Alt_vanilla));
+    q "mpfr value codec" arb_f64_bits
+      (fun bits ->
+        Fpvm.Alt_mpfr.precision := 200;
+        value_roundtrip (module Fpvm.Alt_mpfr) bits);
+    q "posit value codec" arb_f64_bits
+      (value_roundtrip (module Fpvm.Alt_posit));
+    q "interval value codec" arb_f64_bits
+      (value_roundtrip (module Fpvm.Alt_interval));
+    q "slash value codec" arb_f64_bits
+      (value_roundtrip (module Fpvm.Alt_slash)) ]
+
+(* ---- event + log codec ------------------------------------------------ *)
+
+let arb_event =
+  let open QCheck.Gen in
+  let kind =
+    frequency
+      [ (3,
+         map
+           (fun (index, events, boxed) ->
+             Replay.Event.Fp_trap
+               { index; events = events land 0x3F; boxed = boxed land 3;
+                 dst = Int64.of_int index; src = Int64.of_int events })
+           (triple small_nat small_nat small_nat));
+        (3,
+         map
+           (fun (index, events) ->
+             Replay.Event.Absorbed
+               { index; events = events land 0x3F; boxed = 2;
+                 dst = 1L; src = Int64.of_int events })
+           (pair small_nat small_nat));
+        (1, map (fun index -> Replay.Event.Correctness { index }) small_nat);
+        (1,
+         map
+           (fun (freed, words) ->
+             Replay.Event.Gc { full = freed mod 2 = 0; freed; words })
+           (pair small_nat small_nat));
+        (1,
+         map
+           (fun (fn, handled) ->
+             Replay.Event.Ext_call
+               { fn = fn mod 26; arg = 0L; handled })
+           (pair small_nat bool)) ]
+  in
+  QCheck.make
+    ~print:(fun e -> Replay.Event.describe e)
+    (map
+       (fun (seq, insns, chk, kind) -> { Replay.Event.seq; insns; chk; kind })
+       (quad small_nat small_nat (map Int64.of_int int) kind))
+
+let meta =
+  { Replay.Log.workload = "synthetic"; scale = "test"; arith = "vanilla";
+    config = "cfg" }
+
+let log_of_events evs =
+  let w = Replay.Log.writer meta in
+  List.iter (Replay.Log.add w) evs;
+  Replay.Log.contents w
+
+let event_log_tests =
+  [ q "event codec roundtrip" arb_event (fun e ->
+        let b = Buffer.create 48 in
+        Replay.Event.encode b e;
+        let s = Buffer.contents b in
+        let pos = ref 0 in
+        Replay.Event.equal (Replay.Event.decode s pos) e
+        && !pos = String.length s);
+    q "log roundtrip" ~count:200 (QCheck.small_list arb_event) (fun evs ->
+        let l = Replay.Log.of_string (log_of_events evs) in
+        Replay.Log.meta_equal l.Replay.Log.meta meta
+        && Array.to_list l.Replay.Log.events = evs);
+    q "corrupted log rejected" ~count:200
+      QCheck.(pair (small_list arb_event) (pair small_nat small_nat))
+      (fun (evs, (at, delta)) ->
+        let s = log_of_events evs in
+        let at = at mod String.length s in
+        let delta = 1 + (delta mod 255) in
+        let by = Bytes.of_string s in
+        Bytes.set by at
+          (Char.chr (Char.code (Bytes.get by at) lxor delta));
+        match Replay.Log.of_string (Bytes.to_string by) with
+        | _ ->
+            (* the flip must land in a spot the format doesn't cover:
+               impossible — magic, version, meta, counts and the event
+               region are all validated *)
+            false
+        | exception Wire.Corrupt _ -> true) ]
+
+(* ---- whole-engine determinism ----------------------------------------- *)
+
+let incr_cfg =
+  { Fpvm.Engine.default_config with Fpvm.Engine.gc_interval = 2000 }
+
+let full_cfg =
+  { incr_cfg with Fpvm.Engine.incremental_gc = false }
+
+let fingerprint (r : Fpvm.Engine.result) =
+  ( r.Fpvm.Engine.output,
+    r.Fpvm.Engine.serialized,
+    r.Fpvm.Engine.cycles,
+    r.Fpvm.Engine.insns,
+    Fpvm.Stats.fingerprint r.Fpvm.Engine.stats )
+
+(* record -> replay Match, and mid-run checkpoint restore+resume
+   bit-identity, for one port under one GC mode *)
+let port_case (module A : Fpvm.Arith.S) name config gc_name =
+  Alcotest.test_case
+    (Printf.sprintf "%s/%s: record->replay->restore" name gc_name)
+    `Quick
+    (fun () ->
+      let module S = Replay.Session.Make (A) in
+      if name = "mpfr" then Fpvm.Alt_mpfr.precision := 80;
+      let prog = (Option.get (W.find "lorenz")).W.program W.Test in
+      let meta =
+        { Replay.Log.workload = "lorenz"; scale = "test"; arith = name;
+          config = gc_name }
+      in
+      let rec_ = S.record ~checkpoint_every:64 ~meta ~config prog in
+      let base = fingerprint rec_.Replay.Session.result in
+      (* a fresh plain run is indistinguishable from the recorded one *)
+      let plain = S.E.run ~config prog in
+      Alcotest.(check bool) "record perturbs nothing" true
+        (fingerprint plain = base);
+      (* full replay from the beginning validates every event *)
+      (match S.replay ~config rec_.Replay.Session.log prog with
+      | Replay.Session.Match r ->
+          Alcotest.(check bool) "replay result identical" true
+            (fingerprint r = base)
+      | Replay.Session.Diverged d ->
+          Alcotest.failf "unexpected divergence at %d" d.Replay.Session.at);
+      (* every checkpoint restores and resumes to the identical end state *)
+      Alcotest.(check bool) "checkpoints taken" true
+        (rec_.Replay.Session.checkpoints <> []);
+      List.iter
+        (fun (seq, blob) ->
+          let r = S.resume_from ~config prog blob in
+          if fingerprint r <> base then
+            Alcotest.failf "resume from checkpoint@%d differs" seq)
+        rec_.Replay.Session.checkpoints;
+      (* replay validated from a mid-run checkpoint *)
+      let n = List.length rec_.Replay.Session.checkpoints in
+      let _, mid = List.nth rec_.Replay.Session.checkpoints (n / 2) in
+      match S.replay ~checkpoint:mid ~config rec_.Replay.Session.log prog with
+      | Replay.Session.Match r ->
+          Alcotest.(check bool) "checkpoint replay identical" true
+            (fingerprint r = base)
+      | Replay.Session.Diverged d ->
+          Alcotest.failf "checkpoint replay diverged at %d"
+            d.Replay.Session.at)
+
+let engine_tests =
+  List.concat_map
+    (fun (config, gc_name) ->
+      [ port_case (module Fpvm.Alt_vanilla) "vanilla" config gc_name;
+        port_case (module Fpvm.Alt_mpfr) "mpfr" config gc_name;
+        port_case (module Fpvm.Alt_posit) "posit" config gc_name;
+        port_case (module Fpvm.Alt_interval) "interval" config gc_name ])
+    [ (incr_cfg, "incremental-gc"); (full_cfg, "full-gc") ]
+
+let corrupted_checkpoint_test =
+  Alcotest.test_case "corrupted checkpoint rejected" `Quick (fun () ->
+      let module S = Replay.Session.Make (Fpvm.Alt_vanilla) in
+      let prog = (Option.get (W.find "lorenz")).W.program W.Test in
+      let meta =
+        { Replay.Log.workload = "lorenz"; scale = "test"; arith = "vanilla";
+          config = "c" }
+      in
+      let rec_ = S.record ~checkpoint_every:100 ~meta ~config:incr_cfg prog in
+      let _, blob = List.hd rec_.Replay.Session.checkpoints in
+      let by = Bytes.of_string blob in
+      let at = Bytes.length by / 2 in
+      Bytes.set by at (Char.chr (Char.code (Bytes.get by at) lxor 0x40));
+      match S.resume_from ~config:incr_cfg prog (Bytes.to_string by) with
+      | _ -> Alcotest.fail "corrupted checkpoint accepted"
+      | exception Wire.Corrupt _ -> ())
+
+(* ---- bisection -------------------------------------------------------- *)
+
+let linear_scan mode a b =
+  let ea = Replay.Bisect.comparable mode a
+  and eb = Replay.Bisect.comparable mode b in
+  let n = min (Array.length ea) (Array.length eb) in
+  let rec go i =
+    if i < n then
+      if
+        (match mode with
+        | Replay.Bisect.Exact -> Replay.Event.equal ea.(i) eb.(i)
+        | Replay.Bisect.Arch ->
+            Replay.Event.normalize ea.(i) = Replay.Event.normalize eb.(i))
+      then go (i + 1)
+      else Some i
+    else if Array.length ea = Array.length eb then None
+    else Some n
+  in
+  go 0
+
+let bisect_matches_linear_scan =
+  (* random pair of logs sharing a prefix: the bisector and the naive
+     scan must agree in both modes *)
+  q "bisect == linear scan" ~count:300
+    QCheck.(triple (small_list arb_event) (small_list arb_event) (small_list arb_event))
+    (fun (prefix, ta, tb) ->
+      let a = Replay.Log.of_string (log_of_events (prefix @ ta)) in
+      let b = Replay.Log.of_string (log_of_events (prefix @ tb)) in
+      List.for_all
+        (fun mode ->
+          let got =
+            Option.map
+              (fun (d : Replay.Bisect.divergence) -> d.Replay.Bisect.at)
+              (Replay.Bisect.first_divergence ~mode a b)
+          in
+          got = linear_scan mode a b)
+        [ Replay.Bisect.Exact; Replay.Bisect.Arch ])
+
+let record_of config prec =
+  let module S = Replay.Session.Make (Fpvm.Alt_mpfr) in
+  Fpvm.Alt_mpfr.precision := prec;
+  let prog = (Option.get (W.find "lorenz")).W.program W.Test in
+  let meta =
+    { Replay.Log.workload = "lorenz"; scale = "test";
+      arith = Printf.sprintf "mpfr:%d" prec; config = "t" }
+  in
+  S.record ~meta ~config prog
+
+let bisect_engine_tests =
+  [ Alcotest.test_case "trace-len 1 vs 64 arch-agree" `Quick (fun () ->
+        let short =
+          { incr_cfg with Fpvm.Engine.max_trace_len = 1 }
+        in
+        let a = (record_of incr_cfg 80).Replay.Session.log in
+        let b = (record_of short 80).Replay.Session.log in
+        (* delivery schedules differ, the architectural story must not *)
+        (match Replay.Bisect.first_divergence ~mode:Replay.Bisect.Arch a b with
+        | None -> ()
+        | Some d ->
+            Alcotest.failf "arch divergence at %d between trace lengths"
+              d.Replay.Bisect.at);
+        (* but the exact streams do differ (absorbed vs delivered) *)
+        Alcotest.(check bool) "exact streams differ" true
+          (Replay.Bisect.first_divergence a b <> None));
+    Alcotest.test_case "full vs incremental gc arch-agree" `Quick (fun () ->
+        let a = (record_of incr_cfg 80).Replay.Session.log in
+        let b = (record_of full_cfg 80).Replay.Session.log in
+        match Replay.Bisect.first_divergence ~mode:Replay.Bisect.Arch a b with
+        | None -> ()
+        | Some d ->
+            Alcotest.failf "arch divergence at %d between gc modes"
+              d.Replay.Bisect.at);
+    Alcotest.test_case "mpfr 80 vs 200 diverges" `Quick (fun () ->
+        let a = (record_of incr_cfg 80).Replay.Session.log in
+        let b = (record_of incr_cfg 200).Replay.Session.log in
+        match Replay.Bisect.first_divergence ~mode:Replay.Bisect.Arch a b with
+        | None -> Alcotest.fail "precisions bisect as identical"
+        | Some d -> Alcotest.(check bool) "matches scan" true
+              (Some d.Replay.Bisect.at = linear_scan Replay.Bisect.Arch a b));
+    Alcotest.test_case "injected flip pinned exactly" `Quick (fun () ->
+        let log = (record_of incr_cfg 80).Replay.Session.log in
+        let k = Array.length log.Replay.Log.events / 3 in
+        let w = Replay.Log.writer log.Replay.Log.meta in
+        Array.iteri
+          (fun i (e : Replay.Event.t) ->
+            let e =
+              if i = k then
+                { e with Replay.Event.chk = Int64.logxor e.Replay.Event.chk 1L }
+              else e
+            in
+            Replay.Log.add w e)
+          log.Replay.Log.events;
+        let bad = Replay.Log.of_string (Replay.Log.contents w) in
+        match Replay.Bisect.first_divergence log bad with
+        | Some d -> Alcotest.(check int) "at k" k d.Replay.Bisect.at
+        | None -> Alcotest.fail "injected flip not found") ]
+
+let () =
+  Alcotest.run "replay"
+    [ ("codec", codec_tests);
+      ("value-codec", value_tests);
+      ("event-log", event_log_tests);
+      ("engine", engine_tests @ [ corrupted_checkpoint_test ]);
+      ("bisect", bisect_matches_linear_scan :: bisect_engine_tests) ]
