@@ -59,9 +59,9 @@ let cfg ?(approach = Fpvm.Engine.Trap_and_emulate) ?(cost = CM.r815)
     ?(deployment = Trapkern.User_signal) ?(gc_interval = 20000)
     ?(incremental_gc = true) ?(full_scan_every = 8) ?(max_trace_len = 64)
     ?(decode_cache = true) () =
-  { Fpvm.Engine.approach; deployment; use_vsa = true; gc_interval;
-    incremental_gc; full_scan_every; decode_cache; always_emulate = false;
-    max_trace_len; cost; max_insns = 400_000_000 }
+  { Fpvm.Engine.approach; deployment; use_vsa = true; oracle = false;
+    gc_interval; incremental_gc; full_scan_every; decode_cache;
+    always_emulate = false; max_trace_len; cost; max_insns = 400_000_000 }
 
 let workloads_fig9 =
   [ "miniAero"; "Enzo(astro)"; "lorenz"; "NAS CG"; "fbench"; "three-body" ]
@@ -830,6 +830,101 @@ let bench_replay () =
   close_out oc;
   printf "wrote BENCH_replay.json\n"
 
+(* ---- BENCH_vsa.json: precision-tiered static analysis ------------------- *)
+
+(* Evidence for the tiered VSA pipeline: per workload, the legacy
+   flow-insensitive pass against the CFG/strided-interval/flow-taint
+   pipeline (sinks and proven-safe loads), with three hard assertions:
+   (1) on NAS CG, NAS MG and Enzo(astro) the new analysis proves
+   strictly more loads safe than the legacy pass; (2) outputs under the
+   new patching are bit-identical to native execution (vanilla); (3) the
+   soundness oracle sees zero unpatched boxed-value loads across the
+   suite in both GC modes (mpfr, so boxes actually circulate). *)
+
+let bench_vsa () =
+  hr "BENCH_vsa.json: precision-tiered static analysis";
+  Fpvm.Alt_mpfr.precision := 200;
+  let strict_names = [ "NAS CG"; "NAS MG"; "Enzo(astro)" ] in
+  let failures = ref 0 in
+  printf "%-12s %22s %22s %9s %8s\n" "workload" "legacy sinks/proven"
+    "tiered sinks/proven" "identical" "oracle";
+  let rows =
+    List.map
+      (fun (e : W.entry) ->
+        let prog = e.W.program W.Test in
+        let l = Analysis.Legacy.analyze prog in
+        let a = Fpvm.Vsa.analyze prog in
+        let p = a.Fpvm.Vsa.pipeline in
+        let nsinks = List.length p.Analysis.Pipeline.sinks in
+        let lsinks = List.length l.Analysis.Legacy.sinks in
+        (* (2) bit-identical outputs under the new patching *)
+        let native = Fpvm.Engine.run_native prog in
+        let rv = E_vanilla.run ~config:(cfg ()) prog in
+        let identical =
+          rv.Fpvm.Engine.output = native.Fpvm.Engine.output
+          && rv.Fpvm.Engine.serialized = native.Fpvm.Engine.serialized
+        in
+        if not identical then incr failures;
+        (* (3) oracle under mpfr, both GC modes *)
+        let oracle_violations inc =
+          let c = { (cfg ~incremental_gc:inc ()) with Fpvm.Engine.oracle = true } in
+          let r = E_mpfr.run ~config:c prog in
+          r.Fpvm.Engine.stats.Fpvm.Stats.oracle_boxed_loads
+        in
+        let viol = oracle_violations true + oracle_violations false in
+        if viol > 0 then incr failures;
+        (* (1) strict precision improvement on the array workloads *)
+        let strict = List.mem e.W.name strict_names in
+        if
+          strict
+          && p.Analysis.Pipeline.proven_safe_loads
+             <= l.Analysis.Legacy.proven_safe_loads
+        then begin
+          incr failures;
+          printf "FAIL %s: tiered proved %d, legacy %d (strict improvement required)\n"
+            e.W.name p.Analysis.Pipeline.proven_safe_loads
+            l.Analysis.Legacy.proven_safe_loads
+        end;
+        printf "%-12s %12d / %-7d %12d / %-7d %9b %8s\n%!" e.W.name lsinks
+          l.Analysis.Legacy.proven_safe_loads nsinks
+          p.Analysis.Pipeline.proven_safe_loads identical
+          (if viol = 0 then "pass" else "VIOLATED");
+        Printf.sprintf
+          "    { \"workload\": \"%s\", \"strict_improvement_required\": %b,\n\
+           \      \"legacy\": { \"sinks\": %d, \"proven_safe_loads\": %d, \
+           \"iterations\": %d },\n\
+           \      \"tiered\": { \"sinks\": %d, \"proven_safe_loads\": %d, \
+           \"total_int_loads\": %d, \"trap_checks_elided\": %d, \
+           \"blocks\": %d, \"loop_heads\": %d, \"iterations\": %d },\n\
+           \      \"bit_identical_output\": %b, \"oracle_boxed_loads\": %d }"
+          (json_escape e.W.name) strict lsinks
+          l.Analysis.Legacy.proven_safe_loads l.Analysis.Legacy.iterations
+          nsinks p.Analysis.Pipeline.proven_safe_loads
+          p.Analysis.Pipeline.total_int_loads
+          p.Analysis.Pipeline.trap_checks_elided p.Analysis.Pipeline.n_blocks
+          p.Analysis.Pipeline.n_loop_heads p.Analysis.Pipeline.iterations
+          identical viol)
+      W.all
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+       \  \"experiment\": \"precision-tiered VSA: legacy flow-insensitive pass \
+       vs CFG + strided-interval + flow-sensitive-taint pipeline\",\n\
+       \  \"oracle_arithmetic\": \"mpfr-200\",\n\
+       \  \"scale\": \"test\",\n\
+       \  \"workloads\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" rows)
+  in
+  let oc = open_out "BENCH_vsa.json" in
+  output_string oc doc;
+  close_out oc;
+  printf "\nwrote BENCH_vsa.json\n";
+  if !failures > 0 then begin
+    printf "vsa experiment: %d assertion(s) FAILED\n" !failures;
+    exit 1
+  end
+
 (* ---- main ------------------------------------------------------------------------------------------ *)
 
 let experiments =
@@ -851,7 +946,8 @@ let experiments =
     ("ablate-compiler-gc", ablate_compiler_gc);
     ("ablate-delivery", ablate_delivery);
     ("json", bench_json);
-    ("replay", bench_replay) ]
+    ("replay", bench_replay);
+    ("vsa", bench_vsa) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -67,13 +67,13 @@ module D_slash = D (Fpvm.Alt_slash)
 
 let config_fingerprint (c : Fpvm.Engine.config) machine =
   Printf.sprintf
-    "approach=%s;deploy=%d;vsa=%b;gc=%d;inc=%b;full=%d;cache=%b;alw=%b;trace=%d;mach=%s"
+    "approach=%s;deploy=%d;vsa=%b;orc=%b;gc=%d;inc=%b;full=%d;cache=%b;alw=%b;trace=%d;mach=%s"
     (match c.Fpvm.Engine.approach with
     | Fpvm.Engine.Trap_and_emulate -> "emulate"
     | Fpvm.Engine.Trap_and_patch -> "patch"
     | Fpvm.Engine.Static_transform -> "static")
     (Trapkern.deployment_id c.Fpvm.Engine.deployment)
-    c.Fpvm.Engine.use_vsa c.Fpvm.Engine.gc_interval
+    c.Fpvm.Engine.use_vsa c.Fpvm.Engine.oracle c.Fpvm.Engine.gc_interval
     c.Fpvm.Engine.incremental_gc c.Fpvm.Engine.full_scan_every
     c.Fpvm.Engine.decode_cache c.Fpvm.Engine.always_emulate
     c.Fpvm.Engine.max_trace_len machine
@@ -106,6 +106,13 @@ let print_json ~workload ~arith ~scale (r : Fpvm.Engine.result) =
       kv_i "fp_insns" r.Fpvm.Engine.fp_insns;
       kv_i "fp_traps" s.Fpvm.Stats.fp_traps;
       kv_i "correctness_traps" s.Fpvm.Stats.correctness_traps;
+      kv_i "corr_demote_boxed" s.Fpvm.Stats.corr_demote_boxed;
+      kv_i "corr_demote_clean" s.Fpvm.Stats.corr_demote_clean;
+      kv_i "patched_sites" s.Fpvm.Stats.patched_sites;
+      kv_i "patched_sites_boxed" s.Fpvm.Stats.patched_sites_boxed;
+      kv_i "trap_checks_elided" s.Fpvm.Stats.trap_checks_elided;
+      kv_i "oracle_loads_checked" s.Fpvm.Stats.oracle_loads_checked;
+      kv_i "oracle_boxed_loads" s.Fpvm.Stats.oracle_boxed_loads;
       kv_i "traces" s.Fpvm.Stats.traces;
       kv_i "trace_insns" s.Fpvm.Stats.trace_insns;
       kv_i "traps_avoided" s.Fpvm.Stats.traps_avoided;
@@ -135,8 +142,16 @@ let print_stats (r : Fpvm.Engine.result) =
   Printf.eprintf "instructions executed: %d (%d FP)\n" r.Fpvm.Engine.insns
     r.Fpvm.Engine.fp_insns;
   Printf.eprintf "cycles: %d\n" r.Fpvm.Engine.cycles;
-  Printf.eprintf "fp traps: %d, correctness traps: %d\n" s.Fpvm.Stats.fp_traps
-    s.Fpvm.Stats.correctness_traps;
+  Printf.eprintf "fp traps: %d, correctness traps: %d (%d boxed / %d clean)\n"
+    s.Fpvm.Stats.fp_traps s.Fpvm.Stats.correctness_traps
+    s.Fpvm.Stats.corr_demote_boxed s.Fpvm.Stats.corr_demote_clean;
+  Printf.eprintf
+    "vsa: %d sites patched (%d ever boxed), %d trap checks elided\n"
+    s.Fpvm.Stats.patched_sites s.Fpvm.Stats.patched_sites_boxed
+    s.Fpvm.Stats.trap_checks_elided;
+  if s.Fpvm.Stats.oracle_loads_checked > 0 then
+    Printf.eprintf "oracle: %d loads checked, %d boxed-value violations\n"
+      s.Fpvm.Stats.oracle_loads_checked s.Fpvm.Stats.oracle_boxed_loads;
   Printf.eprintf "traces: %d (mean len %.1f), in-trace faults absorbed: %d\n"
     s.Fpvm.Stats.traces
     (Fpvm.Stats.mean_trace_len s)
@@ -187,8 +202,8 @@ let guard f =
   | exception Failure msg -> `Error (false, msg)
 
 let run workload arith prec posit_bits approach machine deployment scale
-    trace_len full_gc gc_interval stats json disasm spy list_only record_file
-    replay_file checkpoint_every from_checkpoint inject =
+    trace_len full_gc gc_interval oracle stats json disasm spy list_only
+    record_file replay_file checkpoint_every from_checkpoint inject =
   if list_only then begin
     List.iter
       (fun (e : W.entry) -> Printf.printf "%-12s %s\n" e.W.name e.W.specifics)
@@ -258,7 +273,7 @@ let run workload arith prec posit_bits approach machine deployment scale
           | Ok cost, Ok deployment, Ok approach -> (
               let config =
                 { Fpvm.Engine.default_config with
-                  Fpvm.Engine.approach; cost; deployment; gc_interval;
+                  Fpvm.Engine.approach; cost; deployment; gc_interval; oracle;
                   Fpvm.Engine.max_trace_len = trace_len;
                   Fpvm.Engine.incremental_gc = not full_gc }
               in
@@ -304,7 +319,15 @@ let run workload arith prec posit_bits approach machine deployment scale
                     print_string r.Fpvm.Engine.output;
                     if json then print_json ~workload:e.W.name ~arith:meta.Replay.Log.arith ~scale r;
                     if stats then print_stats r;
-                    `Ok code
+                    let s = r.Fpvm.Engine.stats in
+                    if oracle && s.Fpvm.Stats.oracle_boxed_loads > 0 then begin
+                      Printf.eprintf
+                        "soundness oracle: %d unpatched integer load(s) observed a live NaN-boxed value (%d loads checked) — the static analysis missed a sink\n"
+                        s.Fpvm.Stats.oracle_boxed_loads
+                        s.Fpvm.Stats.oracle_loads_checked;
+                      `Ok 5
+                    end
+                    else `Ok code
                   in
                   if arith = "native" then
                     finish (Fpvm.Engine.run_native ~cost prog)
@@ -380,6 +403,159 @@ let bisect log_a log_b arch_only =
   print_string (Replay.Bisect.report ?prog a b d);
   `Ok (match d with None -> 0 | Some _ -> 4)
 
+(* ---- analyze command -------------------------------------------------- *)
+
+(* Static-analysis report: run the tiered pipeline and the legacy
+   flow-insensitive pass over workload binaries without executing them,
+   and emit per-workload precision data (sinks with their taint
+   provenance, proven-safe loads, old-vs-new deltas) as JSON. With
+   --check, also compare against a committed golden file and exit 6 on
+   any precision regression. *)
+
+module AP = Analysis.Pipeline
+
+let insn_text (prog : Machine.Program.t) i =
+  Format.asprintf "%a" Machine.Isa.pp_insn
+    (Machine.Program.strip_insn prog.Machine.Program.insns.(i))
+
+let sink_kind_name = function
+  | AP.K_int_load -> "int_load"
+  | AP.K_movq -> "movq_gpr_xmm"
+  | AP.K_fp_bit -> "fp_bitop"
+
+let analyze_json (results : (W.entry * Machine.Program.t * Fpvm.Vsa.analysis * Analysis.Legacy.analysis) list) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"workloads\": [\n";
+  List.iteri
+    (fun wi (e, prog, (a : Fpvm.Vsa.analysis), (l : Analysis.Legacy.analysis)) ->
+      let p = a.Fpvm.Vsa.pipeline in
+      if wi > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": \"%s\",\n      \"insns\": %d, \"blocks\": %d, \"loop_heads\": %d, \"iterations\": %d, \"bailed_out\": %b,\n"
+           (json_escape e.W.name)
+           (Array.length prog.Machine.Program.insns)
+           p.AP.n_blocks p.AP.n_loop_heads p.AP.iterations p.AP.bailed_out);
+      Buffer.add_string b
+        (Printf.sprintf
+           "      \"total_int_loads\": %d, \"proven_safe_loads\": %d, \"trap_checks_elided\": %d,\n"
+           p.AP.total_int_loads p.AP.proven_safe_loads p.AP.trap_checks_elided);
+      Buffer.add_string b
+        (Printf.sprintf
+           "      \"legacy\": { \"sinks\": %d, \"proven_safe_loads\": %d },\n\
+           \      \"delta_proven_safe\": %d, \"delta_sinks\": %d,\n"
+           (List.length l.Analysis.Legacy.sinks)
+           l.Analysis.Legacy.proven_safe_loads
+           (p.AP.proven_safe_loads - l.Analysis.Legacy.proven_safe_loads)
+           (List.length l.Analysis.Legacy.sinks - List.length p.AP.sinks));
+      Buffer.add_string b "      \"sinks\": [";
+      List.iteri
+        (fun si (s : AP.sink) ->
+          if si > 0 then Buffer.add_string b ",";
+          Buffer.add_string b
+            (Printf.sprintf
+               "\n        { \"index\": %d, \"kind\": \"%s\", \"insn\": \"%s\",\n\
+               \          \"sources\": ["
+               s.AP.sink_index (sink_kind_name s.AP.kind)
+               (json_escape (insn_text prog s.AP.sink_index)));
+          List.iteri
+            (fun qi q ->
+              if qi > 0 then Buffer.add_string b ", ";
+              Buffer.add_string b
+                (Printf.sprintf "{ \"index\": %d, \"insn\": \"%s\" }" q
+                   (json_escape (insn_text prog q))))
+            s.AP.srcs;
+          Buffer.add_string b "] }")
+        p.AP.sinks;
+      Buffer.add_string b " ] }")
+    results;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+(* Golden format: one "name|sinks|total_int_loads|proven_safe" line per
+   workload. A regression is strictly more sinks or strictly fewer
+   proven-safe loads than the committed counts; improvements are
+   reported but pass (refresh the golden file to lock them in). *)
+let check_golden results file =
+  let lines = ref [] in
+  let ic = open_in file in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match String.split_on_char '|' line with
+         | [ name; sinks; total; proven ] ->
+             lines :=
+               (name, int_of_string sinks, int_of_string total,
+                int_of_string proven)
+               :: !lines
+         | _ -> failwith (Printf.sprintf "%s: malformed golden line %S" file line)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let failures = ref 0 in
+  List.iter
+    (fun (name, gsinks, gtotal, gproven) ->
+      match
+        List.find_opt (fun (e, _, _, _) -> e.W.name = name) results
+      with
+      | None ->
+          incr failures;
+          Printf.eprintf "FAIL %-12s missing from analysis results\n" name
+      | Some (_, _, a, _) ->
+          let p = a.Fpvm.Vsa.pipeline in
+          let nsinks = List.length p.AP.sinks in
+          if nsinks > gsinks || p.AP.proven_safe_loads < gproven then begin
+            incr failures;
+            Printf.eprintf
+              "FAIL %-12s sinks %d (golden %d), proven %d (golden %d)\n" name
+              nsinks gsinks p.AP.proven_safe_loads gproven
+          end
+          else if p.AP.total_int_loads <> gtotal then begin
+            incr failures;
+            Printf.eprintf
+              "FAIL %-12s total_int_loads %d != golden %d (workload changed? refresh the golden file)\n"
+              name p.AP.total_int_loads gtotal
+          end
+          else
+            Printf.eprintf "ok   %-12s sinks %d/%d proven %d/%d\n" name nsinks
+              gsinks p.AP.proven_safe_loads p.AP.total_int_loads)
+    (List.rev !lines);
+  !failures
+
+let analyze only check =
+  let entries =
+    match only with
+    | "" -> Ok W.all
+    | name -> (
+        match W.find name with
+        | Some e -> Ok [ e ]
+        | None ->
+            Error (Printf.sprintf "unknown workload %S (try --list)" name))
+  in
+  match entries with
+  | Error m -> `Error (false, m)
+  | Ok entries ->
+      let results =
+        List.map
+          (fun (e : W.entry) ->
+            let prog = e.W.program W.Test in
+            (e, prog, Fpvm.Vsa.analyze prog, Analysis.Legacy.analyze prog))
+          entries
+      in
+      print_string (analyze_json results);
+      if check = "" then `Ok 0
+      else
+        guard (fun () ->
+            let failures = check_golden results check in
+            if failures > 0 then begin
+              Printf.eprintf
+                "analysis precision regressed on %d workload(s) vs %s\n"
+                failures check;
+              `Ok 6
+            end
+            else `Ok 0)
+
 open Cmdliner
 
 let workload =
@@ -423,6 +599,13 @@ let gc_interval =
   Arg.(value & opt int Fpvm.Engine.default_config.Fpvm.Engine.gc_interval
        & info [ "gc-interval" ] ~doc:"Emulated instructions between GC passes.")
 
+let oracle =
+  Arg.(value & flag
+       & info [ "oracle" ]
+           ~doc:"Soundness oracle: watch every dispatched instruction for an \
+                 unpatched integer load observing a live NaN-boxed value; \
+                 exit 5 if any is seen (a static-analysis false negative).")
+
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print FPVM statistics to stderr.")
 let json = Arg.(value & flag & info [ "json" ] ~doc:"Print machine-readable run statistics (JSON) to stdout.")
 let disasm = Arg.(value & flag & info [ "disasm" ] ~doc:"Disassemble the workload binary and exit.")
@@ -456,9 +639,9 @@ let run_term =
   Term.(
     ret
       (const run $ workload $ arith $ prec $ posit_bits $ approach $ machine
-     $ deployment $ scale $ trace_len $ full_gc $ gc_interval $ stats $ json
-     $ disasm $ spy $ list_only $ record_file $ replay_file $ checkpoint_every
-     $ from_checkpoint $ inject))
+     $ deployment $ scale $ trace_len $ full_gc $ gc_interval $ oracle $ stats
+     $ json $ disasm $ spy $ list_only $ record_file $ replay_file
+     $ checkpoint_every $ from_checkpoint $ inject))
 
 let bisect_cmd =
   let log_a = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG_A") in
@@ -473,8 +656,26 @@ let bisect_cmd =
        ~doc:"binary-search two event logs for their first diverging event (exit 4 if they diverge)")
     Term.(ret (const bisect $ log_a $ log_b $ arch_only))
 
+let analyze_cmd =
+  let only =
+    Arg.(value & opt string ""
+         & info [ "w"; "workload" ]
+             ~doc:"Analyze only this workload (default: all).")
+  in
+  let check =
+    Arg.(value & opt string ""
+         & info [ "check" ]
+             ~doc:"Compare sink/proven-safe counts against the golden file \
+                   $(docv); exit 6 on any precision regression." ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"run the static analysis over workload binaries (no execution) and report precision as JSON")
+    Term.(ret (const analyze $ only $ check))
+
 let cmd =
   let doc = "run workloads under the floating point virtual machine" in
-  Cmd.group ~default:run_term (Cmd.info "fpvm_run" ~doc) [ bisect_cmd ]
+  Cmd.group ~default:run_term (Cmd.info "fpvm_run" ~doc)
+    [ bisect_cmd; analyze_cmd ]
 
 let () = exit (Cmd.eval' cmd)

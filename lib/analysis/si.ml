@@ -1,0 +1,213 @@
+(* Strided intervals, after Balakrishnan & Reps (CC'04): an abstract value
+   s[lo, hi] denotes { lo, lo+s, lo+2s, ... } ∩ [lo, hi].  This is the value
+   domain the precision-tiered VSA uses for GPR and memory-cell contents, so
+   an indexed access  base + i*8  with i ∈ 1[0,n-1] resolves to the bounded
+   byte range 8[base, base+8(n-1)] instead of Anywhere.
+
+   Representation notes:
+   - bounds are OCaml ints; [ninf]/[pinf] are sentinels for ±∞.
+   - invariant: stride >= 0; stride = 0 iff the value is a singleton;
+     stride > 1 requires a finite [lo] (the congruence class is anchored at
+     lo, which is meaningless when lo = -∞).  [hi] may be +∞ with any
+     stride.
+   - all arithmetic saturates at the sentinels; saturation is sound because
+     a saturated bound only widens the denoted set. *)
+
+type t =
+  | Bot
+  | SI of { stride : int; lo : int; hi : int }
+
+let ninf = min_int
+let pinf = max_int
+
+let top = SI { stride = 1; lo = ninf; hi = pinf }
+let bot = Bot
+
+let singleton v = SI { stride = 0; lo = v; hi = v }
+
+let is_bot v = v = Bot
+
+let norm stride lo hi =
+  if lo > hi then Bot
+  else if lo = hi then singleton lo
+  else
+    let stride = if stride <= 0 then 1 else stride in
+    (* stride > 1 needs a finite anchor; and clip hi onto the lattice of
+       representable points when both bounds are finite. *)
+    if lo = ninf then SI { stride = 1; lo; hi }
+    else
+      let hi =
+        if hi = pinf || stride = 1 then hi
+        else lo + (hi - lo) / stride * stride
+      in
+      if lo = hi then singleton lo else SI { stride; lo; hi }
+
+let range ?(stride = 1) lo hi = norm stride lo hi
+
+let as_singleton = function
+  | SI { stride = 0; lo; _ } -> Some lo
+  | _ -> None
+
+(* Bounds as options (None = infinite). *)
+let bounds = function
+  | Bot -> None
+  | SI { lo; hi; _ } ->
+      Some ((if lo = ninf then None else Some lo), (if hi = pinf then None else Some hi))
+
+let equal (a : t) (b : t) = a = b
+
+let contains v x =
+  match v with
+  | Bot -> false
+  | SI { stride; lo; hi } ->
+      x >= lo && x <= hi
+      && (stride <= 1 || lo = ninf || (x - lo) mod stride = 0)
+
+(* ---- saturating scalar helpers ------------------------------------------ *)
+
+let sadd a b =
+  if a = ninf || b = ninf then ninf
+  else if a = pinf || b = pinf then pinf
+  else
+    let s = a + b in
+    (* two's-complement overflow check *)
+    if a >= 0 && b >= 0 && s < 0 then pinf
+    else if a < 0 && b < 0 && s >= 0 then ninf
+    else s
+
+let sneg a = if a = ninf then pinf else if a = pinf then ninf else -a
+
+let ssub a b = sadd a (sneg b)
+
+let smul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let pos = a > 0 = (b > 0) in
+    if a = ninf || a = pinf || b = ninf || b = pinf then (if pos then pinf else ninf)
+    else
+      let p = a * b in
+      if p / b <> a then (if pos then pinf else ninf) else p
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* ---- lattice ops --------------------------------------------------------- *)
+
+let join a b =
+  match (a, b) with
+  | Bot, v | v, Bot -> v
+  | SI x, SI y ->
+      let lo = min x.lo y.lo and hi = max x.hi y.hi in
+      let stride =
+        if lo = ninf then 1
+        else
+          let s = gcd x.stride y.stride in
+          let s = if x.lo = pinf || y.lo = pinf then s else gcd s (abs (x.lo - y.lo)) in
+          s
+      in
+      norm stride lo hi
+
+(* Meet.  Precise when one side has stride <= 1 or strides agree with the
+   same congruence class; otherwise falls back to a stride-1 bounds meet,
+   which over-approximates (sound). *)
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | SI x, SI y ->
+      let lo = max x.lo y.lo and hi = min x.hi y.hi in
+      if lo > hi then Bot
+      else
+        let anchor, stride =
+          match (x.stride, y.stride) with
+          | (0 | 1), (0 | 1) -> (lo, 1)
+          | s, (0 | 1) -> (x.lo, s)
+          | (0 | 1), s -> (y.lo, s)
+          | s1, s2 when s1 = s2 && x.lo <> ninf && y.lo <> ninf
+                        && (x.lo - y.lo) mod s1 = 0 -> (x.lo, s1)
+          | _ -> (lo, 1)
+        in
+        if stride <= 1 || anchor = ninf || lo = ninf then norm 1 lo hi
+        else
+          (* snap lo up / hi down onto the congruence class of anchor *)
+          let d = lo - anchor in
+          let lo' = if d mod stride = 0 then lo else lo + (stride - (d mod stride + stride) mod stride) in
+          let d' = hi - anchor in
+          let hi' = hi - ((d' mod stride) + stride) mod stride in
+          if lo' > hi' then Bot else norm stride lo' hi'
+
+(* Classic widening: any bound that grew jumps to ±∞.  Strides are joined
+   via gcd so congruence survives widening when the anchor stays finite. *)
+let widen old nw =
+  match (old, nw) with
+  | Bot, v -> v
+  | v, Bot -> v
+  | SI x, SI y ->
+      let lo = if y.lo < x.lo then ninf else x.lo in
+      let hi = if y.hi > x.hi then pinf else x.hi in
+      let stride =
+        if lo = ninf then 1
+        else
+          let s = gcd x.stride y.stride in
+          if y.lo = pinf then s else gcd s (abs (x.lo - y.lo))
+      in
+      norm stride lo hi
+
+(* ---- transfer arithmetic ------------------------------------------------- *)
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | SI x, SI y ->
+      norm (gcd x.stride y.stride) (sadd x.lo y.lo) (sadd x.hi y.hi)
+
+let neg = function
+  | Bot -> Bot
+  | SI x -> norm x.stride (sneg x.hi) (sneg x.lo)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | SI { stride = 0; lo = k; _ }, SI x | SI x, SI { stride = 0; lo = k; _ } ->
+      if k = 0 then singleton 0
+      else
+        let b1 = smul x.lo k and b2 = smul x.hi k in
+        norm (abs (smul x.stride k)) (min b1 b2) (max b1 b2)
+  | SI x, SI y ->
+      let ps = [ smul x.lo y.lo; smul x.lo y.hi; smul x.hi y.lo; smul x.hi y.hi ] in
+      norm 1 (List.fold_left min pinf ps) (List.fold_left max ninf ps)
+
+let shl a k =
+  if k < 0 || k > 62 then top
+  else mul a (singleton (1 lsl k))
+
+let logand a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | SI { stride = 0; lo = x; _ }, SI { stride = 0; lo = y; _ } -> singleton (x land y)
+  | SI { stride = 0; lo = m; _ }, _ | _, SI { stride = 0; lo = m; _ } when m >= 0 ->
+      (* AND with a non-negative constant mask is bounded by the mask *)
+      norm 1 0 m
+  | _ -> top
+
+let logor a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | SI { stride = 0; lo = x; _ }, SI { stride = 0; lo = y; _ } -> singleton (x lor y)
+  | _ -> top
+
+let logxor a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | SI { stride = 0; lo = x; _ }, SI { stride = 0; lo = y; _ } -> singleton (x lxor y)
+  | _ -> top
+
+let pp fmt = function
+  | Bot -> Format.fprintf fmt "⊥"
+  | SI { stride; lo; hi } ->
+      let b fmt v =
+        if v = ninf then Format.fprintf fmt "-inf"
+        else if v = pinf then Format.fprintf fmt "+inf"
+        else Format.fprintf fmt "%d" v
+      in
+      Format.fprintf fmt "%d[%a,%a]" stride b lo b hi

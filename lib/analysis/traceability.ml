@@ -1,0 +1,69 @@
+(* Static traceability classification (paper 4.1's sequence emulation),
+   hoisted out of the dynamic decoder so the engine can precompute, per
+   static instruction, how far a trace may extend before hitting a
+   terminator.  This replaces the per-step dynamic classifier calls in
+   the trace loop with a single array lookup: [run_lengths] gives, for
+   every index i, the number of consecutive instructions starting at i
+   that a trace may execute (0 for a terminator), i.e. the distance to
+   the next terminator.
+
+   Classification (identical to the classifier this replaces):
+   - [T_emulatable]: a trap-capable FP instruction.  Executed in-trace:
+     natively when it raises no unmasked event, emulated (without a
+     fresh kernel delivery) when it would have trapped.
+   - [T_glue]: moves, pushes/pops, GPR arithmetic, direct branches —
+     instructions that never enter the FP emulator and behave
+     identically whether the engine is resident or not.
+   - [T_terminator]: ends the trace.  Indirect control flow (ret),
+     external calls, FPVM instrumentation sites (Correctness_trap /
+     Checked / Patched), and halt. *)
+
+type t = T_emulatable | T_glue | T_terminator
+
+let classify (insn : Machine.Isa.insn) : t =
+  match insn with
+  | Machine.Isa.Fp_arith _ | Machine.Isa.Fp_cmp _ | Machine.Isa.Fp_cmppred _
+  | Machine.Isa.Fp_round _ | Machine.Isa.Cvt_f2f _ | Machine.Isa.Cvt_f2i _
+  | Machine.Isa.Cvt_i2f _ -> T_emulatable
+  | Machine.Isa.Mov_f _ | Machine.Isa.Mov_x _ | Machine.Isa.Fp_bit _
+  | Machine.Isa.Movq_xr _ | Machine.Isa.Movq_rx _ | Machine.Isa.Mov _
+  | Machine.Isa.Lea _ | Machine.Isa.Int_arith _ | Machine.Isa.Cmp _
+  | Machine.Isa.Test _ | Machine.Isa.Inc _ | Machine.Isa.Dec _
+  | Machine.Isa.Neg _ | Machine.Isa.Push _ | Machine.Isa.Pop _
+  | Machine.Isa.Jmp _ | Machine.Isa.Jcc _ | Machine.Isa.Call _
+  | Machine.Isa.Nop | Machine.Isa.Free_hint _ -> T_glue
+  | Machine.Isa.Ret | Machine.Isa.Call_ext _ | Machine.Isa.Halt
+  | Machine.Isa.Correctness_trap _ | Machine.Isa.Checked _
+  | Machine.Isa.Patched _ -> T_terminator
+
+(* run_lengths.(i) = 0 if insns.(i) is a terminator, else
+   1 + run_lengths.(i+1) (with run_lengths.(n) taken as 0).  A trace
+   starting at i may execute up to run_lengths.(i) instructions before
+   it must consult the terminator. *)
+let run_lengths (insns : Machine.Isa.insn array) : int array =
+  let n = Array.length insns in
+  let h = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    match classify insns.(i) with
+    | T_terminator -> h.(i) <- 0
+    | T_emulatable | T_glue -> h.(i) <- (if i = n - 1 then 1 else 1 + h.(i + 1))
+  done;
+  h
+
+(* The instruction at [idx] just became a terminator (Trap_and_patch
+   installed a Patched wrapper in place).  Truncate every run that
+   previously extended across [idx]: walk backwards until the previous
+   terminator, setting each run length to the distance to [idx]. *)
+let invalidate (hints : int array) (insns : Machine.Isa.insn array) idx =
+  if idx >= 0 && idx < Array.length hints then begin
+    hints.(idx) <- 0;
+    let j = ref (idx - 1) in
+    let continue_ = ref true in
+    while !continue_ && !j >= 0 do
+      if classify insns.(!j) = T_terminator then continue_ := false
+      else begin
+        hints.(!j) <- idx - !j;
+        decr j
+      end
+    done
+  end

@@ -72,23 +72,16 @@ let rec decode_insn (insn : Machine.Isa.insn) : decoded option =
      delivery path; Checked/Patched sites carry their own handlers),
      and halt. *)
 
-type traceability = T_emulatable | T_glue | T_terminator
+type traceability = Analysis.Traceability.t =
+  | T_emulatable
+  | T_glue
+  | T_terminator
 
-let traceability (insn : Machine.Isa.insn) : traceability =
-  match insn with
-  | Machine.Isa.Fp_arith _ | Machine.Isa.Fp_cmp _ | Machine.Isa.Fp_cmppred _
-  | Machine.Isa.Fp_round _ | Machine.Isa.Cvt_f2f _ | Machine.Isa.Cvt_f2i _
-  | Machine.Isa.Cvt_i2f _ -> T_emulatable
-  | Machine.Isa.Mov_f _ | Machine.Isa.Mov_x _ | Machine.Isa.Fp_bit _
-  | Machine.Isa.Movq_xr _ | Machine.Isa.Movq_rx _ | Machine.Isa.Mov _
-  | Machine.Isa.Lea _ | Machine.Isa.Int_arith _ | Machine.Isa.Cmp _
-  | Machine.Isa.Test _ | Machine.Isa.Inc _ | Machine.Isa.Dec _
-  | Machine.Isa.Neg _ | Machine.Isa.Push _ | Machine.Isa.Pop _
-  | Machine.Isa.Jmp _ | Machine.Isa.Jcc _ | Machine.Isa.Call _
-  | Machine.Isa.Nop | Machine.Isa.Free_hint _ -> T_glue
-  | Machine.Isa.Ret | Machine.Isa.Call_ext _ | Machine.Isa.Halt
-  | Machine.Isa.Correctness_trap _ | Machine.Isa.Checked _
-  | Machine.Isa.Patched _ -> T_terminator
+(* The classifier itself lives in lib/analysis so the static pipeline
+   can precompute run lengths over the same partition the engine
+   honors at run time (they must agree or trace hints would be
+   wrong). *)
+let traceability = Analysis.Traceability.classify
 
 type cache = {
   table : (int, decoded) Hashtbl.t;

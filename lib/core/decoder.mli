@@ -29,8 +29,10 @@ val decode_insn : Machine.Isa.insn -> decoded option
     Unwraps instrumentation wrappers. *)
 
 (** Sequence-emulation traceability: may the engine keep executing past
-    this instruction while resident in the trap handler? *)
-type traceability =
+    this instruction while resident in the trap handler? The
+    classification is shared with the static pipeline
+    ([Analysis.Traceability]), which precomputes run lengths over it. *)
+type traceability = Analysis.Traceability.t =
   | T_emulatable
       (** trap-capable FP instruction: run natively in-trace, or
           emulated without a fresh kernel delivery if it would fault *)

@@ -18,6 +18,11 @@ type config = {
   approach : approach;
   deployment : Trapkern.deployment;
   use_vsa : bool; (* run static analysis and insert correctness traps *)
+  oracle : bool;
+      (* soundness oracle: observe every dispatched instruction and
+         count unpatched integer loads that read a live NaN-boxed word.
+         Any hit is a static-analysis soundness violation. Observation
+         only — never perturbs execution or the deterministic stats. *)
   gc_interval : int; (* emulated instructions between GC passes *)
   incremental_gc : bool;
       (* write-barrier dirty-card GC: mark from registers plus only the
@@ -46,6 +51,7 @@ let default_config =
   { approach = Trap_and_emulate;
     deployment = Trapkern.User_signal;
     use_vsa = true;
+    oracle = false;
     gc_interval = 20_000;
     incremental_gc = true;
     full_scan_every = 8;
@@ -77,6 +83,10 @@ module Make (A : Arith.S) = struct
     mutable since_gc : int;
     mutable gc_count : int;
     mutable patch_sites : int;
+    mutable trace_hints : int array;
+        (* per-index distance to the next trace terminator, precomputed
+           by the static pipeline over the patched program; consulted by
+           the trace loop instead of the dynamic classifier *)
   }
 
   let create config =
@@ -87,7 +97,8 @@ module Make (A : Arith.S) = struct
       probe = Probe.sink ();
       since_gc = 0;
       gc_count = 0;
-      patch_sites = 0 }
+      patch_sites = 0;
+      trace_hints = [||] }
 
   (* ---- boxing ----------------------------------------------------- *)
 
@@ -407,37 +418,46 @@ module Make (A : Arith.S) = struct
     let cost = t.config.cost in
     let insns = st.State.prog.Program.insns in
     let n_insns = Array.length insns in
+    (* The static pipeline precomputed, per index, how far a trace may
+       extend before the next terminator (0 = this instruction is one).
+       A single array read replaces the dynamic classifier; the hint
+       table is kept in sync when trap-and-patch rewrites a site
+       (Traceability.invalidate) and after checkpoint restore
+       (refresh_trace_hints). *)
+    let hints = t.trace_hints in
     let budget = ref (t.config.max_trace_len - 1) in
     let continue_ = ref true in
     while !continue_ && !budget > 0 do
       let idx = st.State.rip in
       if st.State.halted || idx < 0 || idx >= n_insns then continue_ := false
+      else if hints.(idx) = 0 then continue_ := false (* terminator *)
       else begin
         let insn = insns.(idx) in
-        match Decoder.traceability insn with
-        | Decoder.T_terminator -> continue_ := false
-        | Decoder.T_emulatable | Decoder.T_glue -> begin
-            decr budget;
-            st.State.insn_count <- st.State.insn_count + 1;
-            State.add_cycles st cost.CM.trace_step;
-            t.stats.Stats.cyc_trace <-
-              t.stats.Stats.cyc_trace + cost.CM.trace_step;
-            t.stats.Stats.trace_insns <- t.stats.Stats.trace_insns + 1;
-            match Cpu.dispatch st idx insn with
-            | Cpu.Running -> ()
-            | Cpu.Halted -> continue_ := false
-            | Cpu.Fp_fault { events; _ } ->
-                (* Would have trapped; we are already resident, so no
-                   fresh delivery: absorb and emulate in place. *)
-                t.stats.Stats.traps_avoided <-
-                  t.stats.Stats.traps_avoided + 1;
-                Probe.emit t.probe st (Probe.Absorbed { index = idx; events });
-                Mx.clear_flags st.State.mxcsr;
-                emulate t st idx insn
-            | Cpu.Correctness_fault _ ->
-                (* Correctness_trap is a terminator, filtered above. *)
-                assert false
-          end
+        decr budget;
+        st.State.insn_count <- st.State.insn_count + 1;
+        State.add_cycles st cost.CM.trace_step;
+        t.stats.Stats.cyc_trace <-
+          t.stats.Stats.cyc_trace + cost.CM.trace_step;
+        t.stats.Stats.trace_insns <- t.stats.Stats.trace_insns + 1;
+        (* In-trace dispatch bypasses Cpu.step, so fire the observation
+           hook (the soundness oracle) here too. *)
+        (match st.State.hooks.State.on_step with
+        | Some h -> h st idx insn
+        | None -> ());
+        match Cpu.dispatch st idx insn with
+        | Cpu.Running -> ()
+        | Cpu.Halted -> continue_ := false
+        | Cpu.Fp_fault { events; _ } ->
+            (* Would have trapped; we are already resident, so no
+               fresh delivery: absorb and emulate in place. *)
+            t.stats.Stats.traps_avoided <-
+              t.stats.Stats.traps_avoided + 1;
+            Probe.emit t.probe st (Probe.Absorbed { index = idx; events });
+            Mx.clear_flags st.State.mxcsr;
+            emulate t st idx insn
+        | Cpu.Correctness_fault _ ->
+            (* Correctness_trap is a terminator, filtered above. *)
+            assert false
       end
     done
 
@@ -676,10 +696,16 @@ module Make (A : Arith.S) = struct
   let prepare ?(config = default_config) (prog : Program.t) : session =
     let t = create config in
     let prog = Program.copy prog in
+    let record_analysis (a : Vsa.analysis) =
+      t.stats.Stats.patched_sites <- List.length a.Vsa.sinks;
+      t.stats.Stats.trap_checks_elided <-
+        a.Vsa.pipeline.Analysis.Pipeline.trap_checks_elided
+    in
     (* Static analysis + patching (the hybrid's correctness traps). *)
     if config.use_vsa && config.approach <> Static_transform then begin
       let analysis = Vsa.analyze prog in
-      Vsa.apply_patches prog analysis
+      Vsa.apply_patches prog analysis;
+      record_analysis analysis
     end;
     if config.approach = Static_transform then begin
       (* Patch every FP instruction and every VSA sink with an inline
@@ -689,8 +715,14 @@ module Make (A : Arith.S) = struct
         (fun i insn ->
           if Isa.is_fp_insn insn then prog.Program.insns.(i) <- Isa.Checked insn)
         prog.Program.insns;
-      Vsa.apply_patches prog analysis
+      Vsa.apply_patches prog analysis;
+      record_analysis analysis
     end;
+    (* Static trace-extension hints, over the program as patched: the
+       pipeline's traceability partition is identical to the engine's,
+       so the trace loop can consult this table instead of classifying
+       dynamically. *)
+    t.trace_hints <- Analysis.Traceability.run_lengths prog.Program.insns;
     let st = State.create ~cost:config.cost prog in
     if config.incremental_gc then State.set_write_tracking st true;
     let kern = Trapkern.create ~deployment:config.deployment () in
@@ -730,6 +762,37 @@ module Make (A : Arith.S) = struct
           t.stats.Stats.cyc_patch_checks <- t.stats.Stats.cyc_patch_checks + c;
           software_execute t st idx insn;
           true);
+    (* The soundness oracle (observation only): before every dispatch of
+       a bare integer load — one the analysis chose NOT to patch — check
+       whether the containing word(s) hold a live NaN-boxed value. A hit
+       means an unprotected load is about to observe box bits the
+       program will misinterpret: a false negative of the static
+       analysis. Wrapped sites (Correctness_trap/Checked/Patched) carry
+       their own demotion handlers and do not match the bare pattern. *)
+    if config.oracle then
+      st.State.hooks.State.on_step <-
+        Some
+          (fun st _idx insn ->
+            match insn with
+            | Isa.Mov { size; src = Isa.Mem m; _ } when size >= 4 ->
+                let s = t.stats in
+                s.Stats.oracle_loads_checked <- s.Stats.oracle_loads_checked + 1;
+                (* Same containing-word arithmetic as demote_for: boxes
+                   are 8-byte-aligned 64-bit patterns. Require the arena
+                   cell to be live so a stale bit pattern read from
+                   never-initialized or recycled memory doesn't count. *)
+                let a = State.ea st m in
+                let boxed_word a =
+                  let bits = State.load64 st a in
+                  Nanbox.is_boxed bits
+                  && Arena.get t.arena (Nanbox.unbox bits) <> None
+                in
+                if
+                  boxed_word (a land lnot 7)
+                  || (size = 8 && a land 7 <> 0
+                     && boxed_word ((a + 7) land lnot 7))
+                then s.Stats.oracle_boxed_loads <- s.Stats.oracle_boxed_loads + 1
+            | _ -> ());
     (* Hardware exceptions: unmask unless purely static. *)
     if config.approach <> Static_transform then
       Mx.unmask_all st.State.mxcsr;
@@ -748,7 +811,11 @@ module Make (A : Arith.S) = struct
             | _ ->
                 t.patch_sites <- t.patch_sites + 1;
                 prog.Program.insns.(idx) <-
-                  Isa.Patched { site_id = t.patch_sites; original })
+                  Isa.Patched { site_id = t.patch_sites; original };
+                (* The site just became a trace terminator: truncate
+                   every precomputed run that extended across it. *)
+                Analysis.Traceability.invalidate t.trace_hints
+                  prog.Program.insns idx)
         | Trap_and_emulate | Static_transform -> ());
         let insn =
           match prog.Program.insns.(idx) with
@@ -766,6 +833,11 @@ module Make (A : Arith.S) = struct
         end;
         (* handler done, no frame in flight: a checkpointable moment *)
         Probe.quiesce t.probe st);
+    (* Distinct patched sites that ever demoted a boxed operand; a
+       diagnostic gauge only (like the oracle counters it is excluded
+       from fingerprints and checkpoints, so it restarts from empty on
+       a checkpoint resume). *)
+    let boxed_sites : (int, unit) Hashtbl.t = Hashtbl.create 16 in
     Trapkern.install_sigtrap kern (fun st frame ->
         t.stats.Stats.correctness_traps <- t.stats.Stats.correctness_traps + 1;
         let idx = frame.Trapkern.trap_index in
@@ -775,7 +847,21 @@ module Make (A : Arith.S) = struct
         State.add_cycles st c;
         t.stats.Stats.cyc_correctness_handler <-
           t.stats.Stats.cyc_correctness_handler + c;
+        (* Split the delivery by what the demotion found: did the
+           conservatively patched site actually hold a boxed operand
+           this time, or did the trap fire for nothing? *)
+        let demotions_before = t.stats.Stats.correctness_demotions in
         demote_for t st original;
+        if t.stats.Stats.correctness_demotions > demotions_before then begin
+          t.stats.Stats.corr_demote_boxed <- t.stats.Stats.corr_demote_boxed + 1;
+          if not (Hashtbl.mem boxed_sites idx) then begin
+            Hashtbl.replace boxed_sites idx ();
+            t.stats.Stats.patched_sites_boxed <-
+              t.stats.Stats.patched_sites_boxed + 1
+          end
+        end
+        else
+          t.stats.Stats.corr_demote_clean <- t.stats.Stats.corr_demote_clean + 1;
         (* Single-step the original instruction. *)
         (match Cpu.dispatch st idx original with
         | Cpu.Running | Cpu.Halted -> ()
@@ -786,6 +872,14 @@ module Make (A : Arith.S) = struct
         | Cpu.Correctness_fault _ -> assert false);
         Probe.quiesce t.probe st);
     { eng = t; st; kern; prog }
+
+  (* Recompute the trace-extension hints from the session's (possibly
+     patched) instruction array. Checkpoint restore installs Patched
+     wrappers directly into the program, so lib/replay must call this
+     after overwriting a prepared session's state. *)
+  let refresh_trace_hints (ses : session) =
+    ses.eng.trace_hints <-
+      Analysis.Traceability.run_lengths ses.prog.Program.insns
 
   let resume (ses : session) : result =
     let t = ses.eng and st = ses.st and kern = ses.kern in

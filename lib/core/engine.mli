@@ -23,6 +23,12 @@ type config = {
       (** trap delivery path: user signal / kernel module / user->user *)
   use_vsa : bool;
       (** run the static analysis and insert correctness traps *)
+  oracle : bool;
+      (** soundness oracle: observe every dispatched instruction and
+          count unpatched integer loads that read a live NaN-boxed word
+          ([Stats.oracle_boxed_loads]; any hit is an analysis soundness
+          violation). Observation only — never perturbs execution or
+          the deterministic counters. *)
   gc_interval : int;  (** emulated instructions between GC passes *)
   incremental_gc : bool;
       (** write-barrier dirty-card GC: mark from registers plus only
@@ -76,6 +82,11 @@ module Make (A : Arith.S) : sig
     mutable since_gc : int;
     mutable gc_count : int;
     mutable patch_sites : int;
+    mutable trace_hints : int array;
+        (** per-index distance to the next trace terminator, precomputed
+            by the static pipeline ([Analysis.Traceability.run_lengths])
+            over the patched program; consulted by the trace loop in
+            place of the dynamic classifier *)
   }
 
   val create : config -> t
@@ -97,6 +108,12 @@ module Make (A : Arith.S) : sig
       kernel, install all handlers — everything up to (but excluding)
       the first instruction. Deterministic for a given program and
       config. *)
+
+  val refresh_trace_hints : session -> unit
+  (** Recompute the trace-extension hints from the session's (possibly
+      patched) instruction array. Checkpoint restore installs [Patched]
+      wrappers directly into the program; lib/replay calls this after
+      overwriting a prepared session's state. *)
 
   val resume : session -> result
   (** Execute until halt, run the final full GC pass, and fold the

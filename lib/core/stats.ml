@@ -10,6 +10,12 @@ type t = {
   mutable fp_traps : int;
   mutable correctness_traps : int;
   mutable correctness_demotions : int;
+  (* correctness-trap deliveries split by what the handler found: the
+     wrapped instruction's operand actually held a NaN-boxed value (the
+     demotion did work) vs. it was already clean (the conservative
+     patch fired for nothing) *)
+  mutable corr_demote_boxed : int;
+  mutable corr_demote_clean : int;
   mutable patch_invocations : int;
   mutable checked_invocations : int;
   mutable emulated_ops : int;
@@ -56,10 +62,24 @@ type t = {
   mutable replay_checkpoints : int;
   mutable replay_checkpoint_bytes : int; (* total serialized checkpoint size *)
   mutable replay_log_bytes : int;
+  (* static-analysis gauges (set once at prepare time) and soundness
+     oracle counters. Like the replay_* fields these are excluded from
+     the fingerprint and from checkpoints: the oracle is optional
+     instrumentation and must not perturb determinism comparisons. *)
+  mutable patched_sites : int; (* correctness traps installed by the VSA *)
+  mutable patched_sites_boxed : int;
+      (* distinct patched sites that ever saw a boxed operand *)
+  mutable trap_checks_elided : int;
+      (* int loads the analysis proved clean (no patch installed) *)
+  mutable oracle_loads_checked : int;
+  mutable oracle_boxed_loads : int;
+      (* unpatched integer loads that observed a live NaN-boxed word:
+         any nonzero value is a soundness violation *)
 }
 
 let create () =
   { fp_traps = 0; correctness_traps = 0; correctness_demotions = 0;
+    corr_demote_boxed = 0; corr_demote_clean = 0;
     patch_invocations = 0; checked_invocations = 0; emulated_ops = 0;
     emulated_insns = 0; traces = 0; trace_insns = 0; traps_avoided = 0;
     math_calls = 0; printf_hijacks = 0;
@@ -73,7 +93,9 @@ let create () =
     gc_latency_s = 0.0;
     boxes_allocated = 0; eager_frees = 0;
     replay_events = 0; replay_checkpoints = 0; replay_checkpoint_bytes = 0;
-    replay_log_bytes = 0 }
+    replay_log_bytes = 0;
+    patched_sites = 0; patched_sites_boxed = 0; trap_checks_elided = 0;
+    oracle_loads_checked = 0; oracle_boxed_loads = 0 }
 
 (* Deterministic counters only: excludes wall-clock GC latency and the
    recorder's own bookkeeping, so a recorded run, its replay, and a
@@ -90,7 +112,8 @@ let fingerprint t =
          t.cyc_trace; t.cyc_gc; t.cyc_correctness;
          t.cyc_correctness_handler; t.cyc_patch_checks; t.gc_passes;
          t.gc_full_passes; t.gc_freed; t.gc_alive_last;
-         t.gc_words_scanned; t.boxes_allocated; t.eager_frees ])
+         t.gc_words_scanned; t.boxes_allocated; t.eager_frees;
+         t.corr_demote_boxed; t.corr_demote_clean ])
 
 let total_fpvm_cycles t =
   t.cyc_hw + t.cyc_kernel + t.cyc_delivery + t.cyc_decode + t.cyc_bind

@@ -1,190 +1,24 @@
-(* Static binary analysis (paper section 4.2).
+(* Static binary analysis (paper section 4.2) — thin façade.
 
-   A value-set analysis in the style of Balakrishnan-Reps a-locs, scoped
-   to what sink detection needs: a forward abstract interpretation over
-   the binary's CFG tracks, per GPR, whether it holds a known constant
-   (potential global address), a stack offset, a heap object from a known
-   allocation site, raw FP bits (movq from an xmm), or unknown.
-
-   Sources are instructions that store floating point data to memory (or
-   store a register carrying raw FP bits); the a-locs they may write
-   become FP-tainted. Sinks are integer loads that may read a tainted
-   a-loc, plus the instructions x64 hardware cannot trap on at all:
-   gpr<-xmm bit moves and xmm bitwise logic (except the ubiquitous
-   self-xor zeroing idiom). Anything the analysis cannot prove safe is
-   conservatively patched, mirroring the paper's contract. *)
+   The actual work lives in lib/analysis: the precision-tiered pipeline
+   (real CFG + strided-interval domain + flow-sensitive taint with
+   strong updates, Analysis.Pipeline) produces the sinks, and
+   Analysis.Legacy keeps the original flow-insensitive pass around as
+   the precision baseline.  This module adapts the pipeline's result to
+   the record shape the engine, tests and bench have always consumed,
+   and owns the e9patch-style patch application. *)
 
 module Isa = Machine.Isa
 module Program = Machine.Program
 
-(* ---- abstract values ---------------------------------------------------- *)
-
-type aval =
-  | Bot
-  | Const of int64
-  | StackPtr of int (* offset relative to initial rsp *)
-  | HeapPtr of int (* allocation site = instruction index of the Alloc *)
-  | FpBits (* raw floating point bit pattern in a GPR *)
-  | Top
-
-let join_aval a b =
-  match (a, b) with
-  | Bot, x | x, Bot -> x
-  | Const x, Const y when Int64.equal x y -> a
-  | StackPtr x, StackPtr y when x = y -> a
-  | HeapPtr x, HeapPtr y when x = y -> a
-  | FpBits, FpBits -> FpBits
-  | _ -> Top
-
-(* Abstract locations ("a-locs"). *)
-type aloc =
-  | Global of int (* static base displacement *)
-  | Stack of int (* rsp-relative slot *)
-  | Heap of int (* allocation site *)
+type aloc = Analysis.Legacy.aloc =
+  | Global of int
+  | GlobalFrom of int
+  | Stack of int
+  | Heap of int
   | Anywhere
 
-module AlocSet = Set.Make (struct
-  type t = aloc
-
-  let compare = Stdlib.compare
-end)
-
-(* May [read] observe data written into [written]? *)
-let may_alias written read =
-  match (written, read) with
-  | Anywhere, _ | _, Anywhere -> true
-  | Global a, Global b -> a = b
-  | Stack a, Stack b -> a = b
-  | Heap a, Heap b -> a = b
-  | (Global _ | Stack _ | Heap _), _ -> false
-
-type state = aval array (* 16 gprs *)
-
-let bot_state () = Array.make 16 Bot
-
-let join_state a b =
-  let changed = ref false in
-  let r = Array.copy a in
-  for i = 0 to 15 do
-    let j = join_aval a.(i) b.(i) in
-    if j <> r.(i) then begin
-      r.(i) <- j;
-      changed := true
-    end
-  done;
-  (r, !changed)
-
-(* Resolve a memory operand to an a-loc under the abstract state. *)
-let aloc_of st (m : Isa.mem_addr) : aloc =
-  let base = match m.Isa.base with Some r -> st.(Isa.gpr_index r) | None -> Const 0L in
-  let index =
-    match m.Isa.index with Some r -> st.(Isa.gpr_index r) | None -> Const 0L
-  in
-  match (base, index) with
-  | Const b, Const i ->
-      Global (Int64.to_int b + (Int64.to_int i * m.Isa.scale) + m.Isa.disp)
-  | HeapPtr site, _ | _, HeapPtr site -> Heap site
-  | StackPtr off, Const i ->
-      Stack (off + (Int64.to_int i * m.Isa.scale) + m.Isa.disp)
-  | StackPtr _, _ -> Anywhere
-  | Const b, _ ->
-      (* classic array access: static base displacement, unknown index;
-         the whole array is one a-loc identified by its base *)
-      Global (Int64.to_int b + m.Isa.disp)
-  | _ -> Anywhere
-
-(* ---- transfer function --------------------------------------------------- *)
-
-(* Memory contents are not modeled directly; instead, loads from a-locs
-   in the current FP-taint set yield FpBits, and everything else loaded
-   from memory goes to Top ("unknown integer/address"). The taint set is
-   iterated to a fixpoint by [analyze], so FP data flowing through
-   store/load chains is still tracked. *)
-let transfer ~tainted ~any_tainted (idx : int) (insn : Isa.insn) (st : state) :
-    state =
-  let loads_fp m =
-    any_tainted
-    || AlocSet.exists (fun w -> may_alias w (aloc_of st m)) tainted
-  in
-  let st = Array.copy st in
-  let set r v = st.(Isa.gpr_index r) <- v in
-  let get r = st.(Isa.gpr_index r) in
-  (match insn with
-  | Isa.Mov { dst = Isa.Reg r; src = Isa.Imm v; _ } -> set r (Const v)
-  | Isa.Mov { dst = Isa.Reg r; src = Isa.Reg s; _ } -> set r (get s)
-  | Isa.Mov { dst = Isa.Reg r; src = Isa.Mem m; size } ->
-      if size >= 4 && loads_fp m then set r FpBits else set r Top
-  | Isa.Mov _ -> ()
-  | Isa.Lea { dst; src } -> begin
-      let base =
-        match src.Isa.base with Some r -> get r | None -> Const 0L
-      in
-      let index =
-        match src.Isa.index with Some r -> get r | None -> Const 0L
-      in
-      match (base, index) with
-      | Const b, Const i ->
-          set dst
-            (Const
-               (Int64.add b
-                  (Int64.of_int ((Int64.to_int i * src.Isa.scale) + src.Isa.disp))))
-      | StackPtr off, Const i ->
-          set dst (StackPtr (off + (Int64.to_int i * src.Isa.scale) + src.Isa.disp))
-      | HeapPtr s, _ -> set dst (HeapPtr s)
-      | _ -> set dst Top
-    end
-  | Isa.Int_arith { op; dst = Isa.Reg r; src } -> begin
-      let s =
-        match src with
-        | Isa.Imm v -> Const v
-        | Isa.Reg x -> get x
-        | Isa.Mem _ -> Top
-        | Isa.Xmm _ -> Top
-      in
-      match (op, get r, s) with
-      | Isa.ADD, Const a, Const b -> set r (Const (Int64.add a b))
-      | Isa.SUB, Const a, Const b -> set r (Const (Int64.sub a b))
-      | Isa.ADD, StackPtr o, Const b -> set r (StackPtr (o + Int64.to_int b))
-      | Isa.SUB, StackPtr o, Const b -> set r (StackPtr (o - Int64.to_int b))
-      | Isa.ADD, HeapPtr h, Const _ -> set r (HeapPtr h)
-      | Isa.XOR, _, _ when src = Isa.Reg r -> set r (Const 0L)
-      | (Isa.IMUL | Isa.AND | Isa.OR | Isa.XOR | Isa.SHL | Isa.SHR | Isa.SAR), _, _ ->
-          set r Top
-      | _ -> set r Top
-    end
-  | Isa.Int_arith _ -> ()
-  | Isa.Inc (Isa.Reg r) | Isa.Dec (Isa.Reg r) | Isa.Neg (Isa.Reg r) -> begin
-      match get r with
-      | Const v ->
-          set r
-            (Const
-               (match insn with
-               | Isa.Inc _ -> Int64.add v 1L
-               | Isa.Dec _ -> Int64.sub v 1L
-               | _ -> Int64.neg v))
-      | StackPtr _ | HeapPtr _ | FpBits | Top | Bot -> set r Top
-    end
-  | Isa.Movq_xr { dst; _ } -> set dst FpBits
-  | Isa.Pop o -> (match o with Isa.Reg r -> set r Top | _ -> ())
-  | Isa.Call_ext Isa.Alloc -> set Isa.RAX (HeapPtr idx)
-  | Isa.Call_ext _ -> set Isa.RAX Top
-  | Isa.Call _ -> set Isa.RAX Top
-  | Isa.Cvt_f2i { dst = Isa.Reg r; _ } -> set r Top
-  | _ -> ());
-  st
-
-(* ---- CFG ------------------------------------------------------------------ *)
-
-let successors (prog : Program.t) idx (insn : Isa.insn) ~ret_targets =
-  match insn with
-  | Isa.Jmp t -> [ t ]
-  | Isa.Jcc (_, t) -> [ t; idx + 1 ]
-  | Isa.Call t -> [ t ] (* return modeled through ret_targets *)
-  | Isa.Ret -> !ret_targets
-  | Isa.Halt | Isa.Call_ext Isa.Exit -> []
-  | _ -> if idx + 1 < Array.length prog.Program.insns then [ idx + 1 ] else []
-
-(* ---- analysis results ------------------------------------------------------- *)
+module AlocSet = Analysis.Legacy.AlocSet
 
 type analysis = {
   sinks : int list; (* instruction indices needing correctness traps *)
@@ -193,137 +27,34 @@ type analysis = {
   total_int_loads : int;
   proven_safe_loads : int;
   iterations : int;
+  pipeline : Analysis.Pipeline.t; (* the full tiered-analysis result *)
 }
 
-let rec strip (i : Isa.insn) =
-  match i with
-  | Isa.Correctness_trap x | Isa.Checked x | Isa.Patched { original = x; _ } ->
-      strip x
-  | _ -> i
-
 let analyze (prog : Program.t) : analysis =
-  let n = Array.length prog.Program.insns in
-  let insns = Array.map strip prog.Program.insns in
-  (* return targets: all call fallthroughs *)
-  let ret_targets = ref [] in
-  Array.iteri
-    (fun i insn ->
-      match insn with
-      | Isa.Call _ -> ret_targets := (i + 1) :: !ret_targets
-      | _ -> ())
-    insns;
-  let total_iterations = ref 0 in
-  (* One round of forward dataflow under a given taint assumption. *)
-  let dataflow ~tainted ~any_tainted =
-    let states = Array.init n (fun _ -> bot_state ()) in
-    let entry = bot_state () in
-    entry.(Isa.gpr_index Isa.RSP) <- StackPtr 0;
-    states.(prog.Program.entry) <- entry;
-    let iterations = ref 0 in
-    let visits = Array.make n 0 in
-    let work = Queue.create () in
-    Queue.add prog.Program.entry work;
-    while not (Queue.is_empty work) do
-      incr iterations;
-      let i = Queue.pop work in
-      if !iterations < 40 * n then begin
-        let out = transfer ~tainted ~any_tainted i insns.(i) states.(i) in
-        (* widen heavily-revisited nodes to force convergence *)
-        visits.(i) <- visits.(i) + 1;
-        let out =
-          if visits.(i) > 24 then
-            Array.map (fun v -> if v = Bot then Bot else Top) out
-          else out
-        in
-        List.iter
-          (fun s ->
-            if s >= 0 && s < n then begin
-              let joined, changed = join_state states.(s) out in
-              if changed || visits.(s) = 0 then begin
-                states.(s) <- joined;
-                visits.(s) <- max visits.(s) 1;
-                Queue.add s work
-              end
-            end)
-          (successors prog i insns.(i) ~ret_targets)
-      end
-    done;
-    total_iterations := !total_iterations + !iterations;
-    states
+  let p = Analysis.Pipeline.analyze prog in
+  let tainted =
+    List.fold_left
+      (fun acc (lo, hi, _) ->
+        if hi - lo = 8 && lo land 7 = 0 then AlocSet.add (Global lo) acc
+        else AlocSet.add (GlobalFrom lo) acc)
+      AlocSet.empty p.Analysis.Pipeline.tainted
   in
-  (* Collect FP sources under the register states: FP stores and integer
-     stores of registers that carry raw FP bits. *)
-  let collect_taint states =
-    let tainted = ref AlocSet.empty in
-    let sources = ref [] in
-    Array.iteri
-      (fun i insn ->
-        let st = states.(i) in
-        let taint aloc =
-          tainted := AlocSet.add aloc !tainted;
-          sources := i :: !sources
-        in
-        match insn with
-        | Isa.Mov_f { dst = Isa.Mem m; _ } -> taint (aloc_of st m)
-        | Isa.Mov_x { dst = Isa.Mem m; _ } -> taint (aloc_of st m)
-        | Isa.Fp_arith { dst = Isa.Mem m; _ } -> taint (aloc_of st m)
-        | Isa.Mov { dst = Isa.Mem m; src = Isa.Reg r; size; _ }
-          when size >= 4 && st.(Isa.gpr_index r) = FpBits ->
-            taint (aloc_of st m)
-        | _ -> ())
-      insns;
-    (!tainted, List.rev !sources)
-  in
-  (* Iterate dataflow and taint collection to a fixpoint (FP bits can
-     flow memory -> register -> memory). *)
-  let rec fixpoint tainted rounds =
-    let any_tainted = AlocSet.mem Anywhere tainted in
-    let states = dataflow ~tainted ~any_tainted in
-    let tainted', sources = collect_taint states in
-    let merged = AlocSet.union tainted tainted' in
-    if AlocSet.equal merged tainted || rounds >= 5 then
-      (states, merged, sources)
-    else fixpoint merged (rounds + 1)
-  in
-  let states, tainted, sources0 = fixpoint AlocSet.empty 0 in
-  let sources = ref sources0 in
-  let any_tainted = AlocSet.mem Anywhere tainted in
-  let reads_tainted aloc =
-    any_tainted
-    || AlocSet.exists (fun w -> may_alias w aloc) tainted
-  in
-  (* pass 3: sinks *)
-  let sinks = ref [] in
-  let total_int_loads = ref 0 in
-  let proven = ref 0 in
-  Array.iteri
-    (fun i insn ->
-      let st = states.(i) in
-      match insn with
-      | Isa.Mov { src = Isa.Mem m; size; _ } when size >= 4 ->
-          incr total_int_loads;
-          if reads_tainted (aloc_of st m) then sinks := i :: !sinks
-          else incr proven
-      | Isa.Movq_xr _ -> sinks := i :: !sinks
-      | Isa.Fp_bit { dst; src; _ } when dst <> src ->
-          (* xmm bitwise logic on possibly-boxed data; self-xor zeroing
-             is the provably safe idiom *)
-          sinks := i :: !sinks
-      | _ -> ())
-    insns;
-  { sinks = List.rev !sinks;
-    sources = !sources;
+  { sinks = List.map (fun s -> s.Analysis.Pipeline.sink_index) p.Analysis.Pipeline.sinks;
+    sources = p.Analysis.Pipeline.sources;
     tainted;
-    total_int_loads = !total_int_loads;
-    proven_safe_loads = !proven;
-    iterations = !total_iterations }
+    total_int_loads = p.Analysis.Pipeline.total_int_loads;
+    proven_safe_loads = p.Analysis.Pipeline.proven_safe_loads;
+    iterations = p.Analysis.Pipeline.iterations;
+    pipeline = p }
 
 (* e9patch stand-in: rewrite every sink in place with an explicit trap
-   to FPVM. *)
+   to FPVM.  Idempotent: an already-instrumented site (correctness trap
+   from a previous application, checked stub, or trap-and-patch rewrite)
+   is never wrapped a second time. *)
 let apply_patches (prog : Program.t) (a : analysis) =
   List.iter
     (fun i ->
       match prog.Program.insns.(i) with
-      | Isa.Correctness_trap _ -> ()
+      | Isa.Correctness_trap _ | Isa.Checked _ | Isa.Patched _ -> ()
       | insn -> prog.Program.insns.(i) <- Isa.Correctness_trap insn)
     a.sinks

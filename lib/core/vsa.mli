@@ -1,15 +1,24 @@
-(** Static binary analysis and patching (paper section 4.2).
+(** Static binary analysis and patching (paper section 4.2) — façade
+    over the precision-tiered pipeline in [lib/analysis].
 
-    A value-set analysis over the binary's CFG finds the instructions
-    that can move floating point data where the hardware cannot trap on
-    it: integer loads of FP-written memory ({e sinks} of the Figure 6/7
-    idioms), gpr<-xmm bit moves, and xmm bitwise logic. {!apply_patches}
-    rewrites each sink with an explicit correctness trap (the e9patch
-    stand-in); the engine's trap handler then demotes any NaN-boxed
-    operand and single-steps the original instruction. *)
+    The pipeline ([Analysis.Pipeline]) runs a forward abstract
+    interpretation over the binary's real CFG with a strided-interval
+    value domain and flow-sensitive taint, finding the instructions that
+    can move floating point data where the hardware cannot trap on it:
+    integer loads of FP-written memory ({e sinks} of the Figure 6/7
+    idioms), gpr<-xmm bit moves, and xmm bitwise logic.
+    {!apply_patches} rewrites each sink with an explicit correctness
+    trap (the e9patch stand-in); the engine's trap handler then demotes
+    any NaN-boxed operand and single-steps the original instruction.
 
-type aloc =
-  | Global of int  (** static base displacement in the data segment *)
+    The original flow-insensitive pass survives as [Analysis.Legacy] and
+    is reported against as the precision baseline. *)
+
+type aloc = Analysis.Legacy.aloc =
+  | Global of int  (** static byte address in the data segment *)
+  | GlobalFrom of int
+      (** summary for an indexed access with unknown bound: every global
+          at or above the base *)
   | Stack of int  (** rsp-relative slot *)
   | Heap of int  (** allocation site (instruction index of the Alloc) *)
   | Anywhere  (** unknown: aliases everything *)
@@ -22,14 +31,18 @@ type analysis = {
   tainted : AlocSet.t;  (** the FP-tainted abstract locations *)
   total_int_loads : int;
   proven_safe_loads : int;  (** loads the analysis discharged *)
-  iterations : int;  (** dataflow iterations across all taint rounds *)
+  iterations : int;  (** block transfers until the abstract fixpoint *)
+  pipeline : Analysis.Pipeline.t;
+      (** the full tiered-analysis result: sink kinds, taint provenance
+          chains, elision and CFG statistics *)
 }
 
 val analyze : Machine.Program.t -> analysis
-(** Run the iterated dataflow + taint analysis. Pure: does not modify
-    the program. Instrumentation wrappers are analyzed through to the
-    original instruction. *)
+(** Run the tiered pipeline. Pure: does not modify the program.
+    Instrumentation wrappers are analyzed through to the original
+    instruction. *)
 
 val apply_patches : Machine.Program.t -> analysis -> unit
 (** Rewrite every sink instruction in place with
-    [Correctness_trap original]. Idempotent. *)
+    [Correctness_trap original]. Idempotent: already-instrumented sites
+    (Correctness_trap / Checked / Patched) are never wrapped again. *)

@@ -651,7 +651,11 @@ let step st : outcome =
     end
     else begin
       st.State.insn_count <- st.State.insn_count + 1;
-      dispatch st idx st.State.prog.Program.insns.(idx)
+      let insn = st.State.prog.Program.insns.(idx) in
+      (match st.State.hooks.State.on_step with
+      | Some h -> h st idx insn
+      | None -> ());
+      dispatch st idx insn
     end
   end
 

@@ -123,6 +123,16 @@ let finish b : t =
 let copy t =
   { t with insns = Array.copy t.insns; addrs = Array.copy t.addrs }
 
+(* Unwrap FPVM instrumentation (correctness traps, checked stubs,
+   trap-and-patch rewrites) down to the original instruction. *)
+let rec strip_insn (i : Isa.insn) =
+  match i with
+  | Isa.Correctness_trap x | Isa.Checked x | Isa.Patched { original = x; _ } ->
+      strip_insn x
+  | _ -> i
+
+let stripped_insns t = Array.map strip_insn t.insns
+
 let disassemble t =
   let buf = Buffer.create 1024 in
   Array.iteri

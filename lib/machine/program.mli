@@ -53,4 +53,12 @@ val copy : t -> t
 (** Deep-copy the mutable parts, so patching one copy never affects
     another. *)
 
+val strip_insn : Isa.insn -> Isa.insn
+(** Unwrap instrumentation (Correctness_trap / Checked / Patched) down
+    to the original instruction. *)
+
+val stripped_insns : t -> Isa.insn array
+(** A fresh array of the program's instructions with all instrumentation
+    wrappers stripped — what static analyses operate on. *)
+
 val disassemble : t -> string

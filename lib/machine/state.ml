@@ -12,6 +12,9 @@ type hooks = {
       (* return true if interposed (handled); false for native behavior *)
   mutable on_free_hint : (t -> Isa.operand -> unit) option;
       (* compiler-inserted shadow-death callback *)
+  mutable on_step : (t -> int -> Isa.insn -> unit) option;
+      (* observation-only pre-dispatch callback (the soundness oracle);
+         must not mutate state *)
 }
 
 and t = {
@@ -77,7 +80,7 @@ let create ?(cost = Cost_model.r815) (prog : Program.t) : t =
     prog;
     cost;
     hooks = { on_checked = None; on_patched = None; on_ext_call = None;
-              on_free_hint = None } }
+              on_free_hint = None; on_step = None } }
 
 exception Mem_fault of int
 

@@ -13,6 +13,9 @@ type hooks = {
           return false for the native behavior *)
   mutable on_free_hint : (t -> Isa.operand -> unit) option;
       (** compiler-inserted shadow-death callback *)
+  mutable on_step : (t -> int -> Isa.insn -> unit) option;
+      (** observation-only callback fired before every dispatch (the
+          soundness oracle rides here); must not mutate state *)
 }
 
 and t = {

@@ -221,6 +221,9 @@ module Make (A : Fpvm.Arith.S) = struct
     ses.E.eng.E.since_gc <- r.Snapshot.r_since_gc;
     ses.E.eng.E.gc_count <- r.Snapshot.r_gc_count;
     ses.E.eng.E.patch_sites <- r.Snapshot.r_patch_sites;
+    (* The blob re-installed trap-and-patch sites into the instruction
+       array; the precomputed trace hints must see those terminators. *)
+    E.refresh_trace_hints ses;
     (ses, r.Snapshot.r_meta, r.Snapshot.r_seq)
 
   (* ---- record ---------------------------------------------------------- *)

@@ -163,7 +163,10 @@ let stats_ints (s : Fpvm.Stats.t) =
     s.cyc_correctness_handler; s.cyc_patch_checks; s.gc_passes;
     s.gc_full_passes; s.gc_freed; s.gc_alive_last; s.gc_words_scanned;
     s.boxes_allocated; s.eager_frees; s.replay_events;
-    s.replay_checkpoints; s.replay_checkpoint_bytes; s.replay_log_bytes ]
+    s.replay_checkpoints; s.replay_checkpoint_bytes; s.replay_log_bytes;
+    (* appended fields (order is the format; oracle/analysis gauges are
+       deliberately NOT checkpointed) *)
+    s.corr_demote_boxed; s.corr_demote_clean ]
 
 let encode_stats b (s : Fpvm.Stats.t) =
   List.iter (fun v -> Codec.i64 b (Int64.of_int v)) (stats_ints s);
@@ -208,6 +211,8 @@ let restore_stats s pos (t : Fpvm.Stats.t) =
   t.Fpvm.Stats.replay_checkpoints <- r ();
   t.Fpvm.Stats.replay_checkpoint_bytes <- r ();
   t.Fpvm.Stats.replay_log_bytes <- r ();
+  t.Fpvm.Stats.corr_demote_boxed <- r ();
+  t.Fpvm.Stats.corr_demote_clean <- r ();
   t.Fpvm.Stats.gc_latency_s <- Int64.float_of_bits (Codec.r_i64 s pos)
 
 (* ---- capture / restore ----------------------------------------------- *)
