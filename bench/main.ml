@@ -58,10 +58,11 @@ let measure_ns (pairs : (string * (unit -> unit)) list) : (string * float) list 
 let cfg ?(approach = Fpvm.Engine.Trap_and_emulate) ?(cost = CM.r815)
     ?(deployment = Trapkern.User_signal) ?(gc_interval = 20000)
     ?(incremental_gc = true) ?(full_scan_every = 8) ?(max_trace_len = 64)
-    ?(decode_cache = true) () =
+    ?(decode_cache = true) ?(use_plans = true) () =
   { Fpvm.Engine.approach; deployment; use_vsa = true; oracle = false;
     gc_interval; incremental_gc; full_scan_every; decode_cache;
-    always_emulate = false; max_trace_len; cost; max_insns = 400_000_000 }
+    always_emulate = false; max_trace_len; use_plans; cost;
+    max_insns = 400_000_000 }
 
 let workloads_fig9 =
   [ "miniAero"; "Enzo(astro)"; "lorenz"; "NAS CG"; "fbench"; "three-body" ]
@@ -925,6 +926,214 @@ let bench_vsa () =
     exit 1
   end
 
+(* ---- BENCH_plans.json: site-specialized emulation ------------------------ *)
+
+(* Evidence for the binding-plan cache + shadow-temp elision, with four
+   hard assertions (the CI ratchet):
+   (1) plan hit rate >= 95% on NAS CG, NAS MG and Enzo(astro);
+   (2) arena allocations strictly decrease with plans on (elision);
+   (3) modeled bind + op_map-dispatch cycles drop >= 3x vs --no-plans;
+   (4) outputs bit-identical, plans on vs off, across all five
+       arithmetic ports and both GC modes, and the soundness oracle
+       stays clean with elision active. *)
+
+module E_slash = Fpvm.Engine.Make (Fpvm.Alt_slash)
+
+let bench_plans () =
+  hr "BENCH_plans.json: binding-plan cache + shadow-temp elision";
+  Fpvm.Alt_mpfr.precision := 200;
+  let strict_names = [ "NAS CG"; "NAS MG"; "Enzo(astro)" ] in
+  let failures = ref 0 in
+  let bind_disp (s : Fpvm.Stats.t) =
+    s.Fpvm.Stats.cyc_bind + s.Fpvm.Stats.cyc_emu_dispatch
+  in
+  let hit_rate (s : Fpvm.Stats.t) =
+    let total = s.Fpvm.Stats.plan_hits + s.Fpvm.Stats.plan_misses in
+    if total = 0 then 0.0
+    else 100.0 *. float_of_int s.Fpvm.Stats.plan_hits /. float_of_int total
+  in
+  printf "%-12s %9s %14s %14s %9s %8s\n" "workload" "hit-rate"
+    "bind+disp off" "bind+disp on" "ratio" "allocs";
+  let rows =
+    List.map
+      (fun name ->
+        let e = get name in
+        let prog = e.W.program W.Test in
+        let ron = E_mpfr.run ~config:(cfg ~max_trace_len:256 ()) prog in
+        let roff =
+          E_mpfr.run ~config:(cfg ~max_trace_len:256 ~use_plans:false ()) prog
+        in
+        let son = ron.Fpvm.Engine.stats and soff = roff.Fpvm.Engine.stats in
+        let hr_ = hit_rate son in
+        let ratio =
+          float_of_int (bind_disp soff) /. float_of_int (max 1 (bind_disp son))
+        in
+        (* (1) hit rate; (2) strict allocation decrease; (3) >= 3x *)
+        if hr_ < 95.0 then begin
+          incr failures;
+          printf "FAIL %s: plan hit rate %.2f%% < 95%%\n" name hr_
+        end;
+        if son.Fpvm.Stats.boxes_allocated >= soff.Fpvm.Stats.boxes_allocated
+        then begin
+          incr failures;
+          printf "FAIL %s: arena allocations %d (plans) !< %d (no plans)\n"
+            name son.Fpvm.Stats.boxes_allocated
+            soff.Fpvm.Stats.boxes_allocated
+        end;
+        if ratio < 3.0 then begin
+          incr failures;
+          printf "FAIL %s: bind+dispatch only dropped %.2fx (< 3x)\n" name
+            ratio
+        end;
+        (* (4a) oracle clean with elision active *)
+        let oc =
+          { (cfg ~max_trace_len:256 ()) with Fpvm.Engine.oracle = true }
+        in
+        let ro = E_mpfr.run ~config:oc prog in
+        let viol = ro.Fpvm.Engine.stats.Fpvm.Stats.oracle_boxed_loads in
+        if viol > 0 then begin
+          incr failures;
+          printf "FAIL %s: oracle saw %d boxed loads with plans on\n" name viol
+        end;
+        printf "%-12s %8.2f%% %13dc %13dc %8.1fx %5d->%d\n%!" name hr_
+          (bind_disp soff) (bind_disp son) ratio
+          soff.Fpvm.Stats.boxes_allocated son.Fpvm.Stats.boxes_allocated;
+        Printf.sprintf
+          "    { \"workload\": \"%s\",\n\
+           \      \"plan_hits\": %d, \"plan_misses\": %d, \
+           \"plan_hit_rate_pct\": %.3f,\n\
+           \      \"temps_elided\": %d, \"temps_materialized\": %d, \
+           \"allocs_avoided\": %d,\n\
+           \      \"arena_allocs\": { \"no_plans\": %d, \"plans\": %d },\n\
+           \      \"bind_dispatch_cycles\": { \"no_plans\": %d, \"plans\": %d, \
+           \"reduction\": %.3f },\n\
+           \      \"plan_cycles\": %d, \"total_cycles\": { \"no_plans\": %d, \
+           \"plans\": %d },\n\
+           \      \"oracle_boxed_loads\": %d }"
+          (json_escape name) son.Fpvm.Stats.plan_hits
+          son.Fpvm.Stats.plan_misses (hit_rate son)
+          son.Fpvm.Stats.temps_elided son.Fpvm.Stats.temps_materialized
+          (Fpvm.Stats.allocs_avoided son) soff.Fpvm.Stats.boxes_allocated
+          son.Fpvm.Stats.boxes_allocated (bind_disp soff) (bind_disp son)
+          ratio son.Fpvm.Stats.cyc_plan roff.Fpvm.Engine.cycles
+          ron.Fpvm.Engine.cycles viol)
+      strict_names
+  in
+  (* (4b) bit-identical outputs, plans on vs off: all five arithmetic
+     ports, both GC modes, every workload. *)
+  printf "\ndifferential (plans on == off), 5 ports x 2 GC modes:\n";
+  let ports :
+      (string * (Fpvm.Engine.config -> Machine.Program.t -> string * string))
+      list =
+    [ ("vanilla",
+       fun c p ->
+         let r = E_vanilla.run ~config:c p in
+         (r.Fpvm.Engine.output, r.Fpvm.Engine.serialized));
+      ("mpfr",
+       fun c p ->
+         let r = E_mpfr.run ~config:c p in
+         (r.Fpvm.Engine.output, r.Fpvm.Engine.serialized));
+      ("posit",
+       fun c p ->
+         let r = E_posit.run ~config:c p in
+         (r.Fpvm.Engine.output, r.Fpvm.Engine.serialized));
+      ("interval",
+       fun c p ->
+         let r = E_interval.run ~config:c p in
+         (r.Fpvm.Engine.output, r.Fpvm.Engine.serialized));
+      ("slash",
+       fun c p ->
+         let r = E_slash.run ~config:c p in
+         (r.Fpvm.Engine.output, r.Fpvm.Engine.serialized)) ]
+  in
+  let differential_ok = ref true in
+  List.iter
+    (fun name ->
+      let e = get name in
+      let prog = e.W.program W.Test in
+      List.iter
+        (fun (pname, run) ->
+          List.iter
+            (fun inc ->
+              let on =
+                run (cfg ~incremental_gc:inc ~max_trace_len:256 ()) prog
+              in
+              let off =
+                run
+                  (cfg ~incremental_gc:inc ~max_trace_len:256
+                     ~use_plans:false ())
+                  prog
+              in
+              if on <> off then begin
+                differential_ok := false;
+                incr failures;
+                printf "FAIL %s/%s/gc=%s: outputs differ plans on vs off\n"
+                  name pname
+                  (if inc then "incremental" else "full")
+              end)
+            [ true; false ])
+        ports)
+    strict_names;
+  printf "  all bit-identical: %b\n" !differential_ok;
+  (* per-profile bind+dispatch share, for EXPERIMENTS.md *)
+  printf "\nper-profile bind+dispatch share of FPVM cycles (NAS CG):\n";
+  let profile_rows =
+    List.map
+      (fun cost ->
+        let prog = (get "NAS CG").W.program W.Test in
+        let son =
+          (E_mpfr.run ~config:(cfg ~cost ~max_trace_len:256 ()) prog)
+            .Fpvm.Engine.stats
+        in
+        let soff =
+          (E_mpfr.run ~config:(cfg ~cost ~max_trace_len:256 ~use_plans:false ())
+             prog)
+            .Fpvm.Engine.stats
+        in
+        let share (s : Fpvm.Stats.t) =
+          100.0
+          *. float_of_int (bind_disp s)
+          /. float_of_int (max 1 (Fpvm.Stats.total_fpvm_cycles s))
+        in
+        printf "  %-10s no-plans %9dc (%5.1f%%)  plans %9dc (%5.1f%%)\n"
+          cost.CM.name (bind_disp soff) (share soff) (bind_disp son)
+          (share son);
+        Printf.sprintf
+          "    { \"profile\": \"%s\", \"no_plans\": { \"bind_dispatch\": %d, \
+           \"share_pct\": %.2f }, \"plans\": { \"bind_dispatch\": %d, \
+           \"share_pct\": %.2f } }"
+          cost.CM.name (bind_disp soff) (share soff) (bind_disp son)
+          (share son))
+      CM.profiles
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+       \  \"experiment\": \"site-specialized emulation: binding-plan cache + \
+       compiled superops + in-trace shadow-temp elision\",\n\
+       \  \"arithmetic\": \"mpfr-200\",\n\
+       \  \"scale\": \"test\",\n\
+       \  \"max_trace_len\": 256,\n\
+       \  \"ratchet\": { \"plan_hit_rate_min_pct\": 95.0, \
+       \"bind_dispatch_reduction_min\": 3.0, \
+       \"arena_allocs_strictly_reduced\": true },\n\
+       \  \"workloads\": [\n%s\n  ],\n\
+       \  \"differential_bit_identical\": %b,\n\
+       \  \"profile_bind_dispatch\": [\n%s\n  ]\n\
+       }\n"
+      (String.concat ",\n" rows)
+      !differential_ok
+      (String.concat ",\n" profile_rows)
+  in
+  let oc = open_out "BENCH_plans.json" in
+  output_string oc doc;
+  close_out oc;
+  printf "\nwrote BENCH_plans.json\n";
+  if !failures > 0 then begin
+    printf "plans experiment: %d assertion(s) FAILED\n" !failures;
+    exit 1
+  end
+
 (* ---- main ------------------------------------------------------------------------------------------ *)
 
 let experiments =
@@ -947,7 +1156,8 @@ let experiments =
     ("ablate-delivery", ablate_delivery);
     ("json", bench_json);
     ("replay", bench_replay);
-    ("vsa", bench_vsa) ]
+    ("vsa", bench_vsa);
+    ("plans", bench_plans) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

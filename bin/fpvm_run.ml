@@ -67,7 +67,7 @@ module D_slash = D (Fpvm.Alt_slash)
 
 let config_fingerprint (c : Fpvm.Engine.config) machine =
   Printf.sprintf
-    "approach=%s;deploy=%d;vsa=%b;orc=%b;gc=%d;inc=%b;full=%d;cache=%b;alw=%b;trace=%d;mach=%s"
+    "approach=%s;deploy=%d;vsa=%b;orc=%b;gc=%d;inc=%b;full=%d;cache=%b;alw=%b;trace=%d;plans=%b;mach=%s"
     (match c.Fpvm.Engine.approach with
     | Fpvm.Engine.Trap_and_emulate -> "emulate"
     | Fpvm.Engine.Trap_and_patch -> "patch"
@@ -76,7 +76,7 @@ let config_fingerprint (c : Fpvm.Engine.config) machine =
     c.Fpvm.Engine.use_vsa c.Fpvm.Engine.oracle c.Fpvm.Engine.gc_interval
     c.Fpvm.Engine.incremental_gc c.Fpvm.Engine.full_scan_every
     c.Fpvm.Engine.decode_cache c.Fpvm.Engine.always_emulate
-    c.Fpvm.Engine.max_trace_len machine
+    c.Fpvm.Engine.max_trace_len c.Fpvm.Engine.use_plans machine
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -120,6 +120,15 @@ let print_json ~workload ~arith ~scale (r : Fpvm.Engine.result) =
       kv_i "math_calls" s.Fpvm.Stats.math_calls;
       kv_i "decode_hits" s.Fpvm.Stats.decode_hits;
       kv_i "decode_misses" s.Fpvm.Stats.decode_misses;
+      kv_i "plan_hits" s.Fpvm.Stats.plan_hits;
+      kv_i "plan_misses" s.Fpvm.Stats.plan_misses;
+      kv_i "plan_invalidations" s.Fpvm.Stats.plan_invalidations;
+      kv_i "temps_elided" s.Fpvm.Stats.temps_elided;
+      kv_i "temps_materialized" s.Fpvm.Stats.temps_materialized;
+      kv_i "allocs_avoided" (Fpvm.Stats.allocs_avoided s);
+      kv_i "cyc_plan" s.Fpvm.Stats.cyc_plan;
+      kv_i "cyc_bind" s.Fpvm.Stats.cyc_bind;
+      kv_i "cyc_emu_dispatch" s.Fpvm.Stats.cyc_emu_dispatch;
       kv_i "boxes_allocated" s.Fpvm.Stats.boxes_allocated;
       kv_i "gc_passes" s.Fpvm.Stats.gc_passes;
       kv_i "gc_full_passes" s.Fpvm.Stats.gc_full_passes;
@@ -160,6 +169,13 @@ let print_stats (r : Fpvm.Engine.result) =
     s.Fpvm.Stats.emulated_insns s.Fpvm.Stats.math_calls;
   Printf.eprintf "decode cache: %d hits / %d misses\n" s.Fpvm.Stats.decode_hits
     s.Fpvm.Stats.decode_misses;
+  Printf.eprintf "plans: %d hits / %d misses (%d invalidated)\n"
+    s.Fpvm.Stats.plan_hits s.Fpvm.Stats.plan_misses
+    s.Fpvm.Stats.plan_invalidations;
+  Printf.eprintf
+    "temps elided: %d (%d re-boxed at trace exit, %d allocs avoided)\n"
+    s.Fpvm.Stats.temps_elided s.Fpvm.Stats.temps_materialized
+    (Fpvm.Stats.allocs_avoided s);
   Printf.eprintf "boxes allocated: %d, gc passes: %d, freed: %d\n"
     s.Fpvm.Stats.boxes_allocated s.Fpvm.Stats.gc_passes s.Fpvm.Stats.gc_freed;
   Printf.eprintf "gc: %d full passes, %d words scanned\n"
@@ -202,8 +218,8 @@ let guard f =
   | exception Failure msg -> `Error (false, msg)
 
 let run workload arith prec posit_bits approach machine deployment scale
-    trace_len full_gc gc_interval oracle stats json disasm spy list_only
-    record_file replay_file checkpoint_every from_checkpoint inject =
+    trace_len full_gc gc_interval no_plans oracle stats json disasm spy
+    list_only record_file replay_file checkpoint_every from_checkpoint inject =
   if list_only then begin
     List.iter
       (fun (e : W.entry) -> Printf.printf "%-12s %s\n" e.W.name e.W.specifics)
@@ -275,7 +291,8 @@ let run workload arith prec posit_bits approach machine deployment scale
                 { Fpvm.Engine.default_config with
                   Fpvm.Engine.approach; cost; deployment; gc_interval; oracle;
                   Fpvm.Engine.max_trace_len = trace_len;
-                  Fpvm.Engine.incremental_gc = not full_gc }
+                  Fpvm.Engine.incremental_gc = not full_gc;
+                  Fpvm.Engine.use_plans = not no_plans }
               in
               let driver =
                 match arith with
@@ -599,6 +616,13 @@ let gc_interval =
   Arg.(value & opt int Fpvm.Engine.default_config.Fpvm.Engine.gc_interval
        & info [ "gc-interval" ] ~doc:"Emulated instructions between GC passes.")
 
+let no_plans =
+  Arg.(value & flag
+       & info [ "no-plans" ]
+           ~doc:"Disable site-specialized emulation (the binding-plan cache \
+                 and in-trace shadow-temp elision); reproduces the \
+                 unspecialized engine bit- and cycle-exactly.")
+
 let oracle =
   Arg.(value & flag
        & info [ "oracle" ]
@@ -639,9 +663,9 @@ let run_term =
   Term.(
     ret
       (const run $ workload $ arith $ prec $ posit_bits $ approach $ machine
-     $ deployment $ scale $ trace_len $ full_gc $ gc_interval $ oracle $ stats
-     $ json $ disasm $ spy $ list_only $ record_file $ replay_file
-     $ checkpoint_every $ from_checkpoint $ inject))
+     $ deployment $ scale $ trace_len $ full_gc $ gc_interval $ no_plans
+     $ oracle $ stats $ json $ disasm $ spy $ list_only $ record_file
+     $ replay_file $ checkpoint_every $ from_checkpoint $ inject))
 
 let bisect_cmd =
   let log_a = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG_A") in

@@ -1,0 +1,141 @@
+(* No-escape facts for in-trace shadow-temp elision.
+
+   A scalar binary64 FP result written to an xmm register is normally
+   NaN-boxed: a fresh arena cell per emulation. Inside a trace, though,
+   many of these are dataflow-local — produced, consumed by a later
+   trace instruction's unbox, and overwritten — and the engine can keep
+   them in a per-trace scratch buffer instead (engine.ml), skipping the
+   arena round trip.
+
+   Elision is *always sound* at trace exit (the engine promotes any
+   scratch temp still referenced by a register or a recorded spill word
+   to a real box, and its in-trace guard intercepts every raw flow of
+   the pattern), so this analysis answers a profitability question per
+   site: starting from the instruction after the producer, does
+   straight-line execution keep the value on the binary64 dataflow
+   paths the engine tracks, until the register is overwritten?
+
+   - Emulated FP consumers (F64 arith/compare/round/convert reads) are
+     fine: a scratch temp is still a signaling-NaN box, so the consumer
+     faults into the emulator exactly as a real box would, and unbox
+     resolves the scratch slot.
+   - Binary64 moves ([Mov_f]/[Mov_x]) are fine too: a register copy is
+     swept at trace exit, and a store is recorded by the engine and
+     re-boxed there if the word survives.
+   - Raw-bit observers make elision pointless (the engine's guard would
+     materialize immediately): [Movq_xr], bit ops ([Fp_bit]), any
+     F32-width access (reads/writes 32 of the box's 64 bits), integer
+     ops on the register, and [Free_hint] (plans-off eager-frees a
+     real box there).
+   - Control flow, FPVM instrumentation, external calls and the scan
+     cap are conservative failures: past them the straight-line
+     argument is gone.
+
+   The scan is per-site, linear and bounded, run once at prepare time
+   over the patched program (and re-run when trap-and-patch rewrites a
+   site). *)
+
+module Isa = Machine.Isa
+
+let scan_cap = 64
+
+(* Does [o] name xmm register [x]? *)
+let is_x x (o : Isa.operand) = match o with Isa.Xmm i -> i = x | _ -> false
+
+(* What the instruction at [insns.(j)] does to the temp living in xmm
+   [x]'s lane 0. *)
+type verdict =
+  | V_kill (* overwrites x's full lane 0 without observing raw bits *)
+  | V_continue (* doesn't touch x, or consumes it through unbox *)
+  | V_fail (* observes raw bits, or ends the straight-line argument *)
+
+let step x (insn : Isa.insn) : verdict =
+  match insn with
+  (* --- emulatable FP, binary64: reads of x go through unbox --- *)
+  | Isa.Fp_arith { w = Isa.F64; dst; _ } ->
+      if is_x x dst then V_kill (* read (if any) happens before the write *)
+      else V_continue
+  | Isa.Fp_cmp { w = Isa.F64; _ } -> V_continue
+  | Isa.Fp_cmppred { w = Isa.F64; dst; _ } ->
+      if is_x x dst then V_kill else V_continue
+  | Isa.Fp_round { w = Isa.F64; dst; src } ->
+      if is_x x src then if is_x x dst then V_kill else V_continue
+      else if is_x x dst then V_kill
+      else V_continue
+  | Isa.Cvt_f2f { from_w = Isa.F64; dst; _ } ->
+      (* narrowing: the destination takes a *partial* 32-bit write *)
+      if is_x x dst then V_fail else V_continue
+  | Isa.Cvt_f2f { from_w = Isa.F32; dst; src } ->
+      (* widening: source is a raw 32-bit read; dst gets a full box *)
+      if is_x x src then V_fail
+      else if is_x x dst then V_kill
+      else V_continue
+  | Isa.Cvt_f2i { w = Isa.F64; _ } -> V_continue (* dst is gpr/mem *)
+  | Isa.Cvt_i2f { w = Isa.F64; dst; src } ->
+      if is_x x src then V_fail (* src can only be gpr/mem/imm; defensive *)
+      else if is_x x dst then V_kill
+      else V_continue
+  (* --- any F32-width FP op touching x observes raw bits --- *)
+  | Isa.Fp_arith { w = Isa.F32; dst; src; _ }
+  | Isa.Fp_cmppred { w = Isa.F32; dst; src; _ }
+  | Isa.Fp_round { w = Isa.F32; dst; src }
+  | Isa.Cvt_f2i { w = Isa.F32; dst; src; _ }
+  | Isa.Cvt_i2f { w = Isa.F32; dst; src } ->
+      if is_x x dst || is_x x src then V_fail else V_continue
+  | Isa.Fp_cmp { w = Isa.F32; a; b; _ } ->
+      if is_x x a || is_x x b then V_fail else V_continue
+  (* --- binary64 moves: transparent to a temp. A copy lands in a
+         swept xmm register; a store is recorded by the engine's
+         in-trace guard and re-boxed at trace exit if it survives, so
+         neither ends the elision argument. --- *)
+  | Isa.Mov_f { w = Isa.F64; dst; _ } ->
+      if is_x x dst then V_kill (* full lane-0 overwrite *)
+      else V_continue
+  | Isa.Mov_f { w = Isa.F32; dst; src } ->
+      if is_x x dst || is_x x src then V_fail else V_continue
+  | Isa.Mov_x { dst; src } ->
+      ignore src;
+      if is_x x dst then V_kill (* full 128-bit overwrite *)
+      else V_continue
+  | Isa.Movq_xr { src; _ } -> if src = x then V_fail else V_continue
+  | Isa.Movq_rx { dst; _ } -> if dst = x then V_kill else V_continue
+  | Isa.Fp_bit { dst; src; _ } ->
+      if is_x x dst || is_x x src then V_fail else V_continue
+  (* --- shadow-death hint: eager-frees a real box; a temp can't mimic
+         that, and a dangling read after it would diverge --- *)
+  | Isa.Free_hint o -> if is_x x o then V_fail else V_continue
+  (* --- integer glue: xmm operands would be raw observations --- *)
+  | Isa.Mov { dst; src; _ } | Isa.Int_arith { dst; src; _ } ->
+      if is_x x dst || is_x x src then V_fail else V_continue
+  | Isa.Cmp { a; b } | Isa.Test { a; b } ->
+      if is_x x a || is_x x b then V_fail else V_continue
+  | Isa.Inc o | Isa.Dec o | Isa.Neg o | Isa.Push o | Isa.Pop o ->
+      if is_x x o then V_fail else V_continue
+  | Isa.Lea _ | Isa.Nop -> V_continue
+  (* --- control flow, externals, instrumentation, end of program:
+         the straight-line argument stops here --- *)
+  | Isa.Jmp _ | Isa.Jcc _ | Isa.Call _ | Isa.Ret | Isa.Call_ext _
+  | Isa.Halt
+  | Isa.Correctness_trap _ | Isa.Checked _ | Isa.Patched _ ->
+      V_fail
+
+(* Scan forward from the producer at [idx] (which must be a plain
+   scalar binary64 Fp_arith writing an xmm register). *)
+let site_no_escape (insns : Isa.insn array) idx =
+  match insns.(idx) with
+  | Isa.Fp_arith { w = Isa.F64; packed = false; dst = Isa.Xmm x; _ } ->
+      let n = Array.length insns in
+      let rec scan j steps =
+        if steps > scan_cap || j >= n then false
+        else
+          match step x insns.(j) with
+          | V_kill -> true
+          | V_continue -> scan (j + 1) (steps + 1)
+          | V_fail -> false
+      in
+      scan (idx + 1) 1
+  | _ -> false
+
+(* Per-index elision facts over the (patched) program. *)
+let no_escape (insns : Isa.insn array) : bool array =
+  Array.init (Array.length insns) (fun i -> site_no_escape insns i)

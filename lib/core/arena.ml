@@ -1,12 +1,19 @@
 (* The shadow-value arena: stores values of the alternative arithmetic
-   system, indexed by the 50-bit payload of a NaN-box. A free list keeps
-   indices dense; the conservative GC marks and sweeps cells. *)
+   system, indexed by the 50-bit payload of a NaN-box. A free stack
+   keeps indices dense; the conservative GC marks and sweeps cells.
+
+   The free and young sets are preallocated int stacks (array + depth)
+   rather than int lists: alloc/free/sweep are the GC hot path and the
+   cons cell per push was measurable churn on the host heap. The stack
+   discipline is exactly the old list's LIFO (push = cons, pop = head),
+   so allocation index order — which feeds the NaN-box payloads and
+   hence every downstream fingerprint — is bit-for-bit unchanged. *)
 
 type 'a cell = {
   mutable v : 'a option;
   mutable mark : bool;
   mutable on_young : bool;
-      (* already on the young list this epoch: an index must appear
+      (* already on the young stack this epoch: an index must appear
          there at most once, or an eager free + slot reuse would make
          the incremental sweep visit it twice — the first visit clears
          the mark and the second would free a live cell *)
@@ -15,12 +22,13 @@ type 'a cell = {
 type 'a t = {
   mutable cells : 'a cell array;
   mutable next_fresh : int;
-  mutable free : int list;
+  mutable free : int array; (* free-index stack buffer *)
+  mutable free_n : int; (* its depth; top of stack = free.(free_n-1) *)
   mutable live : int;
-  mutable young : int list;
+  mutable young : int array;
       (* indices allocated since the last sweep: the only sweep
          candidates of an incremental (dirty-card) GC pass *)
-  mutable young_count : int;
+  mutable young_n : int;
   (* statistics *)
   mutable total_alloc : int;
   mutable total_freed : int;
@@ -30,32 +38,44 @@ type 'a t = {
 let create ?(capacity = 4096) () =
   { cells = Array.init capacity (fun _ -> { v = None; mark = false; on_young = false });
     next_fresh = 0;
-    free = [];
+    free = Array.make capacity 0;
+    free_n = 0;
     live = 0;
-    young = [];
-    young_count = 0;
+    young = Array.make capacity 0;
+    young_n = 0;
     total_alloc = 0;
     total_freed = 0;
     high_water = 0 }
 
+(* Both stacks hold at most one entry per cell (free: distinct dead
+   indices; young: the on_young flag deduplicates), so sizing them to
+   the cell array keeps every push in bounds. *)
 let grow t =
   let n = Array.length t.cells in
   let bigger = Array.init (2 * n) (fun i ->
       if i < n then t.cells.(i) else { v = None; mark = false; on_young = false })
   in
-  t.cells <- bigger
+  t.cells <- bigger;
+  let grow_stack a =
+    let b = Array.make (2 * n) 0 in
+    Array.blit a 0 b 0 n;
+    b
+  in
+  t.free <- grow_stack t.free;
+  t.young <- grow_stack t.young
 
 let alloc t v : int =
   let idx =
-    match t.free with
-    | i :: rest ->
-        t.free <- rest;
-        i
-    | [] ->
-        if t.next_fresh >= Array.length t.cells then grow t;
-        let i = t.next_fresh in
-        t.next_fresh <- i + 1;
-        i
+    if t.free_n > 0 then begin
+      t.free_n <- t.free_n - 1;
+      t.free.(t.free_n)
+    end
+    else begin
+      if t.next_fresh >= Array.length t.cells then grow t;
+      let i = t.next_fresh in
+      t.next_fresh <- i + 1;
+      i
+    end
   in
   let c = t.cells.(idx) in
   c.v <- Some v;
@@ -63,8 +83,8 @@ let alloc t v : int =
   t.live <- t.live + 1;
   if not c.on_young then begin
     c.on_young <- true;
-    t.young <- idx :: t.young;
-    t.young_count <- t.young_count + 1
+    t.young.(t.young_n) <- idx;
+    t.young_n <- t.young_n + 1
   end;
   t.total_alloc <- t.total_alloc + 1;
   if t.live > t.high_water then t.high_water <- t.live;
@@ -83,6 +103,10 @@ let clear_marks t =
     t.cells.(i).mark <- false
   done
 
+let push_free t i =
+  t.free.(t.free_n) <- i;
+  t.free_n <- t.free_n + 1
+
 (* Sweep unmarked live cells; returns the number freed. Resets the
    young generation: every survivor is now old. *)
 let sweep t =
@@ -91,7 +115,7 @@ let sweep t =
     let c = t.cells.(i) in
     if c.v <> None && not c.mark then begin
       c.v <- None;
-      t.free <- i :: t.free;
+      push_free t i;
       t.live <- t.live - 1;
       t.total_freed <- t.total_freed + 1;
       incr freed
@@ -99,35 +123,34 @@ let sweep t =
     c.mark <- false;
     c.on_young <- false
   done;
-  t.young <- [];
-  t.young_count <- 0;
+  t.young_n <- 0;
   !freed
 
 (* Incremental sweep: only cells allocated since the last sweep are
    candidates; older cells survive until the next full sweep. Sound
    because any young cell reachable from memory was necessarily stored
    since the last sweep, so its card is dirty and the incremental mark
-   saw it. *)
+   saw it. Visits newest-first (top of stack down), matching the old
+   list's head-first order, so the free stack fills identically. *)
 let sweep_young t =
   let freed = ref 0 in
-  List.iter
-    (fun i ->
-      let c = t.cells.(i) in
-      if c.v <> None && not c.mark then begin
-        c.v <- None;
-        t.free <- i :: t.free;
-        t.live <- t.live - 1;
-        t.total_freed <- t.total_freed + 1;
-        incr freed
-      end;
-      c.mark <- false;
-      c.on_young <- false)
-    t.young;
-  t.young <- [];
-  t.young_count <- 0;
+  for j = t.young_n - 1 downto 0 do
+    let i = t.young.(j) in
+    let c = t.cells.(i) in
+    if c.v <> None && not c.mark then begin
+      c.v <- None;
+      push_free t i;
+      t.live <- t.live - 1;
+      t.total_freed <- t.total_freed + 1;
+      incr freed
+    end;
+    c.mark <- false;
+    c.on_young <- false
+  done;
+  t.young_n <- 0;
   !freed
 
-let young_count t = t.young_count
+let young_count t = t.young_n
 
 (* Eagerly free one cell (compiler-hinted shadow death). *)
 let free t idx =
@@ -135,7 +158,7 @@ let free t idx =
     let c = t.cells.(idx) in
     c.v <- None;
     c.mark <- false;
-    t.free <- idx :: t.free;
+    push_free t idx;
     t.live <- t.live - 1;
     t.total_freed <- t.total_freed + 1
   end

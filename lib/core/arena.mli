@@ -14,12 +14,14 @@ type 'a cell = {
 type 'a t = {
   mutable cells : 'a cell array;
   mutable next_fresh : int;
-  mutable free : int list;
+  mutable free : int array;
+      (** free-index stack buffer (preallocated; no per-push consing) *)
+  mutable free_n : int;  (** stack depth; top = [free.(free_n - 1)] *)
   mutable live : int;
-  mutable young : int list;
-      (** indices allocated since the last sweep (incremental-GC
-          sweep candidates) *)
-  mutable young_count : int;
+  mutable young : int array;
+      (** stack of indices allocated since the last sweep
+          (incremental-GC sweep candidates) *)
+  mutable young_n : int;
   mutable total_alloc : int;  (** allocations over the run *)
   mutable total_freed : int;  (** frees over the run *)
   mutable high_water : int;  (** max simultaneous live cells *)

@@ -95,16 +95,22 @@ let create_cache ?(enabled = true) () =
 
 exception Undecodable of int
 
-let decode cache idx insn : decoded =
+(* Returns the decoded form plus whether it was a cache hit. Counters
+   are bumped here, synchronously with the lookup itself, and the hit
+   flag travels with the result: callers charge cycles from the flag
+   instead of diffing the counters around the call, so an observation
+   hook (the soundness oracle) interleaved between decode and the
+   charge can never skew the accounting. *)
+let decode cache idx insn : decoded * bool =
   match if cache.enabled then Hashtbl.find_opt cache.table idx else None with
   | Some d ->
       cache.hits <- cache.hits + 1;
-      d
+      (d, true)
   | None -> begin
       cache.misses <- cache.misses + 1;
       match decode_insn insn with
       | Some d ->
           if cache.enabled then Hashtbl.replace cache.table idx d;
-          d
+          (d, false)
       | None -> raise (Undecodable idx)
     end

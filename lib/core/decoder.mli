@@ -56,6 +56,10 @@ val create_cache : ?enabled:bool -> unit -> cache
 
 exception Undecodable of int
 
-val decode : cache -> int -> Machine.Isa.insn -> decoded
-(** Decode the instruction at an index through the cache. Raises
-    {!Undecodable} on non-FP instructions. *)
+val decode : cache -> int -> Machine.Isa.insn -> decoded * bool
+(** Decode the instruction at an index through the cache; the boolean
+    is [true] on a cache hit. Hit/miss counters are bumped inside the
+    call, and callers charge decode cycles from the returned flag (not
+    by diffing the counters), so interleaved observation hooks cannot
+    skew the accounting. Raises {!Undecodable} on non-FP
+    instructions. *)

@@ -43,6 +43,13 @@ type config = {
          resident and execute up to this many instructions before
          returning to native execution; 1 = emulate only the faulting
          instruction (the classic single-step engine) *)
+  use_plans : bool;
+      (* site specialization: compile each emulated site's decoded form
+         into a cached binding plan ("superop") with operand accessors
+         and the arithmetic entry point pre-resolved, so revisits skip
+         bind + op_map dispatch; also enables in-trace shadow-temp
+         elision. Off = the PR 3 engine exactly (the --no-plans
+         escape hatch). *)
   cost : CM.t;
   max_insns : int;
 }
@@ -58,6 +65,7 @@ let default_config =
     decode_cache = true;
     always_emulate = false;
     max_trace_len = 64;
+    use_plans = true;
     cost = CM.r815;
     max_insns = 400_000_000 }
 
@@ -72,11 +80,23 @@ type result = {
 }
 
 module Make (A : Arith.S) = struct
+  (* A compiled binding plan ("superop") for one site: operand
+     accessors, lane count, box/elide strategy and the arithmetic entry
+     point all resolved at compile time. [dispatch] is the residual
+     op_map-dispatch charge per emulated op: [cost.emu_dispatch] on the
+     interpretive paths (plan miss / plans disabled, reproducing the
+     unspecialized engine's accounting exactly), 0 on a plan hit. *)
+  type plan = { p_exec : dispatch:int -> State.t -> unit }
+
   type t = {
     config : config;
     stats : Stats.t;
     arena : A.value Arena.t;
     cache : Decoder.cache;
+    plans : plan Plan.table;
+        (* site -> compiled plan, keyed by the instruction value it was
+           compiled from; invalidated when trap-and-patch rewrites a
+           site, cleared (and reseeded) across checkpoint restore *)
     probe : Probe.sink;
         (* record/replay observation points; no-ops until lib/replay
            installs callbacks *)
@@ -87,6 +107,21 @@ module Make (A : Arith.S) = struct
         (* per-index distance to the next trace terminator, precomputed
            by the static pipeline over the patched program; consulted by
            the trace loop instead of the dynamic classifier *)
+    mutable elide : bool array;
+        (* per-index no-escape facts (Analysis.Escape): a scalar f64
+           result at this site may live in the trace scratch buffer
+           instead of the arena; all-false when plans are disabled *)
+    mutable scratch : A.value option array;
+        (* per-trace shadow-temp buffer; slot k backs the temp box
+           [Plan.box_temp k]. Emptied at every trace exit. *)
+    mutable scratch_n : int;
+    mutable in_trace : bool;
+        (* inside a trap delivery's emulate+trace window: the only time
+           temp elision may fire (trace exit materializes leftovers) *)
+    mutable temp_stores : (int * int) list;
+        (* (byte address, scratch slot) of every in-trace binary64 store
+           that spilled a live temp pattern to memory; swept (re-boxed
+           where the pattern survives) at trace exit *)
   }
 
   let create config =
@@ -94,24 +129,56 @@ module Make (A : Arith.S) = struct
       stats = Stats.create ();
       arena = Arena.create ();
       cache = Decoder.create_cache ~enabled:config.decode_cache ();
+      plans = Plan.create ();
       probe = Probe.sink ();
       since_gc = 0;
       gc_count = 0;
       patch_sites = 0;
-      trace_hints = [||] }
+      trace_hints = [||];
+      elide = [||];
+      scratch = [||];
+      scratch_n = 0;
+      in_trace = false;
+      temp_stores = [] }
 
   (* ---- boxing ----------------------------------------------------- *)
 
   let unbox t bits : A.value =
-    if Nanbox.is_boxed bits then
-      match Arena.get t.arena (Nanbox.unbox bits) with
-      | Some v -> v
-      | None ->
-          (* Dangling box (freed by GC while still reachable would be a
-             bug; a stale pattern read from never-initialized memory is
-             not): treat as a universal NaN. *)
-          A.promote Ieee754.Soft64.default_qnan
+    if Nanbox.is_boxed bits then begin
+      let idx = Nanbox.unbox bits in
+      if idx >= Plan.temp_base then begin
+        (* In-trace scratch temp (see Plan): still a signaling-NaN box
+           to any native consumer, but backed by the per-trace scratch
+           buffer rather than an arena cell. A stale temp pattern (slot
+           recycled since) decays like a dangling box. *)
+        let k = idx - Plan.temp_base in
+        if k < t.scratch_n then
+          match t.scratch.(k) with
+          | Some v -> v
+          | None -> A.promote Ieee754.Soft64.default_qnan
+        else A.promote Ieee754.Soft64.default_qnan
+      end
+      else
+        match Arena.get t.arena idx with
+        | Some v -> v
+        | None ->
+            (* Dangling box (freed by GC while still reachable would be
+               a bug; a stale pattern read from never-initialized memory
+               is not): treat as a universal NaN. *)
+            A.promote Ieee754.Soft64.default_qnan
+    end
     else A.promote bits
+
+  (* The scratch value behind a temp box, if live — lib/replay's
+     architectural digests unbox through this so a mid-trace digest of
+     a register holding a temp matches the same register holding the
+     equivalent real box. *)
+  let temp_value t bits : A.value option =
+    if Plan.is_temp_box bits then begin
+      let k = Plan.temp_slot bits in
+      if k < t.scratch_n then t.scratch.(k) else None
+    end
+    else None
 
   let box t (v : A.value) : int64 =
     let idx = Arena.alloc t.arena v in
@@ -231,11 +298,23 @@ module Make (A : Arith.S) = struct
 
   (* ---- emulation ------------------------------------------------------- *)
 
-  let charge_emu t st cls =
-    let c = t.config.cost.CM.emu_dispatch + A.op_cycles cls in
+  (* Per-op charge with an explicit dispatch component: the alternative
+     system's op cost always applies; [dispatch] is the op_map lookup +
+     box/unbox bookkeeping that site specialization eliminates (tracked
+     separately in [cyc_emu_dispatch], a subset of [cyc_emulate]). *)
+  let charge_op t st ~dispatch cls =
+    let c = dispatch + A.op_cycles cls in
     State.add_cycles st c;
     t.stats.Stats.cyc_emulate <- t.stats.Stats.cyc_emulate + c;
+    if dispatch > 0 then
+      t.stats.Stats.cyc_emu_dispatch <-
+        t.stats.Stats.cyc_emu_dispatch + dispatch;
     t.stats.Stats.emulated_ops <- t.stats.Stats.emulated_ops + 1
+
+  (* Math-wrapper calls and other non-site work always pay full
+     dispatch (there is no site to specialize). *)
+  let charge_emu t st cls =
+    charge_op t st ~dispatch:t.config.cost.CM.emu_dispatch cls
 
   let set_compare_flags st (c : Ieee754.Softfp.cmp) =
     (match c with
@@ -252,111 +331,340 @@ module Make (A : Arith.S) = struct
 
   let rounding_of st = Mx.rounding st.State.mxcsr
 
-  (* Read an f32 operand's raw 32-bit pattern. *)
-  let read_f32_bits st (o : Isa.operand) =
-    match o with
-    | Isa.Xmm i -> Int64.logand (State.get_xmm st i 0) 0xFFFFFFFFL
-    | Isa.Mem m -> Int64.logand (State.load32 st (State.ea st m)) 0xFFFFFFFFL
-    | _ -> invalid_arg "read_f32_bits"
+  (* ---- shadow-temp elision -------------------------------------------- *)
 
-  let write_f32_bits st (o : Isa.operand) v =
+  (* Box a result, or — when the site's no-escape fact holds and we are
+     inside a trace with scratch room — park it in the next scratch
+     slot and hand back a temp box instead of paying Arena.alloc. *)
+  let box_or_temp t (v : A.value) : int64 =
+    if t.scratch_n < Array.length t.scratch then begin
+      let k = t.scratch_n in
+      t.scratch.(k) <- Some v;
+      t.scratch_n <- k + 1;
+      t.stats.Stats.temps_elided <- t.stats.Stats.temps_elided + 1;
+      Plan.box_temp k
+    end
+    else box t v
+
+  (* Promote slot [k] to a real arena box everywhere its pattern lives:
+     the register file and every spill word recorded for it. Copies of
+     a temp pattern can only exist in those places (guard_native below
+     intercepts every other flow), so after this the machine state is
+     exactly what the unspecialized engine would hold — one box, shared
+     by all its aliases — and the slot is dead. *)
+  let materialize_slot t (st : State.t) k =
+    match t.scratch.(k) with
+    | None -> ()
+    | Some v ->
+        let pat = Plan.box_temp k in
+        let bits = box t v in
+        for i = 0 to 31 do
+          if Int64.equal st.State.xmm.(i) pat then st.State.xmm.(i) <- bits
+        done;
+        t.temp_stores <-
+          List.filter
+            (fun (a, k') ->
+              if k' = k then begin
+                if Int64.equal (State.load64 st a) pat then
+                  State.store64 st a bits;
+                false
+              end
+              else true)
+            t.temp_stores;
+        t.scratch.(k) <- None;
+        t.stats.Stats.temps_materialized <-
+          t.stats.Stats.temps_materialized + 1
+
+  let live_slot t bits =
+    if Plan.is_temp_box bits then begin
+      let k = Plan.temp_slot bits in
+      if k < t.scratch_n && t.scratch.(k) <> None then Some k else None
+    end
+    else None
+
+  let mat_bits t st bits =
+    match live_slot t bits with
+    | Some k -> materialize_slot t st k
+    | None -> ()
+
+  let mat_reg t st x =
+    mat_bits t st (State.get_xmm st x 0);
+    mat_bits t st (State.get_xmm st x 1)
+
+  let mat_word t st a = mat_bits t st (State.load64 st a)
+
+  (* A raw [n]-byte access at [a] observes the containing word(s). *)
+  let mat_bytes t st a n =
+    let w0 = a land lnot 7 in
+    mat_word t st w0;
+    let w1 = (a + n - 1) land lnot 7 in
+    if w1 <> w0 then mat_word t st w1
+
+  let mat_op ?(n = 8) t st (o : Isa.operand) =
+    match o with
+    | Isa.Xmm x -> mat_reg t st x
+    | Isa.Mem m -> mat_bytes t st (State.ea st m) n
+    | Isa.Reg _ | Isa.Imm _ -> ()
+
+  (* In-trace native dispatch guard. Binary64 moves are transparent to
+     a temp: the bit pattern lands in a swept register, or — for a
+     store — in a spill word we record and re-box at trace exit. Every
+     other way an instruction could observe or clobber the raw pattern
+     (integer loads/stores, movq/bit ops, any 32-bit-partial FP access,
+     a shadow-death hint) first promotes the temp in place, so native
+     execution sees exactly the box bits the unspecialized engine would
+     have produced. Emulated binary64 FP reads need nothing: unbox is
+     temp-aware. *)
+  let guard_native t (st : State.t) (insn : Isa.insn) =
+    if t.scratch_n > 0 then
+      match insn with
+      | Isa.Mov_f { w = Isa.F64; dst = Isa.Mem m; src = Isa.Xmm x } ->
+          (match live_slot t (State.get_xmm st x 0) with
+          | Some k -> t.temp_stores <- (State.ea st m, k) :: t.temp_stores
+          | None -> ())
+      | Isa.Mov_f { w = Isa.F64; _ } -> ()
+      | Isa.Mov_f { w = Isa.F32; dst; src } ->
+          mat_op ~n:4 t st dst;
+          mat_op ~n:4 t st src
+      | Isa.Mov_x { dst = Isa.Mem m; src = Isa.Xmm x } ->
+          let a = State.ea st m in
+          (match live_slot t (State.get_xmm st x 0) with
+          | Some k -> t.temp_stores <- (a, k) :: t.temp_stores
+          | None -> ());
+          (match live_slot t (State.get_xmm st x 1) with
+          | Some k -> t.temp_stores <- (a + 8, k) :: t.temp_stores
+          | None -> ())
+      | Isa.Mov_x _ -> ()
+      (* emulated binary64 FP: operands resolve through unbox *)
+      | Isa.Fp_arith { w = Isa.F64; _ }
+      | Isa.Fp_cmp { w = Isa.F64; _ }
+      | Isa.Fp_cmppred { w = Isa.F64; _ }
+      | Isa.Fp_round { w = Isa.F64; _ }
+      | Isa.Cvt_f2i { w = Isa.F64; _ } ->
+          ()
+      | Isa.Cvt_f2f { from_w = Isa.F64; dst; _ } ->
+          (* narrowing: 32-bit partial write into dst *)
+          mat_op ~n:4 t st dst
+      | Isa.Cvt_f2f { from_w = Isa.F32; dst; src } ->
+          mat_op ~n:4 t st src;
+          mat_op ~n:4 t st dst
+      | Isa.Cvt_i2f { w = Isa.F64; size; src; _ } -> mat_op ~n:size t st src
+      | Isa.Fp_arith { w = Isa.F32; dst; src; _ }
+      | Isa.Fp_cmppred { w = Isa.F32; dst; src; _ }
+      | Isa.Fp_round { w = Isa.F32; dst; src } ->
+          mat_op ~n:4 t st dst;
+          mat_op ~n:4 t st src
+      | Isa.Fp_cmp { w = Isa.F32; a; b; _ } ->
+          mat_op ~n:4 t st a;
+          mat_op ~n:4 t st b
+      | Isa.Cvt_f2i { w = Isa.F32; src; _ } -> mat_op ~n:4 t st src
+      | Isa.Cvt_i2f { w = Isa.F32; size; dst; src } ->
+          mat_op ~n:size t st src;
+          mat_op ~n:4 t st dst
+      | Isa.Fp_bit { dst; src; _ } ->
+          mat_op ~n:16 t st dst;
+          mat_op ~n:16 t st src
+      | Isa.Movq_xr { src; _ } -> mat_reg t st src
+      | Isa.Movq_rx _ -> ()
+      | Isa.Mov { size; dst; src } ->
+          mat_op ~n:size t st src;
+          if size < 8 then mat_op ~n:size t st dst
+          else (match dst with Isa.Xmm x -> mat_reg t st x | _ -> ())
+      | Isa.Int_arith { dst; src; _ } ->
+          mat_op t st dst;
+          mat_op t st src
+      | Isa.Cmp { a; b } | Isa.Test { a; b } ->
+          mat_op t st a;
+          mat_op t st b
+      | Isa.Inc o | Isa.Dec o | Isa.Neg o | Isa.Push o ->
+          mat_op t st o
+      | Isa.Free_hint o ->
+          (* plans-off eager-frees a real box here: give it one *)
+          mat_op t st o
+      | Isa.Pop _ | Isa.Lea _ | Isa.Nop
+      | Isa.Jmp _ | Isa.Jcc _ | Isa.Call _ | Isa.Ret | Isa.Call_ext _
+      | Isa.Halt
+      | Isa.Correctness_trap _ | Isa.Checked _ | Isa.Patched _ ->
+          ()
+
+  (* Trace exit: promote every scratch temp still referenced — by an
+     xmm register or a recorded spill word — to a durable box, so
+     native execution and the next trace (whose scratch slots these
+     were) see plans-off state. Unreferenced temps die here without
+     ever paying Arena.alloc: that is the elision win. *)
+  let materialize_temps t (st : State.t) =
+    if t.scratch_n > 0 then begin
+      for i = 0 to 31 do
+        mat_bits t st st.State.xmm.(i)
+      done;
+      let stores = t.temp_stores in
+      List.iter
+        (fun (a, k) ->
+          if
+            k < t.scratch_n
+            && t.scratch.(k) <> None
+            && Int64.equal (State.load64 st a) (Plan.box_temp k)
+          then materialize_slot t st k)
+        stores;
+      t.temp_stores <- [];
+      Array.fill t.scratch 0 t.scratch_n None;
+      t.scratch_n <- 0
+    end
+    else t.temp_stores <- []
+
+  (* ---- plan compilation (site specialization) -------------------------- *)
+
+  (* Operand accessors resolved once at compile time: the per-visit
+     bind_lane match disappears; only a Mem operand's effective address
+     is still computed per access (it depends on live gpr values). *)
+  let rd_lane (o : Isa.operand) lane : State.t -> int64 =
+    match o with
+    | Isa.Xmm i -> fun st -> State.get_xmm st i lane
+    | Isa.Mem m -> fun st -> State.load64 st (State.ea st m + (8 * lane))
+    | Isa.Reg r -> fun st -> State.get_gpr st r
+    | Isa.Imm _ -> invalid_arg "plan: immediate operand"
+
+  let wr_lane (o : Isa.operand) lane : State.t -> int64 -> unit =
+    match o with
+    | Isa.Xmm i -> fun st v -> State.set_xmm st i lane v
+    | Isa.Mem m -> fun st v -> State.store64 st (State.ea st m + (8 * lane)) v
+    | Isa.Reg r -> fun st v -> State.set_gpr st r v
+    | Isa.Imm _ -> invalid_arg "plan: immediate operand"
+
+  let rd_f32 (o : Isa.operand) : State.t -> int64 =
+    match o with
+    | Isa.Xmm i -> fun st -> Int64.logand (State.get_xmm st i 0) 0xFFFFFFFFL
+    | Isa.Mem m ->
+        fun st -> Int64.logand (State.load32 st (State.ea st m)) 0xFFFFFFFFL
+    | _ -> invalid_arg "plan: f32 operand"
+
+  let wr_f32 (o : Isa.operand) : State.t -> int64 -> unit =
     match o with
     | Isa.Xmm i ->
-        State.set_xmm st i 0
-          (Int64.logor
-             (Int64.logand (State.get_xmm st i 0) 0xFFFFFFFF00000000L)
-             (Int64.logand v 0xFFFFFFFFL))
-    | Isa.Mem m -> State.store32 st (State.ea st m) v
-    | _ -> invalid_arg "write_f32_bits"
+        fun st v ->
+          State.set_xmm st i 0
+            (Int64.logor
+               (Int64.logand (State.get_xmm st i 0) 0xFFFFFFFF00000000L)
+               (Int64.logand v 0xFFFFFFFFL))
+    | Isa.Mem m -> fun st v -> State.store32 st (State.ea st m) v
+    | _ -> invalid_arg "plan: f32 operand"
 
-  (* Emulate the (already decoded) instruction at [idx] with the
-     alternative arithmetic, writing NaN-boxed results, and advance RIP.
-     This is the core of trap-and-emulate. *)
-  let emulate t st idx (insn : Isa.insn) =
-    let cost = t.config.cost in
-    (* decode (with cache) *)
-    let misses_before = t.cache.Decoder.misses in
-    let d = Decoder.decode t.cache idx insn in
-    let dc =
-      if t.cache.Decoder.misses > misses_before then cost.CM.decode_miss
-      else cost.CM.decode_hit
-    in
-    State.add_cycles st dc;
-    t.stats.Stats.cyc_decode <- t.stats.Stats.cyc_decode + dc;
-    (* bind *)
-    State.add_cycles st cost.CM.bind;
-    t.stats.Stats.cyc_bind <- t.stats.Stats.cyc_bind + cost.CM.bind;
-    t.stats.Stats.emulated_insns <- t.stats.Stats.emulated_insns + 1;
-    t.since_gc <- t.since_gc + 1;
-    (* emulate per abstract op *)
-    (match d.Decoder.aop with
+  (* Compile the decoded instruction at [idx] into a superop closure.
+     Each arm mirrors the unspecialized interpreter arm exactly —
+     operand access order, charge points and write strategy — so a run
+     with plans disabled (which executes transient plans at full
+     dispatch) is bit- and cycle-identical to the pre-plan engine, and
+     a run with plans on differs only in the modeled charges and the
+     arena traffic the elision avoids. *)
+  let compile t idx (d : Decoder.decoded) : plan =
+    match d.Decoder.aop with
     | Decoder.A_arith op -> begin
         match d.Decoder.w with
         | Isa.F64 ->
-            for lane = 0 to d.Decoder.lanes - 1 do
-              let src = bind_lane st d.Decoder.src lane in
-              let dst = bind_lane st d.Decoder.dst lane in
-              let b = unbox t (read_loc st src) in
-              let r =
-                match op with
-                | Isa.FSQRT -> A.sqrt b
-                | Isa.FADD -> A.add (unbox t (read_loc st dst)) b
-                | Isa.FSUB -> A.sub (unbox t (read_loc st dst)) b
-                | Isa.FMUL -> A.mul (unbox t (read_loc st dst)) b
-                | Isa.FDIV -> A.div (unbox t (read_loc st dst)) b
-                | Isa.FMIN -> A.min_v (unbox t (read_loc st dst)) b
-                | Isa.FMAX -> A.max_v (unbox t (read_loc st dst)) b
-              in
-              charge_emu t st (Arith.class_of_fp_op op);
-              write_loc st dst (box t r)
-            done
-        | Isa.F32 ->
-            (* The "float problem": 23 payload bits cannot hold a box, so
-               binary32 results are computed in the alternative system
-               and immediately demoted to f32 bits. *)
-            let b = A.of_f32_bits (read_f32_bits st d.Decoder.src) in
-            let r =
+            let lanes = d.Decoder.lanes in
+            let cls = Arith.class_of_fp_op op in
+            let srd = Array.init lanes (fun l -> rd_lane d.Decoder.src l) in
+            let drd = Array.init lanes (fun l -> rd_lane d.Decoder.dst l) in
+            let dwr = Array.init lanes (fun l -> wr_lane d.Decoder.dst l) in
+            let binop =
               match op with
-              | Isa.FSQRT -> A.sqrt b
-              | Isa.FADD -> A.add (A.of_f32_bits (read_f32_bits st d.Decoder.dst)) b
-              | Isa.FSUB -> A.sub (A.of_f32_bits (read_f32_bits st d.Decoder.dst)) b
-              | Isa.FMUL -> A.mul (A.of_f32_bits (read_f32_bits st d.Decoder.dst)) b
-              | Isa.FDIV -> A.div (A.of_f32_bits (read_f32_bits st d.Decoder.dst)) b
-              | Isa.FMIN -> A.min_v (A.of_f32_bits (read_f32_bits st d.Decoder.dst)) b
-              | Isa.FMAX -> A.max_v (A.of_f32_bits (read_f32_bits st d.Decoder.dst)) b
+              | Isa.FSQRT -> None
+              | Isa.FADD -> Some A.add
+              | Isa.FSUB -> Some A.sub
+              | Isa.FMUL -> Some A.mul
+              | Isa.FDIV -> Some A.div
+              | Isa.FMIN -> Some A.min_v
+              | Isa.FMAX -> Some A.max_v
             in
-            charge_emu t st (Arith.class_of_fp_op op);
-            write_f32_bits st d.Decoder.dst (A.to_f32_bits r)
+            (* elision candidate: scalar result into an xmm register *)
+            let elidable =
+              lanes = 1
+              && match d.Decoder.dst with Isa.Xmm _ -> true | _ -> false
+            in
+            { p_exec =
+                (fun ~dispatch st ->
+                  for lane = 0 to lanes - 1 do
+                    let b = unbox t (srd.(lane) st) in
+                    let r =
+                      match binop with
+                      | None -> A.sqrt b
+                      | Some f -> f (unbox t (drd.(lane) st)) b
+                    in
+                    charge_op t st ~dispatch cls;
+                    let bits =
+                      if elidable && t.in_trace && t.elide.(idx) then
+                        box_or_temp t r
+                      else box t r
+                    in
+                    dwr.(lane) st bits
+                  done) }
+        | Isa.F32 ->
+            (* The "float problem": 23 payload bits cannot hold a box,
+               so binary32 results are computed in the alternative
+               system and immediately demoted to f32 bits. *)
+            let cls = Arith.class_of_fp_op op in
+            let srd = rd_f32 d.Decoder.src in
+            let drd = rd_f32 d.Decoder.dst in
+            let dwr = wr_f32 d.Decoder.dst in
+            let binop =
+              match op with
+              | Isa.FSQRT -> None
+              | Isa.FADD -> Some A.add
+              | Isa.FSUB -> Some A.sub
+              | Isa.FMUL -> Some A.mul
+              | Isa.FDIV -> Some A.div
+              | Isa.FMIN -> Some A.min_v
+              | Isa.FMAX -> Some A.max_v
+            in
+            { p_exec =
+                (fun ~dispatch st ->
+                  let b = A.of_f32_bits (srd st) in
+                  let r =
+                    match binop with
+                    | None -> A.sqrt b
+                    | Some f -> f (A.of_f32_bits (drd st)) b
+                  in
+                  charge_op t st ~dispatch cls;
+                  dwr st (A.to_f32_bits r)) }
       end
     | Decoder.A_cmp { signaling } ->
-        let a = unbox t (read_loc st (bind_lane st d.Decoder.dst 0)) in
-        let b = unbox t (read_loc st (bind_lane st d.Decoder.src 0)) in
-        charge_emu t st Arith.C_cmp;
-        set_compare_flags st
-          (if signaling then A.cmp_signaling a b else A.cmp_quiet a b)
+        let ard = rd_lane d.Decoder.dst 0 in
+        let brd = rd_lane d.Decoder.src 0 in
+        { p_exec =
+            (fun ~dispatch st ->
+              let a = unbox t (ard st) in
+              let b = unbox t (brd st) in
+              charge_op t st ~dispatch Arith.C_cmp;
+              set_compare_flags st
+                (if signaling then A.cmp_signaling a b else A.cmp_quiet a b))
+        }
     | Decoder.A_cmppred pred ->
-        let dst = bind_lane st d.Decoder.dst 0 in
-        let a = unbox t (read_loc st dst) in
-        let b = unbox t (read_loc st (bind_lane st d.Decoder.src 0)) in
-        charge_emu t st Arith.C_cmp;
-        let c = A.cmp_quiet a b in
-        let open Ieee754.Softfp in
-        let holds =
-          match (pred, c) with
-          | Isa.EQ, Cmp_eq -> true
-          | Isa.LT, Cmp_lt -> true
-          | Isa.LE, (Cmp_lt | Cmp_eq) -> true
-          | Isa.NEQ, (Cmp_lt | Cmp_gt | Cmp_unordered) -> true
-          | Isa.NLT, (Cmp_gt | Cmp_eq | Cmp_unordered) -> true
-          | Isa.NLE, (Cmp_gt | Cmp_unordered) -> true
-          | Isa.ORD, (Cmp_lt | Cmp_eq | Cmp_gt) -> true
-          | Isa.UNORD, Cmp_unordered -> true
-          | _ -> false
-        in
-        write_loc st dst (if holds then -1L else 0L)
+        let drd = rd_lane d.Decoder.dst 0 in
+        let srd = rd_lane d.Decoder.src 0 in
+        let dwr = wr_lane d.Decoder.dst 0 in
+        { p_exec =
+            (fun ~dispatch st ->
+              let a = unbox t (drd st) in
+              let b = unbox t (srd st) in
+              charge_op t st ~dispatch Arith.C_cmp;
+              let c = A.cmp_quiet a b in
+              let open Ieee754.Softfp in
+              let holds =
+                match (pred, c) with
+                | Isa.EQ, Cmp_eq -> true
+                | Isa.LT, Cmp_lt -> true
+                | Isa.LE, (Cmp_lt | Cmp_eq) -> true
+                | Isa.NEQ, (Cmp_lt | Cmp_gt | Cmp_unordered) -> true
+                | Isa.NLT, (Cmp_gt | Cmp_eq | Cmp_unordered) -> true
+                | Isa.NLE, (Cmp_gt | Cmp_unordered) -> true
+                | Isa.ORD, (Cmp_lt | Cmp_eq | Cmp_gt) -> true
+                | Isa.UNORD, Cmp_unordered -> true
+                | _ -> false
+              in
+              dwr st (if holds then -1L else 0L)) }
     | Decoder.A_round imm ->
-        let src = bind_lane st d.Decoder.src 0 in
-        let dst = bind_lane st d.Decoder.dst 0 in
+        let srd = rd_lane d.Decoder.src 0 in
+        let dwr = wr_lane d.Decoder.dst 0 in
         let mode =
           match imm with
           | Isa.RN -> Ieee754.Softfp.Nearest_even
@@ -364,44 +672,105 @@ module Make (A : Arith.S) = struct
           | Isa.RU -> Ieee754.Softfp.Toward_pos
           | Isa.RZ -> Ieee754.Softfp.Toward_zero
         in
-        charge_emu t st Arith.C_cvt;
-        write_loc st dst (box t (A.round_int mode (unbox t (read_loc st src))))
-    | Decoder.A_f2f from_w -> begin
-        charge_emu t st Arith.C_cvt;
-        match from_w with
-        | Isa.F64 ->
-            (* narrow: demote to f32 bits *)
-            let v = unbox t (read_loc st (bind_lane st d.Decoder.src 0)) in
-            write_f32_bits st d.Decoder.dst (A.to_f32_bits v)
-        | Isa.F32 ->
-            let v = A.of_f32_bits (read_f32_bits st d.Decoder.src) in
-            write_loc st (bind_lane st d.Decoder.dst 0) (box t v)
-      end
+        { p_exec =
+            (fun ~dispatch st ->
+              charge_op t st ~dispatch Arith.C_cvt;
+              dwr st (box t (A.round_int mode (unbox t (srd st))))) }
+    | Decoder.A_f2f Isa.F64 ->
+        (* narrow: demote to f32 bits *)
+        let srd = rd_lane d.Decoder.src 0 in
+        let dwr = wr_f32 d.Decoder.dst in
+        { p_exec =
+            (fun ~dispatch st ->
+              charge_op t st ~dispatch Arith.C_cvt;
+              dwr st (A.to_f32_bits (unbox t (srd st)))) }
+    | Decoder.A_f2f Isa.F32 ->
+        let srd = rd_f32 d.Decoder.src in
+        let dwr = wr_lane d.Decoder.dst 0 in
+        { p_exec =
+            (fun ~dispatch st ->
+              charge_op t st ~dispatch Arith.C_cvt;
+              dwr st (box t (A.of_f32_bits (srd st)))) }
     | Decoder.A_f2i { truncate; size } ->
-        let v = unbox t (read_loc st (bind_lane st d.Decoder.src 0)) in
-        let mode =
-          if truncate then Ieee754.Softfp.Toward_zero else rounding_of st
+        let srd = rd_lane d.Decoder.src 0 in
+        let dwr =
+          match d.Decoder.dst with
+          | Isa.Reg r -> fun st bits -> State.set_gpr st r bits
+          | Isa.Mem m ->
+              fun st bits -> State.store_size st size (State.ea st m) bits
+          | _ -> invalid_arg "f2i dst"
         in
-        charge_emu t st Arith.C_cvt;
-        let bits =
-          if size = 8 then A.to_i64 mode v
-          else Int64.of_int32 (A.to_i32 mode v)
-        in
-        (match d.Decoder.dst with
-        | Isa.Reg r -> State.set_gpr st r bits
-        | Isa.Mem m -> State.store_size st size (State.ea st m) bits
-        | _ -> invalid_arg "f2i dst")
+        { p_exec =
+            (fun ~dispatch st ->
+              let v = unbox t (srd st) in
+              let mode =
+                if truncate then Ieee754.Softfp.Toward_zero else rounding_of st
+              in
+              charge_op t st ~dispatch Arith.C_cvt;
+              let bits =
+                if size = 8 then A.to_i64 mode v
+                else Int64.of_int32 (A.to_i32 mode v)
+              in
+              dwr st bits) }
     | Decoder.A_i2f { size } ->
-        let iv =
+        let srd =
           match d.Decoder.src with
-          | Isa.Reg r -> State.get_gpr st r
-          | Isa.Mem m -> State.load_size st size (State.ea st m)
-          | Isa.Imm v -> v
+          | Isa.Reg r -> fun st -> State.get_gpr st r
+          | Isa.Mem m -> fun st -> State.load_size st size (State.ea st m)
+          | Isa.Imm v -> fun _ -> v
           | _ -> invalid_arg "i2f src"
         in
-        let iv = if size = 4 then Int64.of_int32 (Int64.to_int32 iv) else iv in
-        charge_emu t st Arith.C_cvt;
-        write_loc st (bind_lane st d.Decoder.dst 0) (box t (A.of_i64 iv)));
+        let dwr = wr_lane d.Decoder.dst 0 in
+        { p_exec =
+            (fun ~dispatch st ->
+              let iv = srd st in
+              let iv =
+                if size = 4 then Int64.of_int32 (Int64.to_int32 iv) else iv
+              in
+              charge_op t st ~dispatch Arith.C_cvt;
+              dwr st (box t (A.of_i64 iv))) }
+
+  (* Emulate the instruction at [idx] with the alternative arithmetic,
+     writing NaN-boxed results, and advance RIP. This is the core of
+     trap-and-emulate. With plans enabled the fast path is a plan-table
+     hit: one charge ([plan_hit], ~decode_hit) replaces the per-visit
+     decode + bind + op_map dispatch. A miss pays the full interpretive
+     cost plus [plan_compile] and caches the superop. With plans
+     disabled a transient plan executes at full dispatch, reproducing
+     the unspecialized engine's behavior and accounting exactly. *)
+  let emulate t st idx (insn : Isa.insn) =
+    let cost = t.config.cost in
+    let s = t.stats in
+    let interpret () =
+      (* decode (with cache) + bind, as in the classic engine *)
+      let d, hit = Decoder.decode t.cache idx insn in
+      let dc = if hit then cost.CM.decode_hit else cost.CM.decode_miss in
+      State.add_cycles st dc;
+      s.Stats.cyc_decode <- s.Stats.cyc_decode + dc;
+      State.add_cycles st cost.CM.bind;
+      s.Stats.cyc_bind <- s.Stats.cyc_bind + cost.CM.bind;
+      d
+    in
+    (if t.config.use_plans then
+       match Plan.find t.plans idx insn with
+       | Some p ->
+           s.Stats.plan_hits <- s.Stats.plan_hits + 1;
+           State.add_cycles st cost.CM.plan_hit;
+           s.Stats.cyc_plan <- s.Stats.cyc_plan + cost.CM.plan_hit;
+           p.p_exec ~dispatch:0 st
+       | None ->
+           let d = interpret () in
+           let p = compile t idx d in
+           Plan.store t.plans idx insn p;
+           s.Stats.plan_misses <- s.Stats.plan_misses + 1;
+           State.add_cycles st cost.CM.plan_compile;
+           s.Stats.cyc_plan <- s.Stats.cyc_plan + cost.CM.plan_compile;
+           p.p_exec ~dispatch:cost.CM.emu_dispatch st
+     else
+       let d = interpret () in
+       (compile t idx d).p_exec ~dispatch:cost.CM.emu_dispatch st);
+    s.Stats.emulated_insns <- s.Stats.emulated_insns + 1;
+    t.since_gc <- t.since_gc + 1;
     st.State.rip <- idx + 1;
     maybe_gc t st
 
@@ -439,6 +808,9 @@ module Make (A : Arith.S) = struct
         t.stats.Stats.cyc_trace <-
           t.stats.Stats.cyc_trace + cost.CM.trace_step;
         t.stats.Stats.trace_insns <- t.stats.Stats.trace_insns + 1;
+        (* Shadow-temp guard first, so the oracle and native dispatch
+           both observe plans-off-equivalent machine state. *)
+        guard_native t st insn;
         (* In-trace dispatch bypasses Cpu.step, so fire the observation
            hook (the soundness oracle) here too. *)
         (match st.State.hooks.State.on_step with
@@ -465,7 +837,7 @@ module Make (A : Arith.S) = struct
 
   (* Does this operand currently hold a NaN-boxed (or foreign-sNaN)
      value in any lane? *)
-  let operand_boxed t st (o : Isa.operand) lanes =
+  let operand_boxed _t st (o : Isa.operand) lanes =
     match o with
     | Isa.Imm _ | Isa.Reg _ -> false
     | Isa.Xmm _ | Isa.Mem _ ->
@@ -723,6 +1095,13 @@ module Make (A : Arith.S) = struct
        so the trace loop can consult this table instead of classifying
        dynamically. *)
     t.trace_hints <- Analysis.Traceability.run_lengths prog.Program.insns;
+    (* No-escape facts for shadow-temp elision, over the same patched
+       program; the scratch buffer can never need more slots than the
+       trace budget (at most one temp per emulated instruction). *)
+    t.elide <-
+      (if config.use_plans then Analysis.Escape.no_escape prog.Program.insns
+       else Array.make (Array.length prog.Program.insns) false);
+    t.scratch <- Array.make (max 1 config.max_trace_len) None;
     let st = State.create ~cost:config.cost prog in
     if config.incremental_gc then State.set_write_tracking st true;
     let kern = Trapkern.create ~deployment:config.deployment () in
@@ -784,8 +1163,12 @@ module Make (A : Arith.S) = struct
                 let a = State.ea st m in
                 let boxed_word a =
                   let bits = State.load64 st a in
-                  Nanbox.is_boxed bits
-                  && Arena.get t.arena (Nanbox.unbox bits) <> None
+                  (* A temp pattern here — live or dangling — means the
+                     elision guard missed a raw flow: always a soundness
+                     event. Real boxes must additionally be live. *)
+                  Plan.is_temp_box bits
+                  || (Nanbox.is_boxed bits
+                     && Arena.get t.arena (Nanbox.unbox bits) <> None)
                 in
                 if
                   boxed_word (a land lnot 7)
@@ -815,13 +1198,26 @@ module Make (A : Arith.S) = struct
                 (* The site just became a trace terminator: truncate
                    every precomputed run that extended across it. *)
                 Analysis.Traceability.invalidate t.trace_hints
-                  prog.Program.insns idx)
+                  prog.Program.insns idx;
+                (* The rewrite also stales any cached plan (its shape
+                   key no longer matches) and shifts the no-escape
+                   facts: a Patched wrapper is an escape-scan failure,
+                   so recompute them over the rewritten program. *)
+                if Plan.invalidate t.plans idx then
+                  t.stats.Stats.plan_invalidations <-
+                    t.stats.Stats.plan_invalidations + 1;
+                if config.use_plans then
+                  t.elide <- Analysis.Escape.no_escape prog.Program.insns)
         | Trap_and_emulate | Static_transform -> ());
         let insn =
           match prog.Program.insns.(idx) with
           | Isa.Patched { original; _ } -> original
           | i -> i
         in
+        (* The delivered instruction plus the trace that follows form
+           one resident window: the only region where shadow-temp
+           elision may fire (the exit sweep below re-boxes leftovers). *)
+        if config.max_trace_len > 1 then t.in_trace <- true;
         emulate t st idx insn;
         (* Sequence emulation: amortize the delivery just paid over the
            instructions that follow. *)
@@ -829,6 +1225,8 @@ module Make (A : Arith.S) = struct
           t.stats.Stats.traces <- t.stats.Stats.traces + 1;
           t.stats.Stats.trace_insns <- t.stats.Stats.trace_insns + 1;
           trace t st;
+          t.in_trace <- false;
+          materialize_temps t st;
           Trapkern.charge_trace_exit kern st
         end;
         (* handler done, no frame in flight: a checkpointable moment *)
@@ -879,7 +1277,35 @@ module Make (A : Arith.S) = struct
      after overwriting a prepared session's state. *)
   let refresh_trace_hints (ses : session) =
     ses.eng.trace_hints <-
-      Analysis.Traceability.run_lengths ses.prog.Program.insns
+      Analysis.Traceability.run_lengths ses.prog.Program.insns;
+    ses.eng.elide <-
+      (if ses.eng.config.use_plans then
+         Analysis.Escape.no_escape ses.prog.Program.insns
+       else Array.make (Array.length ses.prog.Program.insns) false)
+
+  (* Recompile the plan for one site, silently (no charges, no counter
+     movement): checkpoint restore reseeds the plan table from the
+     recorded key set so a resumed run replays the original's plan
+     hit/miss — and hence cycle — stream exactly. Keyed by the same
+     unwrapped instruction object the runtime paths use. *)
+  let seed_plan (ses : session) idx =
+    let insns = ses.prog.Program.insns in
+    if idx >= 0 && idx < Array.length insns then begin
+      let rec unwrap = function
+        | Isa.Correctness_trap i | Isa.Checked i
+        | Isa.Patched { original = i; _ } ->
+            unwrap i
+        | i -> i
+      in
+      let key = unwrap insns.(idx) in
+      match Decoder.decode_insn key with
+      | Some d -> Plan.store ses.eng.plans idx key (compile ses.eng idx d)
+      | None -> ()
+    end
+
+  (* Sites currently holding a compiled plan (the checkpointable view
+     of the plan table). *)
+  let plan_sites (ses : session) = Plan.keys ses.eng.plans
 
   let resume (ses : session) : result =
     let t = ses.eng and st = ses.st and kern = ses.kern in

@@ -49,6 +49,16 @@ type config = {
           resident and execute up to this many instructions (the
           faulting one included) before resuming native execution.
           [1] reproduces the classic single-step engine exactly. *)
+  use_plans : bool;
+      (** site specialization: compile each emulated site's decoded form
+          into a cached binding plan ("superop") — operand accessors,
+          lane count, box/elide strategy and the arithmetic entry point
+          pre-resolved — so revisits pay one [plan_hit] charge instead
+          of bind + op_map dispatch. Also enables in-trace shadow-temp
+          elision (dataflow-local scalar results live in a per-trace
+          scratch buffer instead of the arena). [false] reproduces the
+          unspecialized engine bit- and cycle-exactly (the [--no-plans]
+          escape hatch). *)
   cost : Machine.Cost_model.t;
   max_insns : int;  (** runaway-execution guard *)
 }
@@ -69,6 +79,13 @@ type result = {
 }
 
 module Make (A : Arith.S) : sig
+  (** A compiled binding plan for one site (a "superop"): everything
+      the per-visit bind/dispatch machinery would recompute, resolved
+      once at compile time. [dispatch] is the residual op_map charge
+      per emulated op — [cost.emu_dispatch] on the interpretive paths,
+      [0] on a plan-table hit. *)
+  type plan = { p_exec : dispatch:int -> Machine.State.t -> unit }
+
   (** The engine instance. Concrete so lib/replay can serialize and
       restore every component; treat as read-only elsewhere. *)
   type t = {
@@ -76,6 +93,11 @@ module Make (A : Arith.S) : sig
     stats : Stats.t;
     arena : A.value Arena.t;
     cache : Decoder.cache;
+    plans : plan Plan.table;
+        (** site -> compiled binding plan, keyed by the instruction
+            value compiled from; stale after trap-and-patch rewrites
+            (the engine invalidates), reseeded across checkpoint
+            restore ({!seed_plan}) *)
     probe : Probe.sink;
         (** record/replay observation points; inert until callbacks are
             installed (see {!Probe}) *)
@@ -87,6 +109,19 @@ module Make (A : Arith.S) : sig
             by the static pipeline ([Analysis.Traceability.run_lengths])
             over the patched program; consulted by the trace loop in
             place of the dynamic classifier *)
+    mutable elide : bool array;
+        (** per-index no-escape facts ({!Analysis.Escape}): a scalar
+            binary64 result at this site may live in the trace scratch
+            buffer instead of the arena *)
+    mutable scratch : A.value option array;
+        (** the per-trace shadow-temp buffer; slot [k] backs the temp
+            box [Plan.box_temp k]; emptied at every trace exit *)
+    mutable scratch_n : int;
+    mutable in_trace : bool;
+    mutable temp_stores : (int * int) list;
+        (** (byte address, scratch slot) of every in-trace binary64
+            store that spilled a live temp pattern to memory; swept at
+            trace exit *)
   }
 
   val create : config -> t
@@ -110,10 +145,22 @@ module Make (A : Arith.S) : sig
       config. *)
 
   val refresh_trace_hints : session -> unit
-  (** Recompute the trace-extension hints from the session's (possibly
-      patched) instruction array. Checkpoint restore installs [Patched]
-      wrappers directly into the program; lib/replay calls this after
-      overwriting a prepared session's state. *)
+  (** Recompute the trace-extension hints and no-escape facts from the
+      session's (possibly patched) instruction array. Checkpoint restore
+      installs [Patched] wrappers directly into the program; lib/replay
+      calls this after overwriting a prepared session's state. *)
+
+  val seed_plan : session -> int -> unit
+  (** Silently recompile the binding plan for one site (no cycle
+      charges, no counter movement): checkpoint restore reseeds the
+      plan table from the recorded key set so a resumed run replays the
+      original's plan hit/miss — and hence cycle — stream exactly.
+      No-op on out-of-range or non-FP sites. *)
+
+  val plan_sites : session -> int list
+  (** Sites currently holding a compiled plan, ascending — the
+      checkpointable view of the plan table (plans themselves are
+      closures; restore recompiles via {!seed_plan}). *)
 
   val resume : session -> result
   (** Execute until halt, run the final full GC pass, and fold the
@@ -127,7 +174,14 @@ module Make (A : Arith.S) : sig
 
   val unbox : t -> int64 -> A.value
   (** The engine's NaN-box dereference (dangling boxes decay to a quiet
-      NaN), exposed for lib/replay's architectural-state digests. *)
+      NaN), exposed for lib/replay's architectural-state digests.
+      Resolves in-trace shadow temps through the scratch buffer. *)
+
+  val temp_value : t -> int64 -> A.value option
+  (** The live scratch value behind an in-trace temp box, if any — so a
+      mid-trace digest of a register holding a temp matches the same
+      register holding the equivalent real box. [None] for anything
+      that is not a live temp box. *)
 end
 
 val run_native :

@@ -32,13 +32,29 @@ type t = {
   (* decode cache *)
   mutable decode_hits : int;
   mutable decode_misses : int;
+  (* site specialization (binding-plan cache) *)
+  mutable plan_hits : int; (* emulations served by a cached superop *)
+  mutable plan_misses : int; (* first visits that compiled a plan *)
+  mutable plan_invalidations : int;
+      (* plans discarded when their site was rewritten (trap-and-patch) *)
+  (* in-trace shadow-temp elision *)
+  mutable temps_elided : int;
+      (* intermediate results kept in the trace scratch buffer instead
+         of a fresh Arena.alloc + Nanbox.box round trip *)
+  mutable temps_materialized : int;
+      (* scratch temps still live at trace exit, promoted to real boxes;
+         temps_elided - temps_materialized = arena allocations avoided *)
   (* cycle buckets *)
   mutable cyc_hw : int;
   mutable cyc_kernel : int;
   mutable cyc_delivery : int;
   mutable cyc_decode : int;
   mutable cyc_bind : int;
+  mutable cyc_plan : int; (* plan compiles + plan-table hits *)
   mutable cyc_emulate : int;
+  mutable cyc_emu_dispatch : int;
+      (* the op_map-dispatch share of cyc_emulate (a subset, not an
+         additional bucket): what site specialization eliminates *)
   mutable cyc_trace : int;
       (* per-instruction trace residency cost; trace-exit context
          restores land in the delivery buckets *)
@@ -84,8 +100,11 @@ let create () =
     emulated_insns = 0; traces = 0; trace_insns = 0; traps_avoided = 0;
     math_calls = 0; printf_hijacks = 0;
     serialize_demotions = 0; decode_hits = 0; decode_misses = 0;
+    plan_hits = 0; plan_misses = 0; plan_invalidations = 0;
+    temps_elided = 0; temps_materialized = 0;
     cyc_hw = 0; cyc_kernel = 0; cyc_delivery = 0; cyc_decode = 0;
-    cyc_bind = 0; cyc_emulate = 0; cyc_trace = 0; cyc_gc = 0;
+    cyc_bind = 0; cyc_plan = 0; cyc_emulate = 0; cyc_emu_dispatch = 0;
+    cyc_trace = 0; cyc_gc = 0;
     cyc_correctness = 0;
     cyc_correctness_handler = 0; cyc_patch_checks = 0; gc_passes = 0;
     gc_full_passes = 0;
@@ -113,10 +132,18 @@ let fingerprint t =
          t.cyc_correctness_handler; t.cyc_patch_checks; t.gc_passes;
          t.gc_full_passes; t.gc_freed; t.gc_alive_last;
          t.gc_words_scanned; t.boxes_allocated; t.eager_frees;
-         t.corr_demote_boxed; t.corr_demote_clean ])
+         t.corr_demote_boxed; t.corr_demote_clean;
+         t.plan_hits; t.plan_misses; t.plan_invalidations;
+         t.temps_elided; t.temps_materialized; t.cyc_plan;
+         t.cyc_emu_dispatch ])
+
+(* Arena allocations avoided by shadow-temp elision: every elided temp
+   skipped a box; those still live at trace exit were boxed after all. *)
+let allocs_avoided t = t.temps_elided - t.temps_materialized
 
 let total_fpvm_cycles t =
   t.cyc_hw + t.cyc_kernel + t.cyc_delivery + t.cyc_decode + t.cyc_bind
+  + t.cyc_plan
   + t.cyc_emulate + t.cyc_trace + t.cyc_gc + t.cyc_correctness
   + t.cyc_correctness_handler
   + t.cyc_patch_checks
@@ -137,7 +164,9 @@ type breakdown = {
   avg_delivery : float;
   avg_decode : float;
   avg_bind : float;
+  avg_plan : float;
   avg_emulate : float;
+  avg_emu_dispatch : float;
   avg_trace : float;
   avg_gc : float;
   avg_correctness : float;
@@ -154,7 +183,9 @@ let breakdown t =
     avg_delivery = f t.cyc_delivery;
     avg_decode = f t.cyc_decode;
     avg_bind = f t.cyc_bind;
+    avg_plan = f t.cyc_plan;
     avg_emulate = f t.cyc_emulate;
+    avg_emu_dispatch = f t.cyc_emu_dispatch;
     avg_trace = f t.cyc_trace;
     avg_gc = f t.cyc_gc;
     avg_correctness = f t.cyc_correctness;
@@ -162,8 +193,10 @@ let breakdown t =
 
 let pp fmt t =
   Format.fprintf fmt
-    "traps=%d(avoided %d) traces=%d(mean %.1f) corr=%d emu_insns=%d emu_ops=%d math=%d decode=%d/%d gc=%d/%d(passes full/total) freed=%d alive=%d scanned=%d boxes=%d"
+    "traps=%d(avoided %d) traces=%d(mean %.1f) corr=%d emu_insns=%d emu_ops=%d math=%d decode=%d/%d plans=%d/%d temps=%d(-%d) gc=%d/%d(passes full/total) freed=%d alive=%d scanned=%d boxes=%d"
     t.fp_traps t.traps_avoided t.traces (mean_trace_len t)
     t.correctness_traps t.emulated_insns t.emulated_ops
-    t.math_calls t.decode_hits t.decode_misses t.gc_full_passes t.gc_passes
+    t.math_calls t.decode_hits t.decode_misses t.plan_hits t.plan_misses
+    t.temps_elided t.temps_materialized
+    t.gc_full_passes t.gc_passes
     t.gc_freed t.gc_alive_last t.gc_words_scanned t.boxes_allocated

@@ -40,6 +40,8 @@ type t = {
   checked_stub : int; (* static-transform inline check *)
   trace_step : int; (* per-instruction fetch/classify while resident *)
   trace_exit : int; (* context restore when a trace ends (resume native) *)
+  plan_compile : int; (* compile a site's binding plan (superop) *)
+  plan_hit : int; (* plan-table lookup on a revisit *)
   gc_per_word : int; (* conservative scan cost per 8-byte word *)
   gc_per_cell : int; (* sweep cost per arena cell *)
 }
@@ -53,6 +55,7 @@ let r815 =
     kernel_delivery = 1100; uu_delivery = 110; single_step = 3200;
     decode_miss = 9500; decode_hit = 35; bind = 240; emu_dispatch = 700;
     patch_check = 18; checked_stub = 14; trace_step = 22; trace_exit = 380;
+    plan_compile = 450; plan_hit = 35;
     gc_per_word = 2; gc_per_cell = 6 }
 
 let xeon7220 =
@@ -64,6 +67,7 @@ let xeon7220 =
     kernel_delivery = 480; uu_delivery = 100; single_step = 2500;
     decode_miss = 7800; decode_hit = 30; bind = 200; emu_dispatch = 620;
     patch_check = 15; checked_stub = 12; trace_step = 17; trace_exit = 290;
+    plan_compile = 380; plan_hit = 30;
     gc_per_word = 2; gc_per_cell = 5 }
 
 let r730xd =
@@ -75,6 +79,7 @@ let r730xd =
     kernel_delivery = 420; uu_delivery = 105; single_step = 2700;
     decode_miss = 8200; decode_hit = 32; bind = 210; emu_dispatch = 650;
     patch_check = 16; checked_stub = 13; trace_step = 18; trace_exit = 310;
+    plan_compile = 400; plan_hit = 32;
     gc_per_word = 2; gc_per_cell = 5 }
 
 let profiles = [ r815; xeon7220; r730xd ]

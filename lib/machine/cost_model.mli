@@ -45,6 +45,12 @@ type t = {
   trace_exit : int;
       (** sequence emulation: context restore when a trace terminates
           and native execution resumes *)
+  plan_compile : int;
+      (** site specialization: compile a binding plan (superop) on the
+          first emulation of a program point *)
+  plan_hit : int;
+      (** site specialization: plan-table lookup on a revisit, replacing
+          bind + dispatch (calibrated near [decode_hit]) *)
   gc_per_word : int;  (** conservative scan, per 8-byte word *)
   gc_per_cell : int;  (** sweep, per arena cell *)
 }

@@ -80,6 +80,19 @@ module Make (A : Fpvm.Arith.S) = struct
   let value_digest (eng : E.t) (bits : int64) : int64 =
     if Fpvm.Nanbox.is_boxed bits then begin
       let idx = Fpvm.Nanbox.unbox bits in
+      if idx >= Fpvm.Plan.temp_base then
+        (* In-trace shadow temp: digest the scratch value behind it, so
+           a mid-trace digest of a register holding a temp matches the
+           same register holding the equivalent real box (temps are an
+           allocation-strategy artifact, like arena indices). No memo:
+           scratch slots recycle every trace. *)
+        match E.temp_value eng bits with
+        | Some v ->
+            Buffer.clear scratch;
+            A.encode_value scratch v;
+            Codec.fnv64 Codec.fnv_basis (Buffer.contents scratch)
+        | None -> dangling_digest
+      else
       match Fpvm.Arena.get eng.E.arena idx with
       | Some v ->
           let o = Obj.repr v in
@@ -203,9 +216,9 @@ module Make (A : Fpvm.Arith.S) = struct
   let capture ~(meta : Log.meta) ~seq (ses : E.session) : string =
     Snapshot.capture ~meta ~seq ~enc:A.encode_value ~st:ses.E.st
       ~arena:ses.E.eng.E.arena ~stats:ses.E.eng.E.stats
-      ~cache:ses.E.eng.E.cache ~kern:ses.E.kern ~prog:ses.E.prog
-      ~since_gc:ses.E.eng.E.since_gc ~gc_count:ses.E.eng.E.gc_count
-      ~patch_sites:ses.E.eng.E.patch_sites
+      ~cache:ses.E.eng.E.cache ~plan_sites:(E.plan_sites ses)
+      ~kern:ses.E.kern ~prog:ses.E.prog ~since_gc:ses.E.eng.E.since_gc
+      ~gc_count:ses.E.eng.E.gc_count ~patch_sites:ses.E.eng.E.patch_sites
 
   (* Prepare a fresh session and overwrite its mutable state from the
      blob. Returns the session and the event sequence number at which
@@ -222,8 +235,13 @@ module Make (A : Fpvm.Arith.S) = struct
     ses.E.eng.E.gc_count <- r.Snapshot.r_gc_count;
     ses.E.eng.E.patch_sites <- r.Snapshot.r_patch_sites;
     (* The blob re-installed trap-and-patch sites into the instruction
-       array; the precomputed trace hints must see those terminators. *)
+       array; the precomputed trace hints (and no-escape facts) must
+       see those terminators. *)
     E.refresh_trace_hints ses;
+    (* Reseed the binding-plan table from the recorded key set (plans
+       are closures; recompiled silently, no charges) so the resumed
+       run replays the original's plan hit/miss cycle stream exactly. *)
+    List.iter (E.seed_plan ses) r.Snapshot.r_plan_sites;
     (ses, r.Snapshot.r_meta, r.Snapshot.r_seq)
 
   (* ---- record ---------------------------------------------------------- *)

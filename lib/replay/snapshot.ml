@@ -24,7 +24,13 @@ module Isa = Machine.Isa
 module Mx = Ieee754.Mxcsr
 
 let magic = "FPVMCKP1"
-let version = 1
+
+(* v2: arena free/young sets are int stacks (array + depth) rather than
+   lists; the engine stats tail gained the site-specialization counters;
+   a plan-sites section records which sites held a compiled binding
+   plan (restore reseeds them so the resumed run replays the original's
+   plan hit/miss — and cycle — stream exactly). *)
+let version = 2
 
 (* ---- machine state --------------------------------------------------- *)
 
@@ -110,14 +116,16 @@ let encode_arena b enc (ar : 'v Fpvm.Arena.t) =
         Codec.u8 b (1 lor if c.Fpvm.Arena.on_young then 2 else 0);
         enc b v)
   done;
-  let int_list l =
-    Codec.varint b (List.length l);
-    List.iter (fun i -> Codec.varint b i) l
+  (* stacks bottom-to-top: depth, then the live prefix of the buffer *)
+  let int_stack a n =
+    Codec.varint b n;
+    for i = 0 to n - 1 do
+      Codec.varint b a.(i)
+    done
   in
-  int_list ar.Fpvm.Arena.free;
-  int_list ar.Fpvm.Arena.young;
+  int_stack ar.Fpvm.Arena.free ar.Fpvm.Arena.free_n;
+  int_stack ar.Fpvm.Arena.young ar.Fpvm.Arena.young_n;
   Codec.varint b ar.Fpvm.Arena.live;
-  Codec.varint b ar.Fpvm.Arena.young_count;
   Codec.varint b ar.Fpvm.Arena.total_alloc;
   Codec.varint b ar.Fpvm.Arena.total_freed;
   Codec.varint b ar.Fpvm.Arena.high_water
@@ -136,16 +144,26 @@ let restore_arena s pos dec (ar : 'v Fpvm.Arena.t) =
     cells.(i) <-
       { Fpvm.Arena.v; mark = false; on_young = tag land 2 <> 0 }
   done;
-  let int_list () =
+  (* stack buffers are sized to the cell array so later pushes stay in
+     bounds (the arena maintains this invariant after [grow]) *)
+  let int_stack () =
     let n = Codec.r_varint s pos in
-    List.init n (fun _ -> Codec.r_varint s pos)
+    if n > cap then Codec.corrupt "arena stack depth %d beyond capacity" n;
+    let a = Array.make cap 0 in
+    for i = 0 to n - 1 do
+      a.(i) <- Codec.r_varint s pos
+    done;
+    (a, n)
   in
   ar.Fpvm.Arena.cells <- cells;
   ar.Fpvm.Arena.next_fresh <- next_fresh;
-  ar.Fpvm.Arena.free <- int_list ();
-  ar.Fpvm.Arena.young <- int_list ();
+  let free, free_n = int_stack () in
+  ar.Fpvm.Arena.free <- free;
+  ar.Fpvm.Arena.free_n <- free_n;
+  let young, young_n = int_stack () in
+  ar.Fpvm.Arena.young <- young;
+  ar.Fpvm.Arena.young_n <- young_n;
   ar.Fpvm.Arena.live <- Codec.r_varint s pos;
-  ar.Fpvm.Arena.young_count <- Codec.r_varint s pos;
   ar.Fpvm.Arena.total_alloc <- Codec.r_varint s pos;
   ar.Fpvm.Arena.total_freed <- Codec.r_varint s pos;
   ar.Fpvm.Arena.high_water <- Codec.r_varint s pos
@@ -166,7 +184,10 @@ let stats_ints (s : Fpvm.Stats.t) =
     s.replay_checkpoints; s.replay_checkpoint_bytes; s.replay_log_bytes;
     (* appended fields (order is the format; oracle/analysis gauges are
        deliberately NOT checkpointed) *)
-    s.corr_demote_boxed; s.corr_demote_clean ]
+    s.corr_demote_boxed; s.corr_demote_clean;
+    (* v2: site specialization *)
+    s.plan_hits; s.plan_misses; s.plan_invalidations; s.temps_elided;
+    s.temps_materialized; s.cyc_plan; s.cyc_emu_dispatch ]
 
 let encode_stats b (s : Fpvm.Stats.t) =
   List.iter (fun v -> Codec.i64 b (Int64.of_int v)) (stats_ints s);
@@ -213,14 +234,22 @@ let restore_stats s pos (t : Fpvm.Stats.t) =
   t.Fpvm.Stats.replay_log_bytes <- r ();
   t.Fpvm.Stats.corr_demote_boxed <- r ();
   t.Fpvm.Stats.corr_demote_clean <- r ();
+  t.Fpvm.Stats.plan_hits <- r ();
+  t.Fpvm.Stats.plan_misses <- r ();
+  t.Fpvm.Stats.plan_invalidations <- r ();
+  t.Fpvm.Stats.temps_elided <- r ();
+  t.Fpvm.Stats.temps_materialized <- r ();
+  t.Fpvm.Stats.cyc_plan <- r ();
+  t.Fpvm.Stats.cyc_emu_dispatch <- r ();
   t.Fpvm.Stats.gc_latency_s <- Int64.float_of_bits (Codec.r_i64 s pos)
 
 (* ---- capture / restore ----------------------------------------------- *)
 
 let capture ~(meta : Log.meta) ~seq ~enc ~(st : State.t)
     ~(arena : 'v Fpvm.Arena.t) ~(stats : Fpvm.Stats.t)
-    ~(cache : Fpvm.Decoder.cache) ~(kern : Trapkern.t)
-    ~(prog : Machine.Program.t) ~since_gc ~gc_count ~patch_sites : string =
+    ~(cache : Fpvm.Decoder.cache) ~(plan_sites : int list)
+    ~(kern : Trapkern.t) ~(prog : Machine.Program.t) ~since_gc ~gc_count
+    ~patch_sites : string =
   let b = Buffer.create (1 lsl 16) in
   Buffer.add_string b magic;
   Codec.u32 b version;
@@ -246,6 +275,10 @@ let capture ~(meta : Log.meta) ~seq ~enc ~(st : State.t)
   in
   Codec.varint b (List.length cached);
   List.iter (fun i -> Codec.varint b i) cached;
+  (* binding-plan table: like the decode cache, only the key set is
+     recorded (plans are closures; restore recompiles them) *)
+  Codec.varint b (List.length plan_sites);
+  List.iter (fun i -> Codec.varint b i) plan_sites;
   (* trap-and-patch rewrites in the working binary *)
   let patched = ref [] in
   Array.iteri
@@ -275,7 +308,11 @@ let capture ~(meta : Log.meta) ~seq ~enc ~(st : State.t)
   Buffer.contents b
 
 type restored = { r_meta : Log.meta; r_seq : int; r_since_gc : int;
-                  r_gc_count : int; r_patch_sites : int }
+                  r_gc_count : int; r_patch_sites : int;
+                  r_plan_sites : int list
+                      (* sites whose binding plans the caller must
+                         reseed (Engine.seed_plan), after the patched
+                         rewrites above have been re-applied *) }
 
 let restore ~dec ~(st : State.t) ~(arena : 'v Fpvm.Arena.t)
     ~(stats : Fpvm.Stats.t) ~(cache : Fpvm.Decoder.cache)
@@ -318,6 +355,8 @@ let restore ~dec ~(st : State.t) ~(arena : 'v Fpvm.Arena.t)
   let misses = Codec.r_varint blob pos in
   let ncached = Codec.r_varint blob pos in
   let cached = List.init ncached (fun _ -> Codec.r_varint blob pos) in
+  let nplans = Codec.r_varint blob pos in
+  let r_plan_sites = List.init nplans (fun _ -> Codec.r_varint blob pos) in
   let npatched = Codec.r_varint blob pos in
   let patched =
     List.init npatched (fun _ ->
@@ -355,4 +394,4 @@ let restore ~dec ~(st : State.t) ~(arena : 'v Fpvm.Arena.t)
   kern.Trapkern.kernel_cycles <- Int64.to_int (Codec.r_i64 blob pos);
   kern.Trapkern.user_cycles <- Int64.to_int (Codec.r_i64 blob pos);
   if !pos <> body_len then Codec.corrupt "trailing bytes in checkpoint";
-  { r_meta; r_seq; r_since_gc; r_gc_count; r_patch_sites }
+  { r_meta; r_seq; r_since_gc; r_gc_count; r_patch_sites; r_plan_sites }

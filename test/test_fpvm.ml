@@ -216,11 +216,21 @@ let validation_tests =
         (* the single live chain value survives: alive stays tiny *)
         Alcotest.(check bool) "alive small" true (s.Fpvm.Stats.gc_alive_last < 32));
     Alcotest.test_case "decode cache amortizes" `Quick (fun () ->
+        (* in the unspecialized engine every revisit decodes; with plans
+           on, decode happens only on a plan miss, so the cache's
+           amortization is visible only with plans off *)
         let prog = build_iter_prog 500 in
-        let v = E_vanilla.run prog in
+        let config =
+          { Fpvm.Engine.default_config with Fpvm.Engine.use_plans = false }
+        in
+        let v = E_vanilla.run ~config prog in
         let s = v.Fpvm.Engine.stats in
         Alcotest.(check bool) "hits >> misses" true
-          (s.Fpvm.Stats.decode_hits > 50 * s.Fpvm.Stats.decode_misses));
+          (s.Fpvm.Stats.decode_hits > 50 * s.Fpvm.Stats.decode_misses);
+        (* with plans on, the plan table takes over that role *)
+        let sp = (E_vanilla.run prog).Fpvm.Engine.stats in
+        Alcotest.(check bool) "plan hits >> plan misses" true
+          (sp.Fpvm.Stats.plan_hits > 50 * sp.Fpvm.Stats.plan_misses));
     Alcotest.test_case "all three approaches agree (vanilla)" `Quick (fun () ->
         let prog = build_iter_prog 60 in
         let native = Fpvm.Engine.run_native prog in
