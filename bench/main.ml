@@ -667,6 +667,7 @@ let bench_json () =
   let doc =
     Printf.sprintf
       "{\n\
+       \  \"schema_version\": 1,\n\
        \  \"experiment\": \"trap coalescing (sequence emulation) + \
        write-barrier incremental GC\",\n\
        \  \"arithmetic\": \"mpfr-200\",\n\
@@ -808,6 +809,7 @@ let bench_replay () =
   let doc =
     Printf.sprintf
       "{\n\
+       \  \"schema_version\": 1,\n\
        \  \"experiment\": \"deterministic record/replay + checkpoint/restore\",\n\
        \  \"arithmetic\": \"mpfr-200\",\n\
        \  \"config\": { \"approach\": \"trap_and_emulate\", \
@@ -910,6 +912,7 @@ let bench_vsa () =
   let doc =
     Printf.sprintf
       "{\n\
+       \  \"schema_version\": 1,\n\
        \  \"experiment\": \"precision-tiered VSA: legacy flow-insensitive pass \
        vs CFG + strided-interval + flow-sensitive-taint pipeline\",\n\
        \  \"oracle_arithmetic\": \"mpfr-200\",\n\
@@ -1109,6 +1112,7 @@ let bench_plans () =
   let doc =
     Printf.sprintf
       "{\n\
+       \  \"schema_version\": 1,\n\
        \  \"experiment\": \"site-specialized emulation: binding-plan cache + \
        compiled superops + in-trace shadow-temp elision\",\n\
        \  \"arithmetic\": \"mpfr-200\",\n\
@@ -1131,6 +1135,202 @@ let bench_plans () =
   printf "\nwrote BENCH_plans.json\n";
   if !failures > 0 then begin
     printf "plans experiment: %d assertion(s) FAILED\n" !failures;
+    exit 1
+  end
+
+(* ---- BENCH_telemetry.json: observability subsystem ----------------------- *)
+
+(* Evidence for lib/telemetry: the stats fingerprint is identical with
+   telemetry on vs off on every arithmetic port and both GC modes (the
+   collectors only read probe payloads), the per-site profile plus the
+   run-global GC bucket reproduces Stats.total_fpvm_cycles with zero
+   remainder, the shadow numerical check reports zero error on the
+   vanilla port (its expected-value model *is* the vanilla port) and a
+   nonzero error under 8-bit MPFR, and the per-cost-model hot-site
+   tables quoted in EXPERIMENTS.md. Writes BENCH_telemetry.json. *)
+
+module Tele (A : Fpvm.Arith.S) = struct
+  module E = Fpvm.Engine.Make (A)
+
+  (* Run [prog], optionally under full instrumentation (ring trace +
+     profile + shadow numerical check). The pair (stats, telemetry)
+     has the same type for every port, so callers can treat the five
+     instantiations uniformly. *)
+  let run ~telemetry ~config prog =
+    let ses = E.prepare ~config prog in
+    let tel =
+      if telemetry then
+        Some (Telemetry.create ~trace:true ~profile:true ~shadow:true ())
+      else None
+    in
+    (match tel with
+    | Some t -> Telemetry.attach t ses.E.eng.E.probe
+    | None -> ());
+    let r = E.resume ses in
+    (match tel with
+    | Some t -> Telemetry.finalize t r.Fpvm.Engine.stats
+    | None -> ());
+    (r.Fpvm.Engine.stats, tel)
+end
+
+module T_vanilla = Tele (Fpvm.Alt_vanilla)
+module T_mpfr = Tele (Fpvm.Alt_mpfr)
+module T_posit = Tele (Fpvm.Alt_posit)
+module T_interval = Tele (Fpvm.Alt_interval)
+module T_slash = Tele (Fpvm.Alt_slash)
+
+let bench_telemetry () =
+  hr "BENCH_telemetry.json: tracing + hot-site profiles + shadow check";
+  Fpvm.Alt_mpfr.precision := 200;
+  let failures = ref 0 in
+  let check name ok =
+    printf "%-64s %s\n%!" name (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  let lorenz = (get "lorenz").W.program W.Test in
+  let ports =
+    [ ("vanilla", T_vanilla.run);
+      ("mpfr-200", T_mpfr.run);
+      ("posit", T_posit.run);
+      ("interval", T_interval.run);
+      ("slash", T_slash.run) ]
+  in
+  (* 1. Determinism: fingerprint identity telemetry on vs off, every
+     port x both GC modes. *)
+  let fp_rows =
+    List.concat_map
+      (fun (name, run) ->
+        List.map
+          (fun inc ->
+            let config = cfg ~incremental_gc:inc () in
+            let s_off, _ = run ~telemetry:false ~config lorenz in
+            let s_on, _ = run ~telemetry:true ~config lorenz in
+            let identical =
+              Fpvm.Stats.fingerprint s_off = Fpvm.Stats.fingerprint s_on
+            in
+            check
+              (Printf.sprintf "fingerprint on==off  %-10s incremental_gc=%b"
+                 name inc)
+              identical;
+            Printf.sprintf
+              "    { \"port\": \"%s\", \"incremental_gc\": %b, \"identical\": %b }"
+              (json_escape name) inc identical)
+          [ true; false ])
+      ports
+  in
+  (* 2. Exactness: per-site buckets + GC bucket == total_fpvm_cycles. *)
+  let rec_rows =
+    List.map
+      (fun (name, run) ->
+        let s, tel = run ~telemetry:true ~config:(cfg ()) lorenz in
+        let total = Fpvm.Stats.total_fpvm_cycles s in
+        let tracked =
+          match tel with
+          | Some { Telemetry.profile = Some p; _ } ->
+              Telemetry.Profile.tracked_cycles p
+          | _ -> -1
+        in
+        check
+          (Printf.sprintf "profile reconciles exactly        %-10s" name)
+          (tracked = total);
+        Printf.sprintf
+          "    { \"port\": \"%s\", \"total_fpvm_cycles\": %d, \"tracked_cycles\": %d, \"remainder\": %d }"
+          (json_escape name) total tracked (total - tracked))
+      ports
+  in
+  (* 3. Shadow numerical check: zero on vanilla by construction,
+     nonzero once MPFR drops to an 8-bit significand. *)
+  let max_err tel =
+    match tel with
+    | Some { Telemetry.numprof = Some np; _ } ->
+        Telemetry.Numprof.max_rel_err np
+    | _ -> Float.nan
+  in
+  let _, tel_v = T_vanilla.run ~telemetry:true ~config:(cfg ()) lorenz in
+  let err_vanilla = max_err tel_v in
+  Fpvm.Alt_mpfr.precision := 8;
+  let _, tel_m8 = T_mpfr.run ~telemetry:true ~config:(cfg ()) lorenz in
+  Fpvm.Alt_mpfr.precision := 200;
+  let err_mpfr8 = max_err tel_m8 in
+  check "shadow check: vanilla max_rel_err = 0" (err_vanilla = 0.0);
+  check "shadow check: mpfr-8 max_rel_err > 0" (err_mpfr8 > 0.0);
+  printf "  (vanilla %.3e, mpfr-8 %.3e)\n" err_vanilla err_mpfr8;
+  (* 4. Ring trace exports a well-formed Chrome trace. *)
+  let trace_stats =
+    match tel_v with
+    | Some { Telemetry.trace = Some tr; _ } ->
+        let bb = Buffer.create 4096 in
+        Telemetry.Trace.export_json tr bb;
+        let body = Buffer.contents bb in
+        let rec_n = Telemetry.Trace.recorded tr in
+        check "trace export: events recorded, JSON non-empty"
+          (rec_n > 0 && String.length body > 2 && body.[0] = '{');
+        Printf.sprintf
+          "{ \"recorded\": %d, \"dropped\": %d, \"bytes\": %d }" rec_n
+          (Telemetry.Trace.dropped tr) (String.length body)
+    | _ -> "{}"
+  in
+  (* 5. Hot-site tables, one per cost model (the EXPERIMENTS.md data). *)
+  let hot_rows =
+    List.map
+      (fun (cost : CM.t) ->
+        let s, tel =
+          T_mpfr.run ~telemetry:true ~config:(cfg ~cost ()) lorenz
+        in
+        let total = Fpvm.Stats.total_fpvm_cycles s in
+        let p =
+          match tel with
+          | Some { Telemetry.profile = Some p; _ } -> p
+          | _ -> assert false
+        in
+        printf "\nhot sites, lorenz / mpfr-200 / %s:\n" cost.CM.name;
+        let bb = Buffer.create 1024 in
+        Telemetry.Profile.report_text ~n:5 p s bb;
+        print_string (Buffer.contents bb);
+        let sites =
+          List.map
+            (fun (i, site) ->
+              let c = Telemetry.Profile.site_cycles site in
+              Printf.sprintf
+                "        {\"site\":%d,\"cycles\":%d,\"pct\":%.2f,\"traps\":%d,\"emulations\":%d}"
+                i c
+                (100.0 *. float_of_int c /. float_of_int (max 1 total))
+                site.Telemetry.Profile.traps
+                site.Telemetry.Profile.emulations)
+            (Telemetry.Profile.top p 5)
+        in
+        Printf.sprintf
+          "    { \"cost_model\": \"%s\", \"total_fpvm_cycles\": %d, \"sites\": [\n%s\n      ] }"
+          (json_escape cost.CM.name) total
+          (String.concat ",\n" sites))
+      CM.profiles
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+       \  \"schema_version\": 1,\n\
+       \  \"experiment\": \"telemetry: ring-buffer event tracing + per-site \
+       hot-spot profiles + shadow numerical-quality check\",\n\
+       \  \"workload\": \"lorenz\",\n\
+       \  \"scale\": \"test\",\n\
+       \  \"fingerprint_identity\": [\n%s\n  ],\n\
+       \  \"profile_reconciliation\": [\n%s\n  ],\n\
+       \  \"shadow_check\": { \"vanilla_max_rel_err\": %.6e, \
+       \"mpfr_prec8_max_rel_err\": %.6e },\n\
+       \  \"trace\": %s,\n\
+       \  \"hot_sites\": [\n%s\n  ]\n\
+       }\n"
+      (String.concat ",\n" fp_rows)
+      (String.concat ",\n" rec_rows)
+      err_vanilla err_mpfr8 trace_stats
+      (String.concat ",\n" hot_rows)
+  in
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc doc;
+  close_out oc;
+  printf "\nwrote BENCH_telemetry.json\n";
+  if !failures > 0 then begin
+    printf "telemetry experiment: %d assertion(s) FAILED\n" !failures;
     exit 1
   end
 
@@ -1157,7 +1357,8 @@ let experiments =
     ("json", bench_json);
     ("replay", bench_replay);
     ("vsa", bench_vsa);
-    ("plans", bench_plans) ]
+    ("plans", bench_plans);
+    ("telemetry", bench_telemetry) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -23,8 +23,13 @@ module W = Workloads
    but [Replay.Session.recording] / [outcome] / [Fpvm.Engine.result]
    are shared, so a record of closures erases the functor. *)
 type driver = {
-  d_run : config:Fpvm.Engine.config -> Machine.Program.t -> Fpvm.Engine.result;
+  d_run :
+    ?instrument:(Fpvm.Probe.sink -> unit) ->
+    config:Fpvm.Engine.config ->
+    Machine.Program.t ->
+    Fpvm.Engine.result;
   d_record :
+    ?instrument:(Fpvm.Probe.sink -> unit) ->
     checkpoint_every:int ->
     meta:Replay.Log.meta ->
     config:Fpvm.Engine.config ->
@@ -32,11 +37,13 @@ type driver = {
     Replay.Session.recording;
   d_replay :
     ?checkpoint:string ->
+    ?instrument:(Fpvm.Probe.sink -> unit) ->
     config:Fpvm.Engine.config ->
     Replay.Log.t ->
     Machine.Program.t ->
     Replay.Session.outcome;
   d_resume :
+    ?instrument:(Fpvm.Probe.sink -> unit) ->
     config:Fpvm.Engine.config ->
     Machine.Program.t ->
     string ->
@@ -48,14 +55,24 @@ module D (A : Fpvm.Arith.S) = struct
 
   let driver =
     {
-      d_run = (fun ~config prog -> S.E.run ~config prog);
+      d_run =
+        (fun ?instrument ~config prog ->
+          (* prepare / instrument / resume, so telemetry attaches the
+             same way it does around a checkpoint restore *)
+          let ses = S.E.prepare ~config prog in
+          (match instrument with
+          | Some f -> f ses.S.E.eng.S.E.probe
+          | None -> ());
+          S.E.resume ses);
       d_record =
-        (fun ~checkpoint_every ~meta ~config prog ->
-          S.record ~checkpoint_every ~meta ~config prog);
+        (fun ?instrument ~checkpoint_every ~meta ~config prog ->
+          S.record ~checkpoint_every ?instrument ~meta ~config prog);
       d_replay =
-        (fun ?checkpoint ~config log prog ->
-          S.replay ?checkpoint ~config log prog);
-      d_resume = (fun ~config prog blob -> S.resume_from ~config prog blob);
+        (fun ?checkpoint ?instrument ~config log prog ->
+          S.replay ?checkpoint ?instrument ~config log prog);
+      d_resume =
+        (fun ?instrument ~config prog blob ->
+          S.resume_from ?instrument ~config prog blob);
     }
 end
 
@@ -98,6 +115,7 @@ let print_json ~workload ~arith ~scale (r : Fpvm.Engine.result) =
   let kv_i k v = Printf.sprintf "  %S: %d" k v in
   let fields =
     [
+      kv_i "schema_version" 1;
       kv_s "workload" workload;
       kv_s "arith" arith;
       kv_s "scale" scale;
@@ -138,6 +156,8 @@ let print_json ~workload ~arith ~scale (r : Fpvm.Engine.result) =
       kv_i "replay_checkpoints" s.Fpvm.Stats.replay_checkpoints;
       kv_i "replay_checkpoint_bytes" s.Fpvm.Stats.replay_checkpoint_bytes;
       kv_i "replay_log_bytes" s.Fpvm.Stats.replay_log_bytes;
+      kv_i "tel_events" s.Fpvm.Stats.tel_events;
+      kv_i "tel_dropped" s.Fpvm.Stats.tel_dropped;
       kv_i "output_bytes" (String.length r.Fpvm.Engine.output);
       kv_i "serialized_bytes" (String.length r.Fpvm.Engine.serialized);
       kv_s "stats_fingerprint" (Fpvm.Stats.fingerprint s);
@@ -184,6 +204,9 @@ let print_stats (r : Fpvm.Engine.result) =
     Printf.eprintf "replay: %d events (%d bytes), %d checkpoints (%d bytes)\n"
       s.Fpvm.Stats.replay_events s.Fpvm.Stats.replay_log_bytes
       s.Fpvm.Stats.replay_checkpoints s.Fpvm.Stats.replay_checkpoint_bytes;
+  if s.Fpvm.Stats.tel_events > 0 then
+    Printf.eprintf "telemetry: %d events observed (%d ring-dropped)\n"
+      s.Fpvm.Stats.tel_events s.Fpvm.Stats.tel_dropped;
   let b = Fpvm.Stats.breakdown s in
   Printf.eprintf "avg cycles/virtualized insn: %.0f\n" b.Fpvm.Stats.avg_total
 
@@ -219,7 +242,8 @@ let guard f =
 
 let run workload arith prec posit_bits approach machine deployment scale
     trace_len full_gc gc_interval no_plans oracle stats json disasm spy
-    list_only record_file replay_file checkpoint_every from_checkpoint inject =
+    list_only record_file replay_file checkpoint_every from_checkpoint inject
+    trace_out profile profile_out shadow_check =
   if list_only then begin
     List.iter
       (fun (e : W.entry) -> Printf.printf "%-12s %s\n" e.W.name e.W.specifics)
@@ -321,7 +345,31 @@ let run workload arith prec posit_bits approach machine deployment scale
               | Error m -> `Error (false, m)
               | Ok _ when arith = "native" && (record_file <> "" || replay_file <> "" || from_checkpoint <> "") ->
                   `Error (false, "--record/--replay/--from-checkpoint require an FPVM arithmetic, not native")
+              | Ok _
+                when arith = "native"
+                     && (trace_out <> "" || profile || profile_out <> ""
+                        || shadow_check) ->
+                  `Error
+                    ( false,
+                      "--trace-out/--profile/--shadow-check require an FPVM \
+                       arithmetic, not native" )
               | Ok d ->
+                  let tel =
+                    if
+                      trace_out <> "" || profile || profile_out <> ""
+                      || shadow_check
+                    then
+                      Some
+                        (Telemetry.create ~trace:(trace_out <> "")
+                           ~profile:(profile || profile_out <> "")
+                           ~shadow:shadow_check ())
+                    else None
+                  in
+                  let instrument =
+                    Option.map
+                      (fun t sink -> Telemetry.attach t sink)
+                      tel
+                  in
                   let meta =
                     { Replay.Log.workload = e.W.name;
                       scale;
@@ -332,8 +380,47 @@ let run workload arith prec posit_bits approach machine deployment scale
                         | a -> a);
                       config = config_fingerprint config machine }
                   in
+                  let write_text path s =
+                    let oc = open_out path in
+                    output_string oc s;
+                    close_out oc
+                  in
                   let finish ?(code = 0) (r : Fpvm.Engine.result) =
                     print_string r.Fpvm.Engine.output;
+                    (match tel with
+                    | None -> ()
+                    | Some t ->
+                        Telemetry.finalize t r.Fpvm.Engine.stats;
+                        (match t.Telemetry.trace with
+                        | Some tr when trace_out <> "" ->
+                            Telemetry.Trace.write_file tr trace_out;
+                            Printf.eprintf
+                              "trace: %d events -> %s (%d dropped)\n"
+                              (Telemetry.Trace.recorded tr)
+                              trace_out
+                              (Telemetry.Trace.dropped tr)
+                        | _ -> ());
+                        (match t.Telemetry.profile with
+                        | Some p ->
+                            if profile then begin
+                              let bb = Buffer.create 1024 in
+                              Telemetry.Profile.report_text p
+                                r.Fpvm.Engine.stats bb;
+                              prerr_string (Buffer.contents bb)
+                            end;
+                            if profile_out <> "" then begin
+                              let bb = Buffer.create 1024 in
+                              Telemetry.Profile.report_json ~n:32 p
+                                r.Fpvm.Engine.stats bb;
+                              write_text profile_out (Buffer.contents bb)
+                            end
+                        | None -> ());
+                        match t.Telemetry.numprof with
+                        | Some np ->
+                            let bb = Buffer.create 1024 in
+                            Telemetry.Numprof.report_text np bb;
+                            prerr_string (Buffer.contents bb)
+                        | None -> ());
                     if json then print_json ~workload:e.W.name ~arith:meta.Replay.Log.arith ~scale r;
                     if stats then print_stats r;
                     let s = r.Fpvm.Engine.stats in
@@ -351,7 +438,8 @@ let run workload arith prec posit_bits approach machine deployment scale
                   else if record_file <> "" then
                     guard (fun () ->
                     let rec_ =
-                      d.d_record ~checkpoint_every ~meta ~config prog
+                      d.d_record ?instrument ~checkpoint_every ~meta ~config
+                        prog
                     in
                     let log_bytes =
                       if inject >= 0 then inject_divergence rec_.Replay.Session.log_bytes inject
@@ -381,7 +469,10 @@ let run workload arith prec posit_bits approach machine deployment scale
                             if from_checkpoint = "" then None
                             else Some (Replay.Codec.read_file from_checkpoint)
                           in
-                          match d.d_replay ?checkpoint ~config log prog with
+                          match
+                            d.d_replay ?checkpoint ?instrument ~config log
+                              prog
+                          with
                           | Replay.Session.Match r ->
                               Printf.eprintf "replay: %d events matched\n"
                                 (Array.length log.Replay.Log.events);
@@ -393,9 +484,9 @@ let run workload arith prec posit_bits approach machine deployment scale
                   else if from_checkpoint <> "" then
                     guard (fun () ->
                         finish
-                          (d.d_resume ~config prog
+                          (d.d_resume ?instrument ~config prog
                              (Replay.Codec.read_file from_checkpoint)))
-                  else finish (d.d_run ~config prog)))
+                  else finish (d.d_run ?instrument ~config prog)))
   end
 
 (* ---- bisect command --------------------------------------------------- *)
@@ -659,13 +750,39 @@ let inject =
        & info [ "inject-divergence" ]
            ~doc:"With --record: corrupt the state digest of event $(docv) in the written log (bisector self-test)." ~docv:"N")
 
+let trace_out =
+  Arg.(value & opt string ""
+       & info [ "trace-out" ]
+           ~doc:"Export a Chrome/Perfetto trace-event JSON timeline (modeled-cycle \
+                 timestamps) of the run to $(docv)." ~docv:"FILE")
+
+let profile =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Print a per-site hot-spot profile (cycle attribution by \
+                 instruction index) to stderr.")
+
+let profile_out =
+  Arg.(value & opt string ""
+       & info [ "profile-out" ]
+           ~doc:"Write the per-site profile as JSON to $(docv)." ~docv:"FILE")
+
+let shadow_check =
+  Arg.(value & flag
+       & info [ "shadow-check" ]
+           ~doc:"Numerical telemetry: track NaN/Inf births, kills and \
+                 propagation per site, and compare the alternative \
+                 arithmetic against a vanilla binary64 shadow at every \
+                 demotion boundary (relative-error histogram on stderr).")
+
 let run_term =
   Term.(
     ret
       (const run $ workload $ arith $ prec $ posit_bits $ approach $ machine
      $ deployment $ scale $ trace_len $ full_gc $ gc_interval $ no_plans
      $ oracle $ stats $ json $ disasm $ spy $ list_only $ record_file
-     $ replay_file $ checkpoint_every $ from_checkpoint $ inject))
+     $ replay_file $ checkpoint_every $ from_checkpoint $ inject $ trace_out
+     $ profile $ profile_out $ shadow_check))
 
 let bisect_cmd =
   let log_a = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG_A") in

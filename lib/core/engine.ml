@@ -282,7 +282,10 @@ module Make (A : Arith.S) = struct
     s.Stats.gc_words_scanned <- s.Stats.gc_words_scanned + !words;
     s.Stats.gc_latency_s <- s.Stats.gc_latency_s +. dt;
     s.Stats.cyc_gc <- s.Stats.cyc_gc + cyc;
-    Probe.emit t.probe st (Probe.Gc { full; freed; words = !words })
+    Probe.emit t.probe st (Probe.Gc { full; freed; words = !words });
+    match t.probe.Probe.on_tel with
+    | None -> ()
+    | Some f -> f st (Probe.T_gc { full; freed; words = !words; cycles = cyc })
 
   let maybe_gc t st =
     if t.since_gc >= t.config.gc_interval then begin
@@ -358,6 +361,12 @@ module Make (A : Arith.S) = struct
     | Some v ->
         let pat = Plan.box_temp k in
         let bits = box t v in
+        (match t.probe.Probe.on_num with
+        | None -> ()
+        | Some f ->
+            f st
+              (Probe.N_rebox
+                 { index = st.State.rip; old_bits = pat; new_bits = bits }));
         for i = 0 to 31 do
           if Int64.equal st.State.xmm.(i) pat then st.State.xmm.(i) <- bits
         done;
@@ -584,11 +593,15 @@ module Make (A : Arith.S) = struct
             { p_exec =
                 (fun ~dispatch st ->
                   for lane = 0 to lanes - 1 do
-                    let b = unbox t (srd.(lane) st) in
-                    let r =
+                    let b_bits = srd.(lane) st in
+                    let b = unbox t b_bits in
+                    let a_bits, a, r =
                       match binop with
-                      | None -> A.sqrt b
-                      | Some f -> f (unbox t (drd.(lane) st)) b
+                      | None -> (b_bits, b, A.sqrt b)
+                      | Some f ->
+                          let a_bits = drd.(lane) st in
+                          let a = unbox t a_bits in
+                          (a_bits, a, f a b)
                     in
                     charge_op t st ~dispatch cls;
                     let bits =
@@ -596,6 +609,14 @@ module Make (A : Arith.S) = struct
                         box_or_temp t r
                       else box t r
                     in
+                    (match t.probe.Probe.on_num with
+                    | None -> ()
+                    | Some f ->
+                        f st
+                          (Probe.N_op
+                             { index = idx; op; a_bits; b_bits; r_bits = bits;
+                               a = A.demote a; b = A.demote b;
+                               r = A.demote r }));
                     dwr.(lane) st bits
                   done) }
         | Isa.F32 ->
@@ -632,9 +653,22 @@ module Make (A : Arith.S) = struct
         let brd = rd_lane d.Decoder.src 0 in
         { p_exec =
             (fun ~dispatch st ->
-              let a = unbox t (ard st) in
-              let b = unbox t (brd st) in
+              let a_bits = ard st in
+              let a = unbox t a_bits in
+              let b_bits = brd st in
+              let b = unbox t b_bits in
               charge_op t st ~dispatch Arith.C_cmp;
+              (match t.probe.Probe.on_num with
+              | None -> ()
+              | Some f ->
+                  f st
+                    (Probe.N_sink
+                       { index = idx; kind = Probe.S_compare; bits = a_bits;
+                         f64 = A.demote a });
+                  f st
+                    (Probe.N_sink
+                       { index = idx; kind = Probe.S_compare; bits = b_bits;
+                         f64 = A.demote b }));
               set_compare_flags st
                 (if signaling then A.cmp_signaling a b else A.cmp_quiet a b))
         }
@@ -644,9 +678,22 @@ module Make (A : Arith.S) = struct
         let dwr = wr_lane d.Decoder.dst 0 in
         { p_exec =
             (fun ~dispatch st ->
-              let a = unbox t (drd st) in
-              let b = unbox t (srd st) in
+              let a_bits = drd st in
+              let a = unbox t a_bits in
+              let b_bits = srd st in
+              let b = unbox t b_bits in
               charge_op t st ~dispatch Arith.C_cmp;
+              (match t.probe.Probe.on_num with
+              | None -> ()
+              | Some f ->
+                  f st
+                    (Probe.N_sink
+                       { index = idx; kind = Probe.S_compare; bits = a_bits;
+                         f64 = A.demote a });
+                  f st
+                    (Probe.N_sink
+                       { index = idx; kind = Probe.S_compare; bits = b_bits;
+                         f64 = A.demote b }));
               let c = A.cmp_quiet a b in
               let open Ieee754.Softfp in
               let holds =
@@ -683,7 +730,16 @@ module Make (A : Arith.S) = struct
         { p_exec =
             (fun ~dispatch st ->
               charge_op t st ~dispatch Arith.C_cvt;
-              dwr st (A.to_f32_bits (unbox t (srd st)))) }
+              let bits = srd st in
+              let v = unbox t bits in
+              (match t.probe.Probe.on_num with
+              | None -> ()
+              | Some f ->
+                  f st
+                    (Probe.N_sink
+                       { index = idx; kind = Probe.S_demote; bits;
+                         f64 = A.demote v }));
+              dwr st (A.to_f32_bits v)) }
     | Decoder.A_f2f Isa.F32 ->
         let srd = rd_f32 d.Decoder.src in
         let dwr = wr_lane d.Decoder.dst 0 in
@@ -702,11 +758,19 @@ module Make (A : Arith.S) = struct
         in
         { p_exec =
             (fun ~dispatch st ->
-              let v = unbox t (srd st) in
+              let src_bits = srd st in
+              let v = unbox t src_bits in
               let mode =
                 if truncate then Ieee754.Softfp.Toward_zero else rounding_of st
               in
               charge_op t st ~dispatch Arith.C_cvt;
+              (match t.probe.Probe.on_num with
+              | None -> ()
+              | Some f ->
+                  f st
+                    (Probe.N_sink
+                       { index = idx; kind = Probe.S_demote; bits = src_bits;
+                         f64 = A.demote v }));
               let bits =
                 if size = 8 then A.to_i64 mode v
                 else Int64.of_int32 (A.to_i32 mode v)
@@ -741,6 +805,8 @@ module Make (A : Arith.S) = struct
   let emulate t st idx (insn : Isa.insn) =
     let cost = t.config.cost in
     let s = t.stats in
+    let c0 = st.State.cycles in
+    let e0 = s.Stats.temps_elided in
     let interpret () =
       (* decode (with cache) + bind, as in the classic engine *)
       let d, hit = Decoder.decode t.cache idx insn in
@@ -757,6 +823,9 @@ module Make (A : Arith.S) = struct
            s.Stats.plan_hits <- s.Stats.plan_hits + 1;
            State.add_cycles st cost.CM.plan_hit;
            s.Stats.cyc_plan <- s.Stats.cyc_plan + cost.CM.plan_hit;
+           (match t.probe.Probe.on_tel with
+           | None -> ()
+           | Some f -> f st (Probe.T_plan_hit { index = idx }));
            p.p_exec ~dispatch:0 st
        | None ->
            let d = interpret () in
@@ -765,11 +834,21 @@ module Make (A : Arith.S) = struct
            s.Stats.plan_misses <- s.Stats.plan_misses + 1;
            State.add_cycles st cost.CM.plan_compile;
            s.Stats.cyc_plan <- s.Stats.cyc_plan + cost.CM.plan_compile;
+           (match t.probe.Probe.on_tel with
+           | None -> ()
+           | Some f -> f st (Probe.T_plan_miss { index = idx }));
            p.p_exec ~dispatch:cost.CM.emu_dispatch st
      else
        let d = interpret () in
        (compile t idx d).p_exec ~dispatch:cost.CM.emu_dispatch st);
     s.Stats.emulated_insns <- s.Stats.emulated_insns + 1;
+    (match t.probe.Probe.on_tel with
+    | None -> ()
+    | Some f ->
+        f st
+          (Probe.T_emulate
+             { index = idx; cycles = st.State.cycles - c0;
+               elided = s.Stats.temps_elided - e0 }));
     t.since_gc <- t.since_gc + 1;
     st.State.rip <- idx + 1;
     maybe_gc t st
@@ -825,6 +904,9 @@ module Make (A : Arith.S) = struct
             t.stats.Stats.traps_avoided <-
               t.stats.Stats.traps_avoided + 1;
             Probe.emit t.probe st (Probe.Absorbed { index = idx; events });
+            (match t.probe.Probe.on_tel with
+            | None -> ()
+            | Some f -> f st (Probe.T_absorbed { index = idx; events }));
             Mx.clear_flags st.State.mxcsr;
             emulate t st idx insn
         | Cpu.Correctness_fault _ ->
@@ -910,9 +992,16 @@ module Make (A : Arith.S) = struct
     let bits = read_loc st l in
     if Nanbox.is_boxed bits then begin
       let v = unbox t bits in
-      write_loc st l (A.demote v);
+      let d = A.demote v in
+      write_loc st l d;
       t.stats.Stats.correctness_demotions <-
-        t.stats.Stats.correctness_demotions + 1
+        t.stats.Stats.correctness_demotions + 1;
+      match t.probe.Probe.on_num with
+      | None -> ()
+      | Some f ->
+          f st
+            (Probe.N_sink
+               { index = st.State.rip; kind = Probe.S_demote; bits; f64 = d })
     end
 
   (* Demote any NaN-boxed data the wrapped instruction is about to
@@ -1004,21 +1093,58 @@ module Make (A : Arith.S) = struct
         (* The math wrapper: emulate libm in the alternative system so
            boxed arguments work and precision carries through. *)
         t.stats.Stats.math_calls <- t.stats.Stats.math_calls + 1;
+        let c0 = st.State.cycles in
         charge_emu t st Arith.C_libm;
-        let v = f (unbox t (State.get_xmm st 0 0)) in
-        State.set_xmm st 0 0 (box t v);
+        let a_bits = State.get_xmm st 0 0 in
+        let v0 = unbox t a_bits in
+        let v = f v0 in
+        let rbits = box t v in
+        State.set_xmm st 0 0 rbits;
         State.set_xmm st 0 1 0L;
+        (match t.probe.Probe.on_num with
+        | None -> ()
+        | Some g ->
+            let img = A.demote v0 in
+            g st
+              (Probe.N_ext
+                 { index = st.State.rip; fn; a_bits; b_bits = a_bits;
+                   r_bits = rbits; a = img; b = img; r = A.demote v }));
+        (match t.probe.Probe.on_tel with
+        | None -> ()
+        | Some g ->
+            g st
+              (Probe.T_emulate
+                 { index = st.State.rip; cycles = st.State.cycles - c0;
+                   elided = 0 }));
         t.since_gc <- t.since_gc + 1;
         maybe_gc t st;
         true
     | `Binary f ->
         t.stats.Stats.math_calls <- t.stats.Stats.math_calls + 1;
+        let c0 = st.State.cycles in
         charge_emu t st Arith.C_libm;
-        let v =
-          f (unbox t (State.get_xmm st 0 0)) (unbox t (State.get_xmm st 1 0))
-        in
-        State.set_xmm st 0 0 (box t v);
+        let a_bits = State.get_xmm st 0 0 in
+        let b_bits = State.get_xmm st 1 0 in
+        let va = unbox t a_bits in
+        let vb = unbox t b_bits in
+        let v = f va vb in
+        let rbits = box t v in
+        State.set_xmm st 0 0 rbits;
         State.set_xmm st 0 1 0L;
+        (match t.probe.Probe.on_num with
+        | None -> ()
+        | Some g ->
+            g st
+              (Probe.N_ext
+                 { index = st.State.rip; fn; a_bits; b_bits; r_bits = rbits;
+                   a = A.demote va; b = A.demote vb; r = A.demote v }));
+        (match t.probe.Probe.on_tel with
+        | None -> ()
+        | Some g ->
+            g st
+              (Probe.T_emulate
+                 { index = st.State.rip; cycles = st.State.cycles - c0;
+                   elided = 0 }));
         t.since_gc <- t.since_gc + 1;
         maybe_gc t st;
         true
@@ -1031,8 +1157,16 @@ module Make (A : Arith.S) = struct
             if Nanbox.is_boxed bits then begin
               t.stats.Stats.printf_hijacks <- t.stats.Stats.printf_hijacks + 1;
               let v = unbox t bits in
+              let d = A.demote v in
+              (match t.probe.Probe.on_num with
+              | None -> ()
+              | Some g ->
+                  g st
+                    (Probe.N_sink
+                       { index = st.State.rip; kind = Probe.S_print; bits;
+                         f64 = d }));
               Buffer.add_string st.State.out
-                (Printf.sprintf "%.17g\n" (Int64.float_of_bits (A.demote v)));
+                (Printf.sprintf "%.17g\n" (Int64.float_of_bits d));
               true
             end
             else false
@@ -1042,8 +1176,15 @@ module Make (A : Arith.S) = struct
             if Nanbox.is_boxed bits then begin
               t.stats.Stats.serialize_demotions <-
                 t.stats.Stats.serialize_demotions + 1;
-              Buffer.add_int64_le st.State.serialized
-                (A.demote (unbox t bits));
+              let d = A.demote (unbox t bits) in
+              (match t.probe.Probe.on_num with
+              | None -> ()
+              | Some g ->
+                  g st
+                    (Probe.N_sink
+                       { index = st.State.rip; kind = Probe.S_serialize; bits;
+                         f64 = d }));
+              Buffer.add_int64_le st.State.serialized d;
               true
             end
             else false
@@ -1139,6 +1280,9 @@ module Make (A : Arith.S) = struct
             t.stats.Stats.patch_invocations + 1;
           let c = config.cost.CM.patch_check in
           t.stats.Stats.cyc_patch_checks <- t.stats.Stats.cyc_patch_checks + c;
+          (match t.probe.Probe.on_tel with
+          | None -> ()
+          | Some f -> f st (Probe.T_patch_check { index = idx; cycles = c }));
           software_execute t st idx insn;
           true);
     (* The soundness oracle (observation only): before every dispatch of
@@ -1184,6 +1328,13 @@ module Make (A : Arith.S) = struct
         let idx = frame.Trapkern.fault_index in
         Probe.emit t.probe st
           (Probe.Fp_trap { index = idx; events = frame.Trapkern.events });
+        (match t.probe.Probe.on_tel with
+        | None -> ()
+        | Some f ->
+            f st
+              (Probe.T_trap
+                 { index = idx; events = frame.Trapkern.events;
+                   delivery = CM.delivery_cost config.cost config.deployment }));
         Mx.clear_flags st.State.mxcsr;
         (match config.approach with
         | Trap_and_patch ->
@@ -1203,9 +1354,13 @@ module Make (A : Arith.S) = struct
                    key no longer matches) and shifts the no-escape
                    facts: a Patched wrapper is an escape-scan failure,
                    so recompute them over the rewritten program. *)
-                if Plan.invalidate t.plans idx then
+                if Plan.invalidate t.plans idx then begin
                   t.stats.Stats.plan_invalidations <-
                     t.stats.Stats.plan_invalidations + 1;
+                  match t.probe.Probe.on_tel with
+                  | None -> ()
+                  | Some f -> f st (Probe.T_plan_invalidate { index = idx })
+                end;
                 if config.use_plans then
                   t.elide <- Analysis.Escape.no_escape prog.Program.insns)
         | Trap_and_emulate | Static_transform -> ());
@@ -1224,10 +1379,23 @@ module Make (A : Arith.S) = struct
         if config.max_trace_len > 1 then begin
           t.stats.Stats.traces <- t.stats.Stats.traces + 1;
           t.stats.Stats.trace_insns <- t.stats.Stats.trace_insns + 1;
+          (match t.probe.Probe.on_tel with
+          | None -> ()
+          | Some f -> f st (Probe.T_trace_enter { index = idx }));
+          let ti0 = t.stats.Stats.trace_insns in
           trace t st;
           t.in_trace <- false;
           materialize_temps t st;
-          Trapkern.charge_trace_exit kern st
+          Trapkern.charge_trace_exit kern st;
+          match t.probe.Probe.on_tel with
+          | None -> ()
+          | Some f ->
+              let stepped = t.stats.Stats.trace_insns - ti0 in
+              f st
+                (Probe.T_trace_exit
+                   { index = idx; insns = stepped + 1;
+                     step_cycles = stepped * config.cost.CM.trace_step;
+                     exit_cycles = config.cost.CM.trace_exit })
         end;
         (* handler done, no frame in flight: a checkpointable moment *)
         Probe.quiesce t.probe st);
@@ -1245,11 +1413,24 @@ module Make (A : Arith.S) = struct
         State.add_cycles st c;
         t.stats.Stats.cyc_correctness_handler <-
           t.stats.Stats.cyc_correctness_handler + c;
+        (match t.probe.Probe.on_tel with
+        | None -> ()
+        | Some f ->
+            f st
+              (Probe.T_correctness
+                 { index = idx;
+                   delivery = CM.delivery_cost config.cost config.deployment;
+                   handler = c }));
         (* Split the delivery by what the demotion found: did the
            conservatively patched site actually hold a boxed operand
            this time, or did the trap fire for nothing? *)
         let demotions_before = t.stats.Stats.correctness_demotions in
         demote_for t st original;
+        (match t.probe.Probe.on_tel with
+        | None -> ()
+        | Some f ->
+            let d = t.stats.Stats.correctness_demotions - demotions_before in
+            if d > 0 then f st (Probe.T_demote { index = idx; count = d }));
         if t.stats.Stats.correctness_demotions > demotions_before then begin
           t.stats.Stats.corr_demote_boxed <- t.stats.Stats.corr_demote_boxed + 1;
           if not (Hashtbl.mem boxed_sites idx) then begin

@@ -91,6 +91,13 @@ type t = {
   mutable oracle_boxed_loads : int;
       (* unpatched integer loads that observed a live NaN-boxed word:
          any nonzero value is a soundness violation *)
+  (* telemetry gauges (lib/telemetry); written by Telemetry.finalize,
+     never by the engine. Like the oracle and replay_* gauges they are
+     excluded from the fingerprint and from checkpoints: telemetry is
+     optional instrumentation and a run must fingerprint identically
+     with it on or off. *)
+  mutable tel_events : int; (* telemetry events observed *)
+  mutable tel_dropped : int; (* ring-buffer events overwritten (drop-oldest) *)
 }
 
 let create () =
@@ -114,7 +121,8 @@ let create () =
     replay_events = 0; replay_checkpoints = 0; replay_checkpoint_bytes = 0;
     replay_log_bytes = 0;
     patched_sites = 0; patched_sites_boxed = 0; trap_checks_elided = 0;
-    oracle_loads_checked = 0; oracle_boxed_loads = 0 }
+    oracle_loads_checked = 0; oracle_boxed_loads = 0;
+    tel_events = 0; tel_dropped = 0 }
 
 (* Deterministic counters only: excludes wall-clock GC latency and the
    recorder's own bookkeeping, so a recorded run, its replay, and a
@@ -191,12 +199,19 @@ let breakdown t =
     avg_correctness = f t.cyc_correctness;
     avg_correctness_handler = f t.cyc_correctness_handler }
 
+(* One line, every deterministic gauge --json exposes: the satellite fix
+   for the old pp that omitted plan_invalidations, allocs_avoided, the
+   corr_demote_boxed/clean split, and the VSA/oracle gauges. *)
 let pp fmt t =
   Format.fprintf fmt
-    "traps=%d(avoided %d) traces=%d(mean %.1f) corr=%d emu_insns=%d emu_ops=%d math=%d decode=%d/%d plans=%d/%d temps=%d(-%d) gc=%d/%d(passes full/total) freed=%d alive=%d scanned=%d boxes=%d"
+    "traps=%d(avoided %d) traces=%d(mean %.1f) corr=%d(boxed %d/clean %d) emu_insns=%d emu_ops=%d math=%d decode=%d/%d plans=%d/%d(inval %d) temps=%d(-%d, avoided %d) gc=%d/%d(passes full/total) freed=%d alive=%d scanned=%d boxes=%d vsa=%d/%d(patched/boxed) elided_checks=%d oracle=%d/%d(checked/boxed)"
     t.fp_traps t.traps_avoided t.traces (mean_trace_len t)
-    t.correctness_traps t.emulated_insns t.emulated_ops
+    t.correctness_traps t.corr_demote_boxed t.corr_demote_clean
+    t.emulated_insns t.emulated_ops
     t.math_calls t.decode_hits t.decode_misses t.plan_hits t.plan_misses
-    t.temps_elided t.temps_materialized
+    t.plan_invalidations
+    t.temps_elided t.temps_materialized (allocs_avoided t)
     t.gc_full_passes t.gc_passes
     t.gc_freed t.gc_alive_last t.gc_words_scanned t.boxes_allocated
+    t.patched_sites t.patched_sites_boxed t.trap_checks_elided
+    t.oracle_loads_checked t.oracle_boxed_loads

@@ -246,9 +246,15 @@ module Make (A : Fpvm.Arith.S) = struct
 
   (* ---- record ---------------------------------------------------------- *)
 
-  let record ?(checkpoint_every = 0) ~(meta : Log.meta) ~config
+  let record ?(checkpoint_every = 0) ?instrument ~(meta : Log.meta) ~config
       (prog : Machine.Program.t) : recording =
     let ses = E.prepare ~config prog in
+    (* Telemetry (lib/telemetry) installs on the on_tel/on_num channels,
+       which the recorder does not use; installing it never changes
+       what the recorder observes. *)
+    (match instrument with
+    | Some f -> f ses.E.eng.E.probe
+    | None -> ());
     let w = Log.writer meta in
     let seq = ref 0 in
     let pending = ref 0 in
@@ -268,7 +274,13 @@ module Make (A : Fpvm.Arith.S) = struct
               pending := 0;
               let blob = capture ~meta ~seq:!seq ses in
               cp_bytes := !cp_bytes + String.length blob;
-              cps := (!seq, blob) :: !cps
+              cps := (!seq, blob) :: !cps;
+              match ses.E.eng.E.probe.P.on_tel with
+              | None -> ()
+              | Some f ->
+                  f ses.E.st
+                    (P.T_checkpoint
+                       { seq = !seq; bytes = String.length blob })
             end);
     let result = E.resume ses in
     let log_bytes = Log.contents w in
@@ -289,8 +301,8 @@ module Make (A : Fpvm.Arith.S) = struct
   (* Re-execute, validating every emitted event against the log. With
      [?checkpoint], execution starts from the restored state and
      validation from the checkpoint's sequence number. *)
-  let replay ?checkpoint ~config (log : Log.t) (prog : Machine.Program.t) :
-      outcome =
+  let replay ?checkpoint ?instrument ~config (log : Log.t)
+      (prog : Machine.Program.t) : outcome =
     let ses, start_seq =
       match checkpoint with
       | None -> (E.prepare ~config prog, 0)
@@ -298,6 +310,11 @@ module Make (A : Fpvm.Arith.S) = struct
           let ses, _meta, seq = restore ~config prog blob in
           (ses, seq)
     in
+    (* After prepare/restore, so telemetry survives checkpoint restore
+       (restore builds a fresh session whose sink starts empty). *)
+    (match instrument with
+    | Some f -> f ses.E.eng.E.probe
+    | None -> ());
     let seq = ref start_seq in
     let evs = log.Log.events in
     ses.E.eng.E.probe.P.on_event <-
@@ -322,8 +339,11 @@ module Make (A : Fpvm.Arith.S) = struct
     | exception Divergence_stop d -> Diverged d
 
   (* Restore a checkpoint and run to completion with no validation. *)
-  let resume_from ~config (prog : Machine.Program.t) (blob : string) :
-      Fpvm.Engine.result =
+  let resume_from ?instrument ~config (prog : Machine.Program.t)
+      (blob : string) : Fpvm.Engine.result =
     let ses, _meta, _seq = restore ~config prog blob in
+    (match instrument with
+    | Some f -> f ses.E.eng.E.probe
+    | None -> ());
     E.resume ses
 end

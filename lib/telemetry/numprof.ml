@@ -1,0 +1,387 @@
+(* Numerical-quality telemetry (FlowFPX / NSan style).
+
+   Two layers, both fed by the engine's [on_num] probe channel:
+
+   1. Exception-flow tracking: per site, count NaN and Inf *births*
+      (the result is NaN/Inf but no operand was), *propagations* (the
+      result is and some operand was) and *kills* (an operand was but
+      the result is not). All classification happens on the arith
+      port's demoted binary64 images, so it works identically for
+      every alternative system.
+
+   2. Shadow-value divergence (--shadow-check): alongside the active
+      port, re-run every operation in vanilla binary64 (the same
+      Soft64 + host-libm semantics as {!Fpvm.Alt_vanilla}) over shadow
+      operands, keyed by the result's box pattern. At every demotion
+      boundary sink (compare, print, serialize, f2i/f2f narrowing,
+      correctness demotion) compare what the port produced against the
+      shadow and histogram the relative error (log2 buckets). Under
+      the vanilla port the shadow computation is the port computation,
+      so the reported error is exactly zero — the built-in self-test.
+
+      The shadow table is self-healing: each entry remembers the
+      port's demoted image at store time, and a lookup whose current
+      image no longer matches (the arena cell or scratch slot was
+      recycled and the box pattern reused) falls back to the image
+      itself instead of a stale shadow. Producers the table does not
+      model (i2f, rounds, f32 promotions) have no entry and likewise
+      fall back, so divergence resets rather than compounds. *)
+
+module V = Fpvm.Alt_vanilla
+module Isa = Machine.Isa
+
+let exp_mask = 0x7ff0000000000000L
+let abs_mask = 0x7fffffffffffffffL
+
+let is_nan bits =
+  Int64.logand bits exp_mask = exp_mask
+  && Int64.logand bits 0x000fffffffffffffL <> 0L
+
+let is_inf bits = Int64.logand bits abs_mask = exp_mask
+
+(* ---- vanilla expected-value model ------------------------------------- *)
+
+let op_expected (op : Isa.fp_op) a b =
+  match op with
+  | Isa.FADD -> V.add a b
+  | Isa.FSUB -> V.sub a b
+  | Isa.FMUL -> V.mul a b
+  | Isa.FDIV -> V.div a b
+  | Isa.FMIN -> V.min_v a b
+  | Isa.FMAX -> V.max_v a b
+  | Isa.FSQRT -> V.sqrt b
+
+(* Mirrors the engine's [math_ext] compositions, instantiated with the
+   vanilla system: host libm for the primitives, Soft64 for the
+   arithmetic glue. *)
+let ext_expected (fn : Isa.ext_fn) a b =
+  match fn with
+  | Isa.Sin -> Some (V.sin a)
+  | Isa.Cos -> Some (V.cos a)
+  | Isa.Tan -> Some (V.tan a)
+  | Isa.Asin -> Some (V.asin a)
+  | Isa.Acos -> Some (V.acos a)
+  | Isa.Atan -> Some (V.atan a)
+  | Isa.Exp -> Some (V.exp a)
+  | Isa.Log -> Some (V.log a)
+  | Isa.Log10 -> Some (V.log10 a)
+  | Isa.Floor -> Some (V.floor_v a)
+  | Isa.Ceil -> Some (V.ceil_v a)
+  | Isa.Fabs -> Some (V.abs a)
+  | Isa.Cbrt ->
+      let third = Int64.bits_of_float (1.0 /. 3.0) in
+      Some
+        (match V.cmp_quiet a 0L with
+        | Ieee754.Softfp.Cmp_lt -> V.neg (V.pow (V.neg a) third)
+        | _ -> V.pow a third)
+  | Isa.Sinh | Isa.Cosh | Isa.Tanh ->
+      let e = V.exp a and en = V.exp (V.neg a) in
+      let two = Int64.bits_of_float 2.0 in
+      Some
+        (match fn with
+        | Isa.Sinh -> V.div (V.sub e en) two
+        | Isa.Cosh -> V.div (V.add e en) two
+        | _ -> V.div (V.sub e en) (V.add e en))
+  | Isa.Atan2 -> Some (V.atan2 a b)
+  | Isa.Pow -> Some (V.pow a b)
+  | Isa.Fmod -> Some (V.fmod a b)
+  | Isa.Hypot -> Some (V.hypot a b)
+  | Isa.Print_f64 | Isa.Print_i64 | Isa.Print_str _ | Isa.Write_f64
+  | Isa.Alloc | Isa.Exit -> None
+
+(* ---- per-site exception-flow table ------------------------------------ *)
+
+type site = {
+  mutable ops : int;
+  mutable nan_births : int;
+  mutable nan_props : int;
+  mutable nan_kills : int;
+  mutable inf_births : int;
+  mutable inf_props : int;
+  mutable inf_kills : int;
+  mutable sinks : int;
+  mutable max_err : float;
+}
+
+let fresh_site () =
+  { ops = 0; nan_births = 0; nan_props = 0; nan_kills = 0; inf_births = 0;
+    inf_props = 0; inf_kills = 0; sinks = 0; max_err = 0.0 }
+
+(* log2-bucketed relative-error histogram: bucket [k] counts errors in
+   [2^(k-64), 2^(k-63)) for k in 0..64 (i.e. floor(log2 err) clamped to
+   [-64, 0]; errors >= 1, including infinite divergence, land in the
+   last bucket). Exact-zero comparisons are counted separately. *)
+let n_buckets = 65
+
+type t = {
+  shadow_mode : bool;
+  shadow : (int64, int64 * int64) Hashtbl.t;
+      (* box pattern -> (port image at store time, vanilla shadow) *)
+  mutable sites : site option array;
+  mutable max_index : int;
+  hist : int array;
+  mutable exact : int; (* sinks with zero divergence *)
+  mutable checked : int; (* sinks compared *)
+  mutable max_rel_err : float;
+  mutable max_err_site : int;
+  mutable sink_compare : int;
+  mutable sink_print : int;
+  mutable sink_serialize : int;
+  mutable sink_demote : int;
+}
+
+let create ?(shadow = false) () =
+  { shadow_mode = shadow;
+    shadow = Hashtbl.create (if shadow then 4096 else 1);
+    sites = Array.make 256 None;
+    max_index = -1;
+    hist = Array.make n_buckets 0;
+    exact = 0;
+    checked = 0;
+    max_rel_err = 0.0;
+    max_err_site = -1;
+    sink_compare = 0;
+    sink_print = 0;
+    sink_serialize = 0;
+    sink_demote = 0 }
+
+let site_for t i =
+  let i = max 0 i in
+  if i >= Array.length t.sites then begin
+    let n = ref (Array.length t.sites) in
+    while i >= !n do
+      n := !n * 2
+    done;
+    let a = Array.make !n None in
+    Array.blit t.sites 0 a 0 (Array.length t.sites);
+    t.sites <- a
+  end;
+  if i > t.max_index then t.max_index <- i;
+  match t.sites.(i) with
+  | Some s -> s
+  | None ->
+      let s = fresh_site () in
+      t.sites.(i) <- Some s;
+      s
+
+let classify s ~a ~b ~r ~unary =
+  let op_nan = is_nan a || ((not unary) && is_nan b) in
+  let op_inf = is_inf a || ((not unary) && is_inf b) in
+  (if is_nan r then
+     if op_nan then s.nan_props <- s.nan_props + 1
+     else s.nan_births <- s.nan_births + 1
+   else if op_nan then s.nan_kills <- s.nan_kills + 1);
+  if is_inf r then begin
+    if op_inf then s.inf_props <- s.inf_props + 1
+    else s.inf_births <- s.inf_births + 1
+  end
+  else if op_inf && not (is_nan r) then s.inf_kills <- s.inf_kills + 1
+
+(* Shadow of an operand: its stored vanilla value if the table still
+   recognizes the box (image unchanged since store), else the port's
+   own demoted image; raw (unboxed) machine words are their own
+   binary64 shadow. *)
+let shadow_of t bits image =
+  if Fpvm.Nanbox.is_boxed bits then
+    match Hashtbl.find_opt t.shadow bits with
+    | Some (img, sh) when img = image -> sh
+    | _ -> image
+  else bits
+
+let relerr x_bits y_bits =
+  if Int64.equal x_bits y_bits then 0.0
+  else
+    let fx = Int64.float_of_bits x_bits in
+    let fy = Int64.float_of_bits y_bits in
+    let nx = Float.is_nan fx and ny = Float.is_nan fy in
+    if nx && ny then 0.0
+    else if nx || ny then infinity
+    else if fx = fy then 0.0
+    else
+      let d = Float.abs (fx -. fy) in
+      let m = Float.max (Float.abs fx) (Float.max (Float.abs fy) 1e-300) in
+      d /. m
+
+let bucket_of err =
+  if err >= 1.0 then n_buckets - 1
+  else
+    let l = log err /. log 2.0 in
+    let k = int_of_float (Float.floor l) + 64 in
+    if k < 0 then 0 else if k > n_buckets - 1 then n_buckets - 1 else k
+
+let observe_sink t index err =
+  t.checked <- t.checked + 1;
+  if err = 0.0 then t.exact <- t.exact + 1
+  else begin
+    t.hist.(bucket_of err) <- t.hist.(bucket_of err) + 1;
+    if err > t.max_rel_err then begin
+      t.max_rel_err <- err;
+      t.max_err_site <- index
+    end;
+    let s = site_for t index in
+    if err > s.max_err then s.max_err <- err
+  end
+
+let record t (ev : Fpvm.Probe.num) =
+  match ev with
+  | Fpvm.Probe.N_op { index; op; a_bits; b_bits; r_bits; a; b; r } ->
+      let s = site_for t index in
+      s.ops <- s.ops + 1;
+      classify s ~a ~b ~r ~unary:(op = Isa.FSQRT);
+      if t.shadow_mode then begin
+        let sa = shadow_of t a_bits a in
+        let sb = shadow_of t b_bits b in
+        let expected = op_expected op sa sb in
+        Hashtbl.replace t.shadow r_bits (r, expected)
+      end
+  | Fpvm.Probe.N_ext { index; fn; a_bits; b_bits; r_bits; a; b; r } ->
+      let s = site_for t index in
+      s.ops <- s.ops + 1;
+      let unary =
+        match fn with
+        | Isa.Atan2 | Isa.Pow | Isa.Fmod | Isa.Hypot -> false
+        | _ -> true
+      in
+      classify s ~a ~b ~r ~unary;
+      if t.shadow_mode then begin
+        let sa = shadow_of t a_bits a in
+        let sb = shadow_of t b_bits b in
+        match ext_expected fn sa sb with
+        | Some expected -> Hashtbl.replace t.shadow r_bits (r, expected)
+        | None -> ()
+      end
+  | Fpvm.Probe.N_sink { index; kind; bits; f64 } ->
+      (match kind with
+      | Fpvm.Probe.S_compare -> t.sink_compare <- t.sink_compare + 1
+      | Fpvm.Probe.S_print -> t.sink_print <- t.sink_print + 1
+      | Fpvm.Probe.S_serialize -> t.sink_serialize <- t.sink_serialize + 1
+      | Fpvm.Probe.S_demote -> t.sink_demote <- t.sink_demote + 1);
+      (site_for t index).sinks <- (site_for t index).sinks + 1;
+      if t.shadow_mode then
+        observe_sink t index (relerr f64 (shadow_of t bits f64))
+  | Fpvm.Probe.N_rebox { old_bits; new_bits; _ } ->
+      (* A scratch temp was promoted to a durable box: the shadow must
+         follow the value to its new key, or every sink that reads the
+         re-boxed value would silently heal to the port's own image. *)
+      if t.shadow_mode then (
+        match Hashtbl.find_opt t.shadow old_bits with
+        | Some pair ->
+            Hashtbl.remove t.shadow old_bits;
+            Hashtbl.replace t.shadow new_bits pair
+        | None -> ())
+
+let max_rel_err t = t.max_rel_err
+
+let totals t =
+  let nb = ref 0 and np = ref 0 and nk = ref 0 in
+  let ib = ref 0 and ip = ref 0 and ik = ref 0 in
+  for i = 0 to t.max_index do
+    match t.sites.(i) with
+    | Some s ->
+        nb := !nb + s.nan_births;
+        np := !np + s.nan_props;
+        nk := !nk + s.nan_kills;
+        ib := !ib + s.inf_births;
+        ip := !ip + s.inf_props;
+        ik := !ik + s.inf_kills
+    | None -> ()
+  done;
+  (!nb, !np, !nk, !ib, !ip, !ik)
+
+(* Sites with any NaN/Inf traffic or divergence, hottest first by
+   (births + props + kills, max_err). *)
+let hot_sites t n =
+  let score s =
+    s.nan_births + s.nan_props + s.nan_kills + s.inf_births + s.inf_props
+    + s.inf_kills
+  in
+  let all = ref [] in
+  for i = t.max_index downto 0 do
+    match t.sites.(i) with
+    | Some s -> if score s > 0 || s.max_err > 0.0 then all := (i, s) :: !all
+    | None -> ()
+  done;
+  let sorted =
+    List.sort
+      (fun (i1, s1) (i2, s2) ->
+        match compare (score s2) (score s1) with
+        | 0 -> (
+            match compare s2.max_err s1.max_err with
+            | 0 -> compare i1 i2
+            | c -> c)
+        | c -> c)
+      !all
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  take n sorted
+
+let schema_version = 1
+
+let report_text ?(n = 10) t bb =
+  let nb, np, nk, ib, ip, ik = totals t in
+  Buffer.add_string bb
+    (Printf.sprintf
+       "numerical telemetry: NaN birth/prop/kill %d/%d/%d, Inf birth/prop/kill %d/%d/%d\n"
+       nb np nk ib ip ik);
+  if t.shadow_mode then begin
+    Buffer.add_string bb
+      (Printf.sprintf
+         "shadow-check: %d sinks compared (%d exact), max relative error %.3e%s\n"
+         t.checked t.exact t.max_rel_err
+         (if t.max_err_site >= 0 then
+            Printf.sprintf " at site %d" t.max_err_site
+          else ""));
+    let any = Array.exists (fun c -> c > 0) t.hist in
+    if any then begin
+      Buffer.add_string bb "  relative-error histogram (log2 buckets):\n";
+      Array.iteri
+        (fun k c ->
+          if c > 0 then
+            Buffer.add_string bb
+              (if k = n_buckets - 1 then
+                 Printf.sprintf "    2^>=0     : %d\n" c
+               else Printf.sprintf "    2^%-4d    : %d\n" (k - 64) c))
+        t.hist
+    end
+  end;
+  match hot_sites t n with
+  | [] -> ()
+  | sites ->
+      Buffer.add_string bb
+        "  site      ops nan b/p/k       inf b/p/k       max_rel_err\n";
+      List.iter
+        (fun (i, s) ->
+          Buffer.add_string bb
+            (Printf.sprintf "  %4d %8d %5d/%-5d/%-5d %5d/%-5d/%-5d %.3e\n" i
+               s.ops s.nan_births s.nan_props s.nan_kills s.inf_births
+               s.inf_props s.inf_kills s.max_err))
+        sites
+
+let report_json ?(n = 10) t bb =
+  let nb, np, nk, ib, ip, ik = totals t in
+  Buffer.add_string bb
+    (Printf.sprintf
+       "{\n  \"schema_version\": %d,\n  \"shadow_check\": %b,\n  \"nan\": {\"births\":%d,\"props\":%d,\"kills\":%d},\n  \"inf\": {\"births\":%d,\"props\":%d,\"kills\":%d},\n  \"sinks\": {\"compare\":%d,\"print\":%d,\"serialize\":%d,\"demote\":%d},\n  \"checked\": %d,\n  \"exact\": %d,\n  \"max_rel_err\": %.17g,\n  \"max_err_site\": %d,\n  \"err_hist\": ["
+       schema_version t.shadow_mode nb np nk ib ip ik t.sink_compare
+       t.sink_print t.sink_serialize t.sink_demote t.checked t.exact
+       t.max_rel_err t.max_err_site);
+  Array.iteri
+    (fun k c ->
+      if k > 0 then Buffer.add_char bb ',';
+      Buffer.add_string bb (string_of_int c))
+    t.hist;
+  Buffer.add_string bb "],\n  \"sites\": [\n";
+  List.iteri
+    (fun k (i, s) ->
+      if k > 0 then Buffer.add_string bb ",\n";
+      Buffer.add_string bb
+        (Printf.sprintf
+           "    {\"site\":%d,\"ops\":%d,\"nan_births\":%d,\"nan_props\":%d,\"nan_kills\":%d,\"inf_births\":%d,\"inf_props\":%d,\"inf_kills\":%d,\"sinks\":%d,\"max_rel_err\":%.17g}"
+           i s.ops s.nan_births s.nan_props s.nan_kills s.inf_births
+           s.inf_props s.inf_kills s.sinks s.max_err))
+    (hot_sites t n);
+  Buffer.add_string bb "\n  ]\n}\n"

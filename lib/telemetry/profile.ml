@@ -1,0 +1,207 @@
+(* Per-site hot-spot attribution.
+
+   Every structural telemetry event carries the exact modeled-cycle
+   charge the engine applied, keyed by instruction index, so the
+   profile is an exact decomposition: summing every site's buckets
+   plus the run-global GC bucket reproduces Stats.total_fpvm_cycles
+   with no remainder (the engine's charge sites and the probe's
+   emission sites are paired one-to-one).
+
+   Site buckets:
+   - delivery     trap round trips + correctness-trap round trips +
+                  trace-exit context restores charged at this site
+   - emulate      decode + bind + plan + emulate (incl. dispatch) for
+                  every emulation whose faulting/served index is here,
+                  and interposed math calls at this call site
+   - trace        per-instruction residency charges of trace windows
+                  headed here
+   - correctness  correctness handler (single-step) work
+   - patch        trap-and-patch inline check charges *)
+
+type site = {
+  mutable traps : int;
+  mutable absorbed : int;
+  mutable emulations : int;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable plan_invalidations : int;
+  mutable temps_elided : int;
+  mutable demotions : int;
+  mutable corr_traps : int;
+  mutable patch_checks : int;
+  mutable traces : int;
+  mutable trace_insns : int;
+  mutable cyc_delivery : int;
+  mutable cyc_emulate : int;
+  mutable cyc_trace : int;
+  mutable cyc_correctness : int;
+  mutable cyc_patch : int;
+}
+
+type t = {
+  mutable sites : site option array;
+  mutable max_index : int; (* highest index touched, -1 if none *)
+  mutable gc_cycles : int; (* run-global: the one untracked-by-site bucket *)
+  mutable gc_passes : int;
+  mutable checkpoints : int;
+}
+
+let create () =
+  { sites = Array.make 256 None;
+    max_index = -1;
+    gc_cycles = 0;
+    gc_passes = 0;
+    checkpoints = 0 }
+
+let fresh_site () =
+  { traps = 0; absorbed = 0; emulations = 0; plan_hits = 0; plan_misses = 0;
+    plan_invalidations = 0; temps_elided = 0; demotions = 0; corr_traps = 0;
+    patch_checks = 0; traces = 0; trace_insns = 0; cyc_delivery = 0;
+    cyc_emulate = 0; cyc_trace = 0; cyc_correctness = 0; cyc_patch = 0 }
+
+let site_for t i =
+  let i = max 0 i in
+  if i >= Array.length t.sites then begin
+    let n = ref (Array.length t.sites) in
+    while i >= !n do
+      n := !n * 2
+    done;
+    let a = Array.make !n None in
+    Array.blit t.sites 0 a 0 (Array.length t.sites);
+    t.sites <- a
+  end;
+  if i > t.max_index then t.max_index <- i;
+  match t.sites.(i) with
+  | Some s -> s
+  | None ->
+      let s = fresh_site () in
+      t.sites.(i) <- Some s;
+      s
+
+let record t (ev : Fpvm.Probe.tel) =
+  match ev with
+  | Fpvm.Probe.T_trap { index; delivery; _ } ->
+      let s = site_for t index in
+      s.traps <- s.traps + 1;
+      s.cyc_delivery <- s.cyc_delivery + delivery
+  | Fpvm.Probe.T_absorbed { index; _ } ->
+      let s = site_for t index in
+      s.absorbed <- s.absorbed + 1
+  | Fpvm.Probe.T_trace_enter _ -> ()
+  | Fpvm.Probe.T_trace_exit { index; insns; step_cycles; exit_cycles } ->
+      let s = site_for t index in
+      s.traces <- s.traces + 1;
+      s.trace_insns <- s.trace_insns + insns;
+      s.cyc_trace <- s.cyc_trace + step_cycles;
+      s.cyc_delivery <- s.cyc_delivery + exit_cycles
+  | Fpvm.Probe.T_plan_hit { index } ->
+      (site_for t index).plan_hits <- (site_for t index).plan_hits + 1
+  | Fpvm.Probe.T_plan_miss { index } ->
+      (site_for t index).plan_misses <- (site_for t index).plan_misses + 1
+  | Fpvm.Probe.T_plan_invalidate { index } ->
+      let s = site_for t index in
+      s.plan_invalidations <- s.plan_invalidations + 1
+  | Fpvm.Probe.T_emulate { index; cycles; elided } ->
+      let s = site_for t index in
+      s.emulations <- s.emulations + 1;
+      s.cyc_emulate <- s.cyc_emulate + cycles;
+      s.temps_elided <- s.temps_elided + elided
+  | Fpvm.Probe.T_patch_check { index; cycles } ->
+      let s = site_for t index in
+      s.patch_checks <- s.patch_checks + 1;
+      s.cyc_patch <- s.cyc_patch + cycles
+  | Fpvm.Probe.T_gc { cycles; _ } ->
+      t.gc_passes <- t.gc_passes + 1;
+      t.gc_cycles <- t.gc_cycles + cycles
+  | Fpvm.Probe.T_correctness { index; delivery; handler } ->
+      let s = site_for t index in
+      s.corr_traps <- s.corr_traps + 1;
+      s.cyc_delivery <- s.cyc_delivery + delivery;
+      s.cyc_correctness <- s.cyc_correctness + handler
+  | Fpvm.Probe.T_demote { index; count } ->
+      let s = site_for t index in
+      s.demotions <- s.demotions + count
+  | Fpvm.Probe.T_checkpoint _ -> t.checkpoints <- t.checkpoints + 1
+
+let site_cycles s =
+  s.cyc_delivery + s.cyc_emulate + s.cyc_trace + s.cyc_correctness
+  + s.cyc_patch
+
+(* Cycles the profile attributes anywhere: per-site buckets plus the
+   run-global GC bucket. Equals [Stats.total_fpvm_cycles] exactly. *)
+let tracked_cycles t =
+  let sum = ref t.gc_cycles in
+  for i = 0 to t.max_index do
+    match t.sites.(i) with
+    | Some s -> sum := !sum + site_cycles s
+    | None -> ()
+  done;
+  !sum
+
+(* Top [n] sites by attributed cycles, hottest first. *)
+let top t n =
+  let all = ref [] in
+  for i = t.max_index downto 0 do
+    match t.sites.(i) with
+    | Some s -> if site_cycles s > 0 || s.absorbed > 0 then
+        all := (i, s) :: !all
+    | None -> ()
+  done;
+  let sorted =
+    List.sort
+      (fun (i1, s1) (i2, s2) ->
+        match compare (site_cycles s2) (site_cycles s1) with
+        | 0 -> compare i1 i2
+        | c -> c)
+      !all
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  take n sorted
+
+let schema_version = 1
+
+let report_text ?(n = 10) t (stats : Fpvm.Stats.t) bb =
+  let total = Fpvm.Stats.total_fpvm_cycles stats in
+  let tracked = tracked_cycles t in
+  Buffer.add_string bb
+    (Printf.sprintf
+       "hot sites (top %d by attributed cycles; total fpvm %d, attributed %d + gc %d, remainder %d)\n"
+       n total (tracked - t.gc_cycles) t.gc_cycles (total - tracked));
+  Buffer.add_string bb
+    "  site     cycles  %fpvm    traps absorbed     emul plan h/m  deliv_cyc    emu_cyc  trace_cyc corr patch\n";
+  List.iter
+    (fun (i, s) ->
+      Buffer.add_string bb
+        (Printf.sprintf
+           "  %4d %10d %5.1f%% %8d %8d %8d %4d/%-4d %10d %10d %10d %4d %5d\n"
+           i (site_cycles s)
+           (if total = 0 then 0.0
+            else 100.0 *. float_of_int (site_cycles s) /. float_of_int total)
+           s.traps s.absorbed s.emulations s.plan_hits s.plan_misses
+           s.cyc_delivery s.cyc_emulate s.cyc_trace s.corr_traps
+           s.patch_checks))
+    (top t n)
+
+let report_json ?(n = 10) t (stats : Fpvm.Stats.t) bb =
+  let total = Fpvm.Stats.total_fpvm_cycles stats in
+  Buffer.add_string bb
+    (Printf.sprintf
+       "{\n  \"schema_version\": %d,\n  \"total_fpvm_cycles\": %d,\n  \"tracked_cycles\": %d,\n  \"gc_cycles\": %d,\n  \"gc_passes\": %d,\n  \"checkpoints\": %d,\n  \"sites\": [\n"
+       schema_version total (tracked_cycles t) t.gc_cycles t.gc_passes
+       t.checkpoints);
+  List.iteri
+    (fun k (i, s) ->
+      if k > 0 then Buffer.add_string bb ",\n";
+      Buffer.add_string bb
+        (Printf.sprintf
+           "    {\"site\":%d,\"cycles\":%d,\"traps\":%d,\"absorbed\":%d,\"emulations\":%d,\"plan_hits\":%d,\"plan_misses\":%d,\"plan_invalidations\":%d,\"temps_elided\":%d,\"demotions\":%d,\"corr_traps\":%d,\"patch_checks\":%d,\"traces\":%d,\"trace_insns\":%d,\"cyc_delivery\":%d,\"cyc_emulate\":%d,\"cyc_trace\":%d,\"cyc_correctness\":%d,\"cyc_patch\":%d}"
+           i (site_cycles s) s.traps s.absorbed s.emulations s.plan_hits
+           s.plan_misses s.plan_invalidations s.temps_elided s.demotions
+           s.corr_traps s.patch_checks s.traces s.trace_insns s.cyc_delivery
+           s.cyc_emulate s.cyc_trace s.cyc_correctness s.cyc_patch))
+    (top t n);
+  Buffer.add_string bb "\n  ]\n}\n"

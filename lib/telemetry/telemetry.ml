@@ -1,0 +1,69 @@
+(* Facade: build the requested collectors, attach them to an engine's
+   probe sink, and fold the (non-deterministic-safe) gauges into Stats
+   at the end of the run.
+
+   Determinism contract: telemetry only *reads* machine state — every
+   collector consumes the probe payloads (ints and demoted images) and
+   writes only its own tables, never the arena, the stats counters the
+   fingerprint covers, or machine state. The [tel_events]/[tel_dropped]
+   gauges written by {!finalize} are excluded from
+   [Stats.fingerprint] and from checkpoints, so a run fingerprints
+   identically with telemetry on or off, and a recorded run replays
+   identically under instrumentation. *)
+
+(* Re-export the collectors: [telemetry] is a wrapped library, so this
+   module is its public face. *)
+module Trace = Trace
+module Profile = Profile
+module Numprof = Numprof
+
+type t = {
+  trace : Trace.t option;
+  profile : Profile.t option;
+  numprof : Numprof.t option;
+  mutable events : int; (* total events observed on both channels *)
+}
+
+let create ?(trace = false) ?trace_capacity ?(profile = false)
+    ?(numprof = false) ?(shadow = false) () =
+  { trace = (if trace then Some (Trace.create ?capacity:trace_capacity ())
+             else None);
+    profile = (if profile then Some (Profile.create ()) else None);
+    numprof =
+      (if numprof || shadow then Some (Numprof.create ~shadow ()) else None);
+    events = 0 }
+
+let enabled t =
+  t.trace <> None || t.profile <> None || t.numprof <> None
+
+(* Install the collectors on a probe sink. Call between [prepare] (or
+   checkpoint [restore]) and [resume]; both channels may already carry
+   replay callbacks — those live on separate fields and are not
+   disturbed. *)
+let attach t (sink : Fpvm.Probe.sink) =
+  if t.trace <> None || t.profile <> None then
+    sink.Fpvm.Probe.on_tel <-
+      Some
+        (fun st ev ->
+          t.events <- t.events + 1;
+          (match t.trace with
+          | Some tr -> Trace.record tr ~ts:st.Machine.State.cycles ev
+          | None -> ());
+          match t.profile with
+          | Some p -> Profile.record p ev
+          | None -> ());
+  match t.numprof with
+  | None -> ()
+  | Some np ->
+      sink.Fpvm.Probe.on_num <-
+        Some
+          (fun _st ev ->
+            t.events <- t.events + 1;
+            Numprof.record np ev)
+
+(* Copy the observation gauges into the run's stats (both excluded from
+   the fingerprint and from checkpoints). *)
+let finalize t (stats : Fpvm.Stats.t) =
+  stats.Fpvm.Stats.tel_events <- t.events;
+  stats.Fpvm.Stats.tel_dropped <-
+    (match t.trace with Some tr -> Trace.dropped tr | None -> 0)
