@@ -58,11 +58,12 @@ let measure_ns (pairs : (string * (unit -> unit)) list) : (string * float) list 
 let cfg ?(approach = Fpvm.Engine.Trap_and_emulate) ?(cost = CM.r815)
     ?(deployment = Trapkern.User_signal) ?(gc_interval = 20000)
     ?(incremental_gc = true) ?(full_scan_every = 8) ?(max_trace_len = 64)
-    ?(decode_cache = true) ?(use_plans = true) () =
+    ?(decode_cache = true) ?(use_plans = true) ?(use_jit = true)
+    ?(jit_threshold = 8) () =
   { Fpvm.Engine.approach; deployment; use_vsa = true; oracle = false;
     gc_interval; incremental_gc; full_scan_every; decode_cache;
-    always_emulate = false; max_trace_len; use_plans; cost;
-    max_insns = 400_000_000 }
+    always_emulate = false; max_trace_len; use_plans; use_jit; jit_threshold;
+    cost; max_insns = 400_000_000 }
 
 let workloads_fig9 =
   [ "miniAero"; "Enzo(astro)"; "lorenz"; "NAS CG"; "fbench"; "three-body" ]
@@ -1334,6 +1335,164 @@ let bench_telemetry () =
     exit 1
   end
 
+(* ---- BENCH_jit.json: trace JIT superblocks ------------------------------- *)
+
+(* Evidence for the trace JIT: per-iteration window cost (interpretive
+   trace stepping + per-visit bind/dispatch + compiled stepping) drops
+   at least 2x at steady state against the plans-only engine on at
+   least 3 workloads, and the program-visible results stay
+   bit-identical on every arithmetic port and both GC modes.
+
+   Steady state is measured as the marginal cost of doubling the
+   iteration count: cost(2N) - cost(N) cancels the shared warmup
+   (compiles, cold plan misses, recording windows), leaving N
+   iterations of hot-loop execution only. *)
+
+let bench_jit () =
+  hr "BENCH_jit.json: guarded IR superblocks with trace linking";
+  Fpvm.Alt_mpfr.precision := 200;
+  let failures = ref 0 in
+  let window_cost (s : Fpvm.Stats.t) =
+    s.Fpvm.Stats.cyc_trace + s.Fpvm.Stats.cyc_bind
+    + s.Fpvm.Stats.cyc_emu_dispatch + s.Fpvm.Stats.cyc_jit
+  in
+  let jcfg ?(use_jit = true) () = cfg ~use_jit ~jit_threshold:2 () in
+  (* (name, iterations N, program at k*N iterations) *)
+  let subjects =
+    [ ("lorenz", 400,
+       fun k -> W.Lorenz.program ~steps:(k * 400) ());
+      ("three-body", 200,
+       fun k -> W.Three_body.program ~steps:(k * 200) ());
+      ("NAS CG", 4,
+       fun k -> W.Nas_cg.program ~n:10 ~cg_iters:(k * 4) ());
+      ("fbench", 20,
+       fun k -> W.Fbench.program ~iterations:(k * 20) ()) ]
+  in
+  printf "%-12s %14s %14s %9s %28s\n" "workload" "per-iter off"
+    "per-iter jit" "ratio" "compiles/hits/links/exits";
+  let passed = ref 0 in
+  let rows =
+    List.map
+      (fun (name, iters, prog) ->
+        let marginal use_jit =
+          let s1 =
+            (E_mpfr.run ~config:(jcfg ~use_jit ()) (prog 1)).Fpvm.Engine.stats
+          and s2 =
+            (E_mpfr.run ~config:(jcfg ~use_jit ()) (prog 2)).Fpvm.Engine.stats
+          in
+          (window_cost s2 - window_cost s1, s2)
+        in
+        let moff, _ = marginal false and mon, son = marginal true in
+        let per_off = float_of_int moff /. float_of_int iters
+        and per_on = float_of_int mon /. float_of_int iters in
+        let ratio = per_off /. Float.max 1.0 per_on in
+        if ratio >= 2.0 then incr passed;
+        if son.Fpvm.Stats.jit_hits = 0 then begin
+          incr failures;
+          printf "FAIL %s: jit never hit a compiled block\n" name
+        end;
+        printf "%-12s %13.1fc %13.1fc %8.2fx %13d/%d/%d/%d\n%!" name per_off
+          per_on ratio son.Fpvm.Stats.jit_compiles son.Fpvm.Stats.jit_hits
+          son.Fpvm.Stats.jit_links son.Fpvm.Stats.jit_guard_exits;
+        Printf.sprintf
+          "    { \"workload\": \"%s\", \"iterations\": %d,\n\
+           \      \"steady_state_window_cycles_per_iter\": { \"plans_only\": \
+           %.3f, \"jit\": %.3f, \"reduction\": %.3f },\n\
+           \      \"jit\": { \"compiles\": %d, \"hits\": %d, \"links\": %d, \
+           \"guard_exits\": %d, \"invalidations\": %d, \"cyc_jit\": %d } }"
+          (json_escape name) iters per_off per_on ratio
+          son.Fpvm.Stats.jit_compiles son.Fpvm.Stats.jit_hits
+          son.Fpvm.Stats.jit_links son.Fpvm.Stats.jit_guard_exits
+          son.Fpvm.Stats.jit_invalidations son.Fpvm.Stats.cyc_jit)
+      subjects
+  in
+  if !passed < 3 then begin
+    incr failures;
+    printf "FAIL: only %d workload(s) reached the 2x ratchet (need 3)\n"
+      !passed
+  end;
+  (* bit-identical outputs, jit on vs off: all five arithmetic ports,
+     both GC modes, every registered workload *)
+  printf "\ndifferential (jit on == off), 5 ports x 2 GC modes:\n";
+  let ports :
+      (string * (Fpvm.Engine.config -> Machine.Program.t -> string * string))
+      list =
+    [ ("vanilla",
+       fun c p ->
+         let r = E_vanilla.run ~config:c p in
+         (r.Fpvm.Engine.output, r.Fpvm.Engine.serialized));
+      ("mpfr",
+       fun c p ->
+         let r = E_mpfr.run ~config:c p in
+         (r.Fpvm.Engine.output, r.Fpvm.Engine.serialized));
+      ("posit",
+       fun c p ->
+         let r = E_posit.run ~config:c p in
+         (r.Fpvm.Engine.output, r.Fpvm.Engine.serialized));
+      ("interval",
+       fun c p ->
+         let r = E_interval.run ~config:c p in
+         (r.Fpvm.Engine.output, r.Fpvm.Engine.serialized));
+      ("slash",
+       fun c p ->
+         let r = E_slash.run ~config:c p in
+         (r.Fpvm.Engine.output, r.Fpvm.Engine.serialized)) ]
+  in
+  let differential_ok = ref true in
+  List.iter
+    (fun (e : W.entry) ->
+      let prog = e.W.program W.Test in
+      List.iter
+        (fun (pname, run) ->
+          List.iter
+            (fun inc ->
+              let on =
+                run (cfg ~incremental_gc:inc ~use_jit:true ~jit_threshold:2 ())
+                  prog
+              in
+              let off = run (cfg ~incremental_gc:inc ~use_jit:false ()) prog in
+              if on <> off then begin
+                differential_ok := false;
+                incr failures;
+                printf "FAIL %s/%s/gc=%s: outputs differ jit on vs off\n"
+                  e.W.name pname
+                  (if inc then "incremental" else "full")
+              end)
+            [ true; false ])
+        ports)
+    W.all;
+  printf "  all bit-identical: %b\n" !differential_ok;
+  let doc =
+    Printf.sprintf
+      "{\n\
+       \  \"schema_version\": 1,\n\
+       \  \"experiment\": \"trace JIT: hot traces compiled into guarded IR \
+       superblocks with trace linking\",\n\
+       \  \"arithmetic\": \"mpfr-200\",\n\
+       \  \"scale\": \"test\",\n\
+       \  \"baseline\": \"plans-only interpreter (use_jit=false)\",\n\
+       \  \"jit_threshold\": 2,\n\
+       \  \"max_trace_len\": 64,\n\
+       \  \"method\": \"steady state = (cost(2N) - cost(N)) / N; window cost \
+       = cyc_trace + cyc_bind + cyc_emu_dispatch + cyc_jit\",\n\
+       \  \"ratchet\": { \"window_cycle_reduction_min\": 2.0, \
+       \"min_workloads\": 3 },\n\
+       \  \"workloads\": [\n%s\n  ],\n\
+       \  \"workloads_at_2x\": %d,\n\
+       \  \"differential_bit_identical\": %b\n\
+       }\n"
+      (String.concat ",\n" rows)
+      !passed !differential_ok
+  in
+  let oc = open_out "BENCH_jit.json" in
+  output_string oc doc;
+  close_out oc;
+  printf "\nwrote BENCH_jit.json\n";
+  if !failures > 0 then begin
+    printf "jit experiment: %d assertion(s) FAILED\n" !failures;
+    exit 1
+  end
+
 (* ---- main ------------------------------------------------------------------------------------------ *)
 
 let experiments =
@@ -1358,7 +1517,8 @@ let experiments =
     ("replay", bench_replay);
     ("vsa", bench_vsa);
     ("plans", bench_plans);
-    ("telemetry", bench_telemetry) ]
+    ("telemetry", bench_telemetry);
+    ("jit", bench_jit) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

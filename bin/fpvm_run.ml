@@ -84,7 +84,7 @@ module D_slash = D (Fpvm.Alt_slash)
 
 let config_fingerprint (c : Fpvm.Engine.config) machine =
   Printf.sprintf
-    "approach=%s;deploy=%d;vsa=%b;orc=%b;gc=%d;inc=%b;full=%d;cache=%b;alw=%b;trace=%d;plans=%b;mach=%s"
+    "approach=%s;deploy=%d;vsa=%b;orc=%b;gc=%d;inc=%b;full=%d;cache=%b;alw=%b;trace=%d;plans=%b;jit=%b;jthr=%d;mach=%s"
     (match c.Fpvm.Engine.approach with
     | Fpvm.Engine.Trap_and_emulate -> "emulate"
     | Fpvm.Engine.Trap_and_patch -> "patch"
@@ -93,7 +93,8 @@ let config_fingerprint (c : Fpvm.Engine.config) machine =
     c.Fpvm.Engine.use_vsa c.Fpvm.Engine.oracle c.Fpvm.Engine.gc_interval
     c.Fpvm.Engine.incremental_gc c.Fpvm.Engine.full_scan_every
     c.Fpvm.Engine.decode_cache c.Fpvm.Engine.always_emulate
-    c.Fpvm.Engine.max_trace_len c.Fpvm.Engine.use_plans machine
+    c.Fpvm.Engine.max_trace_len c.Fpvm.Engine.use_plans
+    c.Fpvm.Engine.use_jit c.Fpvm.Engine.jit_threshold machine
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -144,6 +145,12 @@ let print_json ~workload ~arith ~scale (r : Fpvm.Engine.result) =
       kv_i "temps_elided" s.Fpvm.Stats.temps_elided;
       kv_i "temps_materialized" s.Fpvm.Stats.temps_materialized;
       kv_i "allocs_avoided" (Fpvm.Stats.allocs_avoided s);
+      kv_i "jit_compiles" s.Fpvm.Stats.jit_compiles;
+      kv_i "jit_hits" s.Fpvm.Stats.jit_hits;
+      kv_i "jit_links" s.Fpvm.Stats.jit_links;
+      kv_i "jit_guard_exits" s.Fpvm.Stats.jit_guard_exits;
+      kv_i "jit_invalidations" s.Fpvm.Stats.jit_invalidations;
+      kv_i "cyc_jit" s.Fpvm.Stats.cyc_jit;
       kv_i "cyc_plan" s.Fpvm.Stats.cyc_plan;
       kv_i "cyc_bind" s.Fpvm.Stats.cyc_bind;
       kv_i "cyc_emu_dispatch" s.Fpvm.Stats.cyc_emu_dispatch;
@@ -193,6 +200,10 @@ let print_stats (r : Fpvm.Engine.result) =
     s.Fpvm.Stats.plan_hits s.Fpvm.Stats.plan_misses
     s.Fpvm.Stats.plan_invalidations;
   Printf.eprintf
+    "jit: %d compiles, %d hits, %d links, %d guard exits (%d invalidated)\n"
+    s.Fpvm.Stats.jit_compiles s.Fpvm.Stats.jit_hits s.Fpvm.Stats.jit_links
+    s.Fpvm.Stats.jit_guard_exits s.Fpvm.Stats.jit_invalidations;
+  Printf.eprintf
     "temps elided: %d (%d re-boxed at trace exit, %d allocs avoided)\n"
     s.Fpvm.Stats.temps_elided s.Fpvm.Stats.temps_materialized
     (Fpvm.Stats.allocs_avoided s);
@@ -241,9 +252,9 @@ let guard f =
   | exception Failure msg -> `Error (false, msg)
 
 let run workload arith prec posit_bits approach machine deployment scale
-    trace_len full_gc gc_interval no_plans oracle stats json disasm spy
-    list_only record_file replay_file checkpoint_every from_checkpoint inject
-    trace_out profile profile_out shadow_check =
+    trace_len full_gc gc_interval no_plans no_jit jit_threshold oracle stats
+    json disasm spy list_only record_file replay_file checkpoint_every
+    from_checkpoint inject trace_out profile profile_out shadow_check =
   if list_only then begin
     List.iter
       (fun (e : W.entry) -> Printf.printf "%-12s %s\n" e.W.name e.W.specifics)
@@ -258,6 +269,9 @@ let run workload arith prec posit_bits approach machine deployment scale
     `Error (false, Printf.sprintf "--posit must be 8, 16 or 32 (got %d)" posit_bits)
   else if gc_interval <= 0 then
     `Error (false, Printf.sprintf "--gc-interval must be > 0 (got %d)" gc_interval)
+  else if jit_threshold < 1 then
+    `Error
+      (false, Printf.sprintf "--jit-threshold must be >= 1 (got %d)" jit_threshold)
   else if checkpoint_every < 0 then
     `Error
       (false, Printf.sprintf "--checkpoint-every must be >= 0 (got %d)" checkpoint_every)
@@ -316,7 +330,9 @@ let run workload arith prec posit_bits approach machine deployment scale
                   Fpvm.Engine.approach; cost; deployment; gc_interval; oracle;
                   Fpvm.Engine.max_trace_len = trace_len;
                   Fpvm.Engine.incremental_gc = not full_gc;
-                  Fpvm.Engine.use_plans = not no_plans }
+                  Fpvm.Engine.use_plans = not no_plans;
+                  Fpvm.Engine.use_jit = not no_jit;
+                  Fpvm.Engine.jit_threshold }
               in
               let driver =
                 match arith with
@@ -714,6 +730,20 @@ let no_plans =
                  and in-trace shadow-temp elision); reproduces the \
                  unspecialized engine bit- and cycle-exactly.")
 
+let no_jit =
+  Arg.(value & flag
+       & info [ "no-jit" ]
+           ~doc:"Disable the trace JIT (compiled guarded superblocks with \
+                 trace-to-trace linking); reproduces the plans-only engine \
+                 bit-exactly.")
+
+let jit_threshold =
+  Arg.(value
+       & opt int Fpvm.Engine.default_config.Fpvm.Engine.jit_threshold
+       & info [ "jit-threshold" ]
+           ~doc:"Trap deliveries at one trace head before its next window \
+                 is recorded and compiled into a superblock." ~docv:"N")
+
 let oracle =
   Arg.(value & flag
        & info [ "oracle" ]
@@ -780,6 +810,7 @@ let run_term =
     ret
       (const run $ workload $ arith $ prec $ posit_bits $ approach $ machine
      $ deployment $ scale $ trace_len $ full_gc $ gc_interval $ no_plans
+     $ no_jit $ jit_threshold
      $ oracle $ stats $ json $ disasm $ spy $ list_only $ record_file
      $ replay_file $ checkpoint_every $ from_checkpoint $ inject $ trace_out
      $ profile $ profile_out $ shadow_check))

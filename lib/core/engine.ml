@@ -50,6 +50,18 @@ type config = {
          bind + op_map dispatch; also enables in-trace shadow-temp
          elision. Off = the PR 3 engine exactly (the --no-plans
          escape hatch). *)
+  use_jit : bool;
+      (* trace JIT: promote hot traces (heads delivered at least
+         [jit_threshold] times) into compiled superblocks — guarded
+         closures that fuse the per-step classify/dispatch of the whole
+         window and link trace-to-trace on loop back-edges. Any guard
+         failure side-exits to the interpretive trace loop, which is
+         bit-identical by construction. Requires plans for the fused
+         emulation fast path and max_trace_len > 1 for windows to
+         exist; off = the PR 5 engine exactly (--no-jit). *)
+  jit_threshold : int;
+      (* deliveries at one head before its next window is recorded and
+         compiled *)
   cost : CM.t;
   max_insns : int;
 }
@@ -66,6 +78,8 @@ let default_config =
     always_emulate = false;
     max_trace_len = 64;
     use_plans = true;
+    use_jit = true;
+    jit_threshold = 8;
     cost = CM.r815;
     max_insns = 400_000_000 }
 
@@ -87,6 +101,29 @@ module Make (A : Arith.S) = struct
      interpretive paths (plan miss / plans disabled, reproducing the
      unspecialized engine's accounting exactly), 0 on a plan hit. *)
   type plan = { p_exec : dispatch:int -> State.t -> unit }
+
+  module Sb = Fpvm_ir.Superblock
+
+  (* One compiled step's outcome: continue the block, side-exit to the
+     interpretive trace loop (guard failure), or stop the window
+     entirely (the program halted). *)
+  type step_res = S_ok | S_exit | S_stop
+
+  (* A compiled superblock: the recorded window's steps closed over the
+     engine and the arithmetic port, plus the entry-taint predicate
+     other blocks consult before linking into this one. Stored in a
+     [Plan.table] keyed by the head's instruction object, so a
+     trap-and-patch rewrite of the head makes the block unfindable
+     exactly like a plan drop. *)
+  type jit_block = {
+    jb_sb : Sb.t;
+    jb_steps : (State.t -> step_res) array;
+    jb_link_check : State.t -> bool;
+        (* would this block's head instruction fault natively right now
+           (a boxed/foreign-sNaN input)? Only then may a completed
+           predecessor absorb the head and transfer compiled-to-compiled
+           instead of returning to native execution. *)
+  }
 
   type t = {
     config : config;
@@ -122,6 +159,18 @@ module Make (A : Arith.S) = struct
         (* (byte address, scratch slot) of every in-trace binary64 store
            that spilled a live temp pattern to memory; swept (re-boxed
            where the pattern survives) at trace exit *)
+    jit : Jit.t;
+        (* hot-trace accounting: per-head delivery counters and the
+           recorded paths compiled blocks were lowered from (the
+           checkpointable view of the block table) *)
+    jit_blocks : jit_block Plan.table;
+        (* head index -> compiled superblock, keyed by the head's raw
+           instruction object; invalidated when trap-and-patch rewrites
+           any site a block touches, cleared (and reseeded from [jit]
+           paths) across checkpoint restore *)
+    mutable jit_rec : (int * bool) list option;
+        (* Some steps (reversed) while the current interpretive window
+           is being recorded for compilation *)
   }
 
   let create config =
@@ -139,7 +188,10 @@ module Make (A : Arith.S) = struct
       scratch = [||];
       scratch_n = 0;
       in_trace = false;
-      temp_stores = [] }
+      temp_stores = [];
+      jit = Jit.create ();
+      jit_blocks = Plan.create ();
+      jit_rec = None }
 
   (* ---- boxing ----------------------------------------------------- *)
 
@@ -853,6 +905,54 @@ module Make (A : Arith.S) = struct
     st.State.rip <- idx + 1;
     maybe_gc t st
 
+  (* The absorb bookkeeping shared by the interpretive trace loop and
+     the compiled superblock paths: one in-window trap-worthy event
+     serviced without a fresh delivery. Emitted *before* the emulation
+     mutates state, exactly where the interpretive loop emits, so
+     record/replay digests of absorbed and delivered servings of the
+     same fault coincide. *)
+  let absorb_event t st idx events =
+    t.stats.Stats.traps_avoided <- t.stats.Stats.traps_avoided + 1;
+    Probe.emit t.probe st (Probe.Absorbed { index = idx; events });
+    (match t.probe.Probe.on_tel with
+    | None -> ()
+    | Some f -> f st (Probe.T_absorbed { index = idx; events }));
+    Mx.clear_flags st.State.mxcsr
+
+  let absorb_and_emulate t st idx (insn : Isa.insn) events =
+    absorb_event t st idx events;
+    emulate t st idx insn
+
+  (* The superblock fast path: emulate through a plan pre-resolved at
+     block-compile time. Identical to [emulate]'s plan-hit arm minus
+     the table lookup and its [plan_hit] charge — that lookup is what
+     compilation fused away. Machine-state effects (the plan closure,
+     GC cadence) are bit-identical to the interpretive path.
+
+     The taint guard proved native dispatch would raise exactly
+     [invalid] here (a signaling-NaN input, no subnormal co-operand,
+     scalar), so the absorbed event carries those flags without the
+     dispatch ever running; the elided dispatch would also have counted
+     the FP instruction. *)
+  let emulate_fused t st idx (p : plan) =
+    let s = t.stats in
+    st.State.fp_insn_count <- st.State.fp_insn_count + 1;
+    absorb_event t st idx F.invalid;
+    let c0 = st.State.cycles in
+    let e0 = s.Stats.temps_elided in
+    p.p_exec ~dispatch:0 st;
+    s.Stats.emulated_insns <- s.Stats.emulated_insns + 1;
+    (match t.probe.Probe.on_tel with
+    | None -> ()
+    | Some f ->
+        f st
+          (Probe.T_emulate
+             { index = idx; cycles = st.State.cycles - c0;
+               elided = s.Stats.temps_elided - e0 }));
+    t.since_gc <- t.since_gc + 1;
+    st.State.rip <- idx + 1;
+    maybe_gc t st
+
   (* ---- sequence (trace) emulation ------------------------------------- *)
 
   (* After servicing the delivered instruction, stay resident and
@@ -895,23 +995,23 @@ module Make (A : Arith.S) = struct
         (match st.State.hooks.State.on_step with
         | Some h -> h st idx insn
         | None -> ());
-        match Cpu.dispatch st idx insn with
+        let absorbed = ref false in
+        (match Cpu.dispatch st idx insn with
         | Cpu.Running -> ()
         | Cpu.Halted -> continue_ := false
         | Cpu.Fp_fault { events; _ } ->
             (* Would have trapped; we are already resident, so no
                fresh delivery: absorb and emulate in place. *)
-            t.stats.Stats.traps_avoided <-
-              t.stats.Stats.traps_avoided + 1;
-            Probe.emit t.probe st (Probe.Absorbed { index = idx; events });
-            (match t.probe.Probe.on_tel with
-            | None -> ()
-            | Some f -> f st (Probe.T_absorbed { index = idx; events }));
-            Mx.clear_flags st.State.mxcsr;
-            emulate t st idx insn
+            absorbed := true;
+            absorb_and_emulate t st idx insn events
         | Cpu.Correctness_fault _ ->
             (* Correctness_trap is a terminator, filtered above. *)
-            assert false
+            assert false);
+        (* Hot-trace recording: remember the step stream so the window
+           can be lowered into a superblock when it ends. *)
+        match t.jit_rec with
+        | Some steps -> t.jit_rec <- Some ((idx, !absorbed) :: steps)
+        | None -> ()
       end
     done
 
@@ -933,6 +1033,274 @@ module Make (A : Arith.S) = struct
           end
         in
         chk 0
+
+  (* Does this operand hold a subnormal binary64 in any lane? The
+     softfloat layer raises the denormal-operand flag for these, so a
+     fused step — which promises the fault flags are exactly [invalid]
+     — must side-exit when one appears. *)
+  let operand_subnormal st (o : Isa.operand) lanes =
+    match o with
+    | Isa.Imm _ | Isa.Reg _ -> false
+    | Isa.Xmm _ | Isa.Mem _ ->
+        let rec chk lane =
+          if lane >= lanes then false
+          else begin
+            let bits = read_loc st (bind_lane st o lane) in
+            (Int64.logand bits 0x7FF0_0000_0000_0000L = 0L
+            && Int64.logand bits 0xF_FFFF_FFFF_FFFFL <> 0L)
+            || chk (lane + 1)
+          end
+        in
+        chk 0
+
+  (* The fused-emulation taint predicate: some FP input is a signaling
+     NaN (a box or a foreign sNaN — native dispatch is then guaranteed
+     to fault) and none is subnormal (so the fault's flag set is
+     exactly [invalid], which the absorbed event must reproduce). *)
+  let inputs_fusable t st inputs lanes =
+    List.exists (fun o -> operand_boxed t st o lanes) inputs
+    && not (List.exists (fun o -> operand_subnormal st o lanes) inputs)
+
+  (* ---- trace JIT: superblock compilation and execution ---------------- *)
+
+  (* Per-step residency charge inside a compiled superblock — the
+     [jit_step] analog of the interpretive loop's [trace_step], landing
+     in [cyc_jit] instead of [cyc_trace]. *)
+  let jit_step_charge t st =
+    st.State.insn_count <- st.State.insn_count + 1;
+    t.stats.Stats.trace_insns <- t.stats.Stats.trace_insns + 1;
+    let c = t.config.cost.CM.jit_step in
+    State.add_cycles st c;
+    t.stats.Stats.cyc_jit <- t.stats.Stats.cyc_jit + c
+
+  (* Close one superblock step over the engine. The returned closure
+     checks the step's guards (rip where not elided, shape always) and
+     side-exits on any failure; on success it performs exactly the
+     machine-state transitions the interpretive trace loop would. *)
+  let compile_step t (s : Sb.step) : State.t -> step_res =
+    let idx = s.Sb.s_index in
+    let insn = s.Sb.s_insn in
+    let rip_guard = s.Sb.s_rip_guard in
+    let fire_on_step st =
+      match st.State.hooks.State.on_step with
+      | Some h -> h st idx insn
+      | None -> ()
+    in
+    (* the generic step: native dispatch with in-place absorption, as
+       in the interpretive loop *)
+    let native st =
+      jit_step_charge t st;
+      guard_native t st insn;
+      fire_on_step st;
+      match Cpu.dispatch st idx insn with
+      | Cpu.Running -> S_ok
+      | Cpu.Halted -> S_stop
+      | Cpu.Fp_fault { events; _ } ->
+          absorb_and_emulate t st idx insn events;
+          S_ok
+      | Cpu.Correctness_fault _ ->
+          (* a correctness trap can only appear here through a rewrite
+             the shape guard should have caught; bail defensively *)
+          S_exit
+    in
+    let body : State.t -> step_res =
+      match s.Sb.s_action with
+      | Sb.A_native -> native
+      | Sb.A_emulate { inputs; lanes } -> begin
+          (* Pre-resolve the site's binding plan at block-compile time:
+             the recording window emulated this step, so with plans
+             enabled the plan exists. The plan can only go stale through
+             a site rewrite, which the shape guard catches first.
+             Packed steps stay native: their fault flags accumulate
+             across lanes, so only the real dispatch can reproduce the
+             absorbed event exactly. *)
+          match Plan.find t.plans idx insn with
+          | Some p when lanes = 1 ->
+              fun st ->
+                if inputs_fusable t st inputs lanes then begin
+                  (* taint guard holds: a boxed (signaling-NaN) input
+                     guarantees native dispatch faults with exactly
+                     [invalid], so emulating directly is bit-identical
+                     — minus the dispatch *)
+                  jit_step_charge t st;
+                  guard_native t st insn;
+                  fire_on_step st;
+                  emulate_fused t st idx p;
+                  S_ok
+                end
+                else S_exit (* taint guard failed: interpreter decides *)
+          | _ -> native
+        end
+      | Sb.A_fold_i2f { imm; size } -> begin
+          match Decoder.decode_insn insn with
+          | Some d ->
+              let dwr = wr_lane d.Decoder.dst 0 in
+              let iv =
+                if size = 4 then Int64.of_int32 (Int64.to_int32 imm) else imm
+              in
+              fun st ->
+                jit_step_charge t st;
+                guard_native t st insn;
+                fire_on_step st;
+                (* folded: the absorbed conversion of an immediate is a
+                   constant — box a fresh copy, no bind, no dispatch.
+                   The recording absorbed this step and an immediate
+                   source is deterministic, so it faults every visit;
+                   int-to-float of a nonzero immediate can only raise
+                   [inexact] (no invalid/overflow/underflow/denormal is
+                   reachable), so that is the absorbed event's flag
+                   set. *)
+                st.State.fp_insn_count <- st.State.fp_insn_count + 1;
+                absorb_event t st idx F.inexact;
+                let c0 = st.State.cycles in
+                dwr st (box t (A.of_i64 iv));
+                t.stats.Stats.emulated_insns <-
+                  t.stats.Stats.emulated_insns + 1;
+                (match t.probe.Probe.on_tel with
+                | None -> ()
+                | Some f ->
+                    f st
+                      (Probe.T_emulate
+                         { index = idx; cycles = st.State.cycles - c0;
+                           elided = 0 }));
+                t.since_gc <- t.since_gc + 1;
+                st.State.rip <- idx + 1;
+                maybe_gc t st;
+                S_ok
+          | None -> native
+        end
+    in
+    fun st ->
+      if rip_guard && st.State.rip <> idx then S_exit
+      else if st.State.prog.Program.insns.(idx) != insn then S_exit
+      else body st
+
+  let compile_block t (sb : Sb.t) : jit_block =
+    let jb_steps = Array.map (compile_step t) sb.Sb.steps in
+    let rec unwrap = function
+      | Isa.Correctness_trap i | Isa.Checked i
+      | Isa.Patched { original = i; _ } ->
+          unwrap i
+      | i -> i
+    in
+    let jb_link_check =
+      (* Linking absorbs the target head without dispatching it, so the
+         same exactly-[invalid] taint proof as a fused step is required
+         — scalar head, boxed input, no subnormal input. *)
+      match Sb.fp_inputs (unwrap sb.Sb.head_insn) with
+      | Some (inputs, lanes) when lanes = 1 ->
+          fun st -> inputs_fusable t st inputs lanes
+      | _ -> fun _ -> false
+    in
+    { jb_sb = sb; jb_steps; jb_link_check }
+
+  (* Lower, optimize and close a recorded window; silent (no charges,
+     no counters) because checkpoint restore rebuilds blocks through
+     this too. The charged path wraps it below. *)
+  let jit_compile_window t st head (path : (int * bool) array) : jit_block =
+    let insns = st.State.prog.Program.insns in
+    let sb =
+      Fpvm_ir.Codegen.compile_superblock
+        (Fpvm_ir.Lower.superblock_of_trace insns ~head path)
+    in
+    let blk = compile_block t sb in
+    Plan.store t.jit_blocks head insns.(head) blk;
+    Jit.set_path t.jit head path;
+    blk
+
+  (* Execute a compiled superblock, then chase back-edges: when the
+     window lands on another compiled head whose taint predicate says
+     native execution would fault, absorb that head in place and keep
+     running compiled-to-compiled — the delivery that trap would have
+     cost is never paid. A guard side exit drops into the interpretive
+     trace loop, which finishes the window bit-exactly. *)
+  let jit_run_chain t st head blk =
+    let cost = t.config.cost in
+    let insns = st.State.prog.Program.insns in
+    let rec go head blk entry_charge links =
+      State.add_cycles st entry_charge;
+      t.stats.Stats.cyc_jit <- t.stats.Stats.cyc_jit + entry_charge;
+      let steps = blk.jb_steps in
+      let n = Array.length steps in
+      let i = ref 0 in
+      let res = ref S_ok in
+      while !res = S_ok && !i < n do
+        res := steps.(!i) st;
+        incr i
+      done;
+      (* a side-exiting step did not execute; a halting one did *)
+      let executed = !i - (match !res with S_exit -> 1 | _ -> 0) in
+      (match t.probe.Probe.on_tel with
+      | None -> ()
+      | Some f ->
+          f st
+            (Probe.T_jit_exec
+               { index = head; steps = executed;
+                 cycles = entry_charge + (executed * cost.CM.jit_step) }));
+      match !res with
+      | S_exit ->
+          t.stats.Stats.jit_guard_exits <- t.stats.Stats.jit_guard_exits + 1;
+          trace t st
+      | S_stop -> ()
+      | S_ok ->
+          if (not st.State.halted) && links < Jit.max_links then begin
+            let rip = st.State.rip in
+            if rip >= 0 && rip < Array.length insns then
+              match Plan.find t.jit_blocks rip insns.(rip) with
+              | Some nb when nb.jb_link_check st ->
+                  t.stats.Stats.jit_links <- t.stats.Stats.jit_links + 1;
+                  let insn =
+                    match insns.(rip) with
+                    | Isa.Patched { original; _ } -> original
+                    | i -> i
+                  in
+                  (* the linked head would have delivered a fault with
+                     exactly [invalid] (the link check just proved the
+                     taint); absorb it in place instead and continue
+                     compiled. It still executes as one dynamic FP
+                     instruction. *)
+                  st.State.insn_count <- st.State.insn_count + 1;
+                  st.State.fp_insn_count <- st.State.fp_insn_count + 1;
+                  absorb_and_emulate t st rip insn F.invalid;
+                  go rip nb cost.CM.jit_link (links + 1)
+              | _ -> ()
+          end
+    in
+    t.stats.Stats.jit_hits <- t.stats.Stats.jit_hits + 1;
+    go head blk cost.CM.jit_enter 0
+
+  (* The JIT-aware window body (replaces the bare [trace] call in the
+     trap handler when the JIT is on): run compiled if a valid block
+     exists, otherwise count the delivery toward hotness and — at the
+     threshold — record this interpretive window and compile it. *)
+  let jit_window t st head =
+    let insns = st.State.prog.Program.insns in
+    match Plan.find t.jit_blocks head insns.(head) with
+    | Some blk -> jit_run_chain t st head blk
+    | None ->
+        let n = Jit.bump t.jit head in
+        if n >= t.config.jit_threshold && not (Jit.has_path t.jit head) then
+          t.jit_rec <- Some [];
+        trace t st;
+        (match t.jit_rec with
+        | Some steps ->
+            t.jit_rec <- None;
+            let path = Array.of_list (List.rev steps) in
+            if Array.length path > 0 then begin
+              let blk = jit_compile_window t st head path in
+              let c = t.config.cost.CM.jit_compile in
+              State.add_cycles st c;
+              t.stats.Stats.cyc_jit <- t.stats.Stats.cyc_jit + c;
+              t.stats.Stats.jit_compiles <- t.stats.Stats.jit_compiles + 1;
+              match t.probe.Probe.on_tel with
+              | None -> ()
+              | Some f ->
+                  f st
+                    (Probe.T_jit_compile
+                       { index = head; steps = Array.length blk.jb_steps;
+                         cycles = c })
+            end
+        | None -> ())
 
   (* Execute [insn] at [idx] under software pre/postcondition checks.
      Precondition: no input operand is NaN-boxed. Postcondition: the
@@ -1361,6 +1729,27 @@ module Make (A : Arith.S) = struct
                   | None -> ()
                   | Some f -> f st (Probe.T_plan_invalidate { index = idx })
                 end;
+                (* ... and any compiled superblock that executes the
+                   rewritten site anywhere in its window — dropped
+                   exactly like the plan above, counters reset so the
+                   head re-records against the patched program. *)
+                if config.use_jit then begin
+                  let stale = ref [] in
+                  Plan.iter t.jit_blocks (fun h b ->
+                      if Sb.touches_site b.jb_sb idx then
+                        stale := h :: !stale);
+                  List.iter
+                    (fun h ->
+                      if Plan.invalidate t.jit_blocks h then begin
+                        Jit.forget t.jit h;
+                        t.stats.Stats.jit_invalidations <-
+                          t.stats.Stats.jit_invalidations + 1;
+                        match t.probe.Probe.on_tel with
+                        | None -> ()
+                        | Some f -> f st (Probe.T_jit_invalidate { index = h })
+                      end)
+                    !stale
+                end;
                 if config.use_plans then
                   t.elide <- Analysis.Escape.no_escape prog.Program.insns)
         | Trap_and_emulate | Static_transform -> ());
@@ -1383,7 +1772,8 @@ module Make (A : Arith.S) = struct
           | None -> ()
           | Some f -> f st (Probe.T_trace_enter { index = idx }));
           let ti0 = t.stats.Stats.trace_insns in
-          trace t st;
+          let ct0 = t.stats.Stats.cyc_trace in
+          if config.use_jit then jit_window t st idx else trace t st;
           t.in_trace <- false;
           materialize_temps t st;
           Trapkern.charge_trace_exit kern st;
@@ -1391,10 +1781,13 @@ module Make (A : Arith.S) = struct
           | None -> ()
           | Some f ->
               let stepped = t.stats.Stats.trace_insns - ti0 in
+              (* interpreter-stepped residency charges only: compiled
+                 steps charge [jit_step] into [cyc_jit] and report
+                 through T_jit_exec *)
               f st
                 (Probe.T_trace_exit
                    { index = idx; insns = stepped + 1;
-                     step_cycles = stepped * config.cost.CM.trace_step;
+                     step_cycles = t.stats.Stats.cyc_trace - ct0;
                      exit_cycles = config.cost.CM.trace_exit })
         end;
         (* handler done, no frame in flight: a checkpointable moment *)
@@ -1487,6 +1880,24 @@ module Make (A : Arith.S) = struct
   (* Sites currently holding a compiled plan (the checkpointable view
      of the plan table). *)
   let plan_sites (ses : session) = Plan.keys ses.eng.plans
+
+  (* Checkpointable JIT state: per-head delivery counters and recorded
+     paths. Blocks themselves are closures; restore rebuilds them from
+     the paths against the restored program, silently (no charges, no
+     counter movement), so a resumed run replays the original's jit
+     hit/link/exit — and hence cycle — stream exactly. Must run after
+     the plan table has been reseeded: block compilation pre-resolves
+     each fast-emulate step's plan. *)
+  let jit_counters (ses : session) = Jit.counters ses.eng.jit
+  let jit_paths (ses : session) = Jit.paths ses.eng.jit
+
+  let set_jit_state (ses : session) ~counters ~paths =
+    Jit.clear ses.eng.jit;
+    Plan.clear ses.eng.jit_blocks;
+    List.iter (fun (h, n) -> Jit.set_counter ses.eng.jit h n) counters;
+    List.iter
+      (fun (h, p) -> ignore (jit_compile_window ses.eng ses.st h p))
+      paths
 
   let resume (ses : session) : result =
     let t = ses.eng and st = ses.st and kern = ses.kern in

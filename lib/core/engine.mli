@@ -59,6 +59,20 @@ type config = {
           scratch buffer instead of the arena). [false] reproduces the
           unspecialized engine bit- and cycle-exactly (the [--no-plans]
           escape hatch). *)
+  use_jit : bool;
+      (** trace JIT: promote traces whose head has delivered at least
+          [jit_threshold] times into compiled superblocks — guarded
+          closures fusing the whole window's per-step classify/dispatch
+          ([jit_step] per instruction instead of [trace_step] +
+          plan-table traffic), linked compiled-to-compiled across loop
+          back-edges so steady-state loops never pay another delivery.
+          Shape, rip and taint guards side-exit to the interpretive
+          trace loop, which is bit-identical by construction. [false]
+          reproduces the plans-only engine exactly (the [--no-jit]
+          escape hatch). *)
+  jit_threshold : int;
+      (** deliveries at one head before its next window is recorded and
+          compiled *)
   cost : Machine.Cost_model.t;
   max_insns : int;  (** runaway-execution guard *)
 }
@@ -85,6 +99,20 @@ module Make (A : Arith.S) : sig
       per emulated op — [cost.emu_dispatch] on the interpretive paths,
       [0] on a plan-table hit. *)
   type plan = { p_exec : dispatch:int -> Machine.State.t -> unit }
+
+  (** One compiled superblock step's outcome: continue, side-exit to
+      the interpretive trace loop (guard failure), or stop the window
+      (the program halted). *)
+  type step_res = S_ok | S_exit | S_stop
+
+  (** A compiled superblock: the recorded window's steps closed over
+      the engine and the arithmetic port, plus the entry-taint
+      predicate consulted before another block links into this one. *)
+  type jit_block = {
+    jb_sb : Fpvm_ir.Superblock.t;
+    jb_steps : (Machine.State.t -> step_res) array;
+    jb_link_check : Machine.State.t -> bool;
+  }
 
   (** The engine instance. Concrete so lib/replay can serialize and
       restore every component; treat as read-only elsewhere. *)
@@ -122,6 +150,18 @@ module Make (A : Arith.S) : sig
         (** (byte address, scratch slot) of every in-trace binary64
             store that spilled a live temp pattern to memory; swept at
             trace exit *)
+    jit : Jit.t;
+        (** hot-trace accounting: per-head delivery counters and the
+            recorded paths blocks were compiled from (the
+            checkpointable view of the block table) *)
+    jit_blocks : jit_block Plan.table;
+        (** head index -> compiled superblock, keyed by the head's raw
+            instruction object; invalidated when trap-and-patch
+            rewrites any touched site, reseeded across restore
+            ({!set_jit_state}) *)
+    mutable jit_rec : (int * bool) list option;
+        (** Some steps (reversed) while the current interpretive window
+            is being recorded for compilation *)
   }
 
   val create : config -> t
@@ -161,6 +201,26 @@ module Make (A : Arith.S) : sig
   (** Sites currently holding a compiled plan, ascending — the
       checkpointable view of the plan table (plans themselves are
       closures; restore recompiles via {!seed_plan}). *)
+
+  val jit_counters : session -> (int * int) list
+  (** Per-head delivery counters, ascending by head — checkpointable
+      JIT hotness state. *)
+
+  val jit_paths : session -> (int * (int * bool) array) list
+  (** Recorded (index, absorbed) windows per compiled head, ascending —
+      the checkpointable view of the superblock table. *)
+
+  val set_jit_state :
+    session ->
+    counters:(int * int) list ->
+    paths:(int * (int * bool) array) list ->
+    unit
+  (** Restore the JIT's architectural state and silently rebuild the
+      compiled-block table from the paths (no cycle charges, no counter
+      movement), so a resumed run replays the original's jit
+      hit/link/exit — and hence cycle — stream exactly. Call after the
+      plan table has been reseeded: block compilation pre-resolves each
+      fast-emulate step's binding plan. *)
 
   val resume : session -> result
   (** Execute until halt, run the final full GC pass, and fold the

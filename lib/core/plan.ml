@@ -65,6 +65,14 @@ let invalidate t idx =
 
 let clear t = Array.fill t.slots 0 (Array.length t.slots) None
 
+(* Visit every occupied slot, ascending. The trace JIT scans its block
+   table with this on a trap-and-patch rewrite: a block touching the
+   rewritten site anywhere (not just at its head) must drop. *)
+let iter t f =
+  Array.iteri
+    (fun idx e -> match e with Some e -> f idx e.payload | None -> ())
+    t.slots
+
 (* Sites currently holding a plan, ascending — the checkpointable view
    of the table (plans themselves are closures and are recompiled on
    restore, like decode-cache entries are re-decoded). *)

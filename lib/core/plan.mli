@@ -32,6 +32,11 @@ val keys : 'p table -> int list
 (** Sites currently holding a plan, ascending — the checkpointable view
     of the table (plans are closures; restore recompiles them). *)
 
+val iter : 'p table -> (int -> 'p -> unit) -> unit
+(** Visit every occupied slot, ascending. The trace JIT scans its block
+    table with this on a trap-and-patch rewrite: a block touching the
+    rewritten site anywhere in its window must drop. *)
+
 (** {1 Shadow-temp index space} *)
 
 val temp_base : int

@@ -63,6 +63,19 @@ type tel =
       elided : int; (* temps parked in scratch instead of the arena *)
     }
   | T_patch_check of { index : int; cycles : int }
+  | T_jit_compile of { index : int; steps : int; cycles : int }
+      (* a hot trace headed at [index] was lowered and compiled into a
+         superblock of [steps] instructions; [cycles] is the one-time
+         compile charge *)
+  | T_jit_exec of { index : int; steps : int; cycles : int }
+      (* one execution of the superblock headed at [index]: [steps]
+         instructions ran compiled; [cycles] is the entry-or-link charge
+         plus the per-step charges of this execution (the emulation work
+         inside the block is reported separately through T_emulate, as
+         on the interpretive path) *)
+  | T_jit_invalidate of { index : int }
+      (* the superblock headed at [index] was dropped (site rewritten
+         by trap-and-patch, or a mid-trace shape guard found it stale) *)
   | T_gc of { full : bool; freed : int; words : int; cycles : int }
   | T_correctness of { index : int; delivery : int; handler : int }
   | T_demote of { index : int; count : int }

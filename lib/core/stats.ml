@@ -44,6 +44,22 @@ type t = {
   mutable temps_materialized : int;
       (* scratch temps still live at trace exit, promoted to real boxes;
          temps_elided - temps_materialized = arena allocations avoided *)
+  (* trace JIT (guarded IR superblocks). Deterministic for a given
+     config, but — like the telemetry gauges — excluded from the
+     architectural fingerprint: the fingerprint's 42 fields predate the
+     JIT and additive observation/optimization gauges must not churn
+     recorded goldens. The cycle bucket [cyc_jit] *is* part of
+     [total_fpvm_cycles] (it is real modeled work). *)
+  mutable jit_compiles : int; (* hot traces lowered + compiled *)
+  mutable jit_hits : int; (* trap deliveries served by a superblock *)
+  mutable jit_links : int;
+      (* compiled-to-compiled back-edge transfers (no delivery paid) *)
+  mutable jit_guard_exits : int;
+      (* side exits back to the interpreter (shape/taint/patch guards) *)
+  mutable jit_invalidations : int;
+      (* superblocks dropped when a contained site was rewritten *)
+  mutable cyc_jit : int;
+      (* superblock compile + entry + per-step + link charges *)
   (* cycle buckets *)
   mutable cyc_hw : int;
   mutable cyc_kernel : int;
@@ -109,6 +125,8 @@ let create () =
     serialize_demotions = 0; decode_hits = 0; decode_misses = 0;
     plan_hits = 0; plan_misses = 0; plan_invalidations = 0;
     temps_elided = 0; temps_materialized = 0;
+    jit_compiles = 0; jit_hits = 0; jit_links = 0; jit_guard_exits = 0;
+    jit_invalidations = 0; cyc_jit = 0;
     cyc_hw = 0; cyc_kernel = 0; cyc_delivery = 0; cyc_decode = 0;
     cyc_bind = 0; cyc_plan = 0; cyc_emulate = 0; cyc_emu_dispatch = 0;
     cyc_trace = 0; cyc_gc = 0;
@@ -152,7 +170,7 @@ let allocs_avoided t = t.temps_elided - t.temps_materialized
 let total_fpvm_cycles t =
   t.cyc_hw + t.cyc_kernel + t.cyc_delivery + t.cyc_decode + t.cyc_bind
   + t.cyc_plan
-  + t.cyc_emulate + t.cyc_trace + t.cyc_gc + t.cyc_correctness
+  + t.cyc_emulate + t.cyc_trace + t.cyc_jit + t.cyc_gc + t.cyc_correctness
   + t.cyc_correctness_handler
   + t.cyc_patch_checks
 
@@ -176,6 +194,7 @@ type breakdown = {
   avg_emulate : float;
   avg_emu_dispatch : float;
   avg_trace : float;
+  avg_jit : float;
   avg_gc : float;
   avg_correctness : float;
   avg_correctness_handler : float;
@@ -195,6 +214,7 @@ let breakdown t =
     avg_emulate = f t.cyc_emulate;
     avg_emu_dispatch = f t.cyc_emu_dispatch;
     avg_trace = f t.cyc_trace;
+    avg_jit = f t.cyc_jit;
     avg_gc = f t.cyc_gc;
     avg_correctness = f t.cyc_correctness;
     avg_correctness_handler = f t.cyc_correctness_handler }
@@ -204,13 +224,15 @@ let breakdown t =
    corr_demote_boxed/clean split, and the VSA/oracle gauges. *)
 let pp fmt t =
   Format.fprintf fmt
-    "traps=%d(avoided %d) traces=%d(mean %.1f) corr=%d(boxed %d/clean %d) emu_insns=%d emu_ops=%d math=%d decode=%d/%d plans=%d/%d(inval %d) temps=%d(-%d, avoided %d) gc=%d/%d(passes full/total) freed=%d alive=%d scanned=%d boxes=%d vsa=%d/%d(patched/boxed) elided_checks=%d oracle=%d/%d(checked/boxed)"
+    "traps=%d(avoided %d) traces=%d(mean %.1f) corr=%d(boxed %d/clean %d) emu_insns=%d emu_ops=%d math=%d decode=%d/%d plans=%d/%d(inval %d) temps=%d(-%d, avoided %d) jit=%d/%d/%d(compiles/hits/links, guard_exits %d, inval %d, cyc %d) gc=%d/%d(passes full/total) freed=%d alive=%d scanned=%d boxes=%d vsa=%d/%d(patched/boxed) elided_checks=%d oracle=%d/%d(checked/boxed)"
     t.fp_traps t.traps_avoided t.traces (mean_trace_len t)
     t.correctness_traps t.corr_demote_boxed t.corr_demote_clean
     t.emulated_insns t.emulated_ops
     t.math_calls t.decode_hits t.decode_misses t.plan_hits t.plan_misses
     t.plan_invalidations
     t.temps_elided t.temps_materialized (allocs_avoided t)
+    t.jit_compiles t.jit_hits t.jit_links t.jit_guard_exits
+    t.jit_invalidations t.cyc_jit
     t.gc_full_passes t.gc_passes
     t.gc_freed t.gc_alive_last t.gc_words_scanned t.boxes_allocated
     t.patched_sites t.patched_sites_boxed t.trap_checks_elided

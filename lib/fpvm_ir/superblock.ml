@@ -1,0 +1,118 @@
+(* Superblock IR: the trace JIT's intermediate form.
+
+   A superblock is the lowered image of one recorded hot trace: the
+   dynamic instruction path one trap-delivery window actually executed,
+   annotated per step with how the engine should run it when compiled
+   (native dispatch, guarded fast emulation, or a folded constant) and
+   which guards must hold for the compiled execution to remain
+   bit-identical to the interpretive trace loop.
+
+   Three guard kinds protect a compiled step:
+
+   - shape: the instruction object at the step's index is still the one
+     the trace was lifted from (trap-and-patch rewrites replace the
+     object, so physical equality detects staleness — the same keying
+     discipline as the binding-plan table);
+   - rip: control flow actually arrived at the step's index (a
+     conditional branch or ret earlier in the path went the recorded
+     way). Redundant rip guards are elided by the codegen pass: an
+     emulated step and every non-branching native step leave the next
+     rip statically known;
+   - taint: a fast-emulated step requires a NaN-boxed (or foreign-sNaN)
+     binary64 input, the condition under which native dispatch is
+     guaranteed to fault and the interpreter would emulate. An untainted
+     operand side-exits to the interpreter, which re-executes the step
+     natively — bit-identical, just slower.
+
+   Any guard failure is a side exit: compiled execution stops before
+   the step and the interpretive trace loop resumes from the current
+   machine state, which the executed prefix left exactly as the
+   interpreter would have. *)
+
+module Isa = Machine.Isa
+
+type action =
+  | A_native
+      (* dispatch natively through the CPU; an (unexpected) FP fault is
+         absorbed and emulated in place, as in the interpretive loop *)
+  | A_emulate of { inputs : Isa.operand list; lanes : int }
+      (* recorded as an absorbed FP fault: when the taint guard holds
+         (some input lane is boxed), emulate through the site's binding
+         plan without dispatching — the fused fast path *)
+  | A_fold_i2f of { imm : int64; size : int }
+      (* absorbed int->float conversion of an immediate: the result is
+         a compile-time constant in the alternative system; the step
+         only boxes a fresh copy (no unbox, no conversion, no guard) *)
+
+type step = {
+  s_index : int;
+  s_insn : Isa.insn; (* the shape the step was lifted from *)
+  s_action : action;
+  s_absorbed : bool; (* the recording saw this step fault and absorb *)
+  s_rip_guard : bool;
+      (* check [rip = s_index] before the step; lowered true on every
+         step, elided by the codegen pass where the predecessor pins it *)
+}
+
+type t = {
+  head : int; (* the delivering site the window was headed at *)
+  head_insn : Isa.insn; (* shape of the head at lift time (table key) *)
+  steps : step array;
+  touches : int array;
+      (* sorted distinct instruction indices the block executes
+         (including the head): a trap-and-patch rewrite of any of them
+         stales the block *)
+}
+
+(* The binary64 FP inputs whose boxedness forces a native fault — the
+   operands a taint guard must check. [None] means the instruction is
+   not eligible for guarded fast emulation (binary32 forms read 32-bit
+   lanes that cannot hold a box; Cvt_i2f has no FP input). *)
+let fp_inputs (insn : Isa.insn) : (Isa.operand list * int) option =
+  match insn with
+  | Isa.Fp_arith { w = Isa.F64; op = Isa.FSQRT; packed; src; _ } ->
+      Some ([ src ], if packed then 2 else 1)
+  | Isa.Fp_arith { w = Isa.F64; packed; dst; src; _ } ->
+      Some ([ dst; src ], if packed then 2 else 1)
+  | Isa.Fp_cmp { w = Isa.F64; a; b; _ } -> Some ([ a; b ], 1)
+  | Isa.Fp_cmppred { w = Isa.F64; dst; src; _ } -> Some ([ dst; src ], 1)
+  | Isa.Fp_round { w = Isa.F64; dst = _; src; _ } -> Some ([ src ], 1)
+  | Isa.Cvt_f2f { from_w = Isa.F64; src; _ } -> Some ([ src ], 1)
+  | Isa.Cvt_f2i { w = Isa.F64; src; _ } -> Some ([ src ], 1)
+  | _ -> None
+
+(* Does executing this step leave the next rip statically known (so the
+   successor's rip guard is redundant)? Emulated and folded steps
+   always advance to [s_index + 1]; native steps do too unless they are
+   data-dependent control flow. A direct [Jmp]/[Call] pins rip as well,
+   but not to [s_index + 1] — [static_next] returns the pinned target. *)
+let static_next (s : step) : int option =
+  match s.s_action with
+  | A_emulate _ | A_fold_i2f _ -> Some (s.s_index + 1)
+  | A_native -> (
+      match s.s_insn with
+      | Isa.Jmp k -> Some k
+      | Isa.Call k -> Some k
+      | Isa.Jcc _ | Isa.Ret | Isa.Halt -> None
+      | Isa.Checked _ | Isa.Patched _ -> None (* wrapped: stay guarded *)
+      | _ -> Some (s.s_index + 1))
+
+let touches_of ~head (steps : step array) : int array =
+  let tbl = Hashtbl.create 32 in
+  Hashtbl.replace tbl head ();
+  Array.iter (fun s -> Hashtbl.replace tbl s.s_index ()) steps;
+  let idxs = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+  let a = Array.of_list idxs in
+  Array.sort compare a;
+  a
+
+let touches_site (t : t) idx =
+  let rec bin lo hi =
+    if lo > hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if t.touches.(mid) = idx then true
+      else if t.touches.(mid) < idx then bin (mid + 1) hi
+      else bin lo (mid - 1)
+  in
+  bin 0 (Array.length t.touches - 1)

@@ -42,6 +42,10 @@ type t = {
   trace_exit : int; (* context restore when a trace ends (resume native) *)
   plan_compile : int; (* compile a site's binding plan (superop) *)
   plan_hit : int; (* plan-table lookup on a revisit *)
+  jit_compile : int; (* lower + compile a hot trace into a superblock *)
+  jit_enter : int; (* superblock table lookup + entry guard on delivery *)
+  jit_step : int; (* per-instruction cost inside a compiled superblock *)
+  jit_link : int; (* compiled-to-compiled transfer on a trace back-edge *)
   gc_per_word : int; (* conservative scan cost per 8-byte word *)
   gc_per_cell : int; (* sweep cost per arena cell *)
 }
@@ -56,6 +60,7 @@ let r815 =
     decode_miss = 9500; decode_hit = 35; bind = 240; emu_dispatch = 700;
     patch_check = 18; checked_stub = 14; trace_step = 22; trace_exit = 380;
     plan_compile = 450; plan_hit = 35;
+    jit_compile = 1900; jit_enter = 40; jit_step = 5; jit_link = 48;
     gc_per_word = 2; gc_per_cell = 6 }
 
 let xeon7220 =
@@ -68,6 +73,7 @@ let xeon7220 =
     decode_miss = 7800; decode_hit = 30; bind = 200; emu_dispatch = 620;
     patch_check = 15; checked_stub = 12; trace_step = 17; trace_exit = 290;
     plan_compile = 380; plan_hit = 30;
+    jit_compile = 1600; jit_enter = 34; jit_step = 4; jit_link = 40;
     gc_per_word = 2; gc_per_cell = 5 }
 
 let r730xd =
@@ -80,6 +86,7 @@ let r730xd =
     decode_miss = 8200; decode_hit = 32; bind = 210; emu_dispatch = 650;
     patch_check = 16; checked_stub = 13; trace_step = 18; trace_exit = 310;
     plan_compile = 400; plan_hit = 32;
+    jit_compile = 1700; jit_enter = 36; jit_step = 4; jit_link = 42;
     gc_per_word = 2; gc_per_cell = 5 }
 
 let profiles = [ r815; xeon7220; r730xd ]

@@ -51,6 +51,19 @@ type t = {
   plan_hit : int;
       (** site specialization: plan-table lookup on a revisit, replacing
           bind + dispatch (calibrated near [decode_hit]) *)
+  jit_compile : int;
+      (** trace JIT: lower + compile a hot trace into a superblock
+          (one-time, amortized over every subsequent execution) *)
+  jit_enter : int;
+      (** trace JIT: block-table lookup + entry guard when a delivery
+          lands on a compiled head *)
+  jit_step : int;
+      (** trace JIT: per-instruction cost inside a compiled superblock
+          (replaces [trace_step]; guards are branch-predicted
+          compiled-in checks, not table-driven classification) *)
+  jit_link : int;
+      (** trace JIT: compiled-to-compiled transfer on a trace back-edge
+          (replaces a whole trap delivery) *)
   gc_per_word : int;  (** conservative scan, per 8-byte word *)
   gc_per_cell : int;  (** sweep, per arena cell *)
 }

@@ -217,6 +217,7 @@ module Make (A : Fpvm.Arith.S) = struct
     Snapshot.capture ~meta ~seq ~enc:A.encode_value ~st:ses.E.st
       ~arena:ses.E.eng.E.arena ~stats:ses.E.eng.E.stats
       ~cache:ses.E.eng.E.cache ~plan_sites:(E.plan_sites ses)
+      ~jit_counters:(E.jit_counters ses) ~jit_paths:(E.jit_paths ses)
       ~kern:ses.E.kern ~prog:ses.E.prog ~since_gc:ses.E.eng.E.since_gc
       ~gc_count:ses.E.eng.E.gc_count ~patch_sites:ses.E.eng.E.patch_sites
 
@@ -242,6 +243,11 @@ module Make (A : Fpvm.Arith.S) = struct
        are closures; recompiled silently, no charges) so the resumed
        run replays the original's plan hit/miss cycle stream exactly. *)
     List.iter (E.seed_plan ses) r.Snapshot.r_plan_sites;
+    (* Then the trace JIT: hot counters and the recorded windows the
+       compiled superblocks were built from. After plan reseeding —
+       block compilation pre-resolves each fused step's binding plan. *)
+    E.set_jit_state ses ~counters:r.Snapshot.r_jit_counters
+      ~paths:r.Snapshot.r_jit_paths;
     (ses, r.Snapshot.r_meta, r.Snapshot.r_seq)
 
   (* ---- record ---------------------------------------------------------- *)

@@ -29,8 +29,15 @@ let magic = "FPVMCKP1"
    lists; the engine stats tail gained the site-specialization counters;
    a plan-sites section records which sites held a compiled binding
    plan (restore reseeds them so the resumed run replays the original's
-   plan hit/miss — and cycle — stream exactly). *)
-let version = 2
+   plan hit/miss — and cycle — stream exactly).
+
+   v3: the trace JIT. The stats tail gains the jit counters, and a jit
+   section records the per-head hot counters plus the recorded
+   (index, absorbed) windows every compiled superblock was built from —
+   restore recompiles the blocks silently (Engine.set_jit_state) so a
+   resumed run replays the original's jit hit/link/guard-exit — and
+   hence cycle — stream exactly. *)
+let version = 3
 
 (* ---- machine state --------------------------------------------------- *)
 
@@ -187,7 +194,10 @@ let stats_ints (s : Fpvm.Stats.t) =
     s.corr_demote_boxed; s.corr_demote_clean;
     (* v2: site specialization *)
     s.plan_hits; s.plan_misses; s.plan_invalidations; s.temps_elided;
-    s.temps_materialized; s.cyc_plan; s.cyc_emu_dispatch ]
+    s.temps_materialized; s.cyc_plan; s.cyc_emu_dispatch;
+    (* v3: trace JIT *)
+    s.jit_compiles; s.jit_hits; s.jit_links; s.jit_guard_exits;
+    s.jit_invalidations; s.cyc_jit ]
 
 let encode_stats b (s : Fpvm.Stats.t) =
   List.iter (fun v -> Codec.i64 b (Int64.of_int v)) (stats_ints s);
@@ -241,6 +251,12 @@ let restore_stats s pos (t : Fpvm.Stats.t) =
   t.Fpvm.Stats.temps_materialized <- r ();
   t.Fpvm.Stats.cyc_plan <- r ();
   t.Fpvm.Stats.cyc_emu_dispatch <- r ();
+  t.Fpvm.Stats.jit_compiles <- r ();
+  t.Fpvm.Stats.jit_hits <- r ();
+  t.Fpvm.Stats.jit_links <- r ();
+  t.Fpvm.Stats.jit_guard_exits <- r ();
+  t.Fpvm.Stats.jit_invalidations <- r ();
+  t.Fpvm.Stats.cyc_jit <- r ();
   t.Fpvm.Stats.gc_latency_s <- Int64.float_of_bits (Codec.r_i64 s pos)
 
 (* ---- capture / restore ----------------------------------------------- *)
@@ -248,6 +264,8 @@ let restore_stats s pos (t : Fpvm.Stats.t) =
 let capture ~(meta : Log.meta) ~seq ~enc ~(st : State.t)
     ~(arena : 'v Fpvm.Arena.t) ~(stats : Fpvm.Stats.t)
     ~(cache : Fpvm.Decoder.cache) ~(plan_sites : int list)
+    ~(jit_counters : (int * int) list)
+    ~(jit_paths : (int * (int * bool) array) list)
     ~(kern : Trapkern.t) ~(prog : Machine.Program.t) ~since_gc ~gc_count
     ~patch_sites : string =
   let b = Buffer.create (1 lsl 16) in
@@ -279,6 +297,26 @@ let capture ~(meta : Log.meta) ~seq ~enc ~(st : State.t)
      recorded (plans are closures; restore recompiles them) *)
   Codec.varint b (List.length plan_sites);
   List.iter (fun i -> Codec.varint b i) plan_sites;
+  (* v3 trace JIT: per-head hot counters, then each compiled head's
+     recorded (index, absorbed) window (blocks are closures; restore
+     recompiles them from these paths) *)
+  Codec.varint b (List.length jit_counters);
+  List.iter
+    (fun (h, n) ->
+      Codec.varint b h;
+      Codec.varint b n)
+    jit_counters;
+  Codec.varint b (List.length jit_paths);
+  List.iter
+    (fun (h, path) ->
+      Codec.varint b h;
+      Codec.varint b (Array.length path);
+      Array.iter
+        (fun (i, absorbed) ->
+          Codec.varint b i;
+          Codec.bool_ b absorbed)
+        path)
+    jit_paths;
   (* trap-and-patch rewrites in the working binary *)
   let patched = ref [] in
   Array.iteri
@@ -309,10 +347,16 @@ let capture ~(meta : Log.meta) ~seq ~enc ~(st : State.t)
 
 type restored = { r_meta : Log.meta; r_seq : int; r_since_gc : int;
                   r_gc_count : int; r_patch_sites : int;
-                  r_plan_sites : int list
+                  r_plan_sites : int list;
                       (* sites whose binding plans the caller must
                          reseed (Engine.seed_plan), after the patched
-                         rewrites above have been re-applied *) }
+                         rewrites above have been re-applied *)
+                  r_jit_counters : (int * int) list;
+                  r_jit_paths : (int * (int * bool) array) list
+                      (* hot-counter and recorded-window state the
+                         caller must hand to Engine.set_jit_state —
+                         after plan reseeding, which block compilation
+                         depends on *) }
 
 let restore ~dec ~(st : State.t) ~(arena : 'v Fpvm.Arena.t)
     ~(stats : Fpvm.Stats.t) ~(cache : Fpvm.Decoder.cache)
@@ -357,6 +401,26 @@ let restore ~dec ~(st : State.t) ~(arena : 'v Fpvm.Arena.t)
   let cached = List.init ncached (fun _ -> Codec.r_varint blob pos) in
   let nplans = Codec.r_varint blob pos in
   let r_plan_sites = List.init nplans (fun _ -> Codec.r_varint blob pos) in
+  let ncounters = Codec.r_varint blob pos in
+  let r_jit_counters =
+    List.init ncounters (fun _ ->
+        let h = Codec.r_varint blob pos in
+        let n = Codec.r_varint blob pos in
+        (h, n))
+  in
+  let njit = Codec.r_varint blob pos in
+  let r_jit_paths =
+    List.init njit (fun _ ->
+        let h = Codec.r_varint blob pos in
+        let len = Codec.r_varint blob pos in
+        let path =
+          Array.init len (fun _ ->
+              let i = Codec.r_varint blob pos in
+              let absorbed = Codec.r_bool blob pos in
+              (i, absorbed))
+        in
+        (h, path))
+  in
   let npatched = Codec.r_varint blob pos in
   let patched =
     List.init npatched (fun _ ->
@@ -394,4 +458,5 @@ let restore ~dec ~(st : State.t) ~(arena : 'v Fpvm.Arena.t)
   kern.Trapkern.kernel_cycles <- Int64.to_int (Codec.r_i64 blob pos);
   kern.Trapkern.user_cycles <- Int64.to_int (Codec.r_i64 blob pos);
   if !pos <> body_len then Codec.corrupt "trailing bytes in checkpoint";
-  { r_meta; r_seq; r_since_gc; r_gc_count; r_patch_sites; r_plan_sites }
+  { r_meta; r_seq; r_since_gc; r_gc_count; r_patch_sites; r_plan_sites;
+    r_jit_counters; r_jit_paths }

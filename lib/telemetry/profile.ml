@@ -15,6 +15,9 @@
                   and interposed math calls at this call site
    - trace        per-instruction residency charges of trace windows
                   headed here
+   - jit          trace-JIT charges of windows headed here: superblock
+                  compiles, entry guards, per-step charges and
+                  compiled-to-compiled link transfers
    - correctness  correctness handler (single-step) work
    - patch        trap-and-patch inline check charges *)
 
@@ -31,9 +34,14 @@ type site = {
   mutable patch_checks : int;
   mutable traces : int;
   mutable trace_insns : int;
+  mutable jit_compiles : int;
+  mutable jit_execs : int;
+  mutable jit_insns : int; (* instructions run compiled, windows headed here *)
+  mutable jit_invalidations : int;
   mutable cyc_delivery : int;
   mutable cyc_emulate : int;
   mutable cyc_trace : int;
+  mutable cyc_jit : int;
   mutable cyc_correctness : int;
   mutable cyc_patch : int;
 }
@@ -56,8 +64,10 @@ let create () =
 let fresh_site () =
   { traps = 0; absorbed = 0; emulations = 0; plan_hits = 0; plan_misses = 0;
     plan_invalidations = 0; temps_elided = 0; demotions = 0; corr_traps = 0;
-    patch_checks = 0; traces = 0; trace_insns = 0; cyc_delivery = 0;
-    cyc_emulate = 0; cyc_trace = 0; cyc_correctness = 0; cyc_patch = 0 }
+    patch_checks = 0; traces = 0; trace_insns = 0;
+    jit_compiles = 0; jit_execs = 0; jit_insns = 0; jit_invalidations = 0;
+    cyc_delivery = 0; cyc_emulate = 0; cyc_trace = 0; cyc_jit = 0;
+    cyc_correctness = 0; cyc_patch = 0 }
 
 let site_for t i =
   let i = max 0 i in
@@ -110,6 +120,18 @@ let record t (ev : Fpvm.Probe.tel) =
       let s = site_for t index in
       s.patch_checks <- s.patch_checks + 1;
       s.cyc_patch <- s.cyc_patch + cycles
+  | Fpvm.Probe.T_jit_compile { index; cycles; _ } ->
+      let s = site_for t index in
+      s.jit_compiles <- s.jit_compiles + 1;
+      s.cyc_jit <- s.cyc_jit + cycles
+  | Fpvm.Probe.T_jit_exec { index; steps; cycles } ->
+      let s = site_for t index in
+      s.jit_execs <- s.jit_execs + 1;
+      s.jit_insns <- s.jit_insns + steps;
+      s.cyc_jit <- s.cyc_jit + cycles
+  | Fpvm.Probe.T_jit_invalidate { index } ->
+      let s = site_for t index in
+      s.jit_invalidations <- s.jit_invalidations + 1
   | Fpvm.Probe.T_gc { cycles; _ } ->
       t.gc_passes <- t.gc_passes + 1;
       t.gc_cycles <- t.gc_cycles + cycles
@@ -124,8 +146,8 @@ let record t (ev : Fpvm.Probe.tel) =
   | Fpvm.Probe.T_checkpoint _ -> t.checkpoints <- t.checkpoints + 1
 
 let site_cycles s =
-  s.cyc_delivery + s.cyc_emulate + s.cyc_trace + s.cyc_correctness
-  + s.cyc_patch
+  s.cyc_delivery + s.cyc_emulate + s.cyc_trace + s.cyc_jit
+  + s.cyc_correctness + s.cyc_patch
 
 (* Cycles the profile attributes anywhere: per-site buckets plus the
    run-global GC bucket. Equals [Stats.total_fpvm_cycles] exactly. *)
@@ -172,17 +194,17 @@ let report_text ?(n = 10) t (stats : Fpvm.Stats.t) bb =
        "hot sites (top %d by attributed cycles; total fpvm %d, attributed %d + gc %d, remainder %d)\n"
        n total (tracked - t.gc_cycles) t.gc_cycles (total - tracked));
   Buffer.add_string bb
-    "  site     cycles  %fpvm    traps absorbed     emul plan h/m  deliv_cyc    emu_cyc  trace_cyc corr patch\n";
+    "  site     cycles  %fpvm    traps absorbed     emul plan h/m  deliv_cyc    emu_cyc  trace_cyc    jit_cyc corr patch\n";
   List.iter
     (fun (i, s) ->
       Buffer.add_string bb
         (Printf.sprintf
-           "  %4d %10d %5.1f%% %8d %8d %8d %4d/%-4d %10d %10d %10d %4d %5d\n"
+           "  %4d %10d %5.1f%% %8d %8d %8d %4d/%-4d %10d %10d %10d %10d %4d %5d\n"
            i (site_cycles s)
            (if total = 0 then 0.0
             else 100.0 *. float_of_int (site_cycles s) /. float_of_int total)
            s.traps s.absorbed s.emulations s.plan_hits s.plan_misses
-           s.cyc_delivery s.cyc_emulate s.cyc_trace s.corr_traps
+           s.cyc_delivery s.cyc_emulate s.cyc_trace s.cyc_jit s.corr_traps
            s.patch_checks))
     (top t n)
 
@@ -198,10 +220,11 @@ let report_json ?(n = 10) t (stats : Fpvm.Stats.t) bb =
       if k > 0 then Buffer.add_string bb ",\n";
       Buffer.add_string bb
         (Printf.sprintf
-           "    {\"site\":%d,\"cycles\":%d,\"traps\":%d,\"absorbed\":%d,\"emulations\":%d,\"plan_hits\":%d,\"plan_misses\":%d,\"plan_invalidations\":%d,\"temps_elided\":%d,\"demotions\":%d,\"corr_traps\":%d,\"patch_checks\":%d,\"traces\":%d,\"trace_insns\":%d,\"cyc_delivery\":%d,\"cyc_emulate\":%d,\"cyc_trace\":%d,\"cyc_correctness\":%d,\"cyc_patch\":%d}"
+           "    {\"site\":%d,\"cycles\":%d,\"traps\":%d,\"absorbed\":%d,\"emulations\":%d,\"plan_hits\":%d,\"plan_misses\":%d,\"plan_invalidations\":%d,\"temps_elided\":%d,\"demotions\":%d,\"corr_traps\":%d,\"patch_checks\":%d,\"traces\":%d,\"trace_insns\":%d,\"jit_compiles\":%d,\"jit_execs\":%d,\"jit_insns\":%d,\"jit_invalidations\":%d,\"cyc_delivery\":%d,\"cyc_emulate\":%d,\"cyc_trace\":%d,\"cyc_jit\":%d,\"cyc_correctness\":%d,\"cyc_patch\":%d}"
            i (site_cycles s) s.traps s.absorbed s.emulations s.plan_hits
            s.plan_misses s.plan_invalidations s.temps_elided s.demotions
-           s.corr_traps s.patch_checks s.traces s.trace_insns s.cyc_delivery
-           s.cyc_emulate s.cyc_trace s.cyc_correctness s.cyc_patch))
+           s.corr_traps s.patch_checks s.traces s.trace_insns s.jit_compiles
+           s.jit_execs s.jit_insns s.jit_invalidations s.cyc_delivery
+           s.cyc_emulate s.cyc_trace s.cyc_jit s.cyc_correctness s.cyc_patch))
     (top t n);
   Buffer.add_string bb "\n  ]\n}\n"

@@ -26,6 +26,9 @@ let k_gc = 7
 let k_correctness = 8
 let k_demote = 9
 let k_checkpoint = 10
+let k_jit_compile = 11
+let k_jit_exec = 12
+let k_jit_invalidate = 13
 
 type slot = {
   mutable ts : int; (* modeled cycles at emission *)
@@ -103,6 +106,14 @@ let record t ~ts (ev : Fpvm.Probe.tel) =
       push t ~ts ~kind:k_demote ~a:index ~b:count ~c:0 ~d:0
   | Fpvm.Probe.T_checkpoint { seq; bytes } ->
       push t ~ts ~kind:k_checkpoint ~a:seq ~b:bytes ~c:0 ~d:0
+  | Fpvm.Probe.T_jit_compile { index; steps; cycles } ->
+      push t ~ts ~kind:k_jit_compile ~a:index ~b:steps ~c:cycles ~d:0
+  | Fpvm.Probe.T_jit_exec { index; steps; cycles } ->
+      (* one slot per block execution — bounded by deliveries + links,
+         structural like trace windows, not per-instruction noise *)
+      push t ~ts ~kind:k_jit_exec ~a:index ~b:steps ~c:cycles ~d:0
+  | Fpvm.Probe.T_jit_invalidate { index } ->
+      push t ~ts ~kind:k_jit_invalidate ~a:index ~b:0 ~c:0 ~d:0
 
 (* Oldest-first iteration over live slots. *)
 let iter t f =
@@ -208,7 +219,20 @@ let export_json t bb =
           [ ("site", i s.a); ("count", i s.b) ]
       else if s.kind = k_checkpoint then
         ev ~ph:"i" ~ts:s.ts ~name:"checkpoint" ~cat:"replay"
-          [ ("seq", i s.a); ("bytes", i s.b) ]);
+          [ ("seq", i s.a); ("bytes", i s.b) ]
+      else if s.kind = k_jit_compile then
+        ev ~ph:"X"
+          ~ts:(max 0 (s.ts - s.c))
+          ~dur:s.c ~name:"jit_compile" ~cat:"jit"
+          [ ("site", i s.a); ("steps", i s.b) ]
+      else if s.kind = k_jit_exec then
+        ev ~ph:"X"
+          ~ts:(max 0 (s.ts - s.c))
+          ~dur:s.c ~name:"jit_exec" ~cat:"jit"
+          [ ("site", i s.a); ("steps", i s.b) ]
+      else if s.kind = k_jit_invalidate then
+        ev ~ph:"i" ~ts:s.ts ~name:"jit_invalidate" ~cat:"jit"
+          [ ("site", i s.a) ]);
   (* A window still open at export (halt inside a trace) gets a
      synthetic close so strict viewers don't reject the file. *)
   if !depth > 0 then begin

@@ -1,0 +1,308 @@
+(* Trace-JIT differential tests.
+
+   The JIT is a pure performance optimization: for every workload,
+   every arithmetic port and both GC modes, the program-visible results
+   (printed output and the serialized Write_f64 channel) must be
+   bit-identical with the JIT on and off, and the trap-worthy event
+   count must be conserved (linking and fusion move deliveries into
+   absorptions, never create or lose them).
+
+   Beyond the differential we pin each guard kind individually, each
+   proving the interpreter fallback is bit-exact mid-trace:
+   - taint: a fused step whose raw operands stop being fusable (here a
+     memory operand flipped to a subnormal) side-exits to the
+     interpretive window;
+   - shape: a compiled step whose instruction is no longer physically
+     the one it was compiled from side-exits;
+   - patch invalidation: a trap-and-patch rewrite of any touched site
+     drops the whole superblock. *)
+
+module W = Workloads
+
+let scale = W.Test
+
+(* Threshold 2 so Test-scale workloads get hot; everything else is the
+   shipping default. *)
+let cfg ?(use_jit = true) ?(jit_threshold = 2) ?(incremental_gc = true)
+    ?(approach = Fpvm.Engine.Trap_and_emulate) ?(trace_len = 16) () =
+  { Fpvm.Engine.default_config with
+    Fpvm.Engine.approach; use_jit; jit_threshold; incremental_gc;
+    Fpvm.Engine.max_trace_len = trace_len }
+
+let ports :
+    (string * ((config:Fpvm.Engine.config -> Machine.Program.t ->
+                Fpvm.Engine.result) * (unit -> unit))) list =
+  let module E_vanilla = Fpvm.Engine.Make (Fpvm.Alt_vanilla) in
+  let module E_mpfr = Fpvm.Engine.Make (Fpvm.Alt_mpfr) in
+  let module E_posit = Fpvm.Engine.Make (Fpvm.Alt_posit) in
+  let module E_interval = Fpvm.Engine.Make (Fpvm.Alt_interval) in
+  let module E_slash = Fpvm.Engine.Make (Fpvm.Alt_slash) in
+  [ ("vanilla", ((fun ~config p -> E_vanilla.run ~config p), ignore));
+    ("mpfr",
+     ((fun ~config p -> E_mpfr.run ~config p),
+      fun () -> Fpvm.Alt_mpfr.precision := 200));
+    ("posit", ((fun ~config p -> E_posit.run ~config p), ignore));
+    ("interval", ((fun ~config p -> E_interval.run ~config p), ignore));
+    ("slash", ((fun ~config p -> E_slash.run ~config p), ignore)) ]
+
+(* ---- jit on == jit off, everywhere ------------------------------------ *)
+
+let differential =
+  List.concat_map
+    (fun (port, (run, setup)) ->
+      List.concat_map
+        (fun (gc_name, incremental_gc) ->
+          List.map
+            (fun (e : W.entry) ->
+              Alcotest.test_case
+                (Printf.sprintf "%s/%s/%s: jit == no-jit" e.W.name port
+                   gc_name)
+                `Quick
+                (fun () ->
+                  setup ();
+                  let prog = e.W.program scale in
+                  let off =
+                    run ~config:(cfg ~use_jit:false ~incremental_gc ()) prog
+                  and on = run ~config:(cfg ~incremental_gc ()) prog in
+                  Alcotest.(check string) "output bit-identical"
+                    off.Fpvm.Engine.output on.Fpvm.Engine.output;
+                  Alcotest.(check string) "serialized bit-identical"
+                    off.Fpvm.Engine.serialized on.Fpvm.Engine.serialized;
+                  let so = off.Fpvm.Engine.stats
+                  and sn = on.Fpvm.Engine.stats in
+                  (* linking turns deliveries into absorptions; the
+                     trap-worthy total is untouchable *)
+                  Alcotest.(check int) "trap-worthy events conserved"
+                    (so.Fpvm.Stats.fp_traps + so.Fpvm.Stats.traps_avoided)
+                    (sn.Fpvm.Stats.fp_traps + sn.Fpvm.Stats.traps_avoided);
+                  Alcotest.(check int) "same emulations"
+                    so.Fpvm.Stats.emulated_insns sn.Fpvm.Stats.emulated_insns;
+                  Alcotest.(check int) "no jit traffic when disabled" 0
+                    (so.Fpvm.Stats.jit_compiles + so.Fpvm.Stats.jit_hits
+                   + so.Fpvm.Stats.jit_links + so.Fpvm.Stats.jit_guard_exits
+                   + so.Fpvm.Stats.jit_invalidations
+                   + so.Fpvm.Stats.cyc_jit)))
+            W.all)
+        [ ("incremental-gc", true); ("full-gc", false) ])
+    ports
+
+(* ---- accounting: blocks compile, hit, link; steps get cheaper --------- *)
+
+let accounting_tests =
+  [ Alcotest.test_case "hot heads compile, revisits hit, loops link" `Quick
+      (fun () ->
+        let module E = Fpvm.Engine.Make (Fpvm.Alt_vanilla) in
+        List.iter
+          (fun name ->
+            let prog = (Option.get (W.find name)).W.program scale in
+            let s = (E.run ~config:(cfg ()) prog).Fpvm.Engine.stats in
+            Alcotest.(check bool) (name ^ ": blocks compiled") true
+              (s.Fpvm.Stats.jit_compiles > 0);
+            Alcotest.(check bool) (name ^ ": compiled blocks hit") true
+              (s.Fpvm.Stats.jit_hits > s.Fpvm.Stats.jit_compiles);
+            Alcotest.(check bool) (name ^ ": jit cycles charged") true
+              (s.Fpvm.Stats.cyc_jit > 0))
+          [ "lorenz"; "three-body"; "NAS CG" ];
+        let prog = Workloads.Lorenz.program ~steps:300 () in
+        (* linking needs windows long enough to reach the loop
+           back-edge: the shipping default, not the short test window *)
+        let s =
+          (E.run ~config:(cfg ~trace_len:64 ()) prog).Fpvm.Engine.stats
+        in
+        Alcotest.(check bool) "loop back-edges link compiled-to-compiled"
+          true
+          (s.Fpvm.Stats.jit_links > 0));
+    Alcotest.test_case "steady-state window cost collapses" `Quick (fun () ->
+        (* the modeled cost of running windows: interpretive trace
+           stepping + per-visit bind/dispatch vs compiled stepping *)
+        let module E = Fpvm.Engine.Make (Fpvm.Alt_vanilla) in
+        let prog = Workloads.Lorenz.program ~steps:300 () in
+        let cost use_jit =
+          let s = (E.run ~config:(cfg ~use_jit ()) prog).Fpvm.Engine.stats in
+          s.Fpvm.Stats.cyc_trace + s.Fpvm.Stats.cyc_bind
+          + s.Fpvm.Stats.cyc_emu_dispatch + s.Fpvm.Stats.cyc_jit
+        in
+        let off = cost false and on = cost true in
+        Alcotest.(check bool) "at least 2x cheaper" true
+          (float_of_int off /. float_of_int (max 1 on) >= 2.0));
+    Alcotest.test_case "threshold gates compilation" `Quick (fun () ->
+        let module E = Fpvm.Engine.Make (Fpvm.Alt_vanilla) in
+        let prog = Workloads.Lorenz.program ~steps:300 () in
+        let s =
+          (E.run ~config:(cfg ~jit_threshold:max_int ()) prog)
+            .Fpvm.Engine.stats
+        in
+        Alcotest.(check int) "cold heads never compile" 0
+          s.Fpvm.Stats.jit_compiles;
+        Alcotest.(check int) "no hits without blocks" 0
+          s.Fpvm.Stats.jit_hits) ]
+
+(* ---- taint guard: a fused step's operands stop being fusable ---------- *)
+
+(* A loop whose add site sees a boxed x and a raw memory operand d; at
+   iteration 40 the program stores new literal bits into d. With
+   [flip = 2.0] the site stays fusable; with [flip = 5e-324] every
+   post-flip execution of the compiled block must take the taint side
+   exit (a subnormal raw operand would perturb the absorbed flag set,
+   so the fused path refuses it) and fall back to the interpreter.
+   Control flow is identical in both variants, so the exit-count
+   difference isolates the taint guard from the rip guard. *)
+let flip_prog flip =
+  let open Fpvm_ir.Ast in
+  let x = fv "x" and d = fv "d" in
+  let body =
+    [ For
+        ( "step", i 0, i 80,
+          [ Fset ("x", x *: f 1.0000001);
+            Fset ("acc", fv "acc" +: (x +: d));
+            If (Icmp (Eq, iv "step", i 40), [ Fset ("d", f flip) ], []) ] );
+      Print_f (fv "acc");
+      Print_f x ]
+  in
+  Fpvm_ir.Codegen.compile_program
+    { name = "taint-flip";
+      decls =
+        [ Fscalar ("x", 1.5); Fscalar ("d", 1.0); Fscalar ("acc", 0.0);
+          Iscalar ("step", 0) ];
+      body }
+
+let taint_tests =
+  [ Alcotest.test_case "subnormal operand forces the taint side exit"
+      `Quick
+      (fun () ->
+        let module E = Fpvm.Engine.Make (Fpvm.Alt_vanilla) in
+        let exits flip =
+          (E.run ~config:(cfg ()) (flip_prog flip)).Fpvm.Engine.stats
+            .Fpvm.Stats.jit_guard_exits
+        in
+        let normal = exits 2.0 and subnormal = exits 5e-324 in
+        Alcotest.(check bool)
+          (Printf.sprintf "subnormal flip exits more (%d vs %d)" subnormal
+             normal)
+          true
+          (subnormal > normal));
+    Alcotest.test_case "taint fallback is bit-identical" `Quick (fun () ->
+        let module E = Fpvm.Engine.Make (Fpvm.Alt_vanilla) in
+        List.iter
+          (fun flip ->
+            let on = E.run ~config:(cfg ()) (flip_prog flip)
+            and off =
+              E.run ~config:(cfg ~use_jit:false ()) (flip_prog flip)
+            in
+            Alcotest.(check string) "output bit-identical"
+              off.Fpvm.Engine.output on.Fpvm.Engine.output;
+            let so = off.Fpvm.Engine.stats and sn = on.Fpvm.Engine.stats in
+            Alcotest.(check int) "trap-worthy events conserved"
+              (so.Fpvm.Stats.fp_traps + so.Fpvm.Stats.traps_avoided)
+              (sn.Fpvm.Stats.fp_traps + sn.Fpvm.Stats.traps_avoided))
+          [ 2.0; 5e-324 ]) ]
+
+(* ---- shape guard: the compiled-from instruction is gone --------------- *)
+
+(* Compiled steps key on the physical identity of the instruction they
+   were compiled from. Replacing a mid-window instruction with a
+   structurally equal but physically fresh copy must trip the shape
+   guard on every subsequent block execution — semantics are untouched,
+   so the interpreter fallback must reproduce the run bit-exactly. *)
+let clone_insn (i : Machine.Isa.insn) : Machine.Isa.insn =
+  Marshal.from_string (Marshal.to_string i []) 0
+
+let shape_tests =
+  [ Alcotest.test_case "stale instruction identity forces a side exit"
+      `Quick
+      (fun () ->
+        let module E = Fpvm.Engine.Make (Fpvm.Alt_vanilla) in
+        let prog = Workloads.Lorenz.program ~steps:300 () in
+        let config = cfg () in
+        (* Run once to harvest the hot state. *)
+        let hot = E.prepare ~config prog in
+        let base = E.resume hot in
+        let counters = E.jit_counters hot
+        and paths = E.jit_paths hot
+        and plan_sites = E.plan_sites hot in
+        Alcotest.(check bool) "baseline compiled blocks" true (paths <> []);
+        let heads = List.map fst paths in
+        (* Reseed a fresh session (control) and a mutated twin. *)
+        let seed () =
+          let ses = E.prepare ~config prog in
+          List.iter (E.seed_plan ses) plan_sites;
+          E.set_jit_state ses ~counters ~paths;
+          ses
+        in
+        let control = seed () and mutated = seed () in
+        (* Swap every mid-window step (never a head: heads are lookup
+           keys, and a missed lookup is not a guard exit) for a
+           physically fresh copy. *)
+        let swapped = ref 0 in
+        List.iter
+          (fun (h, path) ->
+            if Array.length path >= 2 then begin
+              let idx = fst path.(1) in
+              if idx <> h && not (List.mem idx heads) then begin
+                let insns = mutated.E.prog.Machine.Program.insns in
+                insns.(idx) <- clone_insn insns.(idx);
+                incr swapped
+              end
+            end)
+          paths;
+        Alcotest.(check bool) "at least one step swapped" true (!swapped > 0);
+        let rc = E.resume control and rm = E.resume mutated in
+        Alcotest.(check string) "control output bit-identical"
+          base.Fpvm.Engine.output rc.Fpvm.Engine.output;
+        Alcotest.(check string) "fallback output bit-identical"
+          base.Fpvm.Engine.output rm.Fpvm.Engine.output;
+        Alcotest.(check string) "fallback serialized bit-identical"
+          base.Fpvm.Engine.serialized rm.Fpvm.Engine.serialized;
+        let sc = rc.Fpvm.Engine.stats and sm = rm.Fpvm.Engine.stats in
+        Alcotest.(check bool)
+          (Printf.sprintf "shape guard fired (%d vs %d exits)"
+             sm.Fpvm.Stats.jit_guard_exits sc.Fpvm.Stats.jit_guard_exits)
+          true
+          (sm.Fpvm.Stats.jit_guard_exits > sc.Fpvm.Stats.jit_guard_exits)) ]
+
+(* ---- patch invalidation: trap-and-patch rewrites drop blocks ---------- *)
+
+let invalidation_tests =
+  [ Alcotest.test_case "trap-and-patch rewrites invalidate touched blocks"
+      `Quick
+      (fun () ->
+        let module E = Fpvm.Engine.Make (Fpvm.Alt_vanilla) in
+        let prog = Workloads.Lorenz.program ~steps:300 () in
+        (* Harvest compiled blocks from a trap-and-emulate run, seed
+           them into a trap-and-patch session: each first trap rewrites
+           its site, and every seeded block touching a rewritten site
+           must be dropped (it would otherwise execute the pre-patch
+           instruction object the rewrite just replaced). *)
+        let hot = E.prepare ~config:(cfg ()) prog in
+        ignore (E.resume hot);
+        let paths = E.jit_paths hot in
+        Alcotest.(check bool) "donor run compiled blocks" true (paths <> []);
+        let pconfig = cfg ~approach:Fpvm.Engine.Trap_and_patch () in
+        let ses = E.prepare ~config:pconfig prog in
+        List.iter (E.seed_plan ses) (E.plan_sites hot);
+        E.set_jit_state ses ~counters:(E.jit_counters hot) ~paths;
+        let r = E.resume ses in
+        let s = r.Fpvm.Engine.stats in
+        Alcotest.(check bool) "sites were patched" true
+          (s.Fpvm.Stats.patch_invocations > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "blocks invalidated (%d)"
+             s.Fpvm.Stats.jit_invalidations)
+          true
+          (s.Fpvm.Stats.jit_invalidations > 0);
+        (* the rewrites plus invalidations must leave results untouched *)
+        let plain =
+          E.run ~config:(cfg ~use_jit:false
+                           ~approach:Fpvm.Engine.Trap_and_patch ())
+            prog
+        in
+        Alcotest.(check string) "patched output still jit-invariant"
+          plain.Fpvm.Engine.output r.Fpvm.Engine.output) ]
+
+let () =
+  Alcotest.run "jit"
+    [ ("differential", differential);
+      ("accounting", accounting_tests);
+      ("taint-guard", taint_tests);
+      ("shape-guard", shape_tests);
+      ("patch-invalidation", invalidation_tests) ]

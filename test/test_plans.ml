@@ -13,11 +13,16 @@ module W = Workloads
 
 let scale = W.Test
 
+(* The JIT is off throughout: this suite pins interpretive-layer
+   invariants (every emulation is a plan hit or miss; plans on/off
+   leaves the trap stream untouched) that the fused superblock paths
+   intentionally change. test_jit.ml owns the JIT differentials. *)
 let cfg ?(use_plans = true) ?(incremental_gc = true)
     ?(approach = Fpvm.Engine.Trap_and_emulate) ?(trace_len = 16)
     ?(oracle = false) () =
   { Fpvm.Engine.default_config with
     Fpvm.Engine.approach; oracle; use_plans; incremental_gc;
+    Fpvm.Engine.use_jit = false;
     Fpvm.Engine.max_trace_len = trace_len }
 
 let ports :
