@@ -161,7 +161,6 @@ let fig9 ?(decode_cache = true) () =
     (if decode_cache then
        "Figure 9: avg cost of virtualizing an FP instruction (cycles, MPFR-200)"
      else "Figure 9 ablation: decode cache disabled");
-  Fpvm.Alt_mpfr.precision := 200;
   printf "%-12s %8s | %7s %7s %7s %7s %7s %7s %7s %7s\n" "code" "total" "hw"
     "kernel" "deliver" "decode" "bind" "emulate" "gc" "corr";
   List.iter
@@ -185,7 +184,6 @@ let fig9 ?(decode_cache = true) () =
 
 let fig10 () =
   hr "Figure 10: garbage collector statistics";
-  Fpvm.Alt_mpfr.precision := 200;
   printf "%-12s %10s %10s %10s %12s %10s\n" "code" "passes" "freed" "alive"
     "latency(us)" "collected";
   List.iter
@@ -259,7 +257,6 @@ let fig11 ?(max_log2 = 14) () =
 
 let fig12 ?(deployment = Trapkern.User_signal) () =
   hr "Figure 12: wall-clock slowdown under FPVM (MPFR-200), by machine";
-  Fpvm.Alt_mpfr.precision := 200;
   printf "%-12s %-14s %10s %10s %10s\n" "Benchmarks" "Specifics" "R815" "7220"
     "R730xd";
   List.iter
@@ -283,7 +280,6 @@ let fig12 ?(deployment = Trapkern.User_signal) () =
 
 let fig13 () =
   hr "Figure 13: Lorenz under IEEE vs FPVM-Vanilla vs FPVM-MPFR";
-  Fpvm.Alt_mpfr.precision := 200;
   let steps = 2500 in
   let prog = W.Lorenz.program ~steps ~emit_every:128 () in
   let native = Fpvm.Engine.run_native prog in
@@ -453,10 +449,8 @@ let effects () =
   printf "  %-22s %s   (identical: %b)\n" "FPVM + Vanilla"
     (last_line v.Fpvm.Engine.output)
     (v.Fpvm.Engine.output = native.Fpvm.Engine.output);
-  Fpvm.Alt_mpfr.precision := 200;
   let m = E_mpfr.run ~config:(cfg ()) prog in
   printf "  %-22s %s\n" "FPVM + MPFR-200" (last_line m.Fpvm.Engine.output);
-  Fpvm.Alt_posit.spec := Posit.posit32;
   let p = E_posit.run ~config:(cfg ()) prog in
   printf "  %-22s %s\n" "FPVM + posit<32,2>" (last_line p.Fpvm.Engine.output);
   let iv = E_interval.run ~config:(cfg ()) prog in
@@ -472,7 +466,6 @@ let effects () =
 
 let ablate_gc () =
   hr "Ablation: GC epoch length vs memory high-water (lorenz, MPFR-200)";
-  Fpvm.Alt_mpfr.precision := 200;
   let prog = W.Lorenz.program ~steps:800 () in
   printf "%12s %10s %12s %12s\n" "interval" "passes" "freed" "gc cycles";
   List.iter
@@ -508,7 +501,6 @@ let ablate_vsa () =
 
 let ablate_compiler_gc () =
   hr "Ablation: compiler-managed shadow freeing (section 3.4's GC advantage)";
-  Fpvm.Alt_mpfr.precision := 200;
   printf "%-28s %12s %12s %12s %12s\n" "build" "boxes" "eager frees"
     "gc freed" "gc cycles";
   let config =
@@ -531,7 +523,6 @@ let ablate_compiler_gc () =
 
 let ablate_delivery () =
   hr "Ablation: projected Fig 12 slowdowns under section 6 delivery options";
-  Fpvm.Alt_mpfr.precision := 200;
   printf "%-12s %14s %14s %14s\n" "code" "user signal" "kernel module"
     "user->user";
   List.iter
@@ -578,7 +569,6 @@ let json_escape s =
 
 let bench_json () =
   hr "BENCH_overhead.json: trace emulation + incremental GC evidence";
-  Fpvm.Alt_mpfr.precision := 200;
   let seed_cfg = cfg ~incremental_gc:false () in
   let seed_cfg = { seed_cfg with Fpvm.Engine.max_trace_len = 1 } in
   let opt_cfg = cfg () in
@@ -702,7 +692,6 @@ module RS = Replay.Session.Make (Fpvm.Alt_mpfr)
 
 let bench_replay () =
   hr "BENCH_replay.json: record/replay overhead + checkpoint cost";
-  Fpvm.Alt_mpfr.precision := 200;
   let config = cfg () in
   let meta_of name =
     { Replay.Log.workload = name; scale = "test"; arith = "mpfr:200";
@@ -847,7 +836,6 @@ let bench_replay () =
 
 let bench_vsa () =
   hr "BENCH_vsa.json: precision-tiered static analysis";
-  Fpvm.Alt_mpfr.precision := 200;
   let strict_names = [ "NAS CG"; "NAS MG"; "Enzo(astro)" ] in
   let failures = ref 0 in
   printf "%-12s %22s %22s %9s %8s\n" "workload" "legacy sinks/proven"
@@ -945,7 +933,6 @@ module E_slash = Fpvm.Engine.Make (Fpvm.Alt_slash)
 
 let bench_plans () =
   hr "BENCH_plans.json: binding-plan cache + shadow-temp elision";
-  Fpvm.Alt_mpfr.precision := 200;
   let strict_names = [ "NAS CG"; "NAS MG"; "Enzo(astro)" ] in
   let failures = ref 0 in
   let bind_disp (s : Fpvm.Stats.t) =
@@ -1182,7 +1169,6 @@ module T_slash = Tele (Fpvm.Alt_slash)
 
 let bench_telemetry () =
   hr "BENCH_telemetry.json: tracing + hot-site profiles + shadow check";
-  Fpvm.Alt_mpfr.precision := 200;
   let failures = ref 0 in
   let check name ok =
     printf "%-64s %s\n%!" name (if ok then "ok" else "FAIL");
@@ -1249,9 +1235,8 @@ let bench_telemetry () =
   in
   let _, tel_v = T_vanilla.run ~telemetry:true ~config:(cfg ()) lorenz in
   let err_vanilla = max_err tel_v in
-  Fpvm.Alt_mpfr.precision := 8;
-  let _, tel_m8 = T_mpfr.run ~telemetry:true ~config:(cfg ()) lorenz in
-  Fpvm.Alt_mpfr.precision := 200;
+  let module T_mpfr8 = Tele (Fpvm.Alt_mpfr.Make (struct let prec = 8 end)) in
+  let _, tel_m8 = T_mpfr8.run ~telemetry:true ~config:(cfg ()) lorenz in
   let err_mpfr8 = max_err tel_m8 in
   check "shadow check: vanilla max_rel_err = 0" (err_vanilla = 0.0);
   check "shadow check: mpfr-8 max_rel_err > 0" (err_mpfr8 > 0.0);
@@ -1350,7 +1335,6 @@ let bench_telemetry () =
 
 let bench_jit () =
   hr "BENCH_jit.json: guarded IR superblocks with trace linking";
-  Fpvm.Alt_mpfr.precision := 200;
   let failures = ref 0 in
   let window_cost (s : Fpvm.Stats.t) =
     s.Fpvm.Stats.cyc_trace + s.Fpvm.Stats.cyc_bind
@@ -1493,6 +1477,175 @@ let bench_jit () =
     exit 1
   end
 
+(* ---- fleet serving: domain scaling + per-guest bit-identity ---------------------------------------- *)
+
+(* The fpvm_serve perf story. Two fleets:
+
+   Scaling: 4x lorenz-mpfr + 4x "NAS CG"-mpfr guests served at 1, 2
+   and 4 domains, the 2/4-domain partitions weighted by the per-guest
+   cycles measured in the 1-domain run (the LPT profiling pass).
+   Throughput is modeled-cycle makespan (worst domain's guest cycles +
+   switch charges); ratchet: >= 3.0x at 4 domains vs 1.
+
+   Identity: 5 arithmetic ports x 2 GC modes on lorenz, served at 2
+   domains, every guest's stats fingerprint and output compared
+   bit-for-bit against Fleet.run_solo (== fpvm_run solo). *)
+
+let bench_fleet () =
+  hr "BENCH_fleet.json: fleet serving across domains";
+  let failures = ref 0 in
+  let mpfr_guest i workload =
+    { Fleet.g_id = i; g_workload = workload; g_scale = W.Test;
+      g_port = Fleet.Port.Mpfr 200;
+      g_config = Fpvm.Engine.default_config }
+  in
+  let scaling_guests =
+    List.init 8 (fun i ->
+        mpfr_guest i (if i < 4 then "lorenz" else "NAS CG"))
+  in
+  let batch = 8 in
+  let f1 = Fleet.serve ~domains:1 ~batch scaling_guests in
+  let weights =
+    Array.of_list (List.map (fun r -> r.Fleet.r_cycles) f1.Fleet.f_results)
+  in
+  let runs =
+    (1, f1)
+    :: List.map
+         (fun d -> (d, Fleet.serve ~domains:d ~batch ~weights scaling_guests))
+         [ 2; 4 ]
+  in
+  printf "scaling fleet: 4x lorenz-mpfr + 4x NAS-CG-mpfr, batch %d\n" batch;
+  printf "%8s %16s %10s %10s\n" "domains" "makespan" "scaling" "switches";
+  let scaling_rows =
+    List.map
+      (fun (d, (f : Fleet.fleet_result)) ->
+        let scaling =
+          float_of_int f1.Fleet.f_makespan /. float_of_int f.Fleet.f_makespan
+        in
+        printf "%8d %15dc %9.2fx %10d\n%!" d f.Fleet.f_makespan scaling
+          f.Fleet.f_switches;
+        (* fleet results must not depend on how many domains served them *)
+        List.iter2
+          (fun (a : Fleet.guest_result) (b : Fleet.guest_result) ->
+            if a.Fleet.r_fingerprint <> b.Fleet.r_fingerprint then begin
+              incr failures;
+              printf "FAIL guest %d: fingerprint differs at %d domains\n"
+                a.Fleet.r_guest.Fleet.g_id d
+            end)
+          f1.Fleet.f_results f.Fleet.f_results;
+        Printf.sprintf
+          "    { \"domains\": %d, \"makespan\": %d, \"scaling\": %.3f, \
+           \"switches\": %d, \"facts_hits\": %d, \"facts_misses\": %d }"
+          d f.Fleet.f_makespan scaling f.Fleet.f_switches f.Fleet.f_facts_hits
+          f.Fleet.f_facts_misses)
+      runs
+  in
+  let scaling4 =
+    match List.assoc_opt 4 runs with
+    | Some f -> float_of_int f1.Fleet.f_makespan /. float_of_int f.Fleet.f_makespan
+    | None -> 0.0
+  in
+  if scaling4 < 3.0 then begin
+    incr failures;
+    printf "FAIL: %.2fx at 4 domains (ratchet 3.0x)\n" scaling4
+  end;
+  (* identity fleet: every port, both GC modes, vs solo *)
+  let ports =
+    [ Fleet.Port.Vanilla; Fleet.Port.Mpfr 200; Fleet.Port.Posit 32;
+      Fleet.Port.Interval; Fleet.Port.Slash 64 ]
+  in
+  let identity_guests =
+    List.concat_map
+      (fun port ->
+        List.map
+          (fun inc ->
+            (port, inc,
+             { Fpvm.Engine.default_config with
+               Fpvm.Engine.incremental_gc = inc }))
+          [ true; false ])
+      ports
+    |> List.mapi (fun i (port, _inc, config) ->
+           { Fleet.g_id = i; g_workload = "lorenz"; g_scale = W.Test;
+             g_port = port; g_config = config })
+  in
+  let fid = Fleet.serve ~domains:2 ~batch:4 identity_guests in
+  printf
+    "\nidentity fleet: 5 ports x 2 GC modes on lorenz, 2 domains (%d guests)\n"
+    (List.length fid.Fleet.f_results);
+  let identical = ref 0 in
+  let identity_rows =
+    List.map
+      (fun (r : Fleet.guest_result) ->
+        let solo = Fleet.run_solo r.Fleet.r_guest in
+        let ok =
+          Fpvm.Stats.fingerprint solo.Fpvm.Engine.stats = r.Fleet.r_fingerprint
+          && solo.Fpvm.Engine.output = r.Fleet.r_output
+          && solo.Fpvm.Engine.serialized = r.Fleet.r_serialized
+        in
+        if ok then incr identical
+        else begin
+          incr failures;
+          printf "FAIL guest %d (%s, gc=%s): fleet != solo\n"
+            r.Fleet.r_guest.Fleet.g_id
+            (Fleet.guest_arith r.Fleet.r_guest)
+            (if r.Fleet.r_guest.Fleet.g_config.Fpvm.Engine.incremental_gc then
+               "inc"
+             else "full")
+        end;
+        Printf.sprintf
+          "    { \"arith\": \"%s\", \"gc\": \"%s\", \"domain\": %d, \
+           \"cycles\": %d, \"bit_identical_to_solo\": %b }"
+          (json_escape (Fleet.guest_arith r.Fleet.r_guest))
+          (if r.Fleet.r_guest.Fleet.g_config.Fpvm.Engine.incremental_gc then
+             "inc"
+           else "full")
+          r.Fleet.r_domain r.Fleet.r_cycles ok)
+      fid.Fleet.f_results
+  in
+  printf "  %d/%d guests bit-identical to their solo runs\n" !identical
+    (List.length fid.Fleet.f_results);
+  printf "  facts store: %d shared / %d computed\n" fid.Fleet.f_facts_hits
+    fid.Fleet.f_facts_misses;
+  let doc =
+    Printf.sprintf
+      "{\n\
+       \  \"schema_version\": 1,\n\
+       \  \"experiment\": \"fleet serving: guest fleets co-scheduled across \
+       OCaml domains with a shared VSA fact store and batched trap \
+       delivery\",\n\
+       \  \"metric\": \"modeled-cycle makespan: max over domains of (guest \
+       cycles + switches * switch_cost)\",\n\
+       \  \"switch_cost\": %d,\n\
+       \  \"batch\": %d,\n\
+       \  \"scaling_fleet\": \"4x lorenz mpfr-200 + 4x NAS CG mpfr-200, LPT \
+       weighted by measured 1-domain cycles\",\n\
+       \  \"ratchet\": { \"scaling_at_4_domains_min\": 3.0 },\n\
+       \  \"scaling\": [\n%s\n  ],\n\
+       \  \"scaling_at_4_domains\": %.3f,\n\
+       \  \"identity_fleet\": \"5 ports x 2 GC modes on lorenz at 2 \
+       domains\",\n\
+       \  \"identity\": [\n%s\n  ],\n\
+       \  \"identity_bit_identical\": %d,\n\
+       \  \"identity_guests\": %d,\n\
+       \  \"failures\": %d\n\
+       }\n"
+      Fleet.default_switch_cost batch
+      (String.concat ",\n" scaling_rows)
+      scaling4
+      (String.concat ",\n" identity_rows)
+      !identical
+      (List.length fid.Fleet.f_results)
+      !failures
+  in
+  let oc = open_out "BENCH_fleet.json" in
+  output_string oc doc;
+  close_out oc;
+  printf "\nwrote BENCH_fleet.json\n";
+  if !failures > 0 then begin
+    printf "fleet experiment: %d assertion(s) FAILED\n" !failures;
+    exit 1
+  end
+
 (* ---- main ------------------------------------------------------------------------------------------ *)
 
 let experiments =
@@ -1518,7 +1671,8 @@ let experiments =
     ("vsa", bench_vsa);
     ("plans", bench_plans);
     ("telemetry", bench_telemetry);
-    ("jit", bench_jit) ]
+    ("jit", bench_jit);
+    ("fleet", bench_fleet) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -19,68 +19,11 @@
 module CM = Machine.Cost_model
 module W = Workloads
 
-(* Per-arithmetic drivers. Engine/session types are functor-specific,
-   but [Replay.Session.recording] / [outcome] / [Fpvm.Engine.result]
-   are shared, so a record of closures erases the functor. *)
-type driver = {
-  d_run :
-    ?instrument:(Fpvm.Probe.sink -> unit) ->
-    config:Fpvm.Engine.config ->
-    Machine.Program.t ->
-    Fpvm.Engine.result;
-  d_record :
-    ?instrument:(Fpvm.Probe.sink -> unit) ->
-    checkpoint_every:int ->
-    meta:Replay.Log.meta ->
-    config:Fpvm.Engine.config ->
-    Machine.Program.t ->
-    Replay.Session.recording;
-  d_replay :
-    ?checkpoint:string ->
-    ?instrument:(Fpvm.Probe.sink -> unit) ->
-    config:Fpvm.Engine.config ->
-    Replay.Log.t ->
-    Machine.Program.t ->
-    Replay.Session.outcome;
-  d_resume :
-    ?instrument:(Fpvm.Probe.sink -> unit) ->
-    config:Fpvm.Engine.config ->
-    Machine.Program.t ->
-    string ->
-    Fpvm.Engine.result;
-}
-
-module D (A : Fpvm.Arith.S) = struct
-  module S = Replay.Session.Make (A)
-
-  let driver =
-    {
-      d_run =
-        (fun ?instrument ~config prog ->
-          (* prepare / instrument / resume, so telemetry attaches the
-             same way it does around a checkpoint restore *)
-          let ses = S.E.prepare ~config prog in
-          (match instrument with
-          | Some f -> f ses.S.E.eng.S.E.probe
-          | None -> ());
-          S.E.resume ses);
-      d_record =
-        (fun ?instrument ~checkpoint_every ~meta ~config prog ->
-          S.record ~checkpoint_every ?instrument ~meta ~config prog);
-      d_replay =
-        (fun ?checkpoint ?instrument ~config log prog ->
-          S.replay ?checkpoint ?instrument ~config log prog);
-      d_resume =
-        (fun ?instrument ~config prog blob ->
-          S.resume_from ?instrument ~config prog blob);
-    }
-end
-
-module D_vanilla = D (Fpvm.Alt_vanilla)
-module D_mpfr = D (Fpvm.Alt_mpfr)
-module D_posit = D (Fpvm.Alt_posit)
-module D_interval = D (Fpvm.Alt_interval)
-module D_slash = D (Fpvm.Alt_slash)
+(* The functor-erased per-arithmetic driver and its port constructors
+   live in lib/fleet ({!Fleet.driver}, {!Fleet.Port}): fpvm_run is the
+   one-guest case of the same machinery fpvm_serve schedules fleets
+   with, so a solo run and a fleet guest construct their arithmetic
+   identically — the bit-identity guarantee is by construction. *)
 
 let config_fingerprint (c : Fpvm.Engine.config) machine =
   Printf.sprintf
@@ -335,27 +278,8 @@ let run workload arith prec posit_bits approach machine deployment scale
                   Fpvm.Engine.jit_threshold }
               in
               let driver =
-                match arith with
-                | "native" | "vanilla" -> Ok D_vanilla.driver
-                | "mpfr" ->
-                    Fpvm.Alt_mpfr.precision := prec;
-                    Ok D_mpfr.driver
-                | "posit" ->
-                    Fpvm.Alt_posit.spec :=
-                      (match posit_bits with
-                      | 8 -> Posit.posit8
-                      | 16 -> Posit.posit16
-                      | _ -> Posit.posit32);
-                    Ok D_posit.driver
-                | "interval" -> Ok D_interval.driver
-                | "slash" ->
-                    Fpvm.Alt_slash.bits := prec;
-                    Ok D_slash.driver
-                | a ->
-                    Error
-                      (Printf.sprintf
-                         "unknown arithmetic %S (native, vanilla, mpfr, posit, interval, slash)"
-                         a)
+                Result.map Fleet.port_driver
+                  (Fleet.Port.of_flags ~arith ~prec ~posit:posit_bits)
               in
               match driver with
               | Error m -> `Error (false, m)

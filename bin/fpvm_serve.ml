@@ -1,0 +1,202 @@
+(* fpvm_serve: serve a fleet of FPVM guests across OCaml domains.
+
+   Reads a manifest (one guest per line, key=value tokens — see
+   Fleet.Manifest), partitions the guests over --domains worker
+   domains, and co-schedules each domain's shard cooperatively with
+   batched trap delivery. Per-guest results stream to stdout as JSON
+   lines while the fleet runs; a final aggregate object reports the
+   modeled makespan, switch charges and fact-store sharing.
+
+     fpvm_serve --manifest fleet.txt --domains 4
+     fpvm_serve --manifest fleet.txt --domains 2 --batch 16 --verify-solo
+     fpvm_serve --manifest fleet.txt --json > fleet.json
+
+   Every guest's stats fingerprint is bit-identical to the same
+   workload/flags run solo under fpvm_run; --verify-solo re-runs each
+   guest solo after the fleet and exits 7 on any mismatch. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let guest_json (r : Fleet.guest_result) =
+  let g = r.Fleet.r_guest in
+  Printf.sprintf
+    "{\"guest\": %d, \"workload\": \"%s\", \"arith\": \"%s\", \"scale\": \
+     \"%s\", \"gc\": \"%s\", \"domain\": %d, \"cycles\": %d, \"insns\": %d, \
+     \"fp_insns\": %d, \"output_bytes\": %d, \"fingerprint\": \"%s\"}"
+    g.Fleet.g_id
+    (json_escape g.Fleet.g_workload)
+    (json_escape (Fleet.guest_arith g))
+    (Fleet.scale_string g.Fleet.g_scale)
+    (if g.Fleet.g_config.Fpvm.Engine.incremental_gc then "inc" else "full")
+    r.Fleet.r_domain r.Fleet.r_cycles r.Fleet.r_insns r.Fleet.r_fp_insns
+    (String.length r.Fleet.r_output)
+    (json_escape r.Fleet.r_fingerprint)
+
+let fleet_json (f : Fleet.fleet_result) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema_version\": 1,\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"guests\": %d,\n  \"domains\": %d,\n  \"batch\": %d,\n"
+       (List.length f.Fleet.f_results)
+       f.Fleet.f_domains f.Fleet.f_batch);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"switches\": %d,\n  \"facts_hits\": %d,\n  \"facts_misses\": %d,\n"
+       f.Fleet.f_switches f.Fleet.f_facts_hits f.Fleet.f_facts_misses);
+  Buffer.add_string b
+    (Printf.sprintf "  \"total_cycles\": %d,\n  \"makespan\": %d,\n"
+       f.Fleet.f_total_cycles f.Fleet.f_makespan);
+  Buffer.add_string b "  \"domain_cycles\": [";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (string_of_int c))
+    f.Fleet.f_domain_cycles;
+  Buffer.add_string b "],\n  \"results\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b ("    " ^ guest_json r))
+    f.Fleet.f_results;
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let serve manifest domains batch switch_cost verify_solo json quiet =
+  match Fleet.validate_serve ~domains ~batch with
+  | Error m -> `Error (false, m)
+  | Ok () -> (
+      if manifest = "" then `Error (false, "--manifest FILE is required")
+      else
+        match Fleet.Manifest.load manifest with
+        | Error m -> `Error (false, Printf.sprintf "%s: %s" manifest m)
+        | Ok guests ->
+            let on_result r =
+              if not quiet then begin
+                print_endline (guest_json r);
+                flush stdout
+              end
+            in
+            let fleet =
+              Fleet.serve ~domains ~batch ~switch_cost ~on_result guests
+            in
+            if json then print_string (fleet_json fleet)
+            else begin
+              Printf.eprintf
+                "fleet: %d guests on %d domain(s), batch %d: makespan %d \
+                 cycles (total %d, %.2fx), %d switches, facts %d shared / %d \
+                 computed\n"
+                (List.length fleet.Fleet.f_results)
+                domains batch fleet.Fleet.f_makespan fleet.Fleet.f_total_cycles
+                (if fleet.Fleet.f_makespan > 0 then
+                   float_of_int fleet.Fleet.f_total_cycles
+                   /. float_of_int fleet.Fleet.f_makespan
+                 else 0.)
+                fleet.Fleet.f_switches fleet.Fleet.f_facts_hits
+                fleet.Fleet.f_facts_misses
+            end;
+            if not verify_solo then `Ok 0
+            else begin
+              (* Identity audit: every guest re-run solo (no scheduler,
+                 no shared facts) must reproduce the fleet's output and
+                 stats fingerprint bit-for-bit. *)
+              let mismatches = ref 0 in
+              List.iter
+                (fun (r : Fleet.guest_result) ->
+                  let solo = Fleet.run_solo r.Fleet.r_guest in
+                  let sfp = Fpvm.Stats.fingerprint solo.Fpvm.Engine.stats in
+                  let ok =
+                    sfp = r.Fleet.r_fingerprint
+                    && solo.Fpvm.Engine.output = r.Fleet.r_output
+                    && solo.Fpvm.Engine.serialized = r.Fleet.r_serialized
+                  in
+                  if not ok then begin
+                    incr mismatches;
+                    Printf.eprintf
+                      "MISMATCH guest %d (%s %s): fleet fingerprint %s != \
+                       solo %s\n"
+                      r.Fleet.r_guest.Fleet.g_id
+                      r.Fleet.r_guest.Fleet.g_workload
+                      (Fleet.guest_arith r.Fleet.r_guest)
+                      r.Fleet.r_fingerprint sfp
+                  end)
+                fleet.Fleet.f_results;
+              if !mismatches > 0 then begin
+                Printf.eprintf
+                  "verify-solo: %d of %d guests diverged from their solo run\n"
+                  !mismatches
+                  (List.length fleet.Fleet.f_results);
+                `Ok 7
+              end
+              else begin
+                if not quiet then
+                  Printf.eprintf
+                    "verify-solo: all %d guests bit-identical to solo runs\n"
+                    (List.length fleet.Fleet.f_results);
+                `Ok 0
+              end
+            end)
+
+open Cmdliner
+
+let manifest =
+  Arg.(value & opt string ""
+       & info [ "m"; "manifest" ]
+           ~doc:"Fleet manifest: one guest per line of key=value tokens \
+                 (workload=, arith=, prec=, posit=, scale=, gc=, plans=, \
+                 jit=, jit-threshold=, trace-len=, gc-interval=, count=). \
+                 '#' starts a comment." ~docv:"FILE")
+
+let domains =
+  Arg.(value & opt int 1
+       & info [ "d"; "domains" ]
+           ~doc:"Worker domains to partition the fleet across (>= 1)." ~docv:"N")
+
+let batch =
+  Arg.(value & opt int 8
+       & info [ "batch" ]
+           ~doc:"Trap deliveries a guest absorbs before yielding its domain \
+                 (>= 1); larger batches amortize the modeled switch cost." ~docv:"B")
+
+let switch_cost =
+  Arg.(value & opt int Fleet.default_switch_cost
+       & info [ "switch-cost" ]
+           ~doc:"Modeled cycles charged to a domain per guest context switch." ~docv:"CYCLES")
+
+let verify_solo =
+  Arg.(value & flag
+       & info [ "verify-solo" ]
+           ~doc:"After the fleet completes, re-run every guest solo and \
+                 compare output and stats fingerprint bit-for-bit; exit 7 \
+                 on any mismatch.")
+
+let json =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Print the aggregate fleet result as JSON to stdout.")
+
+let quiet =
+  Arg.(value & flag
+       & info [ "q"; "quiet" ]
+           ~doc:"Suppress the per-guest JSON result lines.")
+
+let cmd =
+  let doc = "serve a fleet of FPVM guests across OCaml domains" in
+  Cmd.v (Cmd.info "fpvm_serve" ~doc)
+    Term.(
+      ret
+        (const serve $ manifest $ domains $ batch $ switch_cost $ verify_solo
+       $ json $ quiet))
+
+let () = exit (Cmd.eval' cmd)

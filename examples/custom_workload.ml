@@ -7,7 +7,8 @@
 
      dune exec examples/custom_workload.exe *)
 
-module E_mpfr = Fpvm.Engine.Make (Fpvm.Alt_mpfr)
+module E_mpfr128 =
+  Fpvm.Engine.Make (Fpvm.Alt_mpfr.Make (struct let prec = 128 end))
 module E_posit = Fpvm.Engine.Make (Fpvm.Alt_posit)
 
 let source : Fpvm_ir.Ast.program =
@@ -32,11 +33,9 @@ let () =
   let native = Fpvm.Engine.run_native binary in
   Printf.printf "--- native IEEE double ---\n%s" native.Fpvm.Engine.output;
   Printf.printf "(every 0.01 was absorbed: 1e16 + 0.01 rounds back to 1e16)\n\n";
-  Fpvm.Alt_mpfr.precision := 128;
-  let m = E_mpfr.run binary in
+  let m = E_mpfr128.run binary in
   Printf.printf "--- FPVM + MPFR-128 ---\n%s" m.Fpvm.Engine.output;
   Printf.printf "(128-bit significands retain the addends: the sum is exact)\n\n";
-  Fpvm.Alt_posit.spec := Posit.posit32;
   let p = E_posit.run binary in
   Printf.printf "--- FPVM + posit<32,2> ---\n%s" p.Fpvm.Engine.output;
   Printf.printf

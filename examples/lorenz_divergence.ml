@@ -17,7 +17,6 @@ let () =
   let binary = Workloads.Lorenz.program ~steps:2500 ~emit_every () in
   let native = Fpvm.Engine.run_native binary in
   let vanilla = E_vanilla.run binary in
-  Fpvm.Alt_mpfr.precision := 200;
   let mpfr = E_mpfr.run binary in
   let ti = traj native.Fpvm.Engine.serialized in
   let tv = traj vanilla.Fpvm.Engine.serialized in

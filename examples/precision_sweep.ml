@@ -5,7 +5,12 @@
 
      dune exec examples/precision_sweep.exe *)
 
-module E_mpfr = Fpvm.Engine.Make (Fpvm.Alt_mpfr)
+(* One engine instance per precision: the mpfr port is a functor over
+   the significand width, so several precisions coexist in-process. *)
+let run_at prec binary =
+  let module M = (val Fpvm.Alt_mpfr.make ~prec ()) in
+  let module E = Fpvm.Engine.Make (M) in
+  E.run binary
 
 (* The three-body program prints six positions then the total energy. *)
 let final_energy output =
@@ -18,8 +23,7 @@ let () =
   let native = Fpvm.Engine.run_native binary in
   let e_native = final_energy native.Fpvm.Engine.output in
   (* Reference energy at very high precision. *)
-  Fpvm.Alt_mpfr.precision := 600;
-  let gold = final_energy (E_mpfr.run binary).Fpvm.Engine.output in
+  let gold = final_energy (run_at 600 binary).Fpvm.Engine.output in
   Printf.printf "three-body, %d steps; final total energy per arithmetic:\n\n" steps;
   Printf.printf "%12s %22s %14s\n" "precision" "energy" "|delta vs 600b|";
   Printf.printf "%12s %22.15g %14.3e\n" "ieee-53"
@@ -27,8 +31,7 @@ let () =
     (Float.abs (e_native -. gold));
   List.iter
     (fun prec ->
-      Fpvm.Alt_mpfr.precision := prec;
-      let e = final_energy (E_mpfr.run binary).Fpvm.Engine.output in
+      let e = final_energy (run_at prec binary).Fpvm.Engine.output in
       Printf.printf "%12s %22.15g %14.3e\n"
         (Printf.sprintf "mpfr-%d" prec)
         e

@@ -16,7 +16,6 @@ let () =
 
   (* Now run the *same unmodified binary* under FPVM with 200-bit
      arbitrary precision arithmetic. *)
-  Fpvm.Alt_mpfr.precision := 200;
   let virtualized = E_mpfr.run binary in
   print_string "--- same binary under FPVM + MPFR-200 ---\n";
   print_string virtualized.Fpvm.Engine.output;

@@ -50,14 +50,20 @@ let atan_inv_scaled wp x =
   done;
   !acc
 
-let const_cache : (string * int, B.t) Hashtbl.t = Hashtbl.create 16
+(* Domain-local: the memo is pure (same key -> same value), but a shared
+   Hashtbl would race when engine sessions run on separate domains.
+   Per-domain tables trade a few recomputations at domain start for
+   lock-free reads on the hot path. *)
+let const_cache : (string * int, B.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
 let cached name wp compute =
-  match Hashtbl.find_opt const_cache (name, wp) with
+  let tbl = Domain.DLS.get const_cache in
+  match Hashtbl.find_opt tbl (name, wp) with
   | Some v -> v
   | None ->
       let v = compute () in
-      Hashtbl.replace const_cache (name, wp) v;
+      Hashtbl.replace tbl (name, wp) v;
       v
 
 let ln2_at wp =

@@ -1,7 +1,15 @@
 (* The MPFR port: arbitrary-precision arithmetic through the bigfloat
    library (our from-scratch MPFR substitute). Precision is selected at
-   run time, like the paper's compile-time/environment-variable knob;
-   the default of 200 bits matches the paper's evaluation setup.
+   functor-application time, like the paper's compile-time/environment-
+   variable knob; the default of 200 bits matches the paper's
+   evaluation setup.
+
+   The precision is a functor parameter, not a mutable ref: two engine
+   sessions in one process (fleet serving) may run the mpfr port at
+   different precisions concurrently, so there is no process-global
+   knob to race on. [Alt_mpfr] itself is the 200-bit application;
+   [make ~prec ()] builds a port at any precision as a first-class
+   module.
 
    Cost model: the paper's footnote 9 reports 93 (add) to 2175 (divide)
    cycles for 200-bit MPFR operations; we scale those with precision
@@ -11,149 +19,166 @@
 module B = Bigfloat
 module E = Elementary
 
-type value = B.t
+module type PARAMS = sig
+  val prec : int
+end
 
-let name = "mpfr"
+module Make (Prm : PARAMS) = struct
+  type value = B.t
 
-let precision = ref 200
+  let name = "mpfr"
+  let precision = Prm.prec
 
-let promote bits = B.of_float (Int64.float_of_bits bits)
-let demote v = Int64.bits_of_float (B.to_float v)
+  let promote bits = B.of_float (Int64.float_of_bits bits)
+  let demote v = Int64.bits_of_float (B.to_float v)
 
-let add a b = B.add ~prec:!precision a b
-let sub a b = B.sub ~prec:!precision a b
-let mul a b = B.mul ~prec:!precision a b
-let div a b = B.div ~prec:!precision a b
-let sqrt a = B.sqrt ~prec:!precision a
-let fma a b c = B.fma ~prec:!precision a b c
-let neg = B.neg
-let abs = B.abs
-let min_v = B.min_op
-let max_v = B.max_op
+  let add a b = B.add ~prec:precision a b
+  let sub a b = B.sub ~prec:precision a b
+  let mul a b = B.mul ~prec:precision a b
+  let div a b = B.div ~prec:precision a b
+  let sqrt a = B.sqrt ~prec:precision a
+  let fma a b c = B.fma ~prec:precision a b c
+  let neg = B.neg
+  let abs = B.abs
+  let min_v = B.min_op
+  let max_v = B.max_op
 
-let sin v = E.sin ~prec:!precision v
-let cos v = E.cos ~prec:!precision v
-let tan v = E.tan ~prec:!precision v
-let asin v = E.asin ~prec:!precision v
-let acos v = E.acos ~prec:!precision v
-let atan v = E.atan ~prec:!precision v
-let atan2 a b = E.atan2 ~prec:!precision a b
-let exp v = E.exp ~prec:!precision v
-let log v = E.log ~prec:!precision v
-let log10 v = E.log10 ~prec:!precision v
-let pow a b = E.pow ~prec:!precision a b
-let fmod a b = B.fmod ~prec:!precision a b
-let hypot a b = E.hypot ~prec:!precision a b
+  let sin v = E.sin ~prec:precision v
+  let cos v = E.cos ~prec:precision v
+  let tan v = E.tan ~prec:precision v
+  let asin v = E.asin ~prec:precision v
+  let acos v = E.acos ~prec:precision v
+  let atan v = E.atan ~prec:precision v
+  let atan2 a b = E.atan2 ~prec:precision a b
+  let exp v = E.exp ~prec:precision v
+  let log v = E.log ~prec:precision v
+  let log10 v = E.log10 ~prec:precision v
+  let pow a b = E.pow ~prec:precision a b
+  let fmod a b = B.fmod ~prec:precision a b
+  let hypot a b = E.hypot ~prec:precision a b
 
-let of_i64 v =
-  (* Exact at any precision >= 64; otherwise rounded. *)
-  if Int64.equal v 0L then B.zero
-  else begin
-    let neg_in = Int64.compare v 0L < 0 in
-    let mag =
-      if Int64.equal v Int64.min_int then
-        Bignum.Nat.shift_left Bignum.Nat.one 63
-      else begin
-        let a = Int64.abs v in
-        Bignum.Nat.logor
-          (Bignum.Nat.shift_left
-             (Bignum.Nat.of_int (Int64.to_int (Int64.shift_right_logical a 32)))
-             32)
-          (Bignum.Nat.of_int (Int64.to_int (Int64.logand a 0xFFFFFFFFL)))
-      end
-    in
-    B.make ~prec:(max !precision 64) ~mode:B.rne
-      ~sign:(if neg_in then 1 else 0)
-      ~man:mag ~exp:0 ~sticky:false
-  end
-
-let of_i32 v = B.of_int (Int32.to_int v)
-
-let to_i64 mode v =
-  let r = B.rint ~prec:(max !precision 64) ~mode v in
-  match B.classify r with
-  | `Zero _ -> 0L
-  | `Fin (sign, exp, man) -> begin
-      match Bignum.Nat.to_int64_opt (Bignum.Nat.shift_left man exp) with
-      | Some m -> if sign = 1 then Int64.neg m else m
-      | None -> Int64.min_int (* indefinite *)
+  let of_i64 v =
+    (* Exact at any precision >= 64; otherwise rounded. *)
+    if Int64.equal v 0L then B.zero
+    else begin
+      let neg_in = Int64.compare v 0L < 0 in
+      let mag =
+        if Int64.equal v Int64.min_int then
+          Bignum.Nat.shift_left Bignum.Nat.one 63
+        else begin
+          let a = Int64.abs v in
+          Bignum.Nat.logor
+            (Bignum.Nat.shift_left
+               (Bignum.Nat.of_int (Int64.to_int (Int64.shift_right_logical a 32)))
+               32)
+            (Bignum.Nat.of_int (Int64.to_int (Int64.logand a 0xFFFFFFFFL)))
+        end
+      in
+      B.make ~prec:(max precision 64) ~mode:B.rne
+        ~sign:(if neg_in then 1 else 0)
+        ~man:mag ~exp:0 ~sticky:false
     end
-  | `Nan | `Inf _ -> Int64.min_int
 
-let to_i32 mode v =
-  let x = to_i64 mode v in
-  if Int64.compare x (Int64.of_int32 Int32.max_int) > 0
-     || Int64.compare x (Int64.of_int32 Int32.min_int) < 0
-  then Int32.min_int
-  else Int64.to_int32 x
+  let of_i32 v = B.of_int (Int32.to_int v)
 
-let of_f32_bits b =
-  let f64, _ = Ieee754.Convert.f32_to_f64 Ieee754.Softfp.Nearest_even b in
-  promote f64
+  let to_i64 mode v =
+    let r = B.rint ~prec:(max precision 64) ~mode v in
+    match B.classify r with
+    | `Zero _ -> 0L
+    | `Fin (sign, exp, man) -> begin
+        match Bignum.Nat.to_int64_opt (Bignum.Nat.shift_left man exp) with
+        | Some m -> if sign = 1 then Int64.neg m else m
+        | None -> Int64.min_int (* indefinite *)
+      end
+    | `Nan | `Inf _ -> Int64.min_int
 
-let to_f32_bits v =
-  fst (Ieee754.Convert.f64_to_f32 Ieee754.Softfp.Nearest_even (demote v))
+  let to_i32 mode v =
+    let x = to_i64 mode v in
+    if Int64.compare x (Int64.of_int32 Int32.max_int) > 0
+       || Int64.compare x (Int64.of_int32 Int32.min_int) < 0
+    then Int32.min_int
+    else Int64.to_int32 x
 
-let round_int mode v = B.rint ~prec:(max !precision 64) ~mode v
-let floor_v = B.floor
-let ceil_v = B.ceil
-let to_string v = B.to_string ~digits:25 v
+  let of_f32_bits b =
+    let f64, _ = Ieee754.Convert.f32_to_f64 Ieee754.Softfp.Nearest_even b in
+    promote f64
 
-let cmp_of = function
-  | Some c when c < 0 -> Ieee754.Softfp.Cmp_lt
-  | Some 0 -> Ieee754.Softfp.Cmp_eq
-  | Some _ -> Ieee754.Softfp.Cmp_gt
-  | None -> Ieee754.Softfp.Cmp_unordered
+  let to_f32_bits v =
+    fst (Ieee754.Convert.f64_to_f32 Ieee754.Softfp.Nearest_even (demote v))
 
-let cmp_quiet a b = cmp_of (B.compare a b)
-let cmp_signaling a b = cmp_of (B.compare a b)
-let is_nan_v = B.is_nan
-let is_zero_v = B.is_zero
+  let round_int mode v = B.rint ~prec:(max precision 64) ~mode v
+  let floor_v = B.floor
+  let ceil_v = B.ceil
+  let to_string v = B.to_string ~digits:25 v
 
-let op_cycles c =
-  let p = float_of_int !precision /. 200.0 in
-  let lin base = int_of_float (float_of_int base *. Float.max 1.0 p) in
-  let quad base = int_of_float (float_of_int base *. Float.max 1.0 (p *. p)) in
-  match c with
-  | Arith.C_add -> lin 93
-  | Arith.C_sub -> lin 105
-  | Arith.C_mul -> quad 540
-  | Arith.C_div -> quad 2175
-  | Arith.C_sqrt -> quad 2400
-  | Arith.C_fma -> quad 700
-  | Arith.C_cmp -> 60
-  | Arith.C_cvt -> 80
-  | Arith.C_libm -> quad 9000
+  let cmp_of = function
+    | Some c when c < 0 -> Ieee754.Softfp.Cmp_lt
+    | Some 0 -> Ieee754.Softfp.Cmp_eq
+    | Some _ -> Ieee754.Softfp.Cmp_gt
+    | None -> Ieee754.Softfp.Cmp_unordered
 
-(* ---- serialization (lib/replay) ------------------------------------- *)
+  let cmp_quiet a b = cmp_of (B.compare a b)
+  let cmp_signaling a b = cmp_of (B.compare a b)
+  let is_nan_v = B.is_nan
+  let is_zero_v = B.is_zero
 
-(* Exact round trip: a finite bigfloat is (-1)^sign * man * 2^exp with
-   man the full significand, so reconstructing at prec = num_bits man
-   with sticky = false rounds nothing. *)
-let encode_value b (v : value) =
-  match B.classify v with
-  | `Nan -> Wire.u8 b 0
-  | `Inf sign ->
-      Wire.u8 b 1;
-      Wire.u8 b sign
-  | `Zero sign ->
-      Wire.u8 b 2;
-      Wire.u8 b sign
-  | `Fin (sign, exp, man) ->
-      Wire.u8 b 3;
-      Wire.u8 b sign;
-      Wire.zint b exp;
-      Wire.nat b man
+  let op_cycles c =
+    let p = float_of_int precision /. 200.0 in
+    let lin base = int_of_float (float_of_int base *. Float.max 1.0 p) in
+    let quad base = int_of_float (float_of_int base *. Float.max 1.0 (p *. p)) in
+    match c with
+    | Arith.C_add -> lin 93
+    | Arith.C_sub -> lin 105
+    | Arith.C_mul -> quad 540
+    | Arith.C_div -> quad 2175
+    | Arith.C_sqrt -> quad 2400
+    | Arith.C_fma -> quad 700
+    | Arith.C_cmp -> 60
+    | Arith.C_cvt -> 80
+    | Arith.C_libm -> quad 9000
 
-let decode_value s pos : value =
-  match Wire.r_u8 s pos with
-  | 0 -> B.nan
-  | 1 -> if Wire.r_u8 s pos = 0 then B.inf else B.neg_inf
-  | 2 -> if Wire.r_u8 s pos = 0 then B.zero else B.neg_zero
-  | 3 ->
-      let sign = Wire.r_u8 s pos in
-      let exp = Wire.r_zint s pos in
-      let man = Wire.r_nat s pos in
-      let prec = max 2 (Bignum.Nat.num_bits man) in
-      B.make ~prec ~mode:B.rne ~sign ~man ~exp ~sticky:false
-  | t -> raise (Wire.Corrupt (Printf.sprintf "bad bigfloat tag %d" t))
+  (* ---- serialization (lib/replay) ------------------------------------- *)
+
+  (* Exact round trip: a finite bigfloat is (-1)^sign * man * 2^exp with
+     man the full significand, so reconstructing at prec = num_bits man
+     with sticky = false rounds nothing. *)
+  let encode_value b (v : value) =
+    match B.classify v with
+    | `Nan -> Wire.u8 b 0
+    | `Inf sign ->
+        Wire.u8 b 1;
+        Wire.u8 b sign
+    | `Zero sign ->
+        Wire.u8 b 2;
+        Wire.u8 b sign
+    | `Fin (sign, exp, man) ->
+        Wire.u8 b 3;
+        Wire.u8 b sign;
+        Wire.zint b exp;
+        Wire.nat b man
+
+  let decode_value s pos : value =
+    match Wire.r_u8 s pos with
+    | 0 -> B.nan
+    | 1 -> if Wire.r_u8 s pos = 0 then B.inf else B.neg_inf
+    | 2 -> if Wire.r_u8 s pos = 0 then B.zero else B.neg_zero
+    | 3 ->
+        let sign = Wire.r_u8 s pos in
+        let exp = Wire.r_zint s pos in
+        let man = Wire.r_nat s pos in
+        let prec = max 2 (Bignum.Nat.num_bits man) in
+        B.make ~prec ~mode:B.rne ~sign ~man ~exp ~sticky:false
+    | t -> raise (Wire.Corrupt (Printf.sprintf "bad bigfloat tag %d" t))
+end
+
+(* The default 200-bit port (the paper's evaluation precision). *)
+include Make (struct
+  let prec = 200
+end)
+
+(* A port at any precision, as a first-class module:
+     let module A = (val Alt_mpfr.make ~prec:600 ()) in ... *)
+let make ~prec () : (module Arith.S with type value = B.t) =
+  (module Make (struct
+    let prec = prec
+  end))

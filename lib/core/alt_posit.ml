@@ -1,130 +1,150 @@
 (* The posit port, standing in for the Universal Numbers Library binding.
-   The posit size is selected at run time (default posit<32,2>).
-   Transcendentals go through binary64, the same shortcut real posit
-   libraries commonly take ("math functions via the standard library"). *)
+   The posit size is selected at functor-application time (default
+   posit<32,2>); [make ~spec ()] builds a port of any width as a
+   first-class module, so two fleet guests can run posit8 and posit32
+   side by side with no global knob to race on. Transcendentals go
+   through binary64, the same shortcut real posit libraries commonly
+   take ("math functions via the standard library"). *)
 
 module P = Posit
 
-type value = P.t
+module type PARAMS = sig
+  val spec : Posit.spec
+end
 
-let name = "posit"
+module Make (Prm : PARAMS) = struct
+  type value = P.t
 
-let spec = ref P.posit32
+  let name = "posit"
+  let spec = Prm.spec
 
-let promote bits = P.of_float !spec (Int64.float_of_bits bits)
-let demote v = Int64.bits_of_float (P.to_float !spec v)
+  let promote bits = P.of_float spec (Int64.float_of_bits bits)
+  let demote v = Int64.bits_of_float (P.to_float spec v)
 
-let add a b = P.add !spec a b
-let sub a b = P.sub !spec a b
-let mul a b = P.mul !spec a b
-let div a b = P.div !spec a b
-let sqrt a = P.sqrt !spec a
+  let add a b = P.add spec a b
+  let sub a b = P.sub spec a b
+  let mul a b = P.mul spec a b
+  let div a b = P.div spec a b
+  let sqrt a = P.sqrt spec a
 
-(* Fused multiply-add through the quire: the product enters the
-   accumulator exactly and the sum rounds once, as the posit standard
-   specifies for fused operations. *)
-let fma a b c =
-  let q = Quire.create !spec in
-  Quire.qma q a b;
-  Quire.add q c;
-  Quire.to_posit q
-let neg a = P.neg !spec a
-let abs a = P.abs !spec a
-let min_v a b = P.min_op !spec a b
-let max_v a b = P.max_op !spec a b
+  (* Fused multiply-add through the quire: the product enters the
+     accumulator exactly and the sum rounds once, as the posit standard
+     specifies for fused operations. *)
+  let fma a b c =
+    let q = Quire.create spec in
+    Quire.qma q a b;
+    Quire.add q c;
+    Quire.to_posit q
 
-let lib1 f v = P.of_float !spec (f (P.to_float !spec v))
-let lib2 f a b = P.of_float !spec (f (P.to_float !spec a) (P.to_float !spec b))
+  let neg a = P.neg spec a
+  let abs a = P.abs spec a
+  let min_v a b = P.min_op spec a b
+  let max_v a b = P.max_op spec a b
 
-let sin = lib1 Stdlib.sin
-let cos = lib1 Stdlib.cos
-let tan = lib1 Stdlib.tan
-let asin = lib1 Stdlib.asin
-let acos = lib1 Stdlib.acos
-let atan = lib1 Stdlib.atan
-let atan2 = lib2 Stdlib.atan2
-let exp = lib1 Stdlib.exp
-let log = lib1 Stdlib.log
-let log10 = lib1 Stdlib.log10
-let pow = lib2 ( ** )
-let fmod = lib2 Float.rem
-let hypot = lib2 Float.hypot
+  let lib1 f v = P.of_float spec (f (P.to_float spec v))
+  let lib2 f a b = P.of_float spec (f (P.to_float spec a) (P.to_float spec b))
 
-let of_i64 v = P.of_float !spec (Int64.to_float v)
-let of_i32 v = P.of_int !spec (Int32.to_int v)
+  let sin = lib1 Stdlib.sin
+  let cos = lib1 Stdlib.cos
+  let tan = lib1 Stdlib.tan
+  let asin = lib1 Stdlib.asin
+  let acos = lib1 Stdlib.acos
+  let atan = lib1 Stdlib.atan
+  let atan2 = lib2 Stdlib.atan2
+  let exp = lib1 Stdlib.exp
+  let log = lib1 Stdlib.log
+  let log10 = lib1 Stdlib.log10
+  let pow = lib2 ( ** )
+  let fmod = lib2 Float.rem
+  let hypot = lib2 Float.hypot
 
-let to_i64 mode v =
-  let f = P.to_float !spec v in
-  if Float.is_nan f then Int64.min_int
-  else begin
+  let of_i64 v = P.of_float spec (Int64.to_float v)
+  let of_i32 v = P.of_int spec (Int32.to_int v)
+
+  let to_i64 mode v =
+    let f = P.to_float spec v in
+    if Float.is_nan f then Int64.min_int
+    else begin
+      let r =
+        match mode with
+        | Ieee754.Softfp.Nearest_even ->
+            (* ties-to-even via rounding the double *)
+            Float.round f (* away-from-zero ties; acceptable for posits *)
+        | Ieee754.Softfp.Toward_zero -> Float.trunc f
+        | Ieee754.Softfp.Toward_pos -> Float.ceil f
+        | Ieee754.Softfp.Toward_neg -> Float.floor f
+      in
+      Int64.of_float r
+    end
+
+  let to_i32 mode v =
+    let x = to_i64 mode v in
+    if Int64.compare x (Int64.of_int32 Int32.max_int) > 0
+       || Int64.compare x (Int64.of_int32 Int32.min_int) < 0
+    then Int32.min_int
+    else Int64.to_int32 x
+
+  let of_f32_bits b =
+    let f64, _ = Ieee754.Convert.f32_to_f64 Ieee754.Softfp.Nearest_even b in
+    promote f64
+
+  let to_f32_bits v =
+    fst (Ieee754.Convert.f64_to_f32 Ieee754.Softfp.Nearest_even (demote v))
+
+  let round_int mode v =
+    let f = P.to_float spec v in
     let r =
       match mode with
-      | Ieee754.Softfp.Nearest_even ->
-          (* ties-to-even via rounding the double *)
-          Float.round f (* away-from-zero ties; acceptable for posits *)
+      | Ieee754.Softfp.Nearest_even -> Float.round f
       | Ieee754.Softfp.Toward_zero -> Float.trunc f
       | Ieee754.Softfp.Toward_pos -> Float.ceil f
       | Ieee754.Softfp.Toward_neg -> Float.floor f
     in
-    Int64.of_float r
-  end
+    P.of_float spec r
 
-let to_i32 mode v =
-  let x = to_i64 mode v in
-  if Int64.compare x (Int64.of_int32 Int32.max_int) > 0
-     || Int64.compare x (Int64.of_int32 Int32.min_int) < 0
-  then Int32.min_int
-  else Int64.to_int32 x
+  let floor_v = round_int Ieee754.Softfp.Toward_neg
+  let ceil_v = round_int Ieee754.Softfp.Toward_pos
+  let to_string v = P.to_string spec v
 
-let of_f32_bits b =
-  let f64, _ = Ieee754.Convert.f32_to_f64 Ieee754.Softfp.Nearest_even b in
-  promote f64
+  let cmp_quiet a b =
+    if P.is_nar spec a || P.is_nar spec b then Ieee754.Softfp.Cmp_unordered
+    else begin
+      let c = P.compare spec a b in
+      if c < 0 then Ieee754.Softfp.Cmp_lt
+      else if c > 0 then Ieee754.Softfp.Cmp_gt
+      else Ieee754.Softfp.Cmp_eq
+    end
 
-let to_f32_bits v =
-  fst (Ieee754.Convert.f64_to_f32 Ieee754.Softfp.Nearest_even (demote v))
+  let cmp_signaling = cmp_quiet
+  let is_nan_v v = P.is_nar spec v
+  let is_zero_v v = P.is_zero v
 
-let round_int mode v =
-  let f = P.to_float !spec v in
-  let r =
-    match mode with
-    | Ieee754.Softfp.Nearest_even -> Float.round f
-    | Ieee754.Softfp.Toward_zero -> Float.trunc f
-    | Ieee754.Softfp.Toward_pos -> Float.ceil f
-    | Ieee754.Softfp.Toward_neg -> Float.floor f
-  in
-  P.of_float !spec r
+  (* Software posit arithmetic cost (comparable to softfloat). *)
+  let op_cycles = function
+    | Arith.C_add | Arith.C_sub -> 60
+    | Arith.C_mul -> 70
+    | Arith.C_div -> 140
+    | Arith.C_sqrt -> 180
+    | Arith.C_fma -> 130
+    | Arith.C_cmp -> 20
+    | Arith.C_cvt -> 50
+    | Arith.C_libm -> 500
 
-let floor_v = round_int Ieee754.Softfp.Toward_neg
-let ceil_v = round_int Ieee754.Softfp.Toward_pos
-let to_string v = P.to_string !spec v
+  (* ---- serialization (lib/replay) ------------------------------------- *)
 
-let cmp_quiet a b =
-  if P.is_nar !spec a || P.is_nar !spec b then Ieee754.Softfp.Cmp_unordered
-  else begin
-    let c = P.compare !spec a b in
-    if c < 0 then Ieee754.Softfp.Cmp_lt
-    else if c > 0 then Ieee754.Softfp.Cmp_gt
-    else Ieee754.Softfp.Cmp_eq
-  end
+  (* A posit is its bit pattern; the width lives in the engine config
+     fingerprint, not per value. *)
+  let encode_value b (v : value) = Wire.i64 b v
+  let decode_value s pos : value = Wire.r_i64 s pos
+end
 
-let cmp_signaling = cmp_quiet
-let is_nan_v v = P.is_nar !spec v
-let is_zero_v v = P.is_zero v
+(* The default posit<32,2> port. *)
+include Make (struct
+  let spec = P.posit32
+end)
 
-(* Software posit arithmetic cost (comparable to softfloat). *)
-let op_cycles = function
-  | Arith.C_add | Arith.C_sub -> 60
-  | Arith.C_mul -> 70
-  | Arith.C_div -> 140
-  | Arith.C_sqrt -> 180
-  | Arith.C_fma -> 130
-  | Arith.C_cmp -> 20
-  | Arith.C_cvt -> 50
-  | Arith.C_libm -> 500
-
-(* ---- serialization (lib/replay) ------------------------------------- *)
-
-(* A posit is its bit pattern; the width lives in the engine config
-   fingerprint, not per value. *)
-let encode_value b (v : value) = Wire.i64 b v
-let decode_value s pos : value = Wire.r_i64 s pos
+(* A port of any posit width, as a first-class module. *)
+let make ~spec () : (module Arith.S with type value = P.t) =
+  (module Make (struct
+    let spec = spec
+  end))

@@ -10,6 +10,12 @@
    like 1/3 or 1/10 are exact, so classic binary-rounding artifacts
    (0.1 + 0.2 <> 0.3) disappear entirely.
 
+   The bit budget K is a functor parameter (default 64); [make ~bits ()]
+   builds a port at any budget as a first-class module, so concurrent
+   sessions never share a budget knob. The value representation lives
+   outside the functor: a slash rational means the same thing at every
+   budget (the budget only controls rounding).
+
    Irrational operations (sqrt, libm) are computed at 4K-bit binary
    precision and re-rationalized. *)
 
@@ -17,23 +23,18 @@ module Nat = Bignum.Nat
 module Bigint = Bignum.Bigint
 module B = Bigfloat
 
-type value = {
+type slash = {
   num : Bigint.t; (* may be negative; 0/1 is zero *)
   den : Nat.t; (* > 0 *)
   special : [ `Fin | `Inf of int | `Nan ];
 }
-
-let name = "slash"
-
-(* Bit budget for numerator and denominator. *)
-let bits = ref 64
 
 let fin num den = { num; den; special = `Fin }
 let zero_v = fin Bigint.zero Nat.one
 let nan_v = { num = Bigint.zero; den = Nat.one; special = `Nan }
 let inf_v s = { num = Bigint.zero; den = Nat.one; special = `Inf s }
 
-(* ---- normalization: gcd reduce, then budget-round ------------------- *)
+(* ---- normalization: gcd reduce (budget-independent) ------------------ *)
 
 let rec gcd a b = if Nat.is_zero b then a else gcd b (Nat.rem a b)
 
@@ -49,61 +50,7 @@ let reduce num den =
         (Nat.div den g)
   end
 
-(* Best rational approximation of p/q with num/den below 2^!bits, via
-   continued-fraction convergents (classic slash rounding). *)
-let budget_round (v : value) : value =
-  match v.special with
-  | `Inf _ | `Nan -> v
-  | `Fin ->
-      let limit = Nat.shift_left Nat.one !bits in
-      let pmag = Bigint.to_nat (Bigint.abs v.num) in
-      if Nat.compare pmag limit < 0 && Nat.compare v.den limit < 0 then v
-      else begin
-        (* continued fraction of pmag / den; accumulate convergents
-           h_k / k_k until one would bust the budget *)
-        let rec walk a b h0 k0 h1 k1 =
-          (* invariants: current remainder a/b; last two convergents *)
-          if Nat.is_zero b then (h1, k1)
-          else begin
-            let q, r = Nat.divmod a b in
-            let h2 = Nat.add (Nat.mul q h1) h0 in
-            let k2 = Nat.add (Nat.mul q k1) k0 in
-            if Nat.compare h2 limit >= 0 || Nat.compare k2 limit >= 0 then
-              (h1, k1)
-            else walk b r h1 k1 h2 k2
-          end
-        in
-        let h, k = walk pmag v.den Nat.zero Nat.one Nat.one Nat.zero in
-        if Nat.is_zero k then (* first convergent already busts: saturate *)
-          inf_v (if Bigint.sign v.num < 0 then 1 else 0)
-        else begin
-          let n = Bigint.of_nat h in
-          fin (if Bigint.sign v.num < 0 then Bigint.neg n else n) k
-        end
-      end
-
-let make num den = budget_round (reduce num den)
-
-(* ---- promote / demote ------------------------------------------------ *)
-
-let promote (b64 : int64) : value =
-  let f = Int64.float_of_bits b64 in
-  if Float.is_nan f then nan_v
-  else if f = Float.infinity then inf_v 0
-  else if f = Float.neg_infinity then inf_v 1
-  else if f = 0.0 then zero_v
-  else begin
-    (* exact: every double is p * 2^e *)
-    match B.classify (B.of_float f) with
-    | `Fin (sign, exp, man) ->
-        let p = Bigint.of_nat man in
-        let p = if sign = 1 then Bigint.neg p else p in
-        if exp >= 0 then make (Bigint.shift_left p exp) Nat.one
-        else make p (Nat.shift_left Nat.one (-exp))
-    | _ -> zero_v
-  end
-
-let to_bigfloat ?(prec = 256) (v : value) : B.t =
+let to_bigfloat ?(prec = 256) (v : slash) : B.t =
   match v.special with
   | `Nan -> B.nan
   | `Inf 0 -> B.inf
@@ -124,233 +71,311 @@ let to_bigfloat ?(prec = 256) (v : value) : B.t =
         B.div ~prec n d
       end
 
-let of_bigfloat (x : B.t) : value =
-  match B.classify x with
-  | `Nan -> nan_v
-  | `Inf s -> inf_v s
-  | `Zero _ -> zero_v
-  | `Fin (sign, exp, man) ->
-      let p = Bigint.of_nat man in
-      let p = if sign = 1 then Bigint.neg p else p in
-      if exp >= 0 then make (Bigint.shift_left p exp) Nat.one
-      else make p (Nat.shift_left Nat.one (-exp))
+module type PARAMS = sig
+  val bits : int
+end
 
-let demote (v : value) : int64 =
-  match v.special with
-  | `Nan -> Int64.bits_of_float Float.nan
-  | `Inf 0 -> Int64.bits_of_float Float.infinity
-  | `Inf _ -> Int64.bits_of_float Float.neg_infinity
-  | `Fin -> Int64.bits_of_float (B.to_float (to_bigfloat ~prec:64 v))
+module Make (Prm : PARAMS) = struct
+  type value = slash
 
-(* ---- exact field operations ----------------------------------------- *)
+  let name = "slash"
 
-let add a b =
-  match (a.special, b.special) with
-  | `Nan, _ | _, `Nan -> nan_v
-  | `Inf s, `Inf s' -> if s = s' then a else nan_v
-  | `Inf _, _ -> a
-  | _, `Inf _ -> b
-  | `Fin, `Fin ->
-      make
-        (Bigint.add
-           (Bigint.mul a.num (Bigint.of_nat b.den))
-           (Bigint.mul b.num (Bigint.of_nat a.den)))
-        (Nat.mul a.den b.den)
+  (* Bit budget for numerator and denominator. *)
+  let bits = Prm.bits
 
-let neg a =
-  match a.special with
-  | `Inf s -> inf_v (1 - s)
-  | `Nan -> a
-  | `Fin -> { a with num = Bigint.neg a.num }
+  (* Best rational approximation of p/q with num/den below 2^bits, via
+     continued-fraction convergents (classic slash rounding). *)
+  let budget_round (v : value) : value =
+    match v.special with
+    | `Inf _ | `Nan -> v
+    | `Fin ->
+        let limit = Nat.shift_left Nat.one bits in
+        let pmag = Bigint.to_nat (Bigint.abs v.num) in
+        if Nat.compare pmag limit < 0 && Nat.compare v.den limit < 0 then v
+        else begin
+          (* continued fraction of pmag / den; accumulate convergents
+             h_k / k_k until one would bust the budget *)
+          let rec walk a b h0 k0 h1 k1 =
+            (* invariants: current remainder a/b; last two convergents *)
+            if Nat.is_zero b then (h1, k1)
+            else begin
+              let q, r = Nat.divmod a b in
+              let h2 = Nat.add (Nat.mul q h1) h0 in
+              let k2 = Nat.add (Nat.mul q k1) k0 in
+              if Nat.compare h2 limit >= 0 || Nat.compare k2 limit >= 0 then
+                (h1, k1)
+              else walk b r h1 k1 h2 k2
+            end
+          in
+          let h, k = walk pmag v.den Nat.zero Nat.one Nat.one Nat.zero in
+          if Nat.is_zero k then (* first convergent already busts: saturate *)
+            inf_v (if Bigint.sign v.num < 0 then 1 else 0)
+          else begin
+            let n = Bigint.of_nat h in
+            fin (if Bigint.sign v.num < 0 then Bigint.neg n else n) k
+          end
+        end
 
-let sub a b = add a (neg b)
+  let make num den = budget_round (reduce num den)
 
-let mul a b =
-  match (a.special, b.special) with
-  | `Nan, _ | _, `Nan -> nan_v
-  | `Inf s, `Inf s' -> inf_v (s lxor s')
-  | `Inf s, `Fin | `Fin, `Inf s ->
-      let other = if a.special = `Fin then a else b in
-      if Bigint.is_zero other.num then nan_v
-      else inf_v (s lxor if Bigint.sign other.num < 0 then 1 else 0)
-  | `Fin, `Fin -> make (Bigint.mul a.num b.num) (Nat.mul a.den b.den)
+  (* ---- promote / demote ---------------------------------------------- *)
 
-let div a b =
-  match (a.special, b.special) with
-  | `Nan, _ | _, `Nan -> nan_v
-  | `Inf _, `Inf _ -> nan_v
-  | `Inf s, `Fin -> inf_v (s lxor if Bigint.sign b.num < 0 then 1 else 0)
-  | `Fin, `Inf _ -> zero_v
-  | `Fin, `Fin ->
-      if Bigint.is_zero b.num then
-        if Bigint.is_zero a.num then nan_v
-        else inf_v (if Bigint.sign a.num < 0 then 1 else 0)
-      else begin
-        let n = Bigint.mul a.num (Bigint.of_nat b.den) in
-        let d = Nat.mul (Bigint.to_nat (Bigint.abs b.num)) a.den in
-        make (if Bigint.sign b.num < 0 then Bigint.neg n else n) d
-      end
-
-let abs a =
-  match a.special with
-  | `Inf _ -> inf_v 0
-  | `Nan -> a
-  | `Fin -> { a with num = Bigint.abs a.num }
-
-let fma a b c = add (mul a b) c
-
-let cmp_quiet a b =
-  match (a.special, b.special) with
-  | (`Nan, _) | (_, `Nan) -> Ieee754.Softfp.Cmp_unordered
-  | _ -> begin
-      let d = sub a b in
-      match d.special with
-      | `Inf 0 -> Ieee754.Softfp.Cmp_gt
-      | `Inf _ -> Ieee754.Softfp.Cmp_lt
-      | `Nan -> Ieee754.Softfp.Cmp_unordered
-      | `Fin ->
-          let s = Bigint.sign d.num in
-          if s < 0 then Ieee754.Softfp.Cmp_lt
-          else if s > 0 then Ieee754.Softfp.Cmp_gt
-          else Ieee754.Softfp.Cmp_eq
+  let promote (b64 : int64) : value =
+    let f = Int64.float_of_bits b64 in
+    if Float.is_nan f then nan_v
+    else if f = Float.infinity then inf_v 0
+    else if f = Float.neg_infinity then inf_v 1
+    else if f = 0.0 then zero_v
+    else begin
+      (* exact: every double is p * 2^e *)
+      match B.classify (B.of_float f) with
+      | `Fin (sign, exp, man) ->
+          let p = Bigint.of_nat man in
+          let p = if sign = 1 then Bigint.neg p else p in
+          if exp >= 0 then make (Bigint.shift_left p exp) Nat.one
+          else make p (Nat.shift_left Nat.one (-exp))
+      | _ -> zero_v
     end
 
-let cmp_signaling = cmp_quiet
+  let of_bigfloat (x : B.t) : value =
+    match B.classify x with
+    | `Nan -> nan_v
+    | `Inf s -> inf_v s
+    | `Zero _ -> zero_v
+    | `Fin (sign, exp, man) ->
+        let p = Bigint.of_nat man in
+        let p = if sign = 1 then Bigint.neg p else p in
+        if exp >= 0 then make (Bigint.shift_left p exp) Nat.one
+        else make p (Nat.shift_left Nat.one (-exp))
 
-let min_v a b = match cmp_quiet a b with Ieee754.Softfp.Cmp_lt -> a | _ -> b
-let max_v a b = match cmp_quiet a b with Ieee754.Softfp.Cmp_gt -> a | _ -> b
+  let demote (v : value) : int64 =
+    match v.special with
+    | `Nan -> Int64.bits_of_float Float.nan
+    | `Inf 0 -> Int64.bits_of_float Float.infinity
+    | `Inf _ -> Int64.bits_of_float Float.neg_infinity
+    | `Fin -> Int64.bits_of_float (B.to_float (to_bigfloat ~prec:64 v))
 
-(* ---- irrational operations via high-precision binary ----------------- *)
+  (* ---- exact field operations ----------------------------------------- *)
 
-let via_bigfloat1 f v =
-  match v.special with
-  | `Nan -> nan_v
-  | _ ->
-      let prec = max 128 (4 * !bits) in
-      of_bigfloat (f ~prec (to_bigfloat ~prec v))
+  let add a b =
+    match (a.special, b.special) with
+    | `Nan, _ | _, `Nan -> nan_v
+    | `Inf s, `Inf s' -> if s = s' then a else nan_v
+    | `Inf _, _ -> a
+    | _, `Inf _ -> b
+    | `Fin, `Fin ->
+        make
+          (Bigint.add
+             (Bigint.mul a.num (Bigint.of_nat b.den))
+             (Bigint.mul b.num (Bigint.of_nat a.den)))
+          (Nat.mul a.den b.den)
 
-let via_bigfloat2 f a b =
-  match (a.special, b.special) with
-  | `Nan, _ | _, `Nan -> nan_v
-  | _ ->
-      let prec = max 128 (4 * !bits) in
-      of_bigfloat (f ~prec (to_bigfloat ~prec a) (to_bigfloat ~prec b))
+  let neg a =
+    match a.special with
+    | `Inf s -> inf_v (1 - s)
+    | `Nan -> a
+    | `Fin -> { a with num = Bigint.neg a.num }
 
-let sqrt = via_bigfloat1 (fun ~prec x -> B.sqrt ~prec x)
-let sin = via_bigfloat1 Elementary.sin
-let cos = via_bigfloat1 Elementary.cos
-let tan = via_bigfloat1 Elementary.tan
-let asin = via_bigfloat1 Elementary.asin
-let acos = via_bigfloat1 Elementary.acos
-let atan = via_bigfloat1 Elementary.atan
-let atan2 = via_bigfloat2 Elementary.atan2
-let exp = via_bigfloat1 Elementary.exp
-let log = via_bigfloat1 Elementary.log
-let log10 = via_bigfloat1 Elementary.log10
-let pow = via_bigfloat2 Elementary.pow
-let hypot = via_bigfloat2 Elementary.hypot
-let fmod a b = via_bigfloat2 (fun ~prec x y -> B.fmod ~prec x y) a b
+  let sub a b = add a (neg b)
 
-(* ---- conversions ------------------------------------------------------ *)
+  let mul a b =
+    match (a.special, b.special) with
+    | `Nan, _ | _, `Nan -> nan_v
+    | `Inf s, `Inf s' -> inf_v (s lxor s')
+    | `Inf s, `Fin | `Fin, `Inf s ->
+        let other = if a.special = `Fin then a else b in
+        if Bigint.is_zero other.num then nan_v
+        else inf_v (s lxor if Bigint.sign other.num < 0 then 1 else 0)
+    | `Fin, `Fin -> make (Bigint.mul a.num b.num) (Nat.mul a.den b.den)
 
-let of_i64 v =
-  if Int64.compare v 0L >= 0 then make (Bigint.of_int64 v) Nat.one
-  else make (Bigint.of_int64 v) Nat.one
+  let div a b =
+    match (a.special, b.special) with
+    | `Nan, _ | _, `Nan -> nan_v
+    | `Inf _, `Inf _ -> nan_v
+    | `Inf s, `Fin -> inf_v (s lxor if Bigint.sign b.num < 0 then 1 else 0)
+    | `Fin, `Inf _ -> zero_v
+    | `Fin, `Fin ->
+        if Bigint.is_zero b.num then
+          if Bigint.is_zero a.num then nan_v
+          else inf_v (if Bigint.sign a.num < 0 then 1 else 0)
+        else begin
+          let n = Bigint.mul a.num (Bigint.of_nat b.den) in
+          let d = Nat.mul (Bigint.to_nat (Bigint.abs b.num)) a.den in
+          make (if Bigint.sign b.num < 0 then Bigint.neg n else n) d
+        end
 
-let of_i32 v = of_i64 (Int64.of_int32 v)
+  let abs a =
+    match a.special with
+    | `Inf _ -> inf_v 0
+    | `Nan -> a
+    | `Fin -> { a with num = Bigint.abs a.num }
 
-let to_i64 mode (v : value) : int64 =
-  match v.special with
-  | `Nan | `Inf _ -> Int64.min_int
-  | `Fin ->
-      let q, r = Bigint.divmod v.num (Bigint.of_nat v.den) in
-      let adjust =
-        (* r has the dividend's sign (truncated division) *)
-        match mode with
-        | Ieee754.Softfp.Toward_zero -> Bigint.zero
-        | Ieee754.Softfp.Toward_neg ->
-            if Bigint.sign r < 0 then Bigint.minus_one else Bigint.zero
-        | Ieee754.Softfp.Toward_pos ->
-            if Bigint.sign r > 0 then Bigint.one else Bigint.zero
-        | Ieee754.Softfp.Nearest_even ->
-            let twice = Bigint.mul (Bigint.abs r) (Bigint.of_int 2) in
-            let c = Bigint.compare twice (Bigint.of_nat v.den) in
-            if c > 0 || (c = 0 && not (Nat.is_even (Bigint.to_nat (Bigint.abs q))))
-            then if Bigint.sign v.num < 0 then Bigint.minus_one else Bigint.one
-            else Bigint.zero
-      in
-      let final = Bigint.add q adjust in
-      (match Bigint.to_int_opt final with
-      | Some x -> Int64.of_int x
-      | None -> Int64.min_int)
+  let fma a b c = add (mul a b) c
 
-let to_i32 mode v =
-  let x = to_i64 mode v in
-  if
-    Int64.compare x (Int64.of_int32 Int32.max_int) > 0
-    || Int64.compare x (Int64.of_int32 Int32.min_int) < 0
-  then Int32.min_int
-  else Int64.to_int32 x
+  let cmp_quiet a b =
+    match (a.special, b.special) with
+    | (`Nan, _) | (_, `Nan) -> Ieee754.Softfp.Cmp_unordered
+    | _ -> begin
+        let d = sub a b in
+        match d.special with
+        | `Inf 0 -> Ieee754.Softfp.Cmp_gt
+        | `Inf _ -> Ieee754.Softfp.Cmp_lt
+        | `Nan -> Ieee754.Softfp.Cmp_unordered
+        | `Fin ->
+            let s = Bigint.sign d.num in
+            if s < 0 then Ieee754.Softfp.Cmp_lt
+            else if s > 0 then Ieee754.Softfp.Cmp_gt
+            else Ieee754.Softfp.Cmp_eq
+      end
 
-let of_f32_bits b =
-  promote (fst (Ieee754.Convert.f32_to_f64 Ieee754.Softfp.Nearest_even b))
+  let cmp_signaling = cmp_quiet
 
-let to_f32_bits v =
-  fst (Ieee754.Convert.f64_to_f32 Ieee754.Softfp.Nearest_even (demote v))
+  let min_v a b = match cmp_quiet a b with Ieee754.Softfp.Cmp_lt -> a | _ -> b
+  let max_v a b = match cmp_quiet a b with Ieee754.Softfp.Cmp_gt -> a | _ -> b
 
-let round_int mode v =
-  match v.special with
-  | `Nan | `Inf _ -> v
-  | `Fin -> make (Bigint.of_int64 (to_i64 mode v)) Nat.one
+  (* ---- irrational operations via high-precision binary ----------------- *)
 
-let floor_v = round_int Ieee754.Softfp.Toward_neg
-let ceil_v = round_int Ieee754.Softfp.Toward_pos
+  let via_bigfloat1 f v =
+    match v.special with
+    | `Nan -> nan_v
+    | _ ->
+        let prec = max 128 (4 * bits) in
+        of_bigfloat (f ~prec (to_bigfloat ~prec v))
 
-let to_string v =
-  match v.special with
-  | `Nan -> "NaN"
-  | `Inf 0 -> "Inf"
-  | `Inf _ -> "-Inf"
-  | `Fin -> Printf.sprintf "%s/%s" (Bigint.to_string v.num) (Nat.to_string v.den)
+  let via_bigfloat2 f a b =
+    match (a.special, b.special) with
+    | `Nan, _ | _, `Nan -> nan_v
+    | _ ->
+        let prec = max 128 (4 * bits) in
+        of_bigfloat (f ~prec (to_bigfloat ~prec a) (to_bigfloat ~prec b))
 
-let is_nan_v v = v.special = `Nan
-let is_zero_v v = v.special = `Fin && Bigint.is_zero v.num
+  let sqrt = via_bigfloat1 (fun ~prec x -> B.sqrt ~prec x)
+  let sin = via_bigfloat1 Elementary.sin
+  let cos = via_bigfloat1 Elementary.cos
+  let tan = via_bigfloat1 Elementary.tan
+  let asin = via_bigfloat1 Elementary.asin
+  let acos = via_bigfloat1 Elementary.acos
+  let atan = via_bigfloat1 Elementary.atan
+  let atan2 = via_bigfloat2 Elementary.atan2
+  let exp = via_bigfloat1 Elementary.exp
+  let log = via_bigfloat1 Elementary.log
+  let log10 = via_bigfloat1 Elementary.log10
+  let pow = via_bigfloat2 Elementary.pow
+  let hypot = via_bigfloat2 Elementary.hypot
+  let fmod a b = via_bigfloat2 (fun ~prec x y -> B.fmod ~prec x y) a b
 
-let op_cycles = function
-  | Arith.C_add | Arith.C_sub -> 900 (* two bignum mults + gcd *)
-  | Arith.C_mul -> 700
-  | Arith.C_div -> 800
-  | Arith.C_sqrt -> 6000
-  | Arith.C_fma -> 1600
-  | Arith.C_cmp -> 600
-  | Arith.C_cvt -> 400
-  | Arith.C_libm -> 20000
+  (* ---- conversions ------------------------------------------------------ *)
 
-(* ---- serialization (lib/replay) ------------------------------------- *)
+  let of_i64 v =
+    if Int64.compare v 0L >= 0 then make (Bigint.of_int64 v) Nat.one
+    else make (Bigint.of_int64 v) Nat.one
 
-(* Stored values are already reduced and budget-rounded, so the fields
-   round-trip structurally - re-running [make] here would be wrong only
-   in being wasted work, but we avoid it to keep restore O(size). *)
-let encode_value b (v : value) =
-  match v.special with
-  | `Nan -> Wire.u8 b 0
-  | `Inf s ->
-      Wire.u8 b 1;
-      Wire.u8 b s
-  | `Fin ->
-      Wire.u8 b 2;
-      Wire.u8 b (if Bigint.sign v.num < 0 then 1 else 0);
-      Wire.nat b (Bigint.to_nat (Bigint.abs v.num));
-      Wire.nat b v.den
+  let of_i32 v = of_i64 (Int64.of_int32 v)
 
-let decode_value s pos : value =
-  match Wire.r_u8 s pos with
-  | 0 -> nan_v
-  | 1 -> inf_v (Wire.r_u8 s pos)
-  | 2 ->
-      let neg = Wire.r_u8 s pos = 1 in
-      let mag = Bigint.of_nat (Wire.r_nat s pos) in
-      let num = if neg then Bigint.neg mag else mag in
-      let den = Wire.r_nat s pos in
-      { num; den; special = `Fin }
-  | t -> raise (Wire.Corrupt (Printf.sprintf "bad slash tag %d" t))
+  let to_i64 mode (v : value) : int64 =
+    match v.special with
+    | `Nan | `Inf _ -> Int64.min_int
+    | `Fin ->
+        let q, r = Bigint.divmod v.num (Bigint.of_nat v.den) in
+        let adjust =
+          (* r has the dividend's sign (truncated division) *)
+          match mode with
+          | Ieee754.Softfp.Toward_zero -> Bigint.zero
+          | Ieee754.Softfp.Toward_neg ->
+              if Bigint.sign r < 0 then Bigint.minus_one else Bigint.zero
+          | Ieee754.Softfp.Toward_pos ->
+              if Bigint.sign r > 0 then Bigint.one else Bigint.zero
+          | Ieee754.Softfp.Nearest_even ->
+              let twice = Bigint.mul (Bigint.abs r) (Bigint.of_int 2) in
+              let c = Bigint.compare twice (Bigint.of_nat v.den) in
+              if c > 0 || (c = 0 && not (Nat.is_even (Bigint.to_nat (Bigint.abs q))))
+              then if Bigint.sign v.num < 0 then Bigint.minus_one else Bigint.one
+              else Bigint.zero
+        in
+        let final = Bigint.add q adjust in
+        (match Bigint.to_int_opt final with
+        | Some x -> Int64.of_int x
+        | None -> Int64.min_int)
+
+  let to_i32 mode v =
+    let x = to_i64 mode v in
+    if
+      Int64.compare x (Int64.of_int32 Int32.max_int) > 0
+      || Int64.compare x (Int64.of_int32 Int32.min_int) < 0
+    then Int32.min_int
+    else Int64.to_int32 x
+
+  let of_f32_bits b =
+    promote (fst (Ieee754.Convert.f32_to_f64 Ieee754.Softfp.Nearest_even b))
+
+  let to_f32_bits v =
+    fst (Ieee754.Convert.f64_to_f32 Ieee754.Softfp.Nearest_even (demote v))
+
+  let round_int mode v =
+    match v.special with
+    | `Nan | `Inf _ -> v
+    | `Fin -> make (Bigint.of_int64 (to_i64 mode v)) Nat.one
+
+  let floor_v = round_int Ieee754.Softfp.Toward_neg
+  let ceil_v = round_int Ieee754.Softfp.Toward_pos
+
+  let to_string v =
+    match v.special with
+    | `Nan -> "NaN"
+    | `Inf 0 -> "Inf"
+    | `Inf _ -> "-Inf"
+    | `Fin -> Printf.sprintf "%s/%s" (Bigint.to_string v.num) (Nat.to_string v.den)
+
+  let is_nan_v v = v.special = `Nan
+  let is_zero_v v = v.special = `Fin && Bigint.is_zero v.num
+
+  let op_cycles = function
+    | Arith.C_add | Arith.C_sub -> 900 (* two bignum mults + gcd *)
+    | Arith.C_mul -> 700
+    | Arith.C_div -> 800
+    | Arith.C_sqrt -> 6000
+    | Arith.C_fma -> 1600
+    | Arith.C_cmp -> 600
+    | Arith.C_cvt -> 400
+    | Arith.C_libm -> 20000
+
+  (* ---- serialization (lib/replay) ------------------------------------- *)
+
+  (* Stored values are already reduced and budget-rounded, so the fields
+     round-trip structurally - re-running [make] here would be wrong only
+     in being wasted work, but we avoid it to keep restore O(size). *)
+  let encode_value b (v : value) =
+    match v.special with
+    | `Nan -> Wire.u8 b 0
+    | `Inf s ->
+        Wire.u8 b 1;
+        Wire.u8 b s
+    | `Fin ->
+        Wire.u8 b 2;
+        Wire.u8 b (if Bigint.sign v.num < 0 then 1 else 0);
+        Wire.nat b (Bigint.to_nat (Bigint.abs v.num));
+        Wire.nat b v.den
+
+  let decode_value s pos : value =
+    match Wire.r_u8 s pos with
+    | 0 -> nan_v
+    | 1 -> inf_v (Wire.r_u8 s pos)
+    | 2 ->
+        let neg = Wire.r_u8 s pos = 1 in
+        let mag = Bigint.of_nat (Wire.r_nat s pos) in
+        let num = if neg then Bigint.neg mag else mag in
+        let den = Wire.r_nat s pos in
+        { num; den; special = `Fin }
+    | t -> raise (Wire.Corrupt (Printf.sprintf "bad slash tag %d" t))
+end
+
+(* The default 64-bit-budget port. *)
+include Make (struct
+  let bits = 64
+end)
+
+(* A port at any budget, as a first-class module. *)
+let make ~bits () : (module Arith.S with type value = slash) =
+  (module Make (struct
+    let bits = bits
+  end))

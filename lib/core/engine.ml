@@ -1574,7 +1574,7 @@ module Make (A : Arith.S) = struct
     prog : Program.t;
   }
 
-  let prepare ?(config = default_config) (prog : Program.t) : session =
+  let prepare ?(config = default_config) ?facts (prog : Program.t) : session =
     let t = create config in
     let prog = Program.copy prog in
     let record_analysis (a : Vsa.analysis) =
@@ -1582,16 +1582,21 @@ module Make (A : Arith.S) = struct
       t.stats.Stats.trap_checks_elided <-
         a.Vsa.pipeline.Analysis.Pipeline.trap_checks_elided
     in
+    (* The static analysis is a pure function of the instruction array
+       and its results are index-based, so an [?facts] value computed
+       once on the pristine binary (the fleet's shared read-only fact
+       store) applies to this session's private copy verbatim. *)
+    let analyze () = match facts with Some a -> a | None -> Vsa.analyze prog in
     (* Static analysis + patching (the hybrid's correctness traps). *)
     if config.use_vsa && config.approach <> Static_transform then begin
-      let analysis = Vsa.analyze prog in
+      let analysis = analyze () in
       Vsa.apply_patches prog analysis;
       record_analysis analysis
     end;
     if config.approach = Static_transform then begin
       (* Patch every FP instruction and every VSA sink with an inline
          software check; no hardware traps at all. *)
-      let analysis = Vsa.analyze prog in
+      let analysis = analyze () in
       Array.iteri
         (fun i insn ->
           if Isa.is_fp_insn insn then prog.Program.insns.(i) <- Isa.Checked insn)

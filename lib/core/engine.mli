@@ -178,11 +178,18 @@ module Make (A : Arith.S) : sig
     prog : Machine.Program.t;
   }
 
-  val prepare : ?config:config -> Machine.Program.t -> session
+  val prepare :
+    ?config:config -> ?facts:Vsa.analysis -> Machine.Program.t -> session
   (** Copy the binary, run the static analysis, create the machine and
       kernel, install all handlers — everything up to (but excluding)
       the first instruction. Deterministic for a given program and
-      config. *)
+      config.
+
+      [?facts] supplies a precomputed {!Vsa.analysis} of the (pristine)
+      binary instead of re-running the analysis — the fleet's shared
+      read-only fact store. The analysis is pure and index-based, so a
+      prepared session is bit-identical whether the facts were computed
+      here or shared; only the one-time analysis work is saved. *)
 
   val refresh_trace_hints : session -> unit
   (** Recompute the trace-extension hints and no-escape facts from the

@@ -136,3 +136,31 @@ let emit sink st ev =
 
 let quiesce sink st =
   match sink.on_quiesce with None -> () | Some f -> f st
+
+(* Chain a callback after whatever is already installed on a channel.
+   The channels are deliberately single-slot records (the uninstalled
+   fast path is one option match), but independent observers now share
+   them — the fleet scheduler yields on [on_quiesce] while the recorder
+   checkpoints there — so installers must compose rather than overwrite.
+   Existing callbacks run first: an earlier observer never sees state
+   a later-installed one (e.g. a scheduler that switches guests) has
+   moved past. *)
+let add_event sink f =
+  match sink.on_event with
+  | None -> sink.on_event <- Some f
+  | Some g ->
+      sink.on_event <-
+        Some
+          (fun st ev ->
+            g st ev;
+            f st ev)
+
+let add_quiesce sink f =
+  match sink.on_quiesce with
+  | None -> sink.on_quiesce <- Some f
+  | Some g ->
+      sink.on_quiesce <-
+        Some
+          (fun st ->
+            g st;
+            f st)

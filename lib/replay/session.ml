@@ -52,32 +52,50 @@ module Make (A : Fpvm.Arith.S) = struct
 
   let dangling_digest = Codec.fnv64 Codec.fnv_basis "dangling-box"
 
-  (* scratch for value_digest: one buffer per functor instance, not one
-     allocation per digested register *)
-  let scratch = Buffer.create 64
-
-  (* Registers barely change between consecutive events, so memoize
-     shadow-value digests per arena cell. Shadow values are immutable
-     once allocated; the [==] check makes a reused cell (freed, then
-     re-allocated) miss, and a stale hit is impossible — a physically
-     identical value digests identically by construction. *)
   let memo_sentinel = Obj.repr "digest-memo-empty"
-  let memo_obj : Obj.t array ref = ref [||]
-  let memo_dig : int64 array ref = ref [||]
 
-  let memo_ensure idx =
-    if idx >= Array.length !memo_obj then begin
+  (* Per-recording digest state. This used to live at functor level,
+     which silently coupled every session built from one [Make (A)]
+     application: two interleaved recordings thrashed each other's
+     memo tables (a correctness hazard with the [==] check, since
+     arena indices are per-engine), and two domains raced outright.
+     [scratch] avoids one Buffer allocation per digested register;
+     [memo_*] memoizes shadow-value digests per arena cell (registers
+     barely change between consecutive events). Shadow values are
+     immutable once allocated; the [==] check makes a reused cell
+     (freed, then re-allocated) miss, and a stale hit is impossible —
+     a physically identical value digests identically by construction.
+     [dec_*] memoizes per-site decodes separately from the engine's
+     decode cache, keeping the engine's hit/miss counters — part of
+     the deterministic stats — untouched by recording. *)
+  type dctx = {
+    scratch : Buffer.t;
+    mutable memo_obj : Obj.t array;
+    mutable memo_dig : int64 array;
+    mutable dec_seen : Bytes.t;
+    mutable dec_tab : Fpvm.Decoder.decoded option array;
+  }
+
+  let dctx () =
+    { scratch = Buffer.create 64;
+      memo_obj = [||];
+      memo_dig = [||];
+      dec_seen = Bytes.empty;
+      dec_tab = [||] }
+
+  let memo_ensure ctx idx =
+    if idx >= Array.length ctx.memo_obj then begin
       let n = max 1024 (2 * (idx + 1)) in
       let o = Array.make n memo_sentinel and d = Array.make n 0L in
-      Array.blit !memo_obj 0 o 0 (Array.length !memo_obj);
-      Array.blit !memo_dig 0 d 0 (Array.length !memo_dig);
-      memo_obj := o;
-      memo_dig := d
+      Array.blit ctx.memo_obj 0 o 0 (Array.length ctx.memo_obj);
+      Array.blit ctx.memo_dig 0 d 0 (Array.length ctx.memo_dig);
+      ctx.memo_obj <- o;
+      ctx.memo_dig <- d
     end
 
   (* Raw bits for unboxed values; the digest of the *encoded shadow
      value* for boxes. *)
-  let value_digest (eng : E.t) (bits : int64) : int64 =
+  let value_digest ctx (eng : E.t) (bits : int64) : int64 =
     if Fpvm.Nanbox.is_boxed bits then begin
       let idx = Fpvm.Nanbox.unbox bits in
       if idx >= Fpvm.Plan.temp_base then
@@ -88,22 +106,22 @@ module Make (A : Fpvm.Arith.S) = struct
            scratch slots recycle every trace. *)
         match E.temp_value eng bits with
         | Some v ->
-            Buffer.clear scratch;
-            A.encode_value scratch v;
-            Codec.fnv64 Codec.fnv_basis (Buffer.contents scratch)
+            Buffer.clear ctx.scratch;
+            A.encode_value ctx.scratch v;
+            Codec.fnv64 Codec.fnv_basis (Buffer.contents ctx.scratch)
         | None -> dangling_digest
       else
       match Fpvm.Arena.get eng.E.arena idx with
       | Some v ->
           let o = Obj.repr v in
-          memo_ensure idx;
-          if !memo_obj.(idx) == o then !memo_dig.(idx)
+          memo_ensure ctx idx;
+          if ctx.memo_obj.(idx) == o then ctx.memo_dig.(idx)
           else begin
-            Buffer.clear scratch;
-            A.encode_value scratch v;
-            let d = Codec.fnv64 Codec.fnv_basis (Buffer.contents scratch) in
-            !memo_obj.(idx) <- o;
-            !memo_dig.(idx) <- d;
+            Buffer.clear ctx.scratch;
+            A.encode_value ctx.scratch v;
+            let d = Codec.fnv64 Codec.fnv_basis (Buffer.contents ctx.scratch) in
+            ctx.memo_obj.(idx) <- o;
+            ctx.memo_dig.(idx) <- d;
             d
           end
       | None -> dangling_digest
@@ -114,7 +132,7 @@ module Make (A : Fpvm.Arith.S) = struct
      untagged native-int arithmetic (one xor-multiply round per word;
      multiplication by an odd constant is bijective, so no difference
      is ever erased) instead of allocation-heavy boxed Int64 FNV. *)
-  let arch_digest (eng : E.t) (st : State.t) : int64 =
+  let arch_digest ctx (eng : E.t) (st : State.t) : int64 =
     let h = ref 0x4BF29CE484222325 in
     let mixi v = h := (!h lxor v) * 0x100000001B3 in
     (* to_int keeps bits 0-62; the second round covers the top bits *)
@@ -135,10 +153,10 @@ module Make (A : Fpvm.Arith.S) = struct
     mixi (Buffer.length st.State.out);
     mixi (Buffer.length st.State.serialized);
     for i = 0 to 15 do
-      mix (value_digest eng st.State.gpr.(i))
+      mix (value_digest ctx eng st.State.gpr.(i))
     done;
     for i = 0 to 31 do
-      mix (value_digest eng st.State.xmm.(i))
+      mix (value_digest ctx eng st.State.xmm.(i))
     done;
     Int64.of_int !h
 
@@ -152,36 +170,30 @@ module Make (A : Fpvm.Arith.S) = struct
     | Isa.Mem m -> ( try State.load64 st (State.ea st m) with _ -> 0L)
 
   (* Faults cluster on a handful of static sites, so decode each site
-     once per program. A separate memo (not the engine's decode cache)
-     keeps the engine's hit/miss counters — part of the deterministic
-     stats — untouched by recording. Decoding is wrapper-transparent,
-     so sites patched after first decode still memo correctly. *)
-  let dec_prog : Machine.Program.t option ref = ref None
-  let dec_seen = ref Bytes.empty
-  let dec_tab : Fpvm.Decoder.decoded option array ref = ref [||]
-
-  let decode_memo (prog : Machine.Program.t) idx =
-    (match !dec_prog with
-    | Some p when p == prog -> ()
-    | _ ->
-        let n = Array.length prog.Machine.Program.insns in
-        dec_prog := Some prog;
-        dec_seen := Bytes.make n '\000';
-        dec_tab := Array.make n None);
-    if Bytes.get !dec_seen idx = '\001' then !dec_tab.(idx)
+     once per program (the context is per-session, so the table is
+     always for this session's program copy). Decoding is
+     wrapper-transparent, so sites patched after first decode still
+     memo correctly. *)
+  let decode_memo ctx (prog : Machine.Program.t) idx =
+    (if Bytes.length ctx.dec_seen = 0 then begin
+       let n = Array.length prog.Machine.Program.insns in
+       ctx.dec_seen <- Bytes.make n '\000';
+       ctx.dec_tab <- Array.make n None
+     end);
+    if Bytes.get ctx.dec_seen idx = '\001' then ctx.dec_tab.(idx)
     else begin
       let d = Fpvm.Decoder.decode_insn prog.Machine.Program.insns.(idx) in
-      Bytes.set !dec_seen idx '\001';
-      !dec_tab.(idx) <- d;
+      Bytes.set ctx.dec_seen idx '\001';
+      ctx.dec_tab.(idx) <- d;
       d
     end
 
-  let fault_operands (eng : E.t) (st : State.t) (prog : Machine.Program.t)
+  let fault_operands ctx (eng : E.t) (st : State.t) (prog : Machine.Program.t)
       index =
     if index < 0 || index >= Array.length prog.Machine.Program.insns then
       (0, 0L, 0L)
     else
-      match decode_memo prog index with
+      match decode_memo ctx prog index with
       | None -> (0, 0L, 0L)
       | Some d ->
           let dstb = operand_lane0 st d.Fpvm.Decoder.dst in
@@ -190,18 +202,22 @@ module Make (A : Fpvm.Arith.S) = struct
             (if Fpvm.Nanbox.is_boxed dstb then 1 else 0)
             lor if Fpvm.Nanbox.is_boxed srcb then 2 else 0
           in
-          (boxed, value_digest eng dstb, value_digest eng srcb)
+          (boxed, value_digest ctx eng dstb, value_digest ctx eng srcb)
 
-  let event_of_probe (ses : E.session) seq (pev : P.event) : Event.t =
+  let event_of_probe ctx (ses : E.session) seq (pev : P.event) : Event.t =
     let st = ses.E.st in
-    let chk = arch_digest ses.E.eng st in
+    let chk = arch_digest ctx ses.E.eng st in
     let kind =
       match pev with
       | P.Fp_trap { index; events } ->
-          let boxed, dst, src = fault_operands ses.E.eng st ses.E.prog index in
+          let boxed, dst, src =
+            fault_operands ctx ses.E.eng st ses.E.prog index
+          in
           Event.Fp_trap { index; events; boxed; dst; src }
       | P.Absorbed { index; events } ->
-          let boxed, dst, src = fault_operands ses.E.eng st ses.E.prog index in
+          let boxed, dst, src =
+            fault_operands ctx ses.E.eng st ses.E.prog index
+          in
           Event.Absorbed { index; events; boxed; dst; src }
       | P.Correctness { index } -> Event.Correctness { index }
       | P.Gc { full; freed; words } -> Event.Gc { full; freed; words }
@@ -252,42 +268,41 @@ module Make (A : Fpvm.Arith.S) = struct
 
   (* ---- record ---------------------------------------------------------- *)
 
-  let record ?(checkpoint_every = 0) ?instrument ~(meta : Log.meta) ~config
-      (prog : Machine.Program.t) : recording =
-    let ses = E.prepare ~config prog in
+  let record ?(checkpoint_every = 0) ?facts ?instrument ~(meta : Log.meta)
+      ~config (prog : Machine.Program.t) : recording =
+    let ses = E.prepare ~config ?facts prog in
     (* Telemetry (lib/telemetry) installs on the on_tel/on_num channels,
        which the recorder does not use; installing it never changes
        what the recorder observes. *)
     (match instrument with
     | Some f -> f ses.E.eng.E.probe
     | None -> ());
+    let ctx = dctx () in
     let w = Log.writer meta in
     let seq = ref 0 in
     let pending = ref 0 in
     let cps = ref [] in
     let cp_bytes = ref 0 in
-    ses.E.eng.E.probe.P.on_event <-
-      Some
-        (fun _st pev ->
-          Log.add w (event_of_probe ses !seq pev);
-          incr seq;
-          incr pending);
+    (* Chained, not overwritten: a fleet scheduler may already be
+       yielding on these channels; recording a guest mid-fleet must
+       leave that hook in place. *)
+    P.add_event ses.E.eng.E.probe (fun _st pev ->
+        Log.add w (event_of_probe ctx ses !seq pev);
+        incr seq;
+        incr pending);
     if checkpoint_every > 0 then
-      ses.E.eng.E.probe.P.on_quiesce <-
-        Some
-          (fun _st ->
-            if !pending >= checkpoint_every then begin
-              pending := 0;
-              let blob = capture ~meta ~seq:!seq ses in
-              cp_bytes := !cp_bytes + String.length blob;
-              cps := (!seq, blob) :: !cps;
-              match ses.E.eng.E.probe.P.on_tel with
-              | None -> ()
-              | Some f ->
-                  f ses.E.st
-                    (P.T_checkpoint
-                       { seq = !seq; bytes = String.length blob })
-            end);
+      P.add_quiesce ses.E.eng.E.probe (fun _st ->
+          if !pending >= checkpoint_every then begin
+            pending := 0;
+            let blob = capture ~meta ~seq:!seq ses in
+            cp_bytes := !cp_bytes + String.length blob;
+            cps := (!seq, blob) :: !cps;
+            match ses.E.eng.E.probe.P.on_tel with
+            | None -> ()
+            | Some f ->
+                f ses.E.st
+                  (P.T_checkpoint { seq = !seq; bytes = String.length blob })
+          end);
     let result = E.resume ses in
     let log_bytes = Log.contents w in
     let s = result.Fpvm.Engine.stats in
@@ -321,22 +336,21 @@ module Make (A : Fpvm.Arith.S) = struct
     (match instrument with
     | Some f -> f ses.E.eng.E.probe
     | None -> ());
+    let ctx = dctx () in
     let seq = ref start_seq in
     let evs = log.Log.events in
-    ses.E.eng.E.probe.P.on_event <-
-      Some
-        (fun _st pev ->
-          let got = event_of_probe ses !seq pev in
-          (if !seq >= Array.length evs then
+    P.add_event ses.E.eng.E.probe (fun _st pev ->
+        let got = event_of_probe ctx ses !seq pev in
+        (if !seq >= Array.length evs then
+           raise
+             (Divergence_stop { at = !seq; expected = None; got = Some got })
+         else
+           let exp = evs.(!seq) in
+           if not (Event.equal exp got) then
              raise
-               (Divergence_stop { at = !seq; expected = None; got = Some got })
-           else
-             let exp = evs.(!seq) in
-             if not (Event.equal exp got) then
-               raise
-                 (Divergence_stop
-                    { at = !seq; expected = Some exp; got = Some got }));
-          incr seq);
+               (Divergence_stop
+                  { at = !seq; expected = Some exp; got = Some got }));
+        incr seq);
     match E.resume ses with
     | result ->
         if !seq < Array.length evs then

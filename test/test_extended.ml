@@ -120,7 +120,6 @@ let elementary_tests =
 
 open Machine
 module E_vanilla = Fpvm.Engine.Make (Fpvm.Alt_vanilla)
-module E_mpfr = Fpvm.Engine.Make (Fpvm.Alt_mpfr)
 module E_interval = Fpvm.Engine.Make (Fpvm.Alt_interval)
 
 let xmm n = Isa.Xmm n
@@ -194,10 +193,12 @@ let engine_tests =
         (* enough steps for chaos to amplify the 64-vs-256-bit rounding
            difference past double-printing resolution *)
         let prog = Workloads.Lorenz.program ~steps:3000 () in
-        Fpvm.Alt_mpfr.precision := 64;
-        let r64 = E_mpfr.run prog in
-        Fpvm.Alt_mpfr.precision := 256;
-        let r256 = E_mpfr.run prog in
+        let module E_64 =
+          Fpvm.Engine.Make (Fpvm.Alt_mpfr.Make (struct let prec = 64 end)) in
+        let module E_256 =
+          Fpvm.Engine.Make (Fpvm.Alt_mpfr.Make (struct let prec = 256 end)) in
+        let r64 = E_64.run prog in
+        let r256 = E_256.run prog in
         Alcotest.(check bool) "different precisions, different trajectories"
           true
           (r64.Fpvm.Engine.output <> r256.Fpvm.Engine.output));

@@ -1,0 +1,270 @@
+(* lib/fleet: manifest parsing, serve validation, fleet scheduling
+   sanity, and checkpoint/restore of a guest recorded *inside* a
+   fleet run. *)
+
+module W = Workloads
+
+let mk ?(arith = "vanilla") ?(prec = 200) ?(posit = 32) workload =
+  match Fleet.Port.of_flags ~arith ~prec ~posit with
+  | Error m -> Alcotest.fail m
+  | Ok port ->
+      { Fleet.g_id = 0; g_workload = workload; g_scale = W.Test;
+        g_port = port; g_config = Fpvm.Engine.default_config }
+
+(* ---- manifest ---------------------------------------------------------- *)
+
+let check_err pat content =
+  match Fleet.Manifest.parse content with
+  | Ok _ -> Alcotest.failf "expected parse error matching %S" pat
+  | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" m pat)
+        true
+        (try
+           ignore (Str.search_forward (Str.regexp_string pat) m 0);
+           true
+         with Not_found -> false)
+
+let manifest_tests =
+  [ Alcotest.test_case "parse: defaults, count, comments" `Quick (fun () ->
+        match
+          Fleet.Manifest.parse
+            "# a fleet\n\
+             workload=lorenz arith=mpfr prec=80 count=2\n\
+             \n\
+             workload=lorenz gc=full jit=off # trailing comment\n"
+        with
+        | Error m -> Alcotest.fail m
+        | Ok gs ->
+            Alcotest.(check int) "three guests (count expands)" 3
+              (List.length gs);
+            Alcotest.(check (list int)) "ids are manifest order" [ 0; 1; 2 ]
+              (List.map (fun g -> g.Fleet.g_id) gs);
+            let g0 = List.nth gs 0 and g2 = List.nth gs 2 in
+            Alcotest.(check string) "mpfr:80" "mpfr:80" (Fleet.guest_arith g0);
+            Alcotest.(check string) "vanilla default" "vanilla"
+              (Fleet.guest_arith g2);
+            Alcotest.(check bool) "gc=full parsed" false
+              g2.Fleet.g_config.Fpvm.Engine.incremental_gc;
+            Alcotest.(check bool) "jit=off parsed" false
+              g2.Fleet.g_config.Fpvm.Engine.use_jit;
+            Alcotest.(check bool) "inc gc default" true
+              g0.Fleet.g_config.Fpvm.Engine.incremental_gc);
+    Alcotest.test_case "parse: '-'/'_' stand in for spaces in names" `Quick
+      (fun () ->
+        match
+          Fleet.Manifest.parse "workload=nas-cg\nworkload=NAS_CG arith=mpfr\n"
+        with
+        | Error m -> Alcotest.fail m
+        | Ok gs ->
+            List.iter
+              (fun g ->
+                Alcotest.(check string) "resolves to NAS CG" "NAS CG"
+                  g.Fleet.g_workload)
+              gs);
+    Alcotest.test_case "parse: errors carry line and reason" `Quick (fun () ->
+        check_err "unknown workload" "workload=not-a-workload\n";
+        check_err "missing workload" "arith=mpfr\n";
+        check_err "unknown key" "workload=lorenz fish=1\n";
+        check_err "count must be >= 1" "workload=lorenz count=0\n";
+        check_err "prec must be >= 2" "workload=lorenz arith=mpfr prec=1\n";
+        check_err "posit must be 8, 16 or 32"
+          "workload=lorenz arith=posit posit=24\n";
+        check_err "must be on or off" "workload=lorenz jit=yes\n";
+        check_err "expected key=value" "workload=lorenz whoops\n";
+        check_err "line 2" "workload=lorenz\nworkload=lorenz gc=sometimes\n";
+        check_err "no guests" "# empty\n\n");
+    Alcotest.test_case "validate_serve mirrors flag validation" `Quick
+      (fun () ->
+        (match Fleet.validate_serve ~domains:0 ~batch:8 with
+        | Error m ->
+            Alcotest.(check string) "domains message"
+              "--domains must be >= 1 (got 0)" m
+        | Ok () -> Alcotest.fail "domains=0 accepted");
+        (match Fleet.validate_serve ~domains:(-3) ~batch:8 with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "domains=-3 accepted");
+        (match Fleet.validate_serve ~domains:2 ~batch:0 with
+        | Error m ->
+            Alcotest.(check string) "batch message"
+              "--batch must be >= 1 (got 0)" m
+        | Ok () -> Alcotest.fail "batch=0 accepted");
+        match Fleet.validate_serve ~domains:4 ~batch:16 with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m) ]
+
+(* ---- partition --------------------------------------------------------- *)
+
+let partition_tests =
+  [ Alcotest.test_case "LPT covers every guest exactly once" `Quick (fun () ->
+        let shards = Fleet.partition ~domains:3 [| 5; 1; 9; 2; 7; 7 |] in
+        let all = Array.to_list shards |> List.concat |> List.sort compare in
+        Alcotest.(check (list int)) "exact cover" [ 0; 1; 2; 3; 4; 5 ] all);
+    Alcotest.test_case "LPT balances the lorenz/CG mix" `Quick (fun () ->
+        (* 4 heavy + 4 light over 4 domains: each shard gets one of each *)
+        let shards =
+          Fleet.partition ~domains:4 [| 100; 100; 100; 100; 10; 10; 10; 10 |]
+        in
+        Array.iter
+          (fun shard ->
+            Alcotest.(check int) "one heavy + one light" 2 (List.length shard))
+          shards) ]
+
+(* ---- serve ------------------------------------------------------------- *)
+
+let serve_tests =
+  [ Alcotest.test_case "results return in guest order, accounting adds up"
+      `Quick
+      (fun () ->
+        let guests =
+          List.mapi
+            (fun i g -> { g with Fleet.g_id = i })
+            [ mk "lorenz"; mk ~arith:"mpfr" "lorenz"; mk "lorenz";
+              mk ~arith:"posit" "lorenz" ]
+        in
+        let streamed = ref 0 in
+        let f =
+          Fleet.serve ~domains:2 ~batch:4
+            ~on_result:(fun _ -> incr streamed)
+            guests
+        in
+        Alcotest.(check int) "streamed every guest" 4 !streamed;
+        Alcotest.(check (list int)) "guest order" [ 0; 1; 2; 3 ]
+          (List.map (fun r -> r.Fleet.r_guest.Fleet.g_id) f.Fleet.f_results);
+        Alcotest.(check int) "total = sum of guests"
+          (List.fold_left (fun a r -> a + r.Fleet.r_cycles) 0 f.Fleet.f_results)
+          f.Fleet.f_total_cycles;
+        Alcotest.(check bool) "makespan >= heaviest shard's work" true
+          (Array.for_all (fun c -> c <= f.Fleet.f_makespan) f.Fleet.f_domain_cycles);
+        (* same pristine binary analyzed once, shared thereafter *)
+        Alcotest.(check int) "one analysis" 1 f.Fleet.f_facts_misses;
+        Alcotest.(check bool) "facts shared" true (f.Fleet.f_facts_hits >= 3));
+    Alcotest.test_case "fleet guests bit-identical to solo" `Quick (fun () ->
+        let guests =
+          List.mapi
+            (fun i g -> { g with Fleet.g_id = i })
+            [ mk "lorenz"; mk ~arith:"mpfr" ~prec:80 "lorenz";
+              mk ~arith:"interval" "lorenz";
+              { (mk "lorenz") with
+                Fleet.g_config =
+                  { Fpvm.Engine.default_config with
+                    Fpvm.Engine.incremental_gc = false } } ]
+        in
+        let f = Fleet.serve ~domains:2 ~batch:2 guests in
+        List.iter
+          (fun (r : Fleet.guest_result) ->
+            let solo = Fleet.run_solo r.Fleet.r_guest in
+            Alcotest.(check string)
+              (Printf.sprintf "guest %d fingerprint" r.Fleet.r_guest.Fleet.g_id)
+              (Fpvm.Stats.fingerprint solo.Fpvm.Engine.stats)
+              r.Fleet.r_fingerprint;
+            Alcotest.(check string) "output" solo.Fpvm.Engine.output
+              r.Fleet.r_output)
+          f.Fleet.f_results);
+    Alcotest.test_case "invalid fleets rejected" `Quick (fun () ->
+        Alcotest.check_raises "no guests"
+          (Invalid_argument "fleet: no guests") (fun () ->
+            ignore (Fleet.serve []));
+        Alcotest.check_raises "bad domains"
+          (Invalid_argument "fleet: --domains must be >= 1 (got 0)") (fun () ->
+            ignore (Fleet.serve ~domains:0 [ mk "lorenz" ]))) ]
+
+(* ---- checkpoint/restore inside a fleet --------------------------------- *)
+
+(* Satellite (c): a guest recorded mid-fleet — scheduler hooks live on
+   its probe sink, other guests interleaving on the same domain —
+   still checkpoints and restores bit-exactly, and the blob resumes
+   correctly even while *another* session is mid-flight. *)
+let checkpoint_tests =
+  [ Alcotest.test_case "record+checkpoint a guest inside a fleet" `Slow
+      (fun () ->
+        let prog = (Option.get (W.find "lorenz")).W.program W.Test in
+        let config = Fpvm.Engine.default_config in
+        let meta =
+          { Replay.Log.workload = "lorenz"; scale = "test"; arith = "mpfr:200";
+            config = "fleet-ckpt" }
+        in
+        let d = Fleet.port_driver (Fleet.Port.Mpfr 200) in
+        (* baseline: uninterrupted solo recording *)
+        let solo = d.Fleet.d_record ~checkpoint_every:64 ~meta ~config prog in
+        let base =
+          Fpvm.Stats.fingerprint solo.Replay.Session.result.Fpvm.Engine.stats
+        in
+        Alcotest.(check bool) "checkpoints taken" true
+          (solo.Replay.Session.checkpoints <> []);
+        (* the same recording made inside a two-guest fleet shard *)
+        let fleet_rec = ref None in
+        let other = ref None in
+        Fleet.Sched.run
+          [ (fun () ->
+              fleet_rec :=
+                Some
+                  (d.Fleet.d_record ~checkpoint_every:64
+                     ~instrument:(fun sink ->
+                       Fpvm.Probe.add_quiesce sink (fun _ ->
+                           Fleet.Sched.yield ()))
+                     ~meta ~config prog));
+            (fun () ->
+              let dv = Fleet.port_driver Fleet.Port.Vanilla in
+              other :=
+                Some
+                  (dv.Fleet.d_run
+                     ~instrument:(fun sink ->
+                       Fpvm.Probe.add_quiesce sink (fun _ ->
+                           Fleet.Sched.yield ()))
+                     ~config prog)) ];
+        let fr = Option.get !fleet_rec in
+        Alcotest.(check string) "in-fleet recording fingerprints like solo"
+          base
+          (Fpvm.Stats.fingerprint fr.Replay.Session.result.Fpvm.Engine.stats);
+        Alcotest.(check string) "in-fleet log byte-identical"
+          solo.Replay.Session.log_bytes fr.Replay.Session.log_bytes;
+        Alcotest.(check bool) "co-guest finished" true (!other <> None);
+        (* every in-fleet checkpoint restores to the identical end state *)
+        List.iter
+          (fun (seq, blob) ->
+            let r = d.Fleet.d_resume ~config prog blob in
+            if Fpvm.Stats.fingerprint r.Fpvm.Engine.stats <> base then
+              Alcotest.failf "resume from in-fleet checkpoint@%d differs" seq)
+          fr.Replay.Session.checkpoints;
+        (* ... and restores correctly while another session is live:
+           interleave the resume with a fresh mpfr run on one domain *)
+        let _, blob =
+          List.nth fr.Replay.Session.checkpoints
+            (List.length fr.Replay.Session.checkpoints / 2)
+        in
+        let resumed = ref None in
+        Fleet.Sched.run
+          [ (fun () ->
+              resumed :=
+                Some
+                  (d.Fleet.d_resume
+                     ~instrument:(fun sink ->
+                       Fpvm.Probe.add_quiesce sink (fun _ ->
+                           Fleet.Sched.yield ()))
+                     ~config prog blob));
+            (fun () ->
+              ignore
+                (d.Fleet.d_run
+                   ~instrument:(fun sink ->
+                     Fpvm.Probe.add_quiesce sink (fun _ ->
+                         Fleet.Sched.yield ()))
+                   ~config prog)) ];
+        let r = Option.get !resumed in
+        Alcotest.(check string) "interleaved resume bit-identical" base
+          (Fpvm.Stats.fingerprint r.Fpvm.Engine.stats);
+        (* and the in-fleet log replays clean from that checkpoint *)
+        match
+          d.Fleet.d_replay ~checkpoint:blob ~config fr.Replay.Session.log prog
+        with
+        | Replay.Session.Match _ -> ()
+        | Replay.Session.Diverged dv ->
+            Alcotest.failf "in-fleet checkpoint replay diverged at %d"
+              dv.Replay.Session.at) ]
+
+let () =
+  Alcotest.run "fleet"
+    [ ("manifest", manifest_tests);
+      ("partition", partition_tests);
+      ("serve", serve_tests);
+      ("checkpoint", checkpoint_tests) ]

@@ -177,7 +177,6 @@ let validation_tests =
         Alcotest.(check bool) "demotions happened" true
           (v.Fpvm.Engine.stats.Fpvm.Stats.correctness_demotions > 0));
     Alcotest.test_case "mpfr changes a chaotic trajectory" `Quick (fun () ->
-        Fpvm.Alt_mpfr.precision := 200;
         let prog = build_logistic_prog 300 in
         let native = Fpvm.Engine.run_native prog in
         let m = E_mpfr.run prog in
@@ -194,7 +193,6 @@ let validation_tests =
         Alcotest.(check string) "identical" native.Fpvm.Engine.output
           v.Fpvm.Engine.output);
     Alcotest.test_case "posit run completes and approximates" `Quick (fun () ->
-        Fpvm.Alt_posit.spec := Posit.posit32;
         let prog = build_iter_prog 50 in
         let native = Fpvm.Engine.run_native prog in
         let p = E_posit.run prog in
@@ -370,11 +368,17 @@ let fpspy_tests =
 (* ---- slash (fixed-precision rational) arithmetic ---- *)
 
 module Slash = Fpvm.Alt_slash
-module E_slash = Fpvm.Engine.Make (Fpvm.Alt_slash)
+
+(* The slash port is a functor over the num/den bit budget; each test
+   instantiates the budgets it needs (two can coexist in one test). *)
+module Slash8 = Fpvm.Alt_slash.Make (struct let bits = 8 end)
+module Slash9 = Fpvm.Alt_slash.Make (struct let bits = 9 end)
+module Slash16 = Fpvm.Alt_slash.Make (struct let bits = 16 end)
+module E_slash128 =
+  Fpvm.Engine.Make (Fpvm.Alt_slash.Make (struct let bits = 128 end))
 
 let slash_tests =
   [ Alcotest.test_case "exact field arithmetic (1/3 * 3 = 1)" `Quick (fun () ->
-        Slash.bits := 64;
         let one = Slash.promote (Int64.bits_of_float 1.0) in
         let three = Slash.promote (Int64.bits_of_float 3.0) in
         let third = Slash.div one three in
@@ -385,26 +389,20 @@ let slash_tests =
       (fun () ->
         (* 8-bit budget: 333/106 busts (333 > 256), so 22/7 remains;
            9-bit budget admits 355/113 *)
-        Slash.bits := 8;
-        let pi8 = Slash.promote (Int64.bits_of_float Float.pi) in
-        Alcotest.(check string) "22/7" "22/7" (Slash.to_string pi8);
-        Slash.bits := 9;
-        let pi9 = Slash.promote (Int64.bits_of_float Float.pi) in
-        Alcotest.(check string) "355/113" "355/113" (Slash.to_string pi9);
-        Slash.bits := 64);
+        let pi8 = Slash8.promote (Int64.bits_of_float Float.pi) in
+        Alcotest.(check string) "22/7" "22/7" (Slash8.to_string pi8);
+        let pi9 = Slash9.promote (Int64.bits_of_float Float.pi) in
+        Alcotest.(check string) "355/113" "355/113" (Slash9.to_string pi9));
     Alcotest.test_case "0.1 + 0.2 = 0.3 exactly at small budgets" `Quick
       (fun () ->
         (* with a 16-bit budget, promote snaps each double to its best
            small rational: 1/10, 1/5, 3/10 - and the artifact vanishes *)
-        Slash.bits := 16;
-        let p f = Slash.promote (Int64.bits_of_float f) in
-        Alcotest.(check string) "tenth" "1/10" (Slash.to_string (p 0.1));
-        let sum = Slash.add (p 0.1) (p 0.2) in
+        let p f = Slash16.promote (Int64.bits_of_float f) in
+        Alcotest.(check string) "tenth" "1/10" (Slash16.to_string (p 0.1));
+        let sum = Slash16.add (p 0.1) (p 0.2) in
         Alcotest.(check bool) "equals 3/10" true
-          (Slash.cmp_quiet sum (p 0.3) = Ieee754.Softfp.Cmp_eq);
-        Slash.bits := 64);
+          (Slash16.cmp_quiet sum (p 0.3) = Ieee754.Softfp.Cmp_eq));
     Alcotest.test_case "to_i64 rounding modes" `Quick (fun () ->
-        Slash.bits := 64;
         let half3 =
           Slash.div
             (Slash.promote (Int64.bits_of_float 7.0))
@@ -420,16 +418,14 @@ let slash_tests =
         Alcotest.(check int64) "ceil" 4L
           (Slash.to_i64 Ieee754.Softfp.Toward_pos half3));
     Alcotest.test_case "engine run under slash arithmetic" `Quick (fun () ->
-        Slash.bits := 128;
         let prog = build_iter_prog 40 in
         let native = Fpvm.Engine.run_native prog in
-        let r = E_slash.run prog in
+        let r = E_slash128.run prog in
         (* rational arithmetic stays near the IEEE result at this scale *)
         let f s = float_of_string (List.hd (String.split_on_char '\n' s)) in
         let nf = f native.Fpvm.Engine.output and sf = f r.Fpvm.Engine.output in
         Alcotest.(check bool) "close" true
-          (Float.abs ((nf -. sf) /. nf) < 1e-9);
-        Slash.bits := 64)
+          (Float.abs ((nf -. sf) /. nf) < 1e-9))
   ]
 
 let () =

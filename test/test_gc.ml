@@ -140,7 +140,6 @@ let structure_tests =
           (r.Fpvm.Engine.stats.Fpvm.Stats.eager_frees > 100)) ]
 
 let () =
-  Fpvm.Alt_mpfr.precision := 200;
   Alcotest.run "gc"
     [ ("vanilla-differential",
        differential (fun ~config p -> E_vanilla.run ~config p) "vanilla");

@@ -40,7 +40,7 @@ let ports :
   [ ("vanilla", ((fun ~config p -> E_vanilla.run ~config p), ignore));
     ("mpfr",
      ((fun ~config p -> E_mpfr.run ~config p),
-      fun () -> Fpvm.Alt_mpfr.precision := 200));
+      ignore));
     ("posit", ((fun ~config p -> E_posit.run ~config p), ignore));
     ("interval", ((fun ~config p -> E_interval.run ~config p), ignore));
     ("slash", ((fun ~config p -> E_slash.run ~config p), ignore)) ]

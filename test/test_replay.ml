@@ -115,9 +115,7 @@ let value_tests =
   [ q "vanilla value codec" arb_f64_bits
       (value_roundtrip (module Fpvm.Alt_vanilla));
     q "mpfr value codec" arb_f64_bits
-      (fun bits ->
-        Fpvm.Alt_mpfr.precision := 200;
-        value_roundtrip (module Fpvm.Alt_mpfr) bits);
+      (value_roundtrip (module Fpvm.Alt_mpfr));
     q "posit value codec" arb_f64_bits
       (value_roundtrip (module Fpvm.Alt_posit));
     q "interval value codec" arb_f64_bits
@@ -225,7 +223,6 @@ let port_case (module A : Fpvm.Arith.S) name config gc_name =
     `Quick
     (fun () ->
       let module S = Replay.Session.Make (A) in
-      if name = "mpfr" then Fpvm.Alt_mpfr.precision := 80;
       let prog = (Option.get (W.find "lorenz")).W.program W.Test in
       let meta =
         { Replay.Log.workload = "lorenz"; scale = "test"; arith = name;
@@ -268,7 +265,7 @@ let engine_tests =
   List.concat_map
     (fun (config, gc_name) ->
       [ port_case (module Fpvm.Alt_vanilla) "vanilla" config gc_name;
-        port_case (module Fpvm.Alt_mpfr) "mpfr" config gc_name;
+        port_case (module (val Fpvm.Alt_mpfr.make ~prec:80 ())) "mpfr" config gc_name;
         port_case (module Fpvm.Alt_posit) "posit" config gc_name;
         port_case (module Fpvm.Alt_interval) "interval" config gc_name ])
     [ (incr_cfg, "incremental-gc"); (full_cfg, "full-gc") ]
@@ -329,8 +326,8 @@ let bisect_matches_linear_scan =
         [ Replay.Bisect.Exact; Replay.Bisect.Arch ])
 
 let record_of config prec =
-  let module S = Replay.Session.Make (Fpvm.Alt_mpfr) in
-  Fpvm.Alt_mpfr.precision := prec;
+  let module M = (val Fpvm.Alt_mpfr.make ~prec ()) in
+  let module S = Replay.Session.Make (M) in
   let prog = (Option.get (W.find "lorenz")).W.program W.Test in
   let meta =
     { Replay.Log.workload = "lorenz"; scale = "test";

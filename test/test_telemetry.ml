@@ -206,10 +206,8 @@ let test_identity () =
   let run name go_off go_on =
     List.iter
       (fun inc ->
-        Fpvm.Alt_mpfr.precision := 200;
         let config = cfg ~incremental_gc:inc () in
         let s_off, _ = go_off ~config prog in
-        Fpvm.Alt_mpfr.precision := 200;
         let s_on, _ = go_on ~config prog in
         Alcotest.(check string)
           (Printf.sprintf "%s incremental_gc=%b" name inc)
@@ -230,7 +228,6 @@ let test_identity () =
 
 let test_profile_exact () =
   let prog = lorenz () in
-  Fpvm.Alt_mpfr.precision := 200;
   List.iter
     (fun (name, config) ->
       let s, tel = R_mpfr.go ~profile:true ~config prog in
@@ -300,9 +297,8 @@ let test_shadow_vanilla_zero () =
 
 let test_shadow_mpfr_low_prec () =
   let prog = lorenz () in
-  Fpvm.Alt_mpfr.precision := 8;
-  let _, tel = R_mpfr.go ~shadow:true ~config:(cfg ()) prog in
-  Fpvm.Alt_mpfr.precision := 200;
+  let module R8 = Probe_run (Fpvm.Alt_mpfr.Make (struct let prec = 8 end)) in
+  let _, tel = R8.go ~shadow:true ~config:(cfg ()) prog in
   Alcotest.(check bool)
     "8-bit mpfr shows nonzero error at sinks" true
     (Telemetry.Numprof.max_rel_err (numprof_of tel) > 0.0)
@@ -336,7 +332,6 @@ let test_nan_inf_births () =
 module RS = Replay.Session.Make (Fpvm.Alt_mpfr)
 
 let test_checkpoint_instrumented () =
-  Fpvm.Alt_mpfr.precision := 200;
   let prog = lorenz () in
   let config = cfg () in
   let meta = { Replay.Log.workload = "lorenz"; scale = "test";

@@ -91,7 +91,6 @@ let budget_tests =
           (s.Fpvm.Stats.cyc_trace > 0)) ]
 
 let () =
-  Fpvm.Alt_mpfr.precision := 200;
   Alcotest.run "traces"
     [ ("vanilla-differential",
        differential (fun ~config p -> E_vanilla.run ~config p) "vanilla");

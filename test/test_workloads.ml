@@ -80,7 +80,6 @@ let structural =
         Alcotest.(check bool) "traps plentiful" true
           (s.Fpvm.Stats.fp_traps + s.Fpvm.Stats.traps_avoided > 1000));
     Alcotest.test_case "lorenz: MPFR-200 diverges from IEEE" `Quick (fun () ->
-        Fpvm.Alt_mpfr.precision := 200;
         let prog = Workloads.Lorenz.program ~steps:900 () in
         let native = Fpvm.Engine.run_native prog in
         let m = E_mpfr.run prog in
@@ -101,7 +100,6 @@ let structural =
           native.Fpvm.Engine.serialized v.Fpvm.Engine.serialized);
     Alcotest.test_case "three-body: MPFR changes the final state" `Quick
       (fun () ->
-        Fpvm.Alt_mpfr.precision := 200;
         let prog = Workloads.Three_body.program ~steps:1500 ~dt:0.01 () in
         let native = Fpvm.Engine.run_native prog in
         let m = E_mpfr.run prog in
