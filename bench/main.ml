@@ -59,8 +59,8 @@ let cfg ?(approach = Fpvm.Engine.Trap_and_emulate) ?(cost = CM.r815)
     ?(deployment = Trapkern.User_signal) ?(gc_interval = 20000)
     ?(incremental_gc = true) ?(full_scan_every = 8) ?(max_trace_len = 64)
     ?(decode_cache = true) ?(use_plans = true) ?(use_jit = true)
-    ?(jit_threshold = 8) () =
-  { Fpvm.Engine.approach; deployment; use_vsa = true; oracle = false;
+    ?(jit_threshold = 8) ?(use_fpa = true) ?(oracle = false) () =
+  { Fpvm.Engine.approach; deployment; use_vsa = true; use_fpa; oracle;
     gc_interval; incremental_gc; full_scan_every; decode_cache;
     always_emulate = false; max_trace_len; use_plans; use_jit; jit_threshold;
     cost; max_insns = 400_000_000 }
@@ -1646,6 +1646,190 @@ let bench_fleet () =
     exit 1
   end
 
+(* ---- BENCH_fpa.json: FP special-value analysis --------------------------- *)
+
+(* Evidence for the FP special-value tier.  Three claims:
+
+   Static precision: per-workload fractions of FP sites proven
+   subnormal-free / NaN-Inf-birth-free (the lint / analyze numbers).
+
+   Consumption: with the tier on, at least one workload executes a
+   strictly positive share of its fused JIT steps *unguarded* (the
+   runtime subnormal scan discharged statically — with the tier off
+   that share is 0 by construction), and at least one workload elides
+   a strictly positive number of shadow numerical checks; outputs stay
+   bit-identical with the tier on or off.
+
+   Soundness: the observation oracle — dynamic NaN/Inf birth or
+   subnormal raw input at a statically-proven-clean site — fires zero
+   times across every workload x 5 arithmetic ports x both GC modes. *)
+
+let bench_fpa () =
+  hr "BENCH_fpa.json: static FP special-value analysis";
+  let failures = ref 0 in
+  (* static precision table *)
+  printf "%-12s %7s %9s %10s %7s\n" "workload" "sites" "sub-free" "born-free"
+    "proven";
+  let static_rows =
+    List.map
+      (fun (e : W.entry) ->
+        let f = Analysis.Fpa.analyze (e.W.program W.Test) in
+        let frac a b = if b = 0 then 1.0 else float_of_int a /. float_of_int b in
+        printf "%-12s %7d %8.0f%% %9.0f%% %6.0f%%\n" e.W.name f.Analysis.Fpa.sites
+          (100. *. frac f.Analysis.Fpa.sub_free f.Analysis.Fpa.sites)
+          (100. *. frac f.Analysis.Fpa.born_free f.Analysis.Fpa.sites)
+          (100. *. frac f.Analysis.Fpa.proven f.Analysis.Fpa.sites);
+        Printf.sprintf
+          "    { \"workload\": \"%s\", \"sites\": %d, \"sub_free\": %d, \
+           \"born_free\": %d, \"proven\": %d }"
+          (json_escape e.W.name) f.Analysis.Fpa.sites f.Analysis.Fpa.sub_free
+          f.Analysis.Fpa.born_free f.Analysis.Fpa.proven)
+      W.all
+  in
+  (* consumer gauges + differential, per workload on the mpfr port
+     (the jit bench's arithmetic), jit_threshold 2 so Test-scale
+     workloads get hot *)
+  let driver_of arith =
+    match Fleet.Port.of_flags ~arith ~prec:200 ~posit:32 with
+    | Ok p -> Fleet.port_driver p
+    | Error m -> failwith m
+  in
+  let instrumented_run d ~oracle ~use_fpa ?(incremental_gc = true)
+      (prog : Machine.Program.t) =
+    let a = Fpvm.Vsa.analyze prog in
+    let born =
+      Analysis.Fpa.born_free_array a.Fpvm.Vsa.fpa
+        (Array.length prog.Machine.Program.insns)
+    in
+    let tel =
+      Telemetry.create ~numprof:true
+        ~clean:(fun i -> i >= 0 && i < Array.length born && born.(i))
+        ()
+    in
+    let r =
+      d.Fleet.d_run ~facts:a
+        ~instrument:(fun sink -> Telemetry.attach tel sink)
+        ~config:(cfg ~jit_threshold:2 ~use_fpa ~oracle ~incremental_gc ())
+        prog
+    in
+    Telemetry.finalize tel r.Fpvm.Engine.stats;
+    r
+  in
+  printf "\nconsumption (mpfr-200, jit_threshold 2):\n";
+  printf "%-12s %11s %14s %15s %13s\n" "workload" "fused" "unguarded"
+    "unguarded-share" "shadow-elided";
+  let mpfr = driver_of "mpfr" in
+  let best_share = ref 0.0 and best_elided = ref 0 and diff_ok = ref true in
+  let consume_rows =
+    List.map
+      (fun (e : W.entry) ->
+        let prog = e.W.program W.Test in
+        let on = instrumented_run mpfr ~oracle:false ~use_fpa:true prog in
+        let off = instrumented_run mpfr ~oracle:false ~use_fpa:false prog in
+        if
+          on.Fpvm.Engine.output <> off.Fpvm.Engine.output
+          || on.Fpvm.Engine.serialized <> off.Fpvm.Engine.serialized
+        then begin
+          incr failures;
+          diff_ok := false;
+          printf "FAIL %s: outputs differ with fpa on vs off\n" e.W.name
+        end;
+        let s = on.Fpvm.Engine.stats in
+        let share =
+          if s.Fpvm.Stats.jit_fused_steps = 0 then 0.0
+          else
+            float_of_int s.Fpvm.Stats.fused_unguarded
+            /. float_of_int s.Fpvm.Stats.jit_fused_steps
+        in
+        if share > !best_share then best_share := share;
+        if s.Fpvm.Stats.shadow_elided > !best_elided then
+          best_elided := s.Fpvm.Stats.shadow_elided;
+        printf "%-12s %11d %14d %14.1f%% %13d\n" e.W.name
+          s.Fpvm.Stats.jit_fused_steps s.Fpvm.Stats.fused_unguarded
+          (100. *. share) s.Fpvm.Stats.shadow_elided;
+        Printf.sprintf
+          "    { \"workload\": \"%s\", \"fused_steps\": %d, \
+           \"fused_unguarded\": %d, \"unguarded_share\": %.4f, \
+           \"shadow_checks_elided\": %d, \"fpa_sites_proven\": %d }"
+          (json_escape e.W.name) s.Fpvm.Stats.jit_fused_steps
+          s.Fpvm.Stats.fused_unguarded share s.Fpvm.Stats.shadow_elided
+          s.Fpvm.Stats.fpa_sites_proven)
+      W.all
+  in
+  if !best_share <= 0.0 then begin
+    incr failures;
+    printf
+      "FAIL: no workload fused a strictly positive unguarded share (fpa-off \
+       baseline is 0)\n"
+  end;
+  if !best_elided <= 0 then begin
+    incr failures;
+    printf "FAIL: no workload elided any shadow checks\n"
+  end;
+  (* soundness oracle matrix: every workload x 5 ports x 2 GC modes *)
+  printf "\nsoundness oracle, 5 ports x 2 GC modes: %!";
+  let violations = ref 0 and runs = ref 0 in
+  List.iter
+    (fun (e : W.entry) ->
+      let prog = e.W.program W.Test in
+      List.iter
+        (fun arith ->
+          let d = driver_of arith in
+          List.iter
+            (fun incremental_gc ->
+              incr runs;
+              let r =
+                instrumented_run d ~oracle:true ~use_fpa:true ~incremental_gc
+                  prog
+              in
+              let s = r.Fpvm.Engine.stats in
+              if
+                s.Fpvm.Stats.fpa_sub_violations > 0
+                || s.Fpvm.Stats.fpa_nan_violations > 0
+              then begin
+                incr violations;
+                incr failures;
+                printf "\nFAIL %s/%s/gc=%s: %d sub / %d nan-inf violations"
+                  e.W.name arith
+                  (if incremental_gc then "incremental" else "full")
+                  s.Fpvm.Stats.fpa_sub_violations
+                  s.Fpvm.Stats.fpa_nan_violations
+              end)
+            [ true; false ])
+        [ "vanilla"; "mpfr"; "posit"; "interval"; "slash" ])
+    W.all;
+  printf "%d runs, %d violations\n" !runs !violations;
+  let doc =
+    Printf.sprintf
+      "{\n\
+       \  \"schema_version\": 1,\n\
+       \  \"experiment\": \"static FP special-value analysis: prove \
+       NaN/Inf/subnormal freedom per site, discharge the JIT's runtime \
+       subnormal guard, elide shadow numerical checks\",\n\
+       \  \"arithmetic\": \"mpfr-200\",\n\
+       \  \"scale\": \"test\",\n\
+       \  \"baseline\": \"fpa tier disabled (use_fpa=false): every fused \
+       step carries the runtime subnormal scan, no shadow checks elided\",\n\
+       \  \"static_precision\": [\n%s\n  ],\n\
+       \  \"consumption\": [\n%s\n  ],\n\
+       \  \"max_unguarded_share\": %.4f,\n\
+       \  \"max_shadow_checks_elided\": %d,\n\
+       \  \"differential_bit_identical\": %b,\n\
+       \  \"oracle\": { \"runs\": %d, \"violations\": %d }\n\
+       }\n"
+      (String.concat ",\n" static_rows)
+      (String.concat ",\n" consume_rows)
+      !best_share !best_elided !diff_ok !runs !violations
+  in
+  let oc = open_out "BENCH_fpa.json" in
+  output_string oc doc;
+  close_out oc;
+  printf "\nwrote BENCH_fpa.json\n";
+  if !failures > 0 then begin
+    printf "fpa experiment: %d assertion(s) FAILED\n" !failures;
+    exit 1
+  end
+
 (* ---- main ------------------------------------------------------------------------------------------ *)
 
 let experiments =
@@ -1672,7 +1856,8 @@ let experiments =
     ("plans", bench_plans);
     ("telemetry", bench_telemetry);
     ("jit", bench_jit);
-    ("fleet", bench_fleet) ]
+    ("fleet", bench_fleet);
+    ("fpa", bench_fpa) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -27,13 +27,14 @@ module W = Workloads
 
 let config_fingerprint (c : Fpvm.Engine.config) machine =
   Printf.sprintf
-    "approach=%s;deploy=%d;vsa=%b;orc=%b;gc=%d;inc=%b;full=%d;cache=%b;alw=%b;trace=%d;plans=%b;jit=%b;jthr=%d;mach=%s"
+    "approach=%s;deploy=%d;vsa=%b;fpa=%b;orc=%b;gc=%d;inc=%b;full=%d;cache=%b;alw=%b;trace=%d;plans=%b;jit=%b;jthr=%d;mach=%s"
     (match c.Fpvm.Engine.approach with
     | Fpvm.Engine.Trap_and_emulate -> "emulate"
     | Fpvm.Engine.Trap_and_patch -> "patch"
     | Fpvm.Engine.Static_transform -> "static")
     (Trapkern.deployment_id c.Fpvm.Engine.deployment)
-    c.Fpvm.Engine.use_vsa c.Fpvm.Engine.oracle c.Fpvm.Engine.gc_interval
+    c.Fpvm.Engine.use_vsa c.Fpvm.Engine.use_fpa c.Fpvm.Engine.oracle
+    c.Fpvm.Engine.gc_interval
     c.Fpvm.Engine.incremental_gc c.Fpvm.Engine.full_scan_every
     c.Fpvm.Engine.decode_cache c.Fpvm.Engine.always_emulate
     c.Fpvm.Engine.max_trace_len c.Fpvm.Engine.use_plans
@@ -108,6 +109,12 @@ let print_json ~workload ~arith ~scale (r : Fpvm.Engine.result) =
       kv_i "replay_log_bytes" s.Fpvm.Stats.replay_log_bytes;
       kv_i "tel_events" s.Fpvm.Stats.tel_events;
       kv_i "tel_dropped" s.Fpvm.Stats.tel_dropped;
+      kv_i "fpa_sites_proven" s.Fpvm.Stats.fpa_sites_proven;
+      kv_i "fused_unguarded" s.Fpvm.Stats.fused_unguarded;
+      kv_i "shadow_elided" s.Fpvm.Stats.shadow_elided;
+      kv_i "jit_fused_steps" s.Fpvm.Stats.jit_fused_steps;
+      kv_i "fpa_sub_violations" s.Fpvm.Stats.fpa_sub_violations;
+      kv_i "fpa_nan_violations" s.Fpvm.Stats.fpa_nan_violations;
       kv_i "output_bytes" (String.length r.Fpvm.Engine.output);
       kv_i "serialized_bytes" (String.length r.Fpvm.Engine.serialized);
       kv_s "stats_fingerprint" (Fpvm.Stats.fingerprint s);
@@ -131,6 +138,14 @@ let print_stats (r : Fpvm.Engine.result) =
   if s.Fpvm.Stats.oracle_loads_checked > 0 then
     Printf.eprintf "oracle: %d loads checked, %d boxed-value violations\n"
       s.Fpvm.Stats.oracle_loads_checked s.Fpvm.Stats.oracle_boxed_loads;
+  Printf.eprintf
+    "fpa: %d sites proven, %d fused unguarded, %d shadow checks elided, %d fused steps\n"
+    s.Fpvm.Stats.fpa_sites_proven s.Fpvm.Stats.fused_unguarded
+    s.Fpvm.Stats.shadow_elided s.Fpvm.Stats.jit_fused_steps;
+  if s.Fpvm.Stats.fpa_sub_violations > 0 || s.Fpvm.Stats.fpa_nan_violations > 0
+  then
+    Printf.eprintf "fpa VIOLATIONS: %d subnormal, %d nan/inf birth\n"
+      s.Fpvm.Stats.fpa_sub_violations s.Fpvm.Stats.fpa_nan_violations;
   Printf.eprintf "traces: %d (mean len %.1f), in-trace faults absorbed: %d\n"
     s.Fpvm.Stats.traces
     (Fpvm.Stats.mean_trace_len s)
@@ -195,8 +210,8 @@ let guard f =
   | exception Failure msg -> `Error (false, msg)
 
 let run workload arith prec posit_bits approach machine deployment scale
-    trace_len full_gc gc_interval no_plans no_jit jit_threshold oracle stats
-    json disasm spy list_only record_file replay_file checkpoint_every
+    trace_len full_gc gc_interval no_plans no_jit jit_threshold no_fpa oracle
+    stats json disasm spy list_only record_file replay_file checkpoint_every
     from_checkpoint inject trace_out profile profile_out shadow_check =
   if list_only then begin
     List.iter
@@ -275,6 +290,7 @@ let run workload arith prec posit_bits approach machine deployment scale
                   Fpvm.Engine.incremental_gc = not full_gc;
                   Fpvm.Engine.use_plans = not no_plans;
                   Fpvm.Engine.use_jit = not no_jit;
+                  Fpvm.Engine.use_fpa = not no_fpa;
                   Fpvm.Engine.jit_threshold }
               in
               let driver =
@@ -294,15 +310,54 @@ let run workload arith prec posit_bits approach machine deployment scale
                       "--trace-out/--profile/--shadow-check require an FPVM \
                        arithmetic, not native" )
               | Ok d ->
+                  (* One shared analysis per run: the driver reuses it to
+                     patch sinks, the engine consumes the FP tier for
+                     fusion widening, and the numprof elision predicate /
+                     static birth candidates come from the same verdicts —
+                     no tier runs twice. *)
+                  let facts =
+                    if arith = "native" then None
+                    else Some (Fpvm.Vsa.analyze prog)
+                  in
+                  let clean, static_candidates =
+                    match facts with
+                    | Some a when config.Fpvm.Engine.use_fpa ->
+                        let fpa = a.Fpvm.Vsa.fpa in
+                        let born =
+                          Analysis.Fpa.born_free_array fpa
+                            (Array.length prog.Machine.Program.insns)
+                        in
+                        ( Some
+                            (fun i ->
+                              i >= 0 && i < Array.length born && born.(i)),
+                          Array.to_list fpa.Analysis.Fpa.verdicts
+                          |> List.filter_map
+                               (fun (v : Analysis.Fpa.verdict) ->
+                                 let concrete =
+                                   List.filter
+                                     (fun r ->
+                                       String.length r >= 4
+                                       && (String.sub r 0 4 = "nan:"
+                                          || String.sub r 0 4 = "inf:"))
+                                     v.Analysis.Fpa.v_risks
+                                 in
+                                 if concrete = [] then None
+                                 else
+                                   Some (v.Analysis.Fpa.v_index, concrete))
+                        )
+                    | _ -> (None, [])
+                  in
                   let tel =
                     if
                       trace_out <> "" || profile || profile_out <> ""
                       || shadow_check
+                      || (oracle && arith <> "native")
                     then
                       Some
                         (Telemetry.create ~trace:(trace_out <> "")
                            ~profile:(profile || profile_out <> "")
-                           ~shadow:shadow_check ())
+                           ~numprof:oracle ~shadow:shadow_check ?clean
+                           ~static_candidates ())
                     else None
                   in
                   let instrument =
@@ -356,19 +411,32 @@ let run workload arith prec posit_bits approach machine deployment scale
                             end
                         | None -> ());
                         match t.Telemetry.numprof with
-                        | Some np ->
+                        | Some np when shadow_check ->
                             let bb = Buffer.create 1024 in
                             Telemetry.Numprof.report_text np bb;
                             prerr_string (Buffer.contents bb)
-                        | None -> ());
+                        | _ -> ());
                     if json then print_json ~workload:e.W.name ~arith:meta.Replay.Log.arith ~scale r;
                     if stats then print_stats r;
                     let s = r.Fpvm.Engine.stats in
-                    if oracle && s.Fpvm.Stats.oracle_boxed_loads > 0 then begin
-                      Printf.eprintf
-                        "soundness oracle: %d unpatched integer load(s) observed a live NaN-boxed value (%d loads checked) — the static analysis missed a sink\n"
-                        s.Fpvm.Stats.oracle_boxed_loads
-                        s.Fpvm.Stats.oracle_loads_checked;
+                    let fpa_violated =
+                      s.Fpvm.Stats.fpa_sub_violations > 0
+                      || s.Fpvm.Stats.fpa_nan_violations > 0
+                    in
+                    if
+                      oracle
+                      && (s.Fpvm.Stats.oracle_boxed_loads > 0 || fpa_violated)
+                    then begin
+                      if s.Fpvm.Stats.oracle_boxed_loads > 0 then
+                        Printf.eprintf
+                          "soundness oracle: %d unpatched integer load(s) observed a live NaN-boxed value (%d loads checked) — the static analysis missed a sink\n"
+                          s.Fpvm.Stats.oracle_boxed_loads
+                          s.Fpvm.Stats.oracle_loads_checked;
+                      if fpa_violated then
+                        Printf.eprintf
+                          "fpa soundness oracle: %d subnormal raw input(s) at proven-subnormal-free sites, %d NaN/Inf birth(s) at proven-clean sites — the FP special-value analysis overclaimed\n"
+                          s.Fpvm.Stats.fpa_sub_violations
+                          s.Fpvm.Stats.fpa_nan_violations;
                       `Ok 5
                     end
                     else `Ok code
@@ -378,8 +446,8 @@ let run workload arith prec posit_bits approach machine deployment scale
                   else if record_file <> "" then
                     guard (fun () ->
                     let rec_ =
-                      d.d_record ?instrument ~checkpoint_every ~meta ~config
-                        prog
+                      d.d_record ?facts ?instrument ~checkpoint_every ~meta
+                        ~config prog
                     in
                     let log_bytes =
                       if inject >= 0 then inject_divergence rec_.Replay.Session.log_bytes inject
@@ -426,7 +494,7 @@ let run workload arith prec posit_bits approach machine deployment scale
                         finish
                           (d.d_resume ?instrument ~config prog
                              (Replay.Codec.read_file from_checkpoint)))
-                  else finish (d.d_run ?instrument ~config prog)))
+                  else finish (d.d_run ?facts ?instrument ~config prog)))
   end
 
 (* ---- bisect command --------------------------------------------------- *)
@@ -515,15 +583,45 @@ let analyze_json (results : (W.entry * Machine.Program.t * Fpvm.Vsa.analysis * A
             s.AP.srcs;
           Buffer.add_string b "] }")
         p.AP.sinks;
-      Buffer.add_string b " ] }")
+      Buffer.add_string b " ],\n";
+      (* FP special-value tier: per-site verdicts with provenance. *)
+      let f = a.Fpvm.Vsa.fpa in
+      Buffer.add_string b
+        (Printf.sprintf
+           "      \"fp\": { \"sites\": %d, \"sub_free\": %d, \"born_free\": \
+            %d, \"proven\": %d, \"bailed_out\": %b,\n\
+           \        \"verdicts\": ["
+           f.Analysis.Fpa.sites f.Analysis.Fpa.sub_free
+           f.Analysis.Fpa.born_free f.Analysis.Fpa.proven
+           f.Analysis.Fpa.bailed_out);
+      Array.iteri
+        (fun vi (v : Analysis.Fpa.verdict) ->
+          if vi > 0 then Buffer.add_string b ",";
+          Buffer.add_string b
+            (Printf.sprintf
+               "\n          { \"index\": %d, \"insn\": \"%s\", \"sub_free\": \
+                %b, \"born_free\": %b, \"risks\": [%s], \"srcs\": [%s] }"
+               v.Analysis.Fpa.v_index
+               (json_escape (insn_text prog v.Analysis.Fpa.v_index))
+               v.Analysis.Fpa.v_sub_free v.Analysis.Fpa.v_born_free
+               (String.concat ", "
+                  (List.map
+                     (fun r -> Printf.sprintf "\"%s\"" (json_escape r))
+                     v.Analysis.Fpa.v_risks))
+               (String.concat ", "
+                  (List.map string_of_int v.Analysis.Fpa.v_srcs))))
+        f.Analysis.Fpa.verdicts;
+      Buffer.add_string b "] } }")
     results;
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
 
-(* Golden format: one "name|sinks|total_int_loads|proven_safe" line per
-   workload. A regression is strictly more sinks or strictly fewer
-   proven-safe loads than the committed counts; improvements are
-   reported but pass (refresh the golden file to lock them in). *)
+(* Golden format: one
+   "name|sinks|total_int_loads|proven_safe|fp_sites|fp_sub_free|fp_born_free"
+   line per workload. A regression is strictly more sinks, strictly
+   fewer proven-safe loads, or strictly fewer FP sites proven
+   subnormal-free / birth-free than the committed counts; improvements
+   are reported but pass (refresh the golden file to lock them in). *)
 let check_golden results file =
   let lines = ref [] in
   let ic = open_in file in
@@ -532,10 +630,11 @@ let check_golden results file =
        let line = String.trim (input_line ic) in
        if line <> "" && line.[0] <> '#' then
          match String.split_on_char '|' line with
-         | [ name; sinks; total; proven ] ->
+         | [ name; sinks; total; proven; fp_sites; fp_sub; fp_born ] ->
              lines :=
                (name, int_of_string sinks, int_of_string total,
-                int_of_string proven)
+                int_of_string proven, int_of_string fp_sites,
+                int_of_string fp_sub, int_of_string fp_born)
                :: !lines
          | _ -> failwith (Printf.sprintf "%s: malformed golden line %S" file line)
      done
@@ -543,7 +642,7 @@ let check_golden results file =
   close_in ic;
   let failures = ref 0 in
   List.iter
-    (fun (name, gsinks, gtotal, gproven) ->
+    (fun (name, gsinks, gtotal, gproven, gfp_sites, gfp_sub, gfp_born) ->
       match
         List.find_opt (fun (e, _, _, _) -> e.W.name = name) results
       with
@@ -552,6 +651,7 @@ let check_golden results file =
           Printf.eprintf "FAIL %-12s missing from analysis results\n" name
       | Some (_, _, a, _) ->
           let p = a.Fpvm.Vsa.pipeline in
+          let f = a.Fpvm.Vsa.fpa in
           let nsinks = List.length p.AP.sinks in
           if nsinks > gsinks || p.AP.proven_safe_loads < gproven then begin
             incr failures;
@@ -565,9 +665,28 @@ let check_golden results file =
               "FAIL %-12s total_int_loads %d != golden %d (workload changed? refresh the golden file)\n"
               name p.AP.total_int_loads gtotal
           end
+          else if
+            f.Analysis.Fpa.sub_free < gfp_sub
+            || f.Analysis.Fpa.born_free < gfp_born
+          then begin
+            incr failures;
+            Printf.eprintf
+              "FAIL %-12s fp sub_free %d (golden %d), born_free %d (golden %d)\n"
+              name f.Analysis.Fpa.sub_free gfp_sub f.Analysis.Fpa.born_free
+              gfp_born
+          end
+          else if f.Analysis.Fpa.sites <> gfp_sites then begin
+            incr failures;
+            Printf.eprintf
+              "FAIL %-12s fp_sites %d != golden %d (workload changed? refresh the golden file)\n"
+              name f.Analysis.Fpa.sites gfp_sites
+          end
           else
-            Printf.eprintf "ok   %-12s sinks %d/%d proven %d/%d\n" name nsinks
-              gsinks p.AP.proven_safe_loads p.AP.total_int_loads)
+            Printf.eprintf
+              "ok   %-12s sinks %d/%d proven %d/%d fp %d+%d/%d\n" name nsinks
+              gsinks p.AP.proven_safe_loads p.AP.total_int_loads
+              f.Analysis.Fpa.sub_free f.Analysis.Fpa.born_free
+              f.Analysis.Fpa.sites)
     (List.rev !lines);
   !failures
 
@@ -601,6 +720,181 @@ let analyze only check =
                 "analysis precision regressed on %d workload(s) vs %s\n"
                 failures check;
               `Ok 6
+            end
+            else `Ok 0)
+
+(* ---- lint command ----------------------------------------------------- *)
+
+(* Static FP lint: walk the FP special-value tier's verdicts and warn,
+   per site, about potential NaN/Inf births and subnormal inputs the
+   analysis could not rule out — with the provenance path (the input
+   sites the risk flows from) and a suggested record/replay bisect
+   recipe for localizing the first divergent event dynamically. *)
+let lint_hint name =
+  Printf.sprintf
+    "fpvm_run -w \"%s\" --record base.log && fpvm_run -w \"%s\" -a mpfr \
+     --prec 50 --record alt.log && fpvm_run bisect --arch-only base.log \
+     alt.log"
+    name name
+
+let lint only json check =
+  let entries =
+    match only with
+    | "" -> Ok W.all
+    | name -> (
+        match W.find name with
+        | Some e -> Ok [ e ]
+        | None ->
+            Error (Printf.sprintf "unknown workload %S (try --list)" name))
+  in
+  match entries with
+  | Error m -> `Error (false, m)
+  | Ok entries ->
+      let results =
+        List.map
+          (fun (e : W.entry) ->
+            let prog = e.W.program W.Test in
+            (e, prog, (Fpvm.Vsa.analyze prog).Fpvm.Vsa.fpa))
+          entries
+      in
+      let warn_sites (f : Analysis.Fpa.t) =
+        Array.to_list f.Analysis.Fpa.verdicts
+        |> List.filter (fun (v : Analysis.Fpa.verdict) ->
+               not (v.Analysis.Fpa.v_sub_free && v.Analysis.Fpa.v_born_free))
+      in
+      if json then begin
+        let b = Buffer.create 4096 in
+        Buffer.add_string b "{\n  \"schema_version\": 1,\n  \"workloads\": [\n";
+        List.iteri
+          (fun wi (e, prog, (f : Analysis.Fpa.t)) ->
+            if wi > 0 then Buffer.add_string b ",\n";
+            Buffer.add_string b
+              (Printf.sprintf
+                 "    { \"name\": \"%s\", \"sites\": %d, \"sub_free\": %d, \
+                  \"born_free\": %d, \"proven\": %d, \"hint\": \"%s\",\n\
+                 \      \"warnings\": ["
+                 (json_escape e.W.name) f.Analysis.Fpa.sites
+                 f.Analysis.Fpa.sub_free f.Analysis.Fpa.born_free
+                 f.Analysis.Fpa.proven
+                 (json_escape (lint_hint e.W.name)));
+            List.iteri
+              (fun vi (v : Analysis.Fpa.verdict) ->
+                if vi > 0 then Buffer.add_string b ",";
+                Buffer.add_string b
+                  (Printf.sprintf
+                     "\n        { \"index\": %d, \"insn\": \"%s\", \
+                      \"sub_free\": %b, \"born_free\": %b, \"risks\": [%s], \
+                      \"provenance\": [%s] }"
+                     v.Analysis.Fpa.v_index
+                     (json_escape (insn_text prog v.Analysis.Fpa.v_index))
+                     v.Analysis.Fpa.v_sub_free v.Analysis.Fpa.v_born_free
+                     (String.concat ", "
+                        (List.map
+                           (fun r ->
+                             Printf.sprintf "\"%s\"" (json_escape r))
+                           v.Analysis.Fpa.v_risks))
+                     (String.concat ", "
+                        (List.map
+                           (fun q ->
+                             Printf.sprintf
+                               "{ \"index\": %d, \"insn\": \"%s\" }" q
+                               (json_escape (insn_text prog q)))
+                           v.Analysis.Fpa.v_srcs))))
+              (warn_sites f);
+            Buffer.add_string b "] }")
+          results;
+        Buffer.add_string b "\n  ]\n}\n";
+        print_string (Buffer.contents b)
+      end
+      else
+        List.iter
+          (fun (e, prog, (f : Analysis.Fpa.t)) ->
+            Printf.printf
+              "%s: %d FP sites, %d subnormal-free, %d birth-free, %d with at \
+               least one proof\n"
+              e.W.name f.Analysis.Fpa.sites f.Analysis.Fpa.sub_free
+              f.Analysis.Fpa.born_free f.Analysis.Fpa.proven;
+            let warns = warn_sites f in
+            List.iter
+              (fun (v : Analysis.Fpa.verdict) ->
+                Printf.printf "  WARN [%4d] %s\n" v.Analysis.Fpa.v_index
+                  (insn_text prog v.Analysis.Fpa.v_index);
+                Printf.printf "       risks: %s\n"
+                  (String.concat ", " v.Analysis.Fpa.v_risks);
+                if v.Analysis.Fpa.v_srcs <> [] then
+                  Printf.printf "       from:  %s\n"
+                    (String.concat "; "
+                       (List.map
+                          (fun q ->
+                            Printf.sprintf "[%d] %s" q (insn_text prog q))
+                          v.Analysis.Fpa.v_srcs)))
+              warns;
+            if warns <> [] then
+              Printf.printf "  hint: %s\n" (lint_hint e.W.name))
+          results;
+      if check = "" then `Ok 0
+      else
+        guard (fun () ->
+            (* Golden ratchet: "name|sites|sub_free|born_free" per
+               workload; exit 8 if any proven count decreases. *)
+            let lines = ref [] in
+            let ic = open_in check in
+            (try
+               while true do
+                 let line = String.trim (input_line ic) in
+                 if line <> "" && line.[0] <> '#' then
+                   match String.split_on_char '|' line with
+                   | [ name; sites; sub; born ] ->
+                       lines :=
+                         (name, int_of_string sites, int_of_string sub,
+                          int_of_string born)
+                         :: !lines
+                   | _ ->
+                       failwith
+                         (Printf.sprintf "%s: malformed golden line %S" check
+                            line)
+               done
+             with End_of_file -> ());
+            close_in ic;
+            let failures = ref 0 in
+            List.iter
+              (fun (name, gsites, gsub, gborn) ->
+                match
+                  List.find_opt (fun (e, _, _) -> e.W.name = name) results
+                with
+                | None ->
+                    incr failures;
+                    Printf.eprintf "FAIL %-12s missing from lint results\n"
+                      name
+                | Some (_, _, f) ->
+                    if
+                      f.Analysis.Fpa.sub_free < gsub
+                      || f.Analysis.Fpa.born_free < gborn
+                    then begin
+                      incr failures;
+                      Printf.eprintf
+                        "FAIL %-12s sub_free %d (golden %d), born_free %d \
+                         (golden %d)\n"
+                        name f.Analysis.Fpa.sub_free gsub
+                        f.Analysis.Fpa.born_free gborn
+                    end
+                    else if f.Analysis.Fpa.sites <> gsites then begin
+                      incr failures;
+                      Printf.eprintf
+                        "FAIL %-12s sites %d != golden %d (workload changed? \
+                         refresh the golden file)\n"
+                        name f.Analysis.Fpa.sites gsites
+                    end
+                    else
+                      Printf.eprintf "ok   %-12s fp %d+%d/%d\n" name
+                        f.Analysis.Fpa.sub_free f.Analysis.Fpa.born_free
+                        f.Analysis.Fpa.sites)
+              (List.rev !lines);
+            if !failures > 0 then begin
+              Printf.eprintf "lint proven-site counts regressed on %d \
+                              workload(s) vs %s\n"
+                !failures check;
+              `Ok 8
             end
             else `Ok 0)
 
@@ -668,12 +962,22 @@ let jit_threshold =
            ~doc:"Trap deliveries at one trace head before its next window \
                  is recorded and compiled into a superblock." ~docv:"N")
 
+let no_fpa =
+  Arg.(value & flag
+       & info [ "no-fpa" ]
+           ~doc:"Disable the FP special-value analysis tier (escape hatch): \
+                 the JIT falls back to runtime subnormal guards and no \
+                 shadow checks are elided. Outputs are bit-identical with \
+                 the tier on or off.")
+
 let oracle =
   Arg.(value & flag
        & info [ "oracle" ]
            ~doc:"Soundness oracle: watch every dispatched instruction for an \
-                 unpatched integer load observing a live NaN-boxed value; \
-                 exit 5 if any is seen (a static-analysis false negative).")
+                 unpatched integer load observing a live NaN-boxed value, \
+                 and every statically-proven-clean site for a dynamic \
+                 NaN/Inf birth or subnormal raw input; exit 5 if any is \
+                 seen (a static-analysis false negative).")
 
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print FPVM statistics to stderr.")
 let json = Arg.(value & flag & info [ "json" ] ~doc:"Print machine-readable run statistics (JSON) to stdout.")
@@ -734,7 +1038,7 @@ let run_term =
     ret
       (const run $ workload $ arith $ prec $ posit_bits $ approach $ machine
      $ deployment $ scale $ trace_len $ full_gc $ gc_interval $ no_plans
-     $ no_jit $ jit_threshold
+     $ no_jit $ jit_threshold $ no_fpa
      $ oracle $ stats $ json $ disasm $ spy $ list_only $ record_file
      $ replay_file $ checkpoint_every $ from_checkpoint $ inject $ trace_out
      $ profile $ profile_out $ shadow_check))
@@ -769,9 +1073,31 @@ let analyze_cmd =
        ~doc:"run the static analysis over workload binaries (no execution) and report precision as JSON")
     Term.(ret (const analyze $ only $ check))
 
+let lint_cmd =
+  let only =
+    Arg.(value & opt string ""
+         & info [ "w"; "workload" ]
+             ~doc:"Lint only this workload (default: all).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the lint report as JSON to stdout.")
+  in
+  let check =
+    Arg.(value & opt string ""
+         & info [ "check" ]
+             ~doc:"Compare proven-site counts against the golden file \
+                   $(docv); exit 8 on any ratchet regression." ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"statically lint workloads for potential NaN/Inf/subnormal \
+             births (per-site warnings with provenance, no execution)")
+    Term.(ret (const lint $ only $ json $ check))
+
 let cmd =
   let doc = "run workloads under the floating point virtual machine" in
   Cmd.group ~default:run_term (Cmd.info "fpvm_run" ~doc)
-    [ bisect_cmd; analyze_cmd ]
+    [ bisect_cmd; analyze_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' cmd)

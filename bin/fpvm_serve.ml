@@ -34,7 +34,8 @@ let guest_json (r : Fleet.guest_result) =
   Printf.sprintf
     "{\"guest\": %d, \"workload\": \"%s\", \"arith\": \"%s\", \"scale\": \
      \"%s\", \"gc\": \"%s\", \"domain\": %d, \"cycles\": %d, \"insns\": %d, \
-     \"fp_insns\": %d, \"output_bytes\": %d, \"fingerprint\": \"%s\"}"
+     \"fp_insns\": %d, \"output_bytes\": %d, \"fpa_sites_proven\": %d, \
+     \"fused_unguarded\": %d, \"shadow_elided\": %d, \"fingerprint\": \"%s\"}"
     g.Fleet.g_id
     (json_escape g.Fleet.g_workload)
     (json_escape (Fleet.guest_arith g))
@@ -42,6 +43,8 @@ let guest_json (r : Fleet.guest_result) =
     (if g.Fleet.g_config.Fpvm.Engine.incremental_gc then "inc" else "full")
     r.Fleet.r_domain r.Fleet.r_cycles r.Fleet.r_insns r.Fleet.r_fp_insns
     (String.length r.Fleet.r_output)
+    r.Fleet.r_fpa_sites_proven r.Fleet.r_fused_unguarded
+    r.Fleet.r_shadow_elided
     (json_escape r.Fleet.r_fingerprint)
 
 let fleet_json (f : Fleet.fleet_result) =

@@ -18,6 +18,13 @@ type config = {
   approach : approach;
   deployment : Trapkern.deployment;
   use_vsa : bool; (* run static analysis and insert correctness traps *)
+  use_fpa : bool;
+      (* consume the FP special-value tier (Analysis.Fpa): fuse JIT
+         steps at proven-subnormal-free sites without the runtime raw
+         input scan (and extend fusability to packed steps there), keep
+         proven sites inside superblocks on clean inputs instead of
+         side-exiting. Facts are proofs, so outputs are bit-identical
+         with this on or off (the --no-fpa escape hatch). *)
   oracle : bool;
       (* soundness oracle: observe every dispatched instruction and
          count unpatched integer loads that read a live NaN-boxed word.
@@ -70,6 +77,7 @@ let default_config =
   { approach = Trap_and_emulate;
     deployment = Trapkern.User_signal;
     use_vsa = true;
+    use_fpa = true;
     oracle = false;
     gc_interval = 20_000;
     incremental_gc = true;
@@ -171,6 +179,12 @@ module Make (A : Arith.S) = struct
     mutable jit_rec : (int * bool) list option;
         (* Some steps (reversed) while the current interpretive window
            is being recorded for compilation *)
+    mutable fpa_sub_free : bool array;
+        (* per-index FP-tier proofs (Analysis.Fpa): no raw input lane at
+           this site can hold a subnormal — the JIT may fuse without the
+           runtime subnormal scan; [||] when use_fpa/use_vsa is off *)
+    mutable fpa_born_free : bool array;
+        (* per-index proof that no NaN/Inf can be born at this site *)
   }
 
   let create config =
@@ -191,7 +205,9 @@ module Make (A : Arith.S) = struct
       temp_stores = [];
       jit = Jit.create ();
       jit_blocks = Plan.create ();
-      jit_rec = None }
+      jit_rec = None;
+      fpa_sub_free = [||];
+      fpa_born_free = [||] }
 
   (* ---- boxing ----------------------------------------------------- *)
 
@@ -936,6 +952,7 @@ module Make (A : Arith.S) = struct
      the FP instruction. *)
   let emulate_fused t st idx (p : plan) =
     let s = t.stats in
+    s.Stats.jit_fused_steps <- s.Stats.jit_fused_steps + 1;
     st.State.fp_insn_count <- st.State.fp_insn_count + 1;
     absorb_event t st idx F.invalid;
     let c0 = st.State.cycles in
@@ -1061,6 +1078,12 @@ module Make (A : Arith.S) = struct
     List.exists (fun o -> operand_boxed t st o lanes) inputs
     && not (List.exists (fun o -> operand_subnormal st o lanes) inputs)
 
+  (* Did the static FP tier prove that no raw input lane at this site
+     can hold a subnormal? Then the fused path's runtime subnormal scan
+     is redundant and packed steps become fusable too. *)
+  let fpa_sub_free t idx =
+    idx < Array.length t.fpa_sub_free && t.fpa_sub_free.(idx)
+
   (* ---- trace JIT: superblock compilation and execution ---------------- *)
 
   (* Per-step residency charge inside a compiled superblock — the
@@ -1115,20 +1138,55 @@ module Make (A : Arith.S) = struct
              across lanes, so only the real dispatch can reproduce the
              absorbed event exactly. *)
           match Plan.find t.plans idx insn with
-          | Some p when lanes = 1 ->
-              fun st ->
-                if inputs_fusable t st inputs lanes then begin
-                  (* taint guard holds: a boxed (signaling-NaN) input
-                     guarantees native dispatch faults with exactly
-                     [invalid], so emulating directly is bit-identical
-                     — minus the dispatch *)
-                  jit_step_charge t st;
-                  guard_native t st insn;
-                  fire_on_step st;
-                  emulate_fused t st idx p;
-                  S_ok
-                end
-                else S_exit (* taint guard failed: interpreter decides *)
+          | Some p when lanes = 1 || (lanes = 2 && fpa_sub_free t idx) ->
+              if fpa_sub_free t idx then
+                (* The FP tier proved no input lane can be subnormal, so
+                   the runtime subnormal half of the taint guard is
+                   discharged statically: a boxed input alone guarantees
+                   the fault flags are exactly [invalid]. The proof also
+                   admits packed steps, whose two-lane scan was the
+                   reason they stayed native. *)
+                fun st ->
+                  if List.exists (fun o -> operand_boxed t st o lanes) inputs
+                  then begin
+                    t.stats.Stats.fused_unguarded <-
+                      t.stats.Stats.fused_unguarded + 1;
+                    (* soundness oracle: run the elided scan anyway,
+                       purely to detect a subnormal the analysis
+                       declared impossible (observation only) *)
+                    if
+                      t.config.oracle
+                      && List.exists
+                           (fun o -> operand_subnormal st o lanes)
+                           inputs
+                    then
+                      t.stats.Stats.fpa_sub_violations <-
+                        t.stats.Stats.fpa_sub_violations + 1;
+                    jit_step_charge t st;
+                    guard_native t st insn;
+                    fire_on_step st;
+                    emulate_fused t st idx p;
+                    S_ok
+                  end
+                  else
+                    (* clean raw inputs: only the real dispatch knows the
+                       fault's flag set, but the proof lets the step stay
+                       inside the superblock instead of side-exiting *)
+                    native st
+              else
+                fun st ->
+                  if inputs_fusable t st inputs lanes then begin
+                    (* taint guard holds: a boxed (signaling-NaN) input
+                       guarantees native dispatch faults with exactly
+                       [invalid], so emulating directly is bit-identical
+                       — minus the dispatch *)
+                    jit_step_charge t st;
+                    guard_native t st insn;
+                    fire_on_step st;
+                    emulate_fused t st idx p;
+                    S_ok
+                  end
+                  else S_exit (* taint guard failed: interpreter decides *)
           | _ -> native
         end
       | Sb.A_fold_i2f { imm; size } -> begin
@@ -1150,6 +1208,8 @@ module Make (A : Arith.S) = struct
                    [inexact] (no invalid/overflow/underflow/denormal is
                    reachable), so that is the absorbed event's flag
                    set. *)
+                t.stats.Stats.jit_fused_steps <-
+                  t.stats.Stats.jit_fused_steps + 1;
                 st.State.fp_insn_count <- st.State.fp_insn_count + 1;
                 absorb_event t st idx F.inexact;
                 let c0 = st.State.cycles in
@@ -1580,7 +1640,13 @@ module Make (A : Arith.S) = struct
     let record_analysis (a : Vsa.analysis) =
       t.stats.Stats.patched_sites <- List.length a.Vsa.sinks;
       t.stats.Stats.trap_checks_elided <-
-        a.Vsa.pipeline.Analysis.Pipeline.trap_checks_elided
+        a.Vsa.pipeline.Analysis.Pipeline.trap_checks_elided;
+      if config.use_fpa then begin
+        let n = Array.length prog.Program.insns in
+        t.fpa_sub_free <- Analysis.Fpa.sub_free_array a.Vsa.fpa n;
+        t.fpa_born_free <- Analysis.Fpa.born_free_array a.Vsa.fpa n;
+        t.stats.Stats.fpa_sites_proven <- a.Vsa.fpa.Analysis.Fpa.proven
+      end
     in
     (* The static analysis is a pure function of the instruction array
        and its results are index-based, so an [?facts] value computed

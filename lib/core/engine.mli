@@ -23,6 +23,13 @@ type config = {
       (** trap delivery path: user signal / kernel module / user->user *)
   use_vsa : bool;
       (** run the static analysis and insert correctness traps *)
+  use_fpa : bool;
+      (** consume the FP special-value tier ([Analysis.Fpa]): fuse JIT
+          steps at proven-subnormal-free sites without the runtime raw
+          input scan (packed steps become fusable there too), and keep
+          proven sites inside superblocks on clean inputs instead of
+          side-exiting. Facts are proofs, so outputs are bit-identical
+          with this on or off (the [--no-fpa] escape hatch). *)
   oracle : bool;
       (** soundness oracle: observe every dispatched instruction and
           count unpatched integer loads that read a live NaN-boxed word
@@ -162,6 +169,13 @@ module Make (A : Arith.S) : sig
     mutable jit_rec : (int * bool) list option;
         (** Some steps (reversed) while the current interpretive window
             is being recorded for compilation *)
+    mutable fpa_sub_free : bool array;
+        (** per-index FP-tier proofs ([Analysis.Fpa]): no raw input
+            lane at this site can hold a subnormal, so the JIT's fused
+            path skips the runtime subnormal scan; [[||]] when
+            [use_fpa] or [use_vsa] is off *)
+    mutable fpa_born_free : bool array;
+        (** per-index proof that no NaN/Inf can be born at this site *)
   }
 
   val create : config -> t

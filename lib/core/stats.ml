@@ -114,6 +114,25 @@ type t = {
      with it on or off. *)
   mutable tel_events : int; (* telemetry events observed *)
   mutable tel_dropped : int; (* ring-buffer events overwritten (drop-oldest) *)
+  (* FP special-value analysis (lib/analysis Fpa tier) gauges. Like the
+     VSA/oracle/telemetry gauges: fingerprint- and checkpoint-excluded —
+     the analysis must not perturb determinism comparisons (outputs are
+     bit-identical with it on or off). *)
+  mutable fpa_sites_proven : int;
+      (* FP sites with a static proof (subnormal-free or birth-free) *)
+  mutable fused_unguarded : int;
+      (* fused JIT steps executed without the runtime subnormal scan *)
+  mutable shadow_elided : int;
+      (* numprof/shadow-check records skipped at proven birth-free sites *)
+  mutable jit_fused_steps : int;
+      (* superblock steps taking the fused (emulate_fused/native/fold)
+         path rather than a guard exit; the FPA fusion-widening metric *)
+  mutable fpa_sub_violations : int;
+      (* subnormal raw input seen at a proven-subnormal-free site: any
+         nonzero value is a soundness violation (oracle exit 5) *)
+  mutable fpa_nan_violations : int;
+      (* dynamic NaN/Inf birth at a proven birth-free site: any nonzero
+         value is a soundness violation (oracle exit 5) *)
 }
 
 let create () =
@@ -140,7 +159,9 @@ let create () =
     replay_log_bytes = 0;
     patched_sites = 0; patched_sites_boxed = 0; trap_checks_elided = 0;
     oracle_loads_checked = 0; oracle_boxed_loads = 0;
-    tel_events = 0; tel_dropped = 0 }
+    tel_events = 0; tel_dropped = 0;
+    fpa_sites_proven = 0; fused_unguarded = 0; shadow_elided = 0;
+    jit_fused_steps = 0; fpa_sub_violations = 0; fpa_nan_violations = 0 }
 
 (* Deterministic counters only: excludes wall-clock GC latency and the
    recorder's own bookkeeping, so a recorded run, its replay, and a
@@ -236,4 +257,10 @@ let pp fmt t =
     t.gc_full_passes t.gc_passes
     t.gc_freed t.gc_alive_last t.gc_words_scanned t.boxes_allocated
     t.patched_sites t.patched_sites_boxed t.trap_checks_elided
-    t.oracle_loads_checked t.oracle_boxed_loads
+    t.oracle_loads_checked t.oracle_boxed_loads;
+  if t.fpa_sites_proven > 0 || t.fused_unguarded > 0 || t.shadow_elided > 0
+  then
+    Format.fprintf fmt
+      " fpa=%d(proven) fused_unguarded=%d shadow_elided=%d fused_steps=%d fpa_violations=%d/%d(sub/nan)"
+      t.fpa_sites_proven t.fused_unguarded t.shadow_elided t.jit_fused_steps
+      t.fpa_sub_violations t.fpa_nan_violations

@@ -28,7 +28,14 @@ type analysis = {
   proven_safe_loads : int;
   iterations : int;
   pipeline : Analysis.Pipeline.t; (* the full tiered-analysis result *)
+  fpa : Analysis.Fpa.t; (* fourth tier: FP special-value verdicts *)
 }
+
+(* Bumped whenever a tier is added or a domain changes shape, so fact
+   consumers (the fleet's shared Facts store) can key on it and never
+   read facts produced by an older analysis. Tiers: 1 strided-interval
+   VSA, 2 flow-sensitive taint, 3 traceability, 4 FP special-value. *)
+let tier_version = 4
 
 let analyze (prog : Program.t) : analysis =
   let p = Analysis.Pipeline.analyze prog in
@@ -45,7 +52,8 @@ let analyze (prog : Program.t) : analysis =
     total_int_loads = p.Analysis.Pipeline.total_int_loads;
     proven_safe_loads = p.Analysis.Pipeline.proven_safe_loads;
     iterations = p.Analysis.Pipeline.iterations;
-    pipeline = p }
+    pipeline = p;
+    fpa = Analysis.Fpa.analyze prog }
 
 (* e9patch stand-in: rewrite every sink in place with an explicit trap
    to FPVM.  Idempotent: an already-instrumented site (correctness trap

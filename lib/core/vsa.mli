@@ -35,7 +35,16 @@ type analysis = {
   pipeline : Analysis.Pipeline.t;
       (** the full tiered-analysis result: sink kinds, taint provenance
           chains, elision and CFG statistics *)
+  fpa : Analysis.Fpa.t;
+      (** fourth tier: flow-sensitive FP special-value analysis —
+          per-site NaN/Inf-birth and subnormal-freedom verdicts with
+          provenance, consumed by the JIT (unguarded fusion), numprof
+          (shadow-check elision) and [fpvm_run lint] *)
 }
+
+val tier_version : int
+(** Version of the analysis tier stack; part of the fleet's shared
+    [Facts] key so consumers never read facts from an older analysis. *)
 
 val analyze : Machine.Program.t -> analysis
 (** Run the tiered pipeline. Pure: does not modify the program.

@@ -185,6 +185,15 @@ module Facts = struct
 
   let create () = { mu = Mutex.create (); tbl = Hashtbl.create 16; hits = 0; misses = 0 }
 
+  (* The store key: workload identity *plus* the analysis tier stack's
+     version. Keying by workload@scale alone would let a fleet whose
+     processes span an analysis upgrade (e.g. a checkpoint-resumed
+     guest built before the FP tier existed) read facts that lack the
+     tiers its consumers ask for — the version suffix makes old and
+     new facts distinct entries instead of silent aliases. *)
+  let key_for ~workload ~scale =
+    Printf.sprintf "%s@%s#t%d" workload scale Fpvm.Vsa.tier_version
+
   let get t ~key (prog : Machine.Program.t) : Fpvm.Vsa.analysis =
     Mutex.protect t.mu (fun () ->
         match Hashtbl.find_opt t.tbl key with
@@ -266,6 +275,12 @@ type guest_result = {
   r_output : string;
   r_serialized : string;
   r_fingerprint : string;
+  (* FP special-value analysis gauges (fingerprint-excluded, like every
+     observation counter): what the static tier proved for this guest
+     and what its consumers saved at runtime *)
+  r_fpa_sites_proven : int;
+  r_fused_unguarded : int;
+  r_shadow_elided : int;
 }
 
 (* ---- manifest ---------------------------------------------------------- *)
@@ -540,7 +555,9 @@ let run_guest ~batch ~facts ~on_switch (g : guest) : Fpvm.Engine.result =
     | None -> invalid_arg ("fleet: unknown workload " ^ g.g_workload)
   in
   let prog = entry.W.program g.g_scale in
-  let key = Printf.sprintf "%s@%s" g.g_workload (scale_string g.g_scale) in
+  let key =
+    Facts.key_for ~workload:g.g_workload ~scale:(scale_string g.g_scale)
+  in
   let a = Facts.get facts ~key prog in
   let d = port_driver g.g_port in
   let quiesces = ref 0 in
@@ -574,7 +591,13 @@ let run_shard ~batch ~facts ~domain_id (guests : guest list) :
                r_fp_insns = r.Fpvm.Engine.fp_insns;
                r_output = r.Fpvm.Engine.output;
                r_serialized = r.Fpvm.Engine.serialized;
-               r_fingerprint = Fpvm.Stats.fingerprint r.Fpvm.Engine.stats })
+               r_fingerprint = Fpvm.Stats.fingerprint r.Fpvm.Engine.stats;
+               r_fpa_sites_proven =
+                 r.Fpvm.Engine.stats.Fpvm.Stats.fpa_sites_proven;
+               r_fused_unguarded =
+                 r.Fpvm.Engine.stats.Fpvm.Stats.fused_unguarded;
+               r_shadow_elided =
+                 r.Fpvm.Engine.stats.Fpvm.Stats.shadow_elided })
        guests);
   ( Array.to_list out
     |> List.map (function
@@ -615,7 +638,8 @@ let serve ?(domains = 1) ?(batch = 8) ?(switch_cost = default_switch_cost)
       match W.find g.g_workload with
       | Some e ->
           let key =
-            Printf.sprintf "%s@%s" g.g_workload (scale_string g.g_scale)
+            Facts.key_for ~workload:g.g_workload
+              ~scale:(scale_string g.g_scale)
           in
           ignore (Facts.get facts ~key (e.W.program g.g_scale))
       | None -> invalid_arg ("fleet: unknown workload " ^ g.g_workload))

@@ -117,8 +117,22 @@ type t = {
   shadow_mode : bool;
   shadow : (int64, int64 * int64) Hashtbl.t;
       (* box pattern -> (port image at store time, vanilla shadow) *)
+  clean : (int -> bool) option;
+      (* static birth-freedom facts (Analysis.Fpa): at a clean site the
+         full per-op bookkeeping (site table, classification, shadow
+         store) is elided — only a cheap birth-violation check runs,
+         which doubles as the static-vs-dynamic soundness oracle. None
+         (the default) = classic numprof, nothing elided. *)
+  static_candidates : (int * string list) list;
+      (* statically-flagged birth-candidate sites (index, risk tags)
+         seeding the flow-chain report: where NaN/Inf *could* be born
+         even if this run never witnessed it *)
   mutable sites : site option array;
   mutable max_index : int;
+  mutable elided : int; (* op records skipped at proven-clean sites *)
+  mutable nan_violations : int;
+      (* dynamic NaN/Inf births at proven birth-free sites: any nonzero
+         value is an FP-analysis soundness violation *)
   hist : int array;
   mutable exact : int; (* sinks with zero divergence *)
   mutable checked : int; (* sinks compared *)
@@ -130,11 +144,15 @@ type t = {
   mutable sink_demote : int;
 }
 
-let create ?(shadow = false) () =
+let create ?(shadow = false) ?clean ?(static_candidates = []) () =
   { shadow_mode = shadow;
     shadow = Hashtbl.create (if shadow then 4096 else 1);
+    clean;
+    static_candidates;
     sites = Array.make 256 None;
     max_index = -1;
+    elided = 0;
+    nan_violations = 0;
     hist = Array.make n_buckets 0;
     exact = 0;
     checked = 0;
@@ -144,6 +162,17 @@ let create ?(shadow = false) () =
     sink_print = 0;
     sink_serialize = 0;
     sink_demote = 0 }
+
+(* The elided fast path at a proven birth-free site: no site entry, no
+   classification, no shadow store — just the soundness check that no
+   NaN/Inf was in fact born here (the exact event classify would call a
+   birth). *)
+let check_clean t ~a ~b ~r ~unary =
+  t.elided <- t.elided + 1;
+  let op_nan = is_nan a || ((not unary) && is_nan b) in
+  let op_inf = is_inf a || ((not unary) && is_inf b) in
+  if (is_nan r && not op_nan) || (is_inf r && not op_inf) then
+    t.nan_violations <- t.nan_violations + 1
 
 let site_for t i =
   let i = max 0 i in
@@ -224,32 +253,39 @@ let observe_sink t index err =
 
 let record t (ev : Fpvm.Probe.num) =
   match ev with
-  | Fpvm.Probe.N_op { index; op; a_bits; b_bits; r_bits; a; b; r } ->
-      let s = site_for t index in
-      s.ops <- s.ops + 1;
-      classify s ~a ~b ~r ~unary:(op = Isa.FSQRT);
-      if t.shadow_mode then begin
-        let sa = shadow_of t a_bits a in
-        let sb = shadow_of t b_bits b in
-        let expected = op_expected op sa sb in
-        Hashtbl.replace t.shadow r_bits (r, expected)
-      end
-  | Fpvm.Probe.N_ext { index; fn; a_bits; b_bits; r_bits; a; b; r } ->
-      let s = site_for t index in
-      s.ops <- s.ops + 1;
+  | Fpvm.Probe.N_op { index; op; a_bits; b_bits; r_bits; a; b; r } -> (
+      let unary = op = Isa.FSQRT in
+      match t.clean with
+      | Some clean when clean index -> check_clean t ~a ~b ~r ~unary
+      | _ ->
+          let s = site_for t index in
+          s.ops <- s.ops + 1;
+          classify s ~a ~b ~r ~unary;
+          if t.shadow_mode then begin
+            let sa = shadow_of t a_bits a in
+            let sb = shadow_of t b_bits b in
+            let expected = op_expected op sa sb in
+            Hashtbl.replace t.shadow r_bits (r, expected)
+          end)
+  | Fpvm.Probe.N_ext { index; fn; a_bits; b_bits; r_bits; a; b; r } -> (
       let unary =
         match fn with
         | Isa.Atan2 | Isa.Pow | Isa.Fmod | Isa.Hypot -> false
         | _ -> true
       in
-      classify s ~a ~b ~r ~unary;
-      if t.shadow_mode then begin
-        let sa = shadow_of t a_bits a in
-        let sb = shadow_of t b_bits b in
-        match ext_expected fn sa sb with
-        | Some expected -> Hashtbl.replace t.shadow r_bits (r, expected)
-        | None -> ()
-      end
+      match t.clean with
+      | Some clean when clean index -> check_clean t ~a ~b ~r ~unary
+      | _ ->
+          let s = site_for t index in
+          s.ops <- s.ops + 1;
+          classify s ~a ~b ~r ~unary;
+          if t.shadow_mode then begin
+            let sa = shadow_of t a_bits a in
+            let sb = shadow_of t b_bits b in
+            match ext_expected fn sa sb with
+            | Some expected -> Hashtbl.replace t.shadow r_bits (r, expected)
+            | None -> ()
+          end)
   | Fpvm.Probe.N_sink { index; kind; bits; f64 } ->
       (match kind with
       | Fpvm.Probe.S_compare -> t.sink_compare <- t.sink_compare + 1
@@ -321,12 +357,43 @@ let hot_sites t n =
 
 let schema_version = 1
 
+(* Which dynamic sites of this run were born at (for cross-referencing
+   the static candidate list in the reports). *)
+let births_at t i =
+  if i <= t.max_index then
+    match t.sites.(i) with
+    | Some s -> s.nan_births + s.inf_births
+    | None -> 0
+  else 0
+
 let report_text ?(n = 10) t bb =
   let nb, np, nk, ib, ip, ik = totals t in
   Buffer.add_string bb
     (Printf.sprintf
        "numerical telemetry: NaN birth/prop/kill %d/%d/%d, Inf birth/prop/kill %d/%d/%d\n"
        nb np nk ib ip ik);
+  if t.elided > 0 || t.nan_violations > 0 then
+    Buffer.add_string bb
+      (Printf.sprintf
+         "  static elision: %d op records skipped at proven birth-free sites, %d violations\n"
+         t.elided t.nan_violations);
+  (match t.static_candidates with
+  | [] -> ()
+  | cands ->
+      Buffer.add_string bb
+        (Printf.sprintf
+           "  static birth candidates (%d sites flagged by the FP analysis):\n"
+           (List.length cands));
+      List.iter
+        (fun (i, risks) ->
+          let seen = births_at t i in
+          Buffer.add_string bb
+            (Printf.sprintf "    site %4d: %s%s\n" i
+               (String.concat "," risks)
+               (if seen > 0 then
+                  Printf.sprintf "  (born %d times this run)" seen
+                else "")))
+        cands);
   if t.shadow_mode then begin
     Buffer.add_string bb
       (Printf.sprintf
@@ -365,10 +432,23 @@ let report_json ?(n = 10) t bb =
   let nb, np, nk, ib, ip, ik = totals t in
   Buffer.add_string bb
     (Printf.sprintf
-       "{\n  \"schema_version\": %d,\n  \"shadow_check\": %b,\n  \"nan\": {\"births\":%d,\"props\":%d,\"kills\":%d},\n  \"inf\": {\"births\":%d,\"props\":%d,\"kills\":%d},\n  \"sinks\": {\"compare\":%d,\"print\":%d,\"serialize\":%d,\"demote\":%d},\n  \"checked\": %d,\n  \"exact\": %d,\n  \"max_rel_err\": %.17g,\n  \"max_err_site\": %d,\n  \"err_hist\": ["
-       schema_version t.shadow_mode nb np nk ib ip ik t.sink_compare
-       t.sink_print t.sink_serialize t.sink_demote t.checked t.exact
-       t.max_rel_err t.max_err_site);
+       "{\n  \"schema_version\": %d,\n  \"shadow_check\": %b,\n  \"nan\": {\"births\":%d,\"props\":%d,\"kills\":%d},\n  \"inf\": {\"births\":%d,\"props\":%d,\"kills\":%d},\n  \"elided\": %d,\n  \"violations\": %d,\n  \"static_candidates\": ["
+       schema_version t.shadow_mode nb np nk ib ip ik t.elided
+       t.nan_violations);
+  List.iteri
+    (fun k (i, risks) ->
+      if k > 0 then Buffer.add_char bb ',';
+      Buffer.add_string bb
+        (Printf.sprintf "{\"site\":%d,\"risks\":[%s],\"born\":%d}" i
+           (String.concat ","
+              (List.map (fun r -> Printf.sprintf "\"%s\"" r) risks))
+           (births_at t i)))
+    t.static_candidates;
+  Buffer.add_string bb
+    (Printf.sprintf
+       "],\n  \"sinks\": {\"compare\":%d,\"print\":%d,\"serialize\":%d,\"demote\":%d},\n  \"checked\": %d,\n  \"exact\": %d,\n  \"max_rel_err\": %.17g,\n  \"max_err_site\": %d,\n  \"err_hist\": ["
+       t.sink_compare t.sink_print t.sink_serialize t.sink_demote t.checked
+       t.exact t.max_rel_err t.max_err_site);
   Array.iteri
     (fun k c ->
       if k > 0 then Buffer.add_char bb ',';

@@ -25,12 +25,14 @@ type t = {
 }
 
 let create ?(trace = false) ?trace_capacity ?(profile = false)
-    ?(numprof = false) ?(shadow = false) () =
+    ?(numprof = false) ?(shadow = false) ?clean ?static_candidates () =
   { trace = (if trace then Some (Trace.create ?capacity:trace_capacity ())
              else None);
     profile = (if profile then Some (Profile.create ()) else None);
     numprof =
-      (if numprof || shadow then Some (Numprof.create ~shadow ()) else None);
+      (if numprof || shadow then
+         Some (Numprof.create ~shadow ?clean ?static_candidates ())
+       else None);
     events = 0 }
 
 let enabled t =
@@ -66,4 +68,9 @@ let attach t (sink : Fpvm.Probe.sink) =
 let finalize t (stats : Fpvm.Stats.t) =
   stats.Fpvm.Stats.tel_events <- t.events;
   stats.Fpvm.Stats.tel_dropped <-
-    (match t.trace with Some tr -> Trace.dropped tr | None -> 0)
+    (match t.trace with Some tr -> Trace.dropped tr | None -> 0);
+  match t.numprof with
+  | Some np ->
+      stats.Fpvm.Stats.shadow_elided <- np.Numprof.elided;
+      stats.Fpvm.Stats.fpa_nan_violations <- np.Numprof.nan_violations
+  | None -> ()
