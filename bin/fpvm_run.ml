@@ -27,7 +27,7 @@ module W = Workloads
 
 let config_fingerprint (c : Fpvm.Engine.config) machine =
   Printf.sprintf
-    "approach=%s;deploy=%d;vsa=%b;fpa=%b;orc=%b;gc=%d;inc=%b;full=%d;cache=%b;alw=%b;trace=%d;plans=%b;jit=%b;jthr=%d;mach=%s"
+    "approach=%s;deploy=%d;vsa=%b;fpa=%b;orc=%b;gc=%d;inc=%b;full=%d;cache=%b;alw=%b;trace=%d;plans=%b;jit=%b;jthr=%d;jmtl=%d;mach=%s"
     (match c.Fpvm.Engine.approach with
     | Fpvm.Engine.Trap_and_emulate -> "emulate"
     | Fpvm.Engine.Trap_and_patch -> "patch"
@@ -38,7 +38,8 @@ let config_fingerprint (c : Fpvm.Engine.config) machine =
     c.Fpvm.Engine.incremental_gc c.Fpvm.Engine.full_scan_every
     c.Fpvm.Engine.decode_cache c.Fpvm.Engine.always_emulate
     c.Fpvm.Engine.max_trace_len c.Fpvm.Engine.use_plans
-    c.Fpvm.Engine.use_jit c.Fpvm.Engine.jit_threshold machine
+    c.Fpvm.Engine.use_jit c.Fpvm.Engine.jit_threshold
+    c.Fpvm.Engine.jit_max_trace_len machine
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -115,6 +116,10 @@ let print_json ~workload ~arith ~scale (r : Fpvm.Engine.result) =
       kv_i "jit_fused_steps" s.Fpvm.Stats.jit_fused_steps;
       kv_i "fpa_sub_violations" s.Fpvm.Stats.fpa_sub_violations;
       kv_i "fpa_nan_violations" s.Fpvm.Stats.fpa_nan_violations;
+      kv_i "cache_hits" s.Fpvm.Stats.cache_hits;
+      kv_i "cache_misses" s.Fpvm.Stats.cache_misses;
+      kv_i "blocks_shared" s.Fpvm.Stats.blocks_shared;
+      kv_i "cyc_compile_shared" s.Fpvm.Stats.cyc_compile_shared;
       kv_i "output_bytes" (String.length r.Fpvm.Engine.output);
       kv_i "serialized_bytes" (String.length r.Fpvm.Engine.serialized);
       kv_s "stats_fingerprint" (Fpvm.Stats.fingerprint s);
@@ -161,6 +166,12 @@ let print_stats (r : Fpvm.Engine.result) =
     "jit: %d compiles, %d hits, %d links, %d guard exits (%d invalidated)\n"
     s.Fpvm.Stats.jit_compiles s.Fpvm.Stats.jit_hits s.Fpvm.Stats.jit_links
     s.Fpvm.Stats.jit_guard_exits s.Fpvm.Stats.jit_invalidations;
+  if s.Fpvm.Stats.cache_hits > 0 || s.Fpvm.Stats.cache_misses > 0 then
+    Printf.eprintf
+      "artifact cache: %d hits / %d misses, %d blocks shared (%d compile \
+       cycles off-guest)\n"
+      s.Fpvm.Stats.cache_hits s.Fpvm.Stats.cache_misses
+      s.Fpvm.Stats.blocks_shared s.Fpvm.Stats.cyc_compile_shared;
   Printf.eprintf
     "temps elided: %d (%d re-boxed at trace exit, %d allocs avoided)\n"
     s.Fpvm.Stats.temps_elided s.Fpvm.Stats.temps_materialized
@@ -210,9 +221,10 @@ let guard f =
   | exception Failure msg -> `Error (false, msg)
 
 let run workload arith prec posit_bits approach machine deployment scale
-    trace_len full_gc gc_interval no_plans no_jit jit_threshold no_fpa oracle
-    stats json disasm spy list_only record_file replay_file checkpoint_every
-    from_checkpoint inject trace_out profile profile_out shadow_check =
+    trace_len full_gc gc_interval no_plans no_jit jit_threshold
+    jit_max_trace_len no_fpa oracle stats json disasm spy list_only record_file
+    replay_file checkpoint_every from_checkpoint inject trace_out profile
+    profile_out shadow_check cache_dir no_cache =
   if list_only then begin
     List.iter
       (fun (e : W.entry) -> Printf.printf "%-12s %s\n" e.W.name e.W.specifics)
@@ -230,6 +242,11 @@ let run workload arith prec posit_bits approach machine deployment scale
   else if jit_threshold < 1 then
     `Error
       (false, Printf.sprintf "--jit-threshold must be >= 1 (got %d)" jit_threshold)
+  else if jit_max_trace_len < 1 then
+    `Error
+      ( false,
+        Printf.sprintf "--jit-max-trace-len must be >= 1 (got %d)"
+          jit_max_trace_len )
   else if checkpoint_every < 0 then
     `Error
       (false, Printf.sprintf "--checkpoint-every must be >= 0 (got %d)" checkpoint_every)
@@ -291,7 +308,8 @@ let run workload arith prec posit_bits approach machine deployment scale
                   Fpvm.Engine.use_plans = not no_plans;
                   Fpvm.Engine.use_jit = not no_jit;
                   Fpvm.Engine.use_fpa = not no_fpa;
-                  Fpvm.Engine.jit_threshold }
+                  Fpvm.Engine.jit_threshold;
+                  Fpvm.Engine.jit_max_trace_len }
               in
               let driver =
                 Result.map Fleet.port_driver
@@ -380,7 +398,34 @@ let run workload arith prec posit_bits approach machine deployment scale
                     output_string oc s;
                     close_out oc
                   in
+                  (* Persistent warm start: load this session's artifact
+                     cache file (if any) into a fresh store before the
+                     run, save it back after. Any mismatch or corruption
+                     makes the load a silent no-op — the run is then
+                     simply cold. Replay keeps its accounting faithful
+                     to the log's original run, so no store there. *)
+                  let cache_store =
+                    if no_cache || arith = "native" || replay_file <> "" then
+                      None
+                    else begin
+                      let dir =
+                        if cache_dir <> "" then cache_dir
+                        else Fpvm.Artifact.default_dir ()
+                      in
+                      let store = Fpvm.Artifact.create () in
+                      let key = d.d_session_key ~config prog in
+                      ignore (Fpvm.Artifact.load store ~dir ~key);
+                      Some (store, dir, key)
+                    end
+                  in
+                  let cache_art =
+                    Option.map (fun (st, _, _) -> st) cache_store
+                  in
                   let finish ?(code = 0) (r : Fpvm.Engine.result) =
+                    (match cache_store with
+                    | Some (store, dir, key) ->
+                        ignore (Fpvm.Artifact.save store ~dir ~key)
+                    | None -> ());
                     print_string r.Fpvm.Engine.output;
                     (match tel with
                     | None -> ()
@@ -446,8 +491,8 @@ let run workload arith prec posit_bits approach machine deployment scale
                   else if record_file <> "" then
                     guard (fun () ->
                     let rec_ =
-                      d.d_record ?facts ?instrument ~checkpoint_every ~meta
-                        ~config prog
+                      d.d_record ?facts ?instrument ?artifacts:cache_art
+                        ~checkpoint_every ~meta ~config prog
                     in
                     let log_bytes =
                       if inject >= 0 then inject_divergence rec_.Replay.Session.log_bytes inject
@@ -492,9 +537,13 @@ let run workload arith prec posit_bits approach machine deployment scale
                   else if from_checkpoint <> "" then
                     guard (fun () ->
                         finish
-                          (d.d_resume ?instrument ~config prog
+                          (d.d_resume ?instrument ?artifacts:cache_art ~config
+                             prog
                              (Replay.Codec.read_file from_checkpoint)))
-                  else finish (d.d_run ?facts ?instrument ~config prog)))
+                  else
+                    finish
+                      (d.d_run ?facts ?instrument ?artifacts:cache_art ~config
+                         prog)))
   end
 
 (* ---- bisect command --------------------------------------------------- *)
@@ -962,6 +1011,29 @@ let jit_threshold =
            ~doc:"Trap deliveries at one trace head before its next window \
                  is recorded and compiled into a superblock." ~docv:"N")
 
+let jit_max_trace_len =
+  Arg.(value
+       & opt int Fpvm.Engine.default_config.Fpvm.Engine.jit_max_trace_len
+       & info [ "jit-max-trace-len" ]
+           ~doc:"Cap (>= 1) on the recorded window length handed to the \
+                 superblock compiler; recordings longer than this are \
+                 truncated before lowering." ~docv:"N")
+
+let cache_dir =
+  Arg.(value & opt string ""
+       & info [ "cache-dir" ]
+           ~doc:"Directory for the persistent compilation-artifact cache \
+                 (default: \\$XDG_CACHE_HOME/fpvm or ~/.cache/fpvm). A warm \
+                 run reuses the cold run's analysis facts and superblock \
+                 recordings; outputs and fingerprints are bit-identical \
+                 either way." ~docv:"DIR")
+
+let no_cache =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the persistent compilation-artifact cache (neither \
+                 load nor save).")
+
 let no_fpa =
   Arg.(value & flag
        & info [ "no-fpa" ]
@@ -1038,10 +1110,10 @@ let run_term =
     ret
       (const run $ workload $ arith $ prec $ posit_bits $ approach $ machine
      $ deployment $ scale $ trace_len $ full_gc $ gc_interval $ no_plans
-     $ no_jit $ jit_threshold $ no_fpa
+     $ no_jit $ jit_threshold $ jit_max_trace_len $ no_fpa
      $ oracle $ stats $ json $ disasm $ spy $ list_only $ record_file
      $ replay_file $ checkpoint_every $ from_checkpoint $ inject $ trace_out
-     $ profile $ profile_out $ shadow_check))
+     $ profile $ profile_out $ shadow_check $ cache_dir $ no_cache))
 
 let bisect_cmd =
   let log_a = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG_A") in

@@ -35,7 +35,9 @@ let guest_json (r : Fleet.guest_result) =
     "{\"guest\": %d, \"workload\": \"%s\", \"arith\": \"%s\", \"scale\": \
      \"%s\", \"gc\": \"%s\", \"domain\": %d, \"cycles\": %d, \"insns\": %d, \
      \"fp_insns\": %d, \"output_bytes\": %d, \"fpa_sites_proven\": %d, \
-     \"fused_unguarded\": %d, \"shadow_elided\": %d, \"fingerprint\": \"%s\"}"
+     \"fused_unguarded\": %d, \"shadow_elided\": %d, \"jit_compiles\": %d, \
+     \"cache_hits\": %d, \"cache_misses\": %d, \"blocks_shared\": %d, \
+     \"cyc_compile_shared\": %d, \"fingerprint\": \"%s\"}"
     g.Fleet.g_id
     (json_escape g.Fleet.g_workload)
     (json_escape (Fleet.guest_arith g))
@@ -44,7 +46,8 @@ let guest_json (r : Fleet.guest_result) =
     r.Fleet.r_domain r.Fleet.r_cycles r.Fleet.r_insns r.Fleet.r_fp_insns
     (String.length r.Fleet.r_output)
     r.Fleet.r_fpa_sites_proven r.Fleet.r_fused_unguarded
-    r.Fleet.r_shadow_elided
+    r.Fleet.r_shadow_elided r.Fleet.r_jit_compiles r.Fleet.r_cache_hits
+    r.Fleet.r_cache_misses r.Fleet.r_blocks_shared r.Fleet.r_cyc_compile_shared
     (json_escape r.Fleet.r_fingerprint)
 
 let fleet_json (f : Fleet.fleet_result) =
@@ -61,6 +64,12 @@ let fleet_json (f : Fleet.fleet_result) =
   Buffer.add_string b
     (Printf.sprintf "  \"total_cycles\": %d,\n  \"makespan\": %d,\n"
        f.Fleet.f_total_cycles f.Fleet.f_makespan);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"blocks_published\": %d,\n  \"blocks_shared\": %d,\n  \
+        \"cyc_compile_shared\": %d,\n"
+       f.Fleet.f_blocks_published f.Fleet.f_blocks_shared
+       f.Fleet.f_cyc_compile_shared);
   Buffer.add_string b "  \"domain_cycles\": [";
   Array.iteri
     (fun i c ->
@@ -99,7 +108,8 @@ let serve manifest domains batch switch_cost verify_solo json quiet =
               Printf.eprintf
                 "fleet: %d guests on %d domain(s), batch %d: makespan %d \
                  cycles (total %d, %.2fx), %d switches, facts %d shared / %d \
-                 computed\n"
+                 computed, blocks %d shared / %d compiled (%d cycles \
+                 off-guest)\n"
                 (List.length fleet.Fleet.f_results)
                 domains batch fleet.Fleet.f_makespan fleet.Fleet.f_total_cycles
                 (if fleet.Fleet.f_makespan > 0 then
@@ -107,7 +117,8 @@ let serve manifest domains batch switch_cost verify_solo json quiet =
                    /. float_of_int fleet.Fleet.f_makespan
                  else 0.)
                 fleet.Fleet.f_switches fleet.Fleet.f_facts_hits
-                fleet.Fleet.f_facts_misses
+                fleet.Fleet.f_facts_misses fleet.Fleet.f_blocks_shared
+                fleet.Fleet.f_blocks_published fleet.Fleet.f_cyc_compile_shared
             end;
             if not verify_solo then `Ok 0
             else begin
@@ -123,6 +134,11 @@ let serve manifest domains batch switch_cost verify_solo json quiet =
                     sfp = r.Fleet.r_fingerprint
                     && solo.Fpvm.Engine.output = r.Fleet.r_output
                     && solo.Fpvm.Engine.serialized = r.Fleet.r_serialized
+                    (* compile-cycle conservation: a storeless solo run
+                       pays on-guest exactly what the fleet guest saw
+                       elided into its off-guest bucket *)
+                    && solo.Fpvm.Engine.cycles
+                       = r.Fleet.r_cycles + r.Fleet.r_cyc_compile_shared
                   in
                   if not ok then begin
                     incr mismatches;

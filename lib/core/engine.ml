@@ -69,6 +69,10 @@ type config = {
   jit_threshold : int;
       (* deliveries at one head before its next window is recorded and
          compiled *)
+  jit_max_trace_len : int;
+      (* cap (>= 1) on the recorded window length handed to the
+         superblock compiler; longer recordings are truncated before
+         lowering. Codegen-relevant: part of the artifact session key. *)
   cost : CM.t;
   max_insns : int;
 }
@@ -88,8 +92,24 @@ let default_config =
     use_plans = true;
     use_jit = true;
     jit_threshold = 8;
+    jit_max_trace_len = 64;
     cost = CM.r815;
     max_insns = 400_000_000 }
+
+(* The codegen-relevant slice of the config, canonically formatted —
+   the flags component of the artifact-cache session key
+   (Artifact.session_key). GC knobs, the delivery deployment, the
+   oracle and max_insns are excluded: they never shape decoded sites,
+   plans or recorded paths, so artifacts are shared across them. *)
+let config_flags (c : config) =
+  Printf.sprintf
+    "%s,vsa=%b,fpa=%b,plans=%b,jit=%b,thr=%d,mtl=%d,jmtl=%d,ae=%b,dc=%b,cost=%s"
+    (match c.approach with
+    | Trap_and_emulate -> "tae"
+    | Trap_and_patch -> "tap"
+    | Static_transform -> "st")
+    c.use_vsa c.use_fpa c.use_plans c.use_jit c.jit_threshold c.max_trace_len
+    c.jit_max_trace_len c.always_emulate c.decode_cache c.cost.CM.name
 
 type result = {
   output : string;
@@ -185,6 +205,10 @@ module Make (A : Arith.S) = struct
            runtime subnormal scan; [||] when use_fpa/use_vsa is off *)
     mutable fpa_born_free : bool array;
         (* per-index proof that no NaN/Inf can be born at this site *)
+    mutable artifacts : (Artifact.t * string) option;
+        (* shared compilation-artifact store and this session's key in
+           it; None runs storeless (bit- and cycle-identical — the
+           store only moves the jit compile charge between buckets) *)
   }
 
   let create config =
@@ -207,7 +231,8 @@ module Make (A : Arith.S) = struct
       jit_blocks = Plan.create ();
       jit_rec = None;
       fpa_sub_free = [||];
-      fpa_born_free = [||] }
+      fpa_born_free = [||];
+      artifacts = None }
 
   (* ---- boxing ----------------------------------------------------- *)
 
@@ -899,6 +924,15 @@ module Make (A : Arith.S) = struct
            let d = interpret () in
            let p = compile t idx d in
            Plan.store t.plans idx insn p;
+           (* plan recipes ride in the artifact store for gauge
+              accounting only: plan gauges are part of the architectural
+              fingerprint, so their charges stay on-guest either way *)
+           (match t.artifacts with
+           | None -> ()
+           | Some (store, key) ->
+               if Artifact.claim_plan store ~key ~site:idx then
+                 s.Stats.cache_hits <- s.Stats.cache_hits + 1
+               else s.Stats.cache_misses <- s.Stats.cache_misses + 1);
            s.Stats.plan_misses <- s.Stats.plan_misses + 1;
            State.add_cycles st cost.CM.plan_compile;
            s.Stats.cyc_plan <- s.Stats.cyc_plan + cost.CM.plan_compile;
@@ -1346,11 +1380,49 @@ module Make (A : Arith.S) = struct
         | Some steps ->
             t.jit_rec <- None;
             let path = Array.of_list (List.rev steps) in
+            let cap = t.config.jit_max_trace_len in
+            let path =
+              if Array.length path > cap then Array.sub path 0 cap else path
+            in
             if Array.length path > 0 then begin
               let blk = jit_compile_window t st head path in
               let c = t.config.cost.CM.jit_compile in
-              State.add_cycles st c;
-              t.stats.Stats.cyc_jit <- t.stats.Stats.cyc_jit + c;
+              (* artifact store: the first session to compile this
+                 (head, digest, path) publishes it and pays the compile
+                 charge on-guest as usual; a later identical session's
+                 claim comes back [`Shared] and the charge moves into
+                 the fingerprint-excluded cyc_compile_shared bucket —
+                 compile once, charged once. Everything else (the
+                 profiling ramp, the recording, the lowering, the
+                 telemetry stream) is identical either way. *)
+              let shared =
+                match t.artifacts with
+                | None -> false
+                | Some (store, key) -> (
+                    let digest =
+                      Artifact.sites_digest insns blk.jb_sb.Sb.touches
+                    in
+                    match
+                      Artifact.claim_block store ~key ~head ~digest ~path
+                        ~cycles:c
+                    with
+                    | `Shared ->
+                        t.stats.Stats.cache_hits <-
+                          t.stats.Stats.cache_hits + 1;
+                        t.stats.Stats.blocks_shared <-
+                          t.stats.Stats.blocks_shared + 1;
+                        t.stats.Stats.cyc_compile_shared <-
+                          t.stats.Stats.cyc_compile_shared + c;
+                        true
+                    | `Published ->
+                        t.stats.Stats.cache_misses <-
+                          t.stats.Stats.cache_misses + 1;
+                        false)
+              in
+              if not shared then begin
+                State.add_cycles st c;
+                t.stats.Stats.cyc_jit <- t.stats.Stats.cyc_jit + c
+              end;
               t.stats.Stats.jit_compiles <- t.stats.Stats.jit_compiles + 1;
               match t.probe.Probe.on_tel with
               | None -> ()
@@ -1358,7 +1430,7 @@ module Make (A : Arith.S) = struct
                   f st
                     (Probe.T_jit_compile
                        { index = head; steps = Array.length blk.jb_steps;
-                         cycles = c })
+                         cycles = (if shared then 0 else c) })
             end
         | None -> ())
 
@@ -1634,9 +1706,19 @@ module Make (A : Arith.S) = struct
     prog : Program.t;
   }
 
-  let prepare ?(config = default_config) ?facts (prog : Program.t) : session =
+  let prepare ?(config = default_config) ?facts ?artifacts (prog : Program.t)
+      : session =
     let t = create config in
     let prog = Program.copy prog in
+    (* Session key over the pristine copy (before any patching): port x
+       content digest x analysis tier x codegen-relevant flags. *)
+    (match artifacts with
+    | Some store ->
+        let key =
+          Artifact.session_key ~port:A.name ~flags:(config_flags config) prog
+        in
+        t.artifacts <- Some (store, key)
+    | None -> ());
     let record_analysis (a : Vsa.analysis) =
       t.stats.Stats.patched_sites <- List.length a.Vsa.sinks;
       t.stats.Stats.trap_checks_elided <-
@@ -1652,7 +1734,26 @@ module Make (A : Arith.S) = struct
        and its results are index-based, so an [?facts] value computed
        once on the pristine binary (the fleet's shared read-only fact
        store) applies to this session's private copy verbatim. *)
-    let analyze () = match facts with Some a -> a | None -> Vsa.analyze prog in
+    let analyze () =
+      match facts with
+      | Some a -> a
+      | None -> (
+          (* the artifact store doubles as the facts store: a warm
+             session reuses the pristine binary's analysis (pure and
+             index-based, so bit-identical to recomputing) *)
+          match t.artifacts with
+          | Some (store, key) -> (
+              match Artifact.find_facts store ~key with
+              | Some a ->
+                  t.stats.Stats.cache_hits <- t.stats.Stats.cache_hits + 1;
+                  a
+              | None ->
+                  let a = Vsa.analyze prog in
+                  Artifact.publish_facts store ~key a;
+                  t.stats.Stats.cache_misses <- t.stats.Stats.cache_misses + 1;
+                  a)
+          | None -> Vsa.analyze prog)
+    in
     (* Static analysis + patching (the hybrid's correctness traps). *)
     if config.use_vsa && config.approach <> Static_transform then begin
       let analysis = analyze () in
@@ -1821,6 +1922,15 @@ module Make (A : Arith.S) = struct
                       end)
                     !stale
                 end;
+                (* propagate to the shared artifact store: recordings
+                   that touch the rewritten site can never be claimed
+                   again (the rewrite changed their site digest), so
+                   drop them eagerly rather than letting them sit
+                   inert. *)
+                (match t.artifacts with
+                | None -> ()
+                | Some (store, key) ->
+                    ignore (Artifact.invalidate_site store ~key ~site:idx));
                 if config.use_plans then
                   t.elide <- Analysis.Escape.no_escape prog.Program.insns)
         | Trap_and_emulate | Static_transform -> ());
@@ -1996,6 +2106,16 @@ module Make (A : Arith.S) = struct
       + corr_share kern.Trapkern.user_cycles;
     t.stats.Stats.decode_hits <- t.cache.Decoder.hits;
     t.stats.Stats.decode_misses <- t.cache.Decoder.misses;
+    (* publish the session's decoded-site table — completeness for the
+       persistent cache (decode is a per-site hash fill, so warm starts
+       gain accounting visibility, never behavior) *)
+    (match t.artifacts with
+    | None -> ()
+    | Some (store, key) ->
+        let sites =
+          Hashtbl.fold (fun s _ acc -> s :: acc) t.cache.Decoder.table []
+        in
+        Artifact.publish_decode store ~key ~sites);
     { output = State.output st;
       serialized = State.serialized_output st;
       stats = t.stats;
@@ -2004,8 +2124,8 @@ module Make (A : Arith.S) = struct
       fp_insns = st.State.fp_insn_count;
       st }
 
-  let run ?(config = default_config) (prog : Program.t) : result =
-    resume (prepare ~config prog)
+  let run ?(config = default_config) ?artifacts (prog : Program.t) : result =
+    resume (prepare ~config ?artifacts prog)
 end
 
 (* Run the same program natively (no FPVM), for baselines and

@@ -80,6 +80,13 @@ type config = {
   jit_threshold : int;
       (** deliveries at one head before its next window is recorded and
           compiled *)
+  jit_max_trace_len : int;
+      (** cap on the recorded window length handed to the superblock
+          compiler (must be >= 1): a recording longer than this is
+          truncated before lowering, so one compile unit never exceeds
+          the cap even when the interpretive trace budget
+          ([max_trace_len]) ran longer. Codegen-relevant: part of the
+          artifact-cache session key. *)
   cost : Machine.Cost_model.t;
   max_insns : int;  (** runaway-execution guard *)
 }
@@ -88,6 +95,13 @@ val default_config : config
 (** Trap-and-emulate, user-signal delivery, VSA on, GC every 20k
     emulations (incremental, full scan every 8th pass), decode cache
     on, traces up to 64 instructions, R815 cost model. *)
+
+val config_flags : config -> string
+(** The codegen-relevant slice of a config, canonically formatted — the
+    [~flags] component of {!Artifact.session_key}. GC knobs, delivery
+    deployment, the oracle and [max_insns] are excluded: they never
+    shape decoded sites, plans or recorded paths, so artifacts are
+    shared across them. *)
 
 type result = {
   output : string;  (** the program's printed output *)
@@ -176,6 +190,11 @@ module Make (A : Arith.S) : sig
             [use_fpa] or [use_vsa] is off *)
     mutable fpa_born_free : bool array;
         (** per-index proof that no NaN/Inf can be born at this site *)
+    mutable artifacts : (Artifact.t * string) option;
+        (** the shared compilation-artifact store and this session's key
+            in it ({!Artifact.session_key}); [None] runs the engine
+            storeless (bit- and cycle-identical — the store only moves
+            the jit compile charge between accounting buckets) *)
   }
 
   val create : config -> t
@@ -193,7 +212,11 @@ module Make (A : Arith.S) : sig
   }
 
   val prepare :
-    ?config:config -> ?facts:Vsa.analysis -> Machine.Program.t -> session
+    ?config:config ->
+    ?facts:Vsa.analysis ->
+    ?artifacts:Artifact.t ->
+    Machine.Program.t ->
+    session
   (** Copy the binary, run the static analysis, create the machine and
       kernel, install all handlers — everything up to (but excluding)
       the first instruction. Deterministic for a given program and
@@ -203,7 +226,19 @@ module Make (A : Arith.S) : sig
       binary instead of re-running the analysis — the fleet's shared
       read-only fact store. The analysis is pure and index-based, so a
       prepared session is bit-identical whether the facts were computed
-      here or shared; only the one-time analysis work is saved. *)
+      here or shared; only the one-time analysis work is saved.
+
+      [?artifacts] attaches a compilation-artifact store
+      ({!Artifact.t}). The session key is derived from the pristine
+      binary's content digest, the port name, the analysis tier version
+      and the codegen-relevant config flags before any patching. The
+      engine then publishes its decode tables, plan sites and jit
+      recordings into the store as it compiles them, claims matching
+      recordings published by earlier identical sessions (moving the
+      compile charge into the fingerprint-excluded
+      [Stats.cyc_compile_shared] bucket), and reuses stored analysis
+      facts. Execution, output and the architectural fingerprint are
+      bit-identical with or without a store. *)
 
   val refresh_trace_hints : session -> unit
   (** Recompute the trace-extension hints and no-escape facts from the
@@ -248,7 +283,8 @@ module Make (A : Arith.S) : sig
       kernel's delivery accounting into the stats. Call at most once
       per session. *)
 
-  val run : ?config:config -> Machine.Program.t -> result
+  val run :
+    ?config:config -> ?artifacts:Artifact.t -> Machine.Program.t -> result
   (** [resume (prepare ~config prog)]. The input program is copied;
       analysis patches and trap-and-patch rewrites never mutate the
       caller's binary. *)

@@ -133,6 +133,23 @@ type t = {
   mutable fpa_nan_violations : int;
       (* dynamic NaN/Inf birth at a proven birth-free site: any nonzero
          value is a soundness violation (oracle exit 5) *)
+  (* compilation-artifact cache gauges (lib/core Artifact). Like the
+     jit_* gauges these are fingerprint- and checkpoint-excluded: the
+     cache moves compile charges off-guest but never perturbs the
+     architectural counters (warm and cold runs fingerprint
+     identically). *)
+  mutable cache_hits : int;
+      (* artifact-store claims served by an existing entry (a recipe
+         published by another guest, or preloaded from disk) *)
+  mutable cache_misses : int;
+      (* claims that found no matching entry and published one *)
+  mutable blocks_shared : int;
+      (* superblocks compiled from a shared recipe (the jit subset of
+         cache_hits); their compile charge was elided off-guest *)
+  mutable cyc_compile_shared : int;
+      (* jit compile cycles elided because the artifact was already
+         charged elsewhere (another guest, or a previous run via the
+         persistent cache) — the off-guest compile bucket *)
 }
 
 let create () =
@@ -161,7 +178,9 @@ let create () =
     oracle_loads_checked = 0; oracle_boxed_loads = 0;
     tel_events = 0; tel_dropped = 0;
     fpa_sites_proven = 0; fused_unguarded = 0; shadow_elided = 0;
-    jit_fused_steps = 0; fpa_sub_violations = 0; fpa_nan_violations = 0 }
+    jit_fused_steps = 0; fpa_sub_violations = 0; fpa_nan_violations = 0;
+    cache_hits = 0; cache_misses = 0; blocks_shared = 0;
+    cyc_compile_shared = 0 }
 
 (* Deterministic counters only: excludes wall-clock GC latency and the
    recorder's own bookkeeping, so a recorded run, its replay, and a
@@ -263,4 +282,8 @@ let pp fmt t =
     Format.fprintf fmt
       " fpa=%d(proven) fused_unguarded=%d shadow_elided=%d fused_steps=%d fpa_violations=%d/%d(sub/nan)"
       t.fpa_sites_proven t.fused_unguarded t.shadow_elided t.jit_fused_steps
-      t.fpa_sub_violations t.fpa_nan_violations
+      t.fpa_sub_violations t.fpa_nan_violations;
+  if t.cache_hits > 0 || t.cache_misses > 0 then
+    Format.fprintf fmt
+      " cache=%d/%d(hits/misses) blocks_shared=%d cyc_compile_shared=%d"
+      t.cache_hits t.cache_misses t.blocks_shared t.cyc_compile_shared

@@ -110,12 +110,14 @@ type driver = {
   d_run :
     ?facts:Fpvm.Vsa.analysis ->
     ?instrument:(Fpvm.Probe.sink -> unit) ->
+    ?artifacts:Fpvm.Artifact.t ->
     config:Fpvm.Engine.config ->
     Machine.Program.t ->
     Fpvm.Engine.result;
   d_record :
     ?facts:Fpvm.Vsa.analysis ->
     ?instrument:(Fpvm.Probe.sink -> unit) ->
+    ?artifacts:Fpvm.Artifact.t ->
     checkpoint_every:int ->
     meta:Replay.Log.meta ->
     config:Fpvm.Engine.config ->
@@ -124,16 +126,22 @@ type driver = {
   d_replay :
     ?checkpoint:string ->
     ?instrument:(Fpvm.Probe.sink -> unit) ->
+    ?artifacts:Fpvm.Artifact.t ->
     config:Fpvm.Engine.config ->
     Replay.Log.t ->
     Machine.Program.t ->
     Replay.Session.outcome;
   d_resume :
     ?instrument:(Fpvm.Probe.sink -> unit) ->
+    ?artifacts:Fpvm.Artifact.t ->
     config:Fpvm.Engine.config ->
     Machine.Program.t ->
     string ->
     Fpvm.Engine.result;
+  d_session_key : config:Fpvm.Engine.config -> Machine.Program.t -> string;
+      (* the artifact-store key [Engine.prepare] derives for this port,
+         config and (pristine) binary — exposed so callers can load and
+         save the persistent cache for a session they are about to run *)
 }
 
 let driver (m : (module Fpvm.Arith.S)) : driver =
@@ -141,23 +149,28 @@ let driver (m : (module Fpvm.Arith.S)) : driver =
   let module S = Replay.Session.Make (A) in
   {
     d_run =
-      (fun ?facts ?instrument ~config prog ->
+      (fun ?facts ?instrument ?artifacts ~config prog ->
         (* prepare / instrument / resume, so telemetry attaches the
            same way it does around a checkpoint restore *)
-        let ses = S.E.prepare ~config ?facts prog in
+        let ses = S.E.prepare ~config ?facts ?artifacts prog in
         (match instrument with
         | Some f -> f ses.S.E.eng.S.E.probe
         | None -> ());
         S.E.resume ses);
     d_record =
-      (fun ?facts ?instrument ~checkpoint_every ~meta ~config prog ->
-        S.record ?facts ~checkpoint_every ?instrument ~meta ~config prog);
+      (fun ?facts ?instrument ?artifacts ~checkpoint_every ~meta ~config prog ->
+        S.record ?facts ~checkpoint_every ?instrument ?artifacts ~meta ~config
+          prog);
     d_replay =
-      (fun ?checkpoint ?instrument ~config log prog ->
-        S.replay ?checkpoint ?instrument ~config log prog);
+      (fun ?checkpoint ?instrument ?artifacts ~config log prog ->
+        S.replay ?checkpoint ?instrument ?artifacts ~config log prog);
     d_resume =
-      (fun ?instrument ~config prog blob ->
-        S.resume_from ?instrument ~config prog blob);
+      (fun ?instrument ?artifacts ~config prog blob ->
+        S.resume_from ?instrument ?artifacts ~config prog blob);
+    d_session_key =
+      (fun ~config prog ->
+        Fpvm.Artifact.session_key ~port:A.name
+          ~flags:(Fpvm.Engine.config_flags config) prog);
   }
 
 let port_driver p = driver (Port.arith p)
@@ -281,6 +294,12 @@ type guest_result = {
   r_fpa_sites_proven : int;
   r_fused_unguarded : int;
   r_shadow_elided : int;
+  (* compilation-artifact cache gauges (fingerprint-excluded) *)
+  r_jit_compiles : int;
+  r_cache_hits : int;
+  r_cache_misses : int;
+  r_blocks_shared : int;
+  r_cyc_compile_shared : int; (* compile cycles elided off this guest *)
 }
 
 (* ---- manifest ---------------------------------------------------------- *)
@@ -509,6 +528,13 @@ type fleet_result = {
   f_domain_cycles : int array; (* per-domain modeled makespan *)
   f_makespan : int; (* max over domains *)
   f_total_cycles : int; (* sum of per-guest cycles *)
+  (* compilation-artifact sharing (the fleet-level compile bucket):
+     every superblock's compile charge lands in exactly one guest's
+     cycles (the publisher's); later identical compiles are elided into
+     f_cyc_compile_shared, outside every makespan term *)
+  f_blocks_published : int;
+  f_blocks_shared : int;
+  f_cyc_compile_shared : int;
 }
 
 let validate_serve ~domains ~batch : (unit, string) result =
@@ -548,7 +574,8 @@ let partition ~domains (weights : int array) : int list array =
 
 (* Run one guest to completion on the current domain, yielding to the
    co-scheduled guests every [batch] quiesce points. *)
-let run_guest ~batch ~facts ~on_switch (g : guest) : Fpvm.Engine.result =
+let run_guest ~batch ~facts ~artifacts ~on_switch (g : guest) :
+    Fpvm.Engine.result =
   let entry =
     match W.find g.g_workload with
     | Some e -> e
@@ -561,7 +588,7 @@ let run_guest ~batch ~facts ~on_switch (g : guest) : Fpvm.Engine.result =
   let a = Facts.get facts ~key prog in
   let d = port_driver g.g_port in
   let quiesces = ref 0 in
-  d.d_run ~facts:a
+  d.d_run ~facts:a ~artifacts
     ~instrument:(fun sink ->
       P.add_quiesce sink (fun _st ->
           incr quiesces;
@@ -574,14 +601,18 @@ let run_guest ~batch ~facts ~on_switch (g : guest) : Fpvm.Engine.result =
 
 (* Run one domain's shard cooperatively; returns results in shard
    order plus the switch count. *)
-let run_shard ~batch ~facts ~domain_id (guests : guest list) :
+let run_shard ~batch ~facts ~artifacts ~domain_id (guests : guest list) :
     guest_result list * int =
   let switches = ref 0 in
   let out = Array.make (List.length guests) None in
   Sched.run
     (List.mapi
        (fun i g () ->
-         let r = run_guest ~batch ~facts ~on_switch:(fun () -> incr switches) g in
+         let r =
+           run_guest ~batch ~facts ~artifacts
+             ~on_switch:(fun () -> incr switches)
+             g
+         in
          out.(i) <-
            Some
              { r_guest = g;
@@ -597,7 +628,13 @@ let run_shard ~batch ~facts ~domain_id (guests : guest list) :
                r_fused_unguarded =
                  r.Fpvm.Engine.stats.Fpvm.Stats.fused_unguarded;
                r_shadow_elided =
-                 r.Fpvm.Engine.stats.Fpvm.Stats.shadow_elided })
+                 r.Fpvm.Engine.stats.Fpvm.Stats.shadow_elided;
+               r_jit_compiles = r.Fpvm.Engine.stats.Fpvm.Stats.jit_compiles;
+               r_cache_hits = r.Fpvm.Engine.stats.Fpvm.Stats.cache_hits;
+               r_cache_misses = r.Fpvm.Engine.stats.Fpvm.Stats.cache_misses;
+               r_blocks_shared = r.Fpvm.Engine.stats.Fpvm.Stats.blocks_shared;
+               r_cyc_compile_shared =
+                 r.Fpvm.Engine.stats.Fpvm.Stats.cyc_compile_shared })
        guests);
   ( Array.to_list out
     |> List.map (function
@@ -614,7 +651,7 @@ let run_shard ~batch ~facts ~domain_id (guests : guest list) :
    guest's result as it completes; it is called from worker domains
    under an internal mutex, in completion order. *)
 let serve ?(domains = 1) ?(batch = 8) ?(switch_cost = default_switch_cost)
-    ?weights ?on_result (guests : guest list) : fleet_result =
+    ?weights ?on_result ?artifacts (guests : guest list) : fleet_result =
   (match validate_serve ~domains ~batch with
   | Ok () -> ()
   | Error m -> invalid_arg ("fleet: " ^ m));
@@ -628,6 +665,13 @@ let serve ?(domains = 1) ?(batch = 8) ?(switch_cost = default_switch_cost)
     | None -> Array.make n 1
   in
   let facts = Facts.create () in
+  (* The shared artifact store: caller-provided (fpvm_serve's
+     persistent warm start preloads it) or fresh per fleet. Guests
+     publish and claim under the store's mutex; the spawn edge orders
+     any preloaded entries. *)
+  let artifacts =
+    match artifacts with Some a -> a | None -> Fpvm.Artifact.create ()
+  in
   (* Pre-publish the shared facts before spawning: every distinct
      workload is analyzed exactly once, and the spawn edge makes the
      table safely visible to every worker domain (read-only there —
@@ -655,7 +699,7 @@ let serve ?(domains = 1) ?(batch = 8) ?(switch_cost = default_switch_cost)
     let gl = List.map (fun i -> garr.(i)) shards.(d) in
     if gl = [] then ([], 0)
     else begin
-      let rs, sw = run_shard ~batch ~facts ~domain_id:d gl in
+      let rs, sw = run_shard ~batch ~facts ~artifacts ~domain_id:d gl in
       List.iter emit rs;
       (rs, sw)
     end
@@ -678,6 +722,17 @@ let serve ?(domains = 1) ?(batch = 8) ?(switch_cost = default_switch_cost)
       per_dom
   in
   let by_id = List.sort (fun a b -> compare a.r_guest.g_id b.r_guest.g_id) all in
+  (* Exact conservation of the compile-cycle ledger (DESIGN.md 4j):
+     every jit compile across the fleet claimed the store exactly once,
+     and every cycle the store says it elided is accounted in exactly
+     one guest's cyc_compile_shared bucket. *)
+  let c = Fpvm.Artifact.counters artifacts in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 by_id in
+  assert (
+    c.Fpvm.Artifact.c_blocks_published + c.Fpvm.Artifact.c_blocks_shared
+    = sum (fun r -> r.r_jit_compiles));
+  assert (
+    c.Fpvm.Artifact.c_cyc_elided = sum (fun r -> r.r_cyc_compile_shared));
   { f_results = by_id;
     f_domains = domains;
     f_batch = batch;
@@ -686,7 +741,10 @@ let serve ?(domains = 1) ?(batch = 8) ?(switch_cost = default_switch_cost)
     f_facts_misses = facts.Facts.misses;
     f_domain_cycles = domain_cycles;
     f_makespan = Array.fold_left max 0 domain_cycles;
-    f_total_cycles = List.fold_left (fun a r -> a + r.r_cycles) 0 by_id }
+    f_total_cycles = List.fold_left (fun a r -> a + r.r_cycles) 0 by_id;
+    f_blocks_published = c.Fpvm.Artifact.c_blocks_published;
+    f_blocks_shared = c.Fpvm.Artifact.c_blocks_shared;
+    f_cyc_compile_shared = c.Fpvm.Artifact.c_cyc_elided }
 
 (* Solo baseline for one guest: same flags, same facts discipline
    (facts change nothing bit-wise), no scheduler — exactly what

@@ -240,9 +240,9 @@ module Make (A : Fpvm.Arith.S) = struct
   (* Prepare a fresh session and overwrite its mutable state from the
      blob. Returns the session and the event sequence number at which
      the checkpoint was taken. *)
-  let restore ~config (prog : Machine.Program.t) (blob : string) :
+  let restore ?artifacts ~config (prog : Machine.Program.t) (blob : string) :
       E.session * Log.meta * int =
-    let ses = E.prepare ~config prog in
+    let ses = E.prepare ~config ?artifacts prog in
     let r =
       Snapshot.restore ~dec:A.decode_value ~st:ses.E.st
         ~arena:ses.E.eng.E.arena ~stats:ses.E.eng.E.stats
@@ -268,9 +268,9 @@ module Make (A : Fpvm.Arith.S) = struct
 
   (* ---- record ---------------------------------------------------------- *)
 
-  let record ?(checkpoint_every = 0) ?facts ?instrument ~(meta : Log.meta)
-      ~config (prog : Machine.Program.t) : recording =
-    let ses = E.prepare ~config ?facts prog in
+  let record ?(checkpoint_every = 0) ?facts ?instrument ?artifacts
+      ~(meta : Log.meta) ~config (prog : Machine.Program.t) : recording =
+    let ses = E.prepare ~config ?facts ?artifacts prog in
     (* Telemetry (lib/telemetry) installs on the on_tel/on_num channels,
        which the recorder does not use; installing it never changes
        what the recorder observes. *)
@@ -322,13 +322,13 @@ module Make (A : Fpvm.Arith.S) = struct
   (* Re-execute, validating every emitted event against the log. With
      [?checkpoint], execution starts from the restored state and
      validation from the checkpoint's sequence number. *)
-  let replay ?checkpoint ?instrument ~config (log : Log.t)
+  let replay ?checkpoint ?instrument ?artifacts ~config (log : Log.t)
       (prog : Machine.Program.t) : outcome =
     let ses, start_seq =
       match checkpoint with
-      | None -> (E.prepare ~config prog, 0)
+      | None -> (E.prepare ~config ?artifacts prog, 0)
       | Some blob ->
-          let ses, _meta, seq = restore ~config prog blob in
+          let ses, _meta, seq = restore ?artifacts ~config prog blob in
           (ses, seq)
     in
     (* After prepare/restore, so telemetry survives checkpoint restore
@@ -359,9 +359,9 @@ module Make (A : Fpvm.Arith.S) = struct
     | exception Divergence_stop d -> Diverged d
 
   (* Restore a checkpoint and run to completion with no validation. *)
-  let resume_from ?instrument ~config (prog : Machine.Program.t)
+  let resume_from ?instrument ?artifacts ~config (prog : Machine.Program.t)
       (blob : string) : Fpvm.Engine.result =
-    let ses, _meta, _seq = restore ~config prog blob in
+    let ses, _meta, _seq = restore ?artifacts ~config prog blob in
     (match instrument with
     | Some f -> f ses.E.eng.E.probe
     | None -> ());
