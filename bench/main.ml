@@ -2040,6 +2040,139 @@ let bench_cache () =
     exit 1
   end
 
+(* ---- BENCH_flows.json: FP-exception flight recorder ---------------------- *)
+
+(* Evidence for the flight recorder: attaching it charges zero modeled
+   cycles and leaves the deterministic fingerprint bit-identical on
+   every arithmetic port and both GC modes, and on >= 3 workloads with
+   an injected NaN it recovers the birth->prop->kill chain (birth
+   site, kill site, replay birth-event index) and the interval ground
+   truth labels the injected 0/0 real. Writes BENCH_flows.json. *)
+let bench_flows () =
+  hr "BENCH_flows.json: flight-recorder overhead + chain recovery";
+  let failures = ref 0 in
+  let check name ok =
+    printf "%-64s %s\n%!" name (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  let module FR = Telemetry.Flowrec in
+  let ports =
+    [ ("vanilla", Fleet.Port.Vanilla);
+      ("mpfr-50", Fleet.Port.Mpfr 50);
+      ("posit-32", Fleet.Port.Posit 32);
+      ("interval", Fleet.Port.Interval);
+      ("slash-30", Fleet.Port.Slash 30) ]
+  in
+  let lorenz = (get "lorenz").W.program W.Test in
+  (* 1. Zero overhead: modeled cycles and fingerprint identical with
+     the recorder on vs off, every port x both GC modes. *)
+  let overhead_rows =
+    List.concat_map
+      (fun (pname, port) ->
+        let d = Fleet.port_driver port in
+        List.map
+          (fun inc ->
+            let config = cfg ~incremental_gc:inc () in
+            let off = d.Fleet.d_run ~config lorenz in
+            let tel = Telemetry.create ~flows:true () in
+            let on =
+              d.Fleet.d_run
+                ~instrument:(fun sink -> Telemetry.attach tel sink)
+                ~config lorenz
+            in
+            let same_cyc = on.Fpvm.Engine.cycles = off.Fpvm.Engine.cycles in
+            let same_fp =
+              Fpvm.Stats.fingerprint on.Fpvm.Engine.stats
+              = Fpvm.Stats.fingerprint off.Fpvm.Engine.stats
+            in
+            check
+              (Printf.sprintf "recorder 0%% overhead  %-10s incremental_gc=%b"
+                 pname inc)
+              (same_cyc && same_fp);
+            Printf.sprintf
+              "    { \"port\": \"%s\", \"incremental_gc\": %b, \
+               \"cycles_off\": %d, \"cycles_on\": %d, \"overhead_pct\": \
+               %.1f, \"fingerprint_identical\": %b }"
+              (json_escape pname) inc off.Fpvm.Engine.cycles
+              on.Fpvm.Engine.cycles
+              (100.0
+              *. float_of_int (on.Fpvm.Engine.cycles - off.Fpvm.Engine.cycles)
+              /. float_of_int (max 1 off.Fpvm.Engine.cycles))
+              same_fp)
+          [ true; false ])
+      ports
+  in
+  (* 2. Chain recovery: inject a NaN into >= 3 workloads, recover the
+     flow, and label it against the interval ground truth. *)
+  let d_mpfr = Fleet.port_driver (Fleet.Port.Mpfr 50) in
+  let d_iv = Fleet.port_driver Fleet.Port.Interval in
+  let recover wname =
+    let prog =
+      Machine.Program.inject_nan ((get wname).W.program W.Test) ~nth:0
+    in
+    let run d =
+      let tel = Telemetry.create ~flows:true ~flow_capacity:100000 () in
+      let _ =
+        d.Fleet.d_run
+          ~instrument:(fun sink -> Telemetry.attach tel sink)
+          ~config:(cfg ()) prog
+      in
+      match tel.Telemetry.flows with Some fr -> fr | None -> assert false
+    in
+    let fr = run d_mpfr in
+    let real_sites = FR.birth_sites (run d_iv) in
+    FR.label_truth fr (fun site -> Hashtbl.mem real_sites site);
+    let flows = FR.all_flows fr in
+    let injected =
+      match List.find_opt (fun f -> f.FR.fl_is_nan) flows with
+      | Some f -> f
+      | None -> List.hd flows
+    in
+    check
+      (Printf.sprintf "chain recovered                   %-14s" wname)
+      (FR.n_flows fr >= 1 && injected.FR.fl_birth_site >= 0
+      && injected.FR.fl_links >= 1);
+    check
+      (Printf.sprintf "injected 0/0 labeled real         %-14s" wname)
+      (injected.FR.fl_real = 1);
+    Printf.sprintf
+      "    { \"workload\": \"%s\", \"flows\": %d, \"birth_site\": %d, \
+       \"birth_event\": %d, \"kill_site\": %d, \"kill_kind\": \"%s\", \
+       \"links\": %d, \"props\": %d, \"real\": %b }"
+      (json_escape wname) (FR.n_flows fr) injected.FR.fl_birth_site
+      injected.FR.fl_birth_event injected.FR.fl_kill_site
+      (FR.kill_kind_name injected.FR.fl_kill_kind)
+      injected.FR.fl_links injected.FR.fl_props
+      (injected.FR.fl_real = 1)
+  in
+  let recovery_rows =
+    List.map recover [ "lorenz"; "three-body"; "fbench" ]
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+       \  \"schema_version\": 1,\n\
+       \  \"experiment\": \"FP-exception flight recorder: birth->prop->kill \
+       flow chains, zero-overhead observation, interval ground truth\",\n\
+       \  \"scale\": \"test\",\n\
+       \  \"ratchet\": { \"overhead_pct_max\": 0.0, \"min_workloads\": 3, \
+       \"fingerprint_identity_runs\": %d },\n\
+       \  \"overhead\": [\n%s\n  ],\n\
+       \  \"recovery\": [\n%s\n  ]\n\
+       }\n"
+      (List.length overhead_rows)
+      (String.concat ",\n" overhead_rows)
+      (String.concat ",\n" recovery_rows)
+  in
+  let oc = open_out "BENCH_flows.json" in
+  output_string oc doc;
+  close_out oc;
+  printf "\nwrote BENCH_flows.json\n";
+  if !failures > 0 then begin
+    printf "flows experiment: %d assertion(s) FAILED\n" !failures;
+    exit 1
+  end
+
 let experiments =
   [ ("fig3", fig3);
     ("patchpoc", patch_poc);
@@ -2066,7 +2199,8 @@ let experiments =
     ("jit", bench_jit);
     ("cache", bench_cache);
     ("fleet", bench_fleet);
-    ("fpa", bench_fpa) ]
+    ("fpa", bench_fpa);
+    ("flows", bench_flows) ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -120,6 +120,11 @@ let print_json ~workload ~arith ~scale (r : Fpvm.Engine.result) =
       kv_i "cache_misses" s.Fpvm.Stats.cache_misses;
       kv_i "blocks_shared" s.Fpvm.Stats.blocks_shared;
       kv_i "cyc_compile_shared" s.Fpvm.Stats.cyc_compile_shared;
+      kv_i "flows_open" s.Fpvm.Stats.flows_open;
+      kv_i "flows_completed" s.Fpvm.Stats.flows_completed;
+      kv_i "flows_dropped" s.Fpvm.Stats.flows_dropped;
+      kv_i "flows_real" s.Fpvm.Stats.flows_real;
+      kv_i "flows_spurious" s.Fpvm.Stats.flows_spurious;
       kv_i "output_bytes" (String.length r.Fpvm.Engine.output);
       kv_i "serialized_bytes" (String.length r.Fpvm.Engine.serialized);
       kv_s "stats_fingerprint" (Fpvm.Stats.fingerprint s);
@@ -187,6 +192,13 @@ let print_stats (r : Fpvm.Engine.result) =
   if s.Fpvm.Stats.tel_events > 0 then
     Printf.eprintf "telemetry: %d events observed (%d ring-dropped)\n"
       s.Fpvm.Stats.tel_events s.Fpvm.Stats.tel_dropped;
+  if
+    s.Fpvm.Stats.flows_open > 0 || s.Fpvm.Stats.flows_completed > 0
+    || s.Fpvm.Stats.flows_dropped > 0
+  then
+    Printf.eprintf "flows: %d completed, %d open, %d dropped\n"
+      s.Fpvm.Stats.flows_completed s.Fpvm.Stats.flows_open
+      s.Fpvm.Stats.flows_dropped;
   let b = Fpvm.Stats.breakdown s in
   Printf.eprintf "avg cycles/virtualized insn: %.0f\n" b.Fpvm.Stats.avg_total
 
@@ -223,8 +235,8 @@ let guard f =
 let run workload arith prec posit_bits approach machine deployment scale
     trace_len full_gc gc_interval no_plans no_jit jit_threshold
     jit_max_trace_len no_fpa oracle stats json disasm spy list_only record_file
-    replay_file checkpoint_every from_checkpoint inject trace_out profile
-    profile_out shadow_check cache_dir no_cache =
+    replay_file checkpoint_every from_checkpoint inject inject_nan trace_out
+    profile profile_out shadow_check flows flow_capacity cache_dir no_cache =
   if list_only then begin
     List.iter
       (fun (e : W.entry) -> Printf.printf "%-12s %s\n" e.W.name e.W.specifics)
@@ -258,7 +270,17 @@ let run workload arith prec posit_bits approach machine deployment scale
         `Error (false, Printf.sprintf "unknown workload %S (try --list)" workload)
     | Some e -> (
         let wscale = if scale = "s" then W.S else W.Test in
-        let prog = e.W.program wscale in
+        match
+          (try
+             Ok
+               (let p = e.W.program wscale in
+                if inject_nan >= 0 then
+                  Machine.Program.inject_nan p ~nth:inject_nan
+                else p)
+           with Invalid_argument m -> Error m)
+        with
+        | Error m -> `Error (false, m)
+        | Ok prog ->
         if disasm then begin
           print_string (Machine.Program.disassemble prog);
           `Ok 0
@@ -322,11 +344,11 @@ let run workload arith prec posit_bits approach machine deployment scale
               | Ok _
                 when arith = "native"
                      && (trace_out <> "" || profile || profile_out <> ""
-                        || shadow_check) ->
+                        || shadow_check || flows) ->
                   `Error
                     ( false,
-                      "--trace-out/--profile/--shadow-check require an FPVM \
-                       arithmetic, not native" )
+                      "--trace-out/--profile/--shadow-check/--flows require \
+                       an FPVM arithmetic, not native" )
               | Ok d ->
                   (* One shared analysis per run: the driver reuses it to
                      patch sinks, the engine consumes the FP tier for
@@ -368,14 +390,14 @@ let run workload arith prec posit_bits approach machine deployment scale
                   let tel =
                     if
                       trace_out <> "" || profile || profile_out <> ""
-                      || shadow_check
+                      || shadow_check || flows
                       || (oracle && arith <> "native")
                     then
                       Some
                         (Telemetry.create ~trace:(trace_out <> "")
                            ~profile:(profile || profile_out <> "")
                            ~numprof:oracle ~shadow:shadow_check ?clean
-                           ~static_candidates ())
+                           ~static_candidates ~flows ?flow_capacity ())
                     else None
                   in
                   let instrument =
@@ -391,7 +413,12 @@ let run workload arith prec posit_bits approach machine deployment scale
                         | "mpfr" | "slash" -> Printf.sprintf "%s:%d" arith prec
                         | "posit" -> Printf.sprintf "posit:%d" posit_bits
                         | a -> a);
-                      config = config_fingerprint config machine }
+                      config =
+                        (config_fingerprint config machine
+                        ^
+                        if inject_nan >= 0 then
+                          Printf.sprintf ";injnan=%d" inject_nan
+                        else "") }
                   in
                   let write_text path s =
                     let oc = open_out path in
@@ -433,13 +460,29 @@ let run workload arith prec posit_bits approach machine deployment scale
                         Telemetry.finalize t r.Fpvm.Engine.stats;
                         (match t.Telemetry.trace with
                         | Some tr when trace_out <> "" ->
-                            Telemetry.Trace.write_file tr trace_out;
+                            (* flow arrows ride the same timeline file *)
+                            let extra =
+                              Option.map
+                                (fun fr bb first ->
+                                  Telemetry.Flowrec.export_flows fr bb first)
+                                t.Telemetry.flows
+                            in
+                            Telemetry.Trace.write_file ?extra tr trace_out;
                             Printf.eprintf
                               "trace: %d events -> %s (%d dropped)\n"
                               (Telemetry.Trace.recorded tr)
                               trace_out
                               (Telemetry.Trace.dropped tr)
                         | _ -> ());
+                        (match t.Telemetry.flows with
+                        | Some fr ->
+                            let opn, comp, drop = Telemetry.Flowrec.gauges fr in
+                            Printf.eprintf
+                              "flows: %d completed, %d open, %d dropped (%d \
+                               links ring-dropped)\n"
+                              comp opn drop
+                              (Telemetry.Flowrec.links_dropped fr)
+                        | None -> ());
                         (match t.Telemetry.profile with
                         | Some p ->
                             if profile then begin
@@ -947,6 +990,217 @@ let lint only json check =
             end
             else `Ok 0)
 
+(* ---- coach command ---------------------------------------------------- *)
+
+(* Flight-recorder triage report: run the workload once under the
+   flight recorder (recording the event log in memory so birth events
+   carry replay positions), then print, per surviving NaN/Inf flow,
+   where it was born (disassembly, static FPA risk tags and
+   provenance), where it died, how long the chain was — and a
+   ready-to-run record/record/bisect recipe whose injected divergence
+   sits exactly on the birth event, so the bisector's prefix-digest
+   search lands on it. With --ground-truth interval the workload is
+   re-run on the interval port and each flow is labeled REAL (the
+   rigorous enclosure also excepts or becomes unbounded at that birth
+   site) or SPURIOUS (the enclosure stays bounded: a precision
+   artifact of the port under test). *)
+
+module FR = Telemetry.Flowrec
+
+let coach_flags ~wname ~arith ~prec ~posit_bits ~scale ~full_gc ~inject_nan =
+  let b = Buffer.create 64 in
+  Buffer.add_string b
+    (if String.contains wname ' ' then Printf.sprintf "-w \"%s\"" wname
+     else Printf.sprintf "-w %s" wname);
+  (match arith with
+  | "mpfr" | "slash" -> Buffer.add_string b (Printf.sprintf " -a %s --prec %d" arith prec)
+  | "posit" -> Buffer.add_string b (Printf.sprintf " -a posit --posit %d" posit_bits)
+  | a -> Buffer.add_string b (Printf.sprintf " -a %s" a));
+  if scale = "s" then Buffer.add_string b " --scale s";
+  if full_gc then Buffer.add_string b " --full-gc";
+  if inject_nan >= 0 then
+    Buffer.add_string b (Printf.sprintf " --inject-nan %d" inject_nan);
+  Buffer.contents b
+
+let coach workload arith prec posit_bits scale full_gc ground_truth
+    flow_capacity inject_nan =
+  let arith = String.lowercase_ascii arith in
+  if arith = "native" then
+    `Error (false, "coach requires an FPVM arithmetic, not native")
+  else if prec < 2 then
+    `Error (false, Printf.sprintf "--prec must be >= 2 (got %d)" prec)
+  else if not (List.mem posit_bits [ 8; 16; 32 ]) then
+    `Error (false, Printf.sprintf "--posit must be 8, 16 or 32 (got %d)" posit_bits)
+  else if not (List.mem ground_truth [ ""; "interval" ]) then
+    `Error
+      ( false,
+        Printf.sprintf "unknown --ground-truth %S (only: interval)"
+          ground_truth )
+  else
+    match W.find workload with
+    | None ->
+        `Error (false, Printf.sprintf "unknown workload %S (try --list)" workload)
+    | Some e -> (
+        match Fleet.Port.of_flags ~arith ~prec ~posit:posit_bits with
+        | Error m -> `Error (false, m)
+        | Ok port -> (
+            let d = Fleet.port_driver port in
+            let wscale = if scale = "s" then W.S else W.Test in
+            match
+              (try
+                 Ok
+                   (let p = e.W.program wscale in
+                    if inject_nan >= 0 then
+                      Machine.Program.inject_nan p ~nth:inject_nan
+                    else p)
+               with Invalid_argument m -> Error m)
+            with
+            | Error m -> `Error (false, m)
+            | Ok prog ->
+            let config =
+              { Fpvm.Engine.default_config with
+                Fpvm.Engine.incremental_gc = not full_gc }
+            in
+            let facts = Fpvm.Vsa.analyze prog in
+            let fpa = facts.Fpvm.Vsa.fpa in
+            let risk_of = Hashtbl.create 64 in
+            Array.iter
+              (fun (v : Analysis.Fpa.verdict) ->
+                Hashtbl.replace risk_of v.Analysis.Fpa.v_index
+                  (v.Analysis.Fpa.v_risks, v.Analysis.Fpa.v_srcs))
+              fpa.Analysis.Fpa.verdicts;
+            let itext i =
+              if i >= 0 && i < Array.length prog.Machine.Program.insns then
+                insn_text prog i
+              else "?"
+            in
+            let meta =
+              { Replay.Log.workload = e.W.name;
+                scale;
+                arith =
+                  (match arith with
+                  | "mpfr" | "slash" -> Printf.sprintf "%s:%d" arith prec
+                  | "posit" -> Printf.sprintf "posit:%d" posit_bits
+                  | a -> a);
+                config =
+                  (config_fingerprint config "r815"
+                  ^
+                  if inject_nan >= 0 then
+                    Printf.sprintf ";injnan=%d" inject_nan
+                  else "") }
+            in
+            guard (fun () ->
+                let tel = Telemetry.create ~flows:true ?flow_capacity () in
+                let rec_ =
+                  d.d_record ~facts
+                    ~instrument:(fun sink -> Telemetry.attach tel sink)
+                    ~checkpoint_every:0 ~meta ~config prog
+                in
+                let r = rec_.Replay.Session.result in
+                Telemetry.finalize tel r.Fpvm.Engine.stats;
+                let fr =
+                  match tel.Telemetry.flows with
+                  | Some fr -> fr
+                  | None -> assert false
+                in
+                (* Ground truth: the same binary on the rigorous interval
+                   port (its own deterministic run; an unbounded enclosure
+                   demotes to Inf/NaN, so it surfaces as a birth). *)
+                let truth =
+                  if ground_truth = "" then None
+                  else
+                    match
+                      Fleet.Port.of_flags ~arith:"interval" ~prec
+                        ~posit:posit_bits
+                    with
+                    | Error m -> failwith m
+                    | Ok iport ->
+                        let tel2 = Telemetry.create ~flows:true () in
+                        let d2 = Fleet.port_driver iport in
+                        let r2 =
+                          d2.d_run ~facts
+                            ~instrument:(fun sink ->
+                              Telemetry.attach tel2 sink)
+                            ~config prog
+                        in
+                        ignore r2;
+                        let fr2 =
+                          match tel2.Telemetry.flows with
+                          | Some f -> f
+                          | None -> assert false
+                        in
+                        let sites = FR.birth_sites fr2 in
+                        FR.label_truth fr (fun site ->
+                            Hashtbl.mem sites site);
+                        Some (FR.truth_counts fr)
+                in
+                let opn, comp, drop = FR.gauges fr in
+                Printf.printf
+                  "coach: %s under %s — %d flow(s): %d completed, %d open, \
+                   %d dropped\n"
+                  e.W.name meta.Replay.Log.arith (FR.n_flows fr) comp opn drop;
+                (match truth with
+                | Some (real, spur) ->
+                    Printf.printf
+                      "ground truth (interval port): %d real / %d spurious\n"
+                      real spur
+                | None -> ());
+                let surv = FR.all_flows fr in
+                if surv = [] then
+                  print_string "no NaN/Inf flows observed; nothing to coach\n";
+                let flags =
+                  coach_flags ~wname:e.W.name ~arith ~prec ~posit_bits ~scale
+                    ~full_gc ~inject_nan
+                in
+                List.iter
+                  (fun (f : FR.flow) ->
+                    let bb = Buffer.create 256 in
+                    FR.pp_flow_line bb f;
+                    print_string (Buffer.contents bb);
+                    Printf.printf "  birth [%4d] %s\n" f.FR.fl_birth_site
+                      (itext f.FR.fl_birth_site);
+                    (match Hashtbl.find_opt risk_of f.FR.fl_birth_site with
+                    | Some (risks, srcs) ->
+                        if risks <> [] then
+                          Printf.printf "    risks: %s\n"
+                            (String.concat ", " risks);
+                        if srcs <> [] then
+                          Printf.printf "    from:  %s\n"
+                            (String.concat "; "
+                               (List.map
+                                  (fun q ->
+                                    Printf.sprintf "[%d] %s" q (itext q))
+                                  srcs))
+                    | None -> ());
+                    if f.FR.fl_kill_site >= 0 then
+                      Printf.printf "  kill  [%4d] %s (%s)\n"
+                        f.FR.fl_kill_site (itext f.FR.fl_kill_site)
+                        (FR.kill_kind_name f.FR.fl_kill_kind)
+                    else print_string "  kill  still open at exit\n";
+                    if f.FR.fl_dropped then
+                      print_string
+                        "  chain: per-link detail overwritten in the ring \
+                         (metadata above is exact; raise --flow-capacity \
+                         for the full chain)\n";
+                    (match f.FR.fl_real with
+                    | 1 ->
+                        print_string
+                          "  label: REAL — the interval port also excepts \
+                           at this birth site\n"
+                    | 0 ->
+                        print_string
+                          "  label: SPURIOUS — the interval enclosure stays \
+                           bounded here (precision artifact of the port \
+                           under test)\n"
+                    | _ -> ());
+                    Printf.printf
+                      "  bisect: fpvm_run %s --record base.log && fpvm_run \
+                       %s --record inj.log --inject-divergence %d && \
+                       fpvm_run bisect base.log inj.log\n"
+                      flags flags f.FR.fl_birth_event)
+                  surv;
+                `Ok 0)))
+
 open Cmdliner
 
 let workload =
@@ -1080,6 +1334,16 @@ let inject =
        & info [ "inject-divergence" ]
            ~doc:"With --record: corrupt the state digest of event $(docv) in the written log (bisector self-test)." ~docv:"N")
 
+let inject_nan_arg =
+  Arg.(value & opt int (-1)
+       & info [ "inject-nan" ]
+           ~doc:"Seed a NaN: retarget the $(docv)-th eligible scalar FP \
+                 instruction (0-based) to a stub computing 0/0 into its \
+                 destination, so a NaN is born at a known site and flows \
+                 from there (flight-recorder smoke harness). Affects the \
+                 executed binary; record/replay logs carry the setting in \
+                 their config line." ~docv:"K")
+
 let trace_out =
   Arg.(value & opt string ""
        & info [ "trace-out" ]
@@ -1105,6 +1369,23 @@ let shadow_check =
                  arithmetic against a vanilla binary64 shadow at every \
                  demotion boundary (relative-error histogram on stderr).")
 
+let flows_flag =
+  Arg.(value & flag
+       & info [ "flows" ]
+           ~doc:"Attach the FP-exception flight recorder: assign each \
+                 NaN/Inf birth a flow id, chain its propagations to the op \
+                 or observation that kills it, and report the flow gauges \
+                 (with --trace-out: draw the chains as Perfetto flow \
+                 arrows). Observation only — the stats fingerprint is \
+                 unchanged.")
+
+let flow_capacity_arg =
+  Arg.(value & opt (some int) None
+       & info [ "flow-capacity" ]
+           ~doc:"Flight-recorder chain-link ring capacity (default 4096); \
+                 when the ring wraps, the oldest chain's link detail is \
+                 dropped whole (flow metadata survives)." ~docv:"N")
+
 let run_term =
   Term.(
     ret
@@ -1112,8 +1393,9 @@ let run_term =
      $ deployment $ scale $ trace_len $ full_gc $ gc_interval $ no_plans
      $ no_jit $ jit_threshold $ jit_max_trace_len $ no_fpa
      $ oracle $ stats $ json $ disasm $ spy $ list_only $ record_file
-     $ replay_file $ checkpoint_every $ from_checkpoint $ inject $ trace_out
-     $ profile $ profile_out $ shadow_check $ cache_dir $ no_cache))
+     $ replay_file $ checkpoint_every $ from_checkpoint $ inject
+     $ inject_nan_arg $ trace_out $ profile $ profile_out $ shadow_check
+     $ flows_flag $ flow_capacity_arg $ cache_dir $ no_cache))
 
 let bisect_cmd =
   let log_a = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG_A") in
@@ -1167,9 +1449,37 @@ let lint_cmd =
              births (per-site warnings with provenance, no execution)")
     Term.(ret (const lint $ only $ json $ check))
 
+let coach_cmd =
+  let ground_truth =
+    Arg.(value & opt string ""
+         & info [ "ground-truth" ]
+             ~doc:"Label each flow against a rigorous port: $(docv) \
+                   (currently only \"interval\") re-runs the workload on \
+                   the directed-rounding interval port and marks a flow \
+                   REAL if the enclosure also excepts (or is unbounded) at \
+                   its birth site, SPURIOUS otherwise." ~docv:"PORT")
+  in
+  let flow_capacity =
+    Arg.(value & opt (some int) None
+         & info [ "flow-capacity" ]
+             ~doc:"Chain-link ring capacity (default 4096); when the ring \
+                   wraps, the oldest chain is dropped whole." ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "coach"
+       ~doc:"run a workload under the FP-exception flight recorder and \
+             report, per NaN/Inf flow, its birth site (with disassembly, \
+             static risk tags and provenance), kill site, chain length and \
+             a ready-to-run replay-bisect recipe that lands on the birth \
+             event")
+    Term.(
+      ret
+        (const coach $ workload $ arith $ prec $ posit_bits $ scale
+       $ full_gc $ ground_truth $ flow_capacity $ inject_nan_arg))
+
 let cmd =
   let doc = "run workloads under the floating point virtual machine" in
   Cmd.group ~default:run_term (Cmd.info "fpvm_run" ~doc)
-    [ bisect_cmd; analyze_cmd; lint_cmd ]
+    [ bisect_cmd; analyze_cmd; lint_cmd; coach_cmd ]
 
 let () = exit (Cmd.eval' cmd)

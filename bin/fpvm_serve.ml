@@ -37,7 +37,8 @@ let guest_json (r : Fleet.guest_result) =
      \"fp_insns\": %d, \"output_bytes\": %d, \"fpa_sites_proven\": %d, \
      \"fused_unguarded\": %d, \"shadow_elided\": %d, \"jit_compiles\": %d, \
      \"cache_hits\": %d, \"cache_misses\": %d, \"blocks_shared\": %d, \
-     \"cyc_compile_shared\": %d, \"fingerprint\": \"%s\"}"
+     \"cyc_compile_shared\": %d, \"flows_open\": %d, \"flows_completed\": \
+     %d, \"flows_dropped\": %d, \"fingerprint\": \"%s\"}"
     g.Fleet.g_id
     (json_escape g.Fleet.g_workload)
     (json_escape (Fleet.guest_arith g))
@@ -48,6 +49,7 @@ let guest_json (r : Fleet.guest_result) =
     r.Fleet.r_fpa_sites_proven r.Fleet.r_fused_unguarded
     r.Fleet.r_shadow_elided r.Fleet.r_jit_compiles r.Fleet.r_cache_hits
     r.Fleet.r_cache_misses r.Fleet.r_blocks_shared r.Fleet.r_cyc_compile_shared
+    r.Fleet.r_flows_open r.Fleet.r_flows_completed r.Fleet.r_flows_dropped
     (json_escape r.Fleet.r_fingerprint)
 
 let fleet_json (f : Fleet.fleet_result) =
@@ -85,7 +87,7 @@ let fleet_json (f : Fleet.fleet_result) =
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
 
-let serve manifest domains batch switch_cost verify_solo json quiet =
+let serve manifest domains batch switch_cost flows verify_solo json quiet =
   match Fleet.validate_serve ~domains ~batch with
   | Error m -> `Error (false, m)
   | Ok () -> (
@@ -101,7 +103,8 @@ let serve manifest domains batch switch_cost verify_solo json quiet =
               end
             in
             let fleet =
-              Fleet.serve ~domains ~batch ~switch_cost ~on_result guests
+              Fleet.serve ~domains ~batch ~switch_cost ~flows ~on_result
+                guests
             in
             if json then print_string (fleet_json fleet)
             else begin
@@ -193,6 +196,13 @@ let switch_cost =
        & info [ "switch-cost" ]
            ~doc:"Modeled cycles charged to a domain per guest context switch." ~docv:"CYCLES")
 
+let flows =
+  Arg.(value & flag
+       & info [ "flows" ]
+           ~doc:"Attach a per-guest FP-exception flight recorder and report \
+                 flows_open/flows_completed/flows_dropped in each guest's \
+                 JSON line. Observation only: fingerprints are unchanged.")
+
 let verify_solo =
   Arg.(value & flag
        & info [ "verify-solo" ]
@@ -215,7 +225,7 @@ let cmd =
   Cmd.v (Cmd.info "fpvm_serve" ~doc)
     Term.(
       ret
-        (const serve $ manifest $ domains $ batch $ switch_cost $ verify_solo
-       $ json $ quiet))
+        (const serve $ manifest $ domains $ batch $ switch_cost $ flows
+       $ verify_solo $ json $ quiet))
 
 let () = exit (Cmd.eval' cmd)

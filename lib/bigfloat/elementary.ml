@@ -499,3 +499,64 @@ let hypot ~prec x y =
     let wp = prec + guard in
     B.sqrt ~prec (add' wp (mul' wp x x) (mul' wp y y))
   end
+
+(* ---- directed binary64 enclosures (Ishii-style outward rounding) ------- *)
+
+(* One binary64 ulp outward on raw bits; NaN and the matching infinity
+   are fixed points (stepping down from +inf yields max_float, the
+   correct finite bound for a downward rounding of an overflowed
+   value). *)
+let f64_qnan = 0x7ff8000000000000L
+let f64_pos_inf = 0x7ff0000000000000L
+let f64_neg_inf = 0xfff0000000000000L
+
+let is_f64_nan b =
+  Int64.logand b 0x7ff0000000000000L = 0x7ff0000000000000L
+  && Int64.logand b 0x000fffffffffffffL <> 0L
+
+let bits_next_up b =
+  if is_f64_nan b || Int64.equal b f64_pos_inf then b
+  else if Int64.logand b Int64.min_int <> 0L then
+    (* negative (or -0): step toward zero *)
+    if Int64.equal b 0x8000000000000000L then 1L (* -0 -> min subnormal *)
+    else Int64.sub b 1L
+  else Int64.add b 1L
+
+let bits_next_dn b =
+  if is_f64_nan b || Int64.equal b f64_neg_inf then b
+  else if Int64.logand b Int64.min_int <> 0L then Int64.add b 1L
+  else if Int64.equal b 0L then 0x8000000000000001L (* +0 -> -min subnormal *)
+  else Int64.sub b 1L
+
+(* Directed conversion to binary64 bits: exact, by correcting the RNE
+   conversion (which lands on one of the two binary64 neighbours of x)
+   with an exact Bigfloat comparison. Overflow behaves like IEEE
+   directed rounding: a value above the finite range converts to +inf
+   upward and max_float downward. *)
+let to_bits_dir ~up x =
+  if B.is_nan x then f64_qnan
+  else begin
+    let f = B.to_float x in
+    let fb = Int64.bits_of_float f in
+    if Float.is_nan f then f64_qnan
+    else begin
+      let xf = B.of_float f in
+      if up then if B.le x xf then fb else bits_next_up fb
+      else if B.le xf x then fb else bits_next_dn fb
+    end
+  end
+
+(* Outward binary64 enclosure of the faithfully rounded [v]: the true
+   value lies within one ulp of [v] at its working precision, and for
+   any working precision >= 55 that error is strictly below one
+   binary64 ulp of the result, so a directed conversion plus one more
+   outward step is a rigorous bound. *)
+let enclose_lo v = bits_next_dn (to_bits_dir ~up:false v)
+let enclose_hi v = bits_next_up (to_bits_dir ~up:true v)
+
+(* [enclose1 ~prec f bits]: rigorous binary64 enclosure of the real
+   f(x) for the binary64 value [bits], via one faithful evaluation at
+   [prec] (>= 55) widened outward. *)
+let enclose1 ~prec f bits =
+  let v = f ~prec (B.of_float (Int64.float_of_bits bits)) in
+  (enclose_lo v, enclose_hi v)

@@ -36,3 +36,31 @@ val tanh : prec:int -> Bigfloat.t -> Bigfloat.t
 val pow : prec:int -> Bigfloat.t -> Bigfloat.t -> Bigfloat.t
 val cbrt : prec:int -> Bigfloat.t -> Bigfloat.t
 val hypot : prec:int -> Bigfloat.t -> Bigfloat.t -> Bigfloat.t
+
+(** {2 Directed binary64 enclosures}
+
+    Support for interval ports (Ishii-style approximate real-interval
+    translation): convert faithfully rounded results to rigorous
+    binary64 bounds with outward rounding. *)
+
+val bits_next_up : int64 -> int64
+(** One binary64 ulp upward on raw bits; NaN and +inf are fixed points. *)
+
+val bits_next_dn : int64 -> int64
+(** One binary64 ulp downward on raw bits; NaN and -inf are fixed
+    points (stepping down from +inf yields max_float). *)
+
+val to_bits_dir : up:bool -> Bigfloat.t -> int64
+(** Exact directed conversion to binary64 bits (round toward +inf /
+    -inf), overflowing to the infinity on the rounding side only. *)
+
+val enclose_lo : Bigfloat.t -> int64
+val enclose_hi : Bigfloat.t -> int64
+(** Directed conversion of a *faithfully rounded* value (working
+    precision >= 55) widened one further ulp outward, so the returned
+    bound rigorously contains the true real result. *)
+
+val enclose1 : prec:int -> (prec:int -> Bigfloat.t -> Bigfloat.t) ->
+  int64 -> int64 * int64
+(** [(lo, hi)] enclosure of the real f(x) at the binary64 value [bits]
+    via one faithful evaluation at [prec] (>= 55). *)

@@ -118,11 +118,27 @@ let min_v a b =
 let max_v a b =
   match cmp_mid a b with Ieee754.Softfp.Cmp_gt -> a | _ -> b
 
-(* Transcendentals: evaluate at both endpoints with the host libm and
-   widen by one ulp each way. Faithful for the monotone functions; for
-   sin/cos over wide intervals this under-approximates the envelope, so
-   we clamp trig results to [-1, 1] widened - adequate for the
-   chaos-study use cases, documented as such. *)
+(* Transcendentals.
+
+   sin/cos/exp/log/pow carry rigorous outward enclosures (Ishii-style
+   approximate real-interval translation): each endpoint is evaluated
+   faithfully in Bigfloat at 70 working bits through {!Elementary},
+   converted to binary64 with exact directed rounding, and widened one
+   further ulp outward to absorb the faithful-rounding error. exp and
+   log are monotone so endpoint evaluation is the envelope; sin/cos
+   count pi/2 quadrant crossings (conservatively widened by one
+   quadrant against reduction error) to decide when the envelope
+   saturates at +-1; pow takes the four-corner envelope on positive
+   bases and exact interval binary powering for integer exponents on
+   negative ones, and returns the NaN interval when the real result is
+   not defined over the whole base interval. An unbounded or undefined
+   enclosure demotes to Inf/NaN at the midpoint, which is exactly the
+   exception the flight recorder's ground-truth pass looks for.
+
+   The remaining libm entries (tan/asin/acos/atan/atan2/fmod/hypot)
+   keep the original one-ulp-widened host-libm evaluation: endpoint
+   based for the unary ones, midpoint-point for the binary ones,
+   documented as approximate. *)
 let next_up b =
   if S64.is_nan b then b
   else if Int64.equal b S64.pos_inf then b
@@ -142,17 +158,171 @@ let lib2 f x y =
   let m = Int64.bits_of_float (f (Int64.float_of_bits (mid x)) (Int64.float_of_bits (mid y))) in
   { lo = next_dn m; hi = next_up m }
 
-let sin = lib1 Stdlib.sin
-let cos = lib1 Stdlib.cos
+(* Working precision for the rigorous enclosures: 70 bits leaves the
+   faithful-rounding error (one ulp at 70 bits) far below one binary64
+   ulp, so Elementary.enclose_lo/hi's one-ulp outward step covers it. *)
+let enc_prec = 70
+
+let nan_interval = { lo = S64.default_qnan; hi = S64.default_qnan }
+
+(* Monotone increasing f: endpoint enclosures are the envelope. *)
+let mono_incr f v =
+  if S64.is_nan v.lo || S64.is_nan v.hi then nan_interval
+  else
+    let lo, _ = Elementary.enclose1 ~prec:enc_prec f v.lo in
+    let _, hi = Elementary.enclose1 ~prec:enc_prec f v.hi in
+    { lo; hi }
+
+let exp v =
+  let r = mono_incr Elementary.exp v in
+  (* exp is nonnegative: the outward step below a subnormal bound may
+     cross zero; clamp (still an enclosure, and it keeps downstream
+     divisions away from a spurious zero-containing denominator) *)
+  if (not (S64.is_nan r.lo)) && S64.sign_bit r.lo = 1 then
+    { r with lo = S64.pos_zero }
+  else r
+
+let log v =
+  if S64.is_nan v.lo || S64.is_nan v.hi then nan_interval
+  else
+    let neg b = S64.sign_bit b = 1 && not (S64.is_zero b) in
+    if neg v.hi then nan_interval (* entirely outside the domain *)
+    else if neg v.lo || S64.is_zero v.lo then
+      (* the base interval reaches 0 (or below): the real image is
+         unbounded below — the honest enclosure, like div-by-zero *)
+      let _, hi = Elementary.enclose1 ~prec:enc_prec Elementary.log v.hi in
+      { lo = S64.neg_inf; hi }
+    else mono_incr Elementary.log v
+
+(* ---- sin/cos: quadrant-counting envelope ------------------------------- *)
+
+(* floor(x / (pi/2)) as an int, computed at [enc_prec] bits. For
+   |x| <= 2^40 the quotient is exact to well below 1, so widening the
+   crossing test by one quadrant on each side absorbs the rounding. *)
+let quadrant_of x =
+  let halfpi = Bigfloat.scale2 (Elementary.pi ~prec:enc_prec) (-1) in
+  let q =
+    Bigfloat.div ~prec:enc_prec (Bigfloat.of_float x) halfpi
+  in
+  int_of_float (Bigfloat.to_float (Bigfloat.floor q))
+
+let unit_interval = { lo = Int64.bits_of_float (-1.0); hi = Int64.bits_of_float 1.0 }
+
+let clamp_unit v =
+  let lo =
+    match fst (S64.compare_quiet v.lo unit_interval.lo) with
+    | Ieee754.Softfp.Cmp_lt -> unit_interval.lo
+    | _ -> v.lo
+  in
+  let hi =
+    match fst (S64.compare_quiet v.hi unit_interval.hi) with
+    | Ieee754.Softfp.Cmp_gt -> unit_interval.hi
+    | _ -> v.hi
+  in
+  { lo; hi }
+
+(* Shared envelope for sin/cos: [max_q]/[min_q] are the quadrant
+   residues (mod 4) whose *entry* crossing passes through the function
+   maximum / minimum (sin: entering q=1 crosses pi/2 + 2pi*n; cos:
+   entering q=0 crosses 2pi*n). *)
+let trig_env f ~max_q ~min_q v =
+  let flo = Int64.float_of_bits v.lo and fhi = Int64.float_of_bits v.hi in
+  if Float.is_nan flo || Float.is_nan fhi then nan_interval
+  else if
+    (not (Float.is_finite flo)) || (not (Float.is_finite fhi))
+    || Float.abs flo > 1.09e12 (* ~2^40: keep the reduction trustworthy *)
+    || Float.abs fhi > 1.09e12
+    || fhi -. flo >= 7.0 (* >= 2*pi: full envelope *)
+  then unit_interval
+  else begin
+    let klo = quadrant_of flo and khi = quadrant_of fhi in
+    if khi - klo >= 4 then unit_interval
+    else begin
+      let crosses residue =
+        (* entry crossings in (klo, khi], widened one quadrant each
+           way against quadrant_of rounding *)
+        let hit = ref false in
+        for k = klo to khi + 1 do
+          if ((k mod 4) + 4) mod 4 = residue then hit := true
+        done;
+        !hit
+      in
+      let lo_l, hi_l = Elementary.enclose1 ~prec:enc_prec f v.lo in
+      let lo_h, hi_h = Elementary.enclose1 ~prec:enc_prec f v.hi in
+      let lo =
+        if crosses min_q then unit_interval.lo
+        else
+          match fst (S64.compare_quiet lo_l lo_h) with
+          | Ieee754.Softfp.Cmp_gt -> lo_h
+          | _ -> lo_l
+      in
+      let hi =
+        if crosses max_q then unit_interval.hi
+        else
+          match fst (S64.compare_quiet hi_l hi_h) with
+          | Ieee754.Softfp.Cmp_lt -> hi_h
+          | _ -> hi_l
+      in
+      clamp_unit { lo; hi }
+    end
+  end
+
+let sin = trig_env Elementary.sin ~max_q:1 ~min_q:3
+let cos = trig_env Elementary.cos ~max_q:0 ~min_q:2
+
+(* ---- pow: corner envelope / integer powering --------------------------- *)
+
+(* Exact interval binary powering: sound for any base sign because it
+   only composes the outward-rounded interval [mul]/[div]. *)
+let one_i = point (Int64.bits_of_float 1.0)
+
+let rec ipow v n =
+  if n = 0 then one_i
+  else begin
+    let rest = ipow (mul v v) (n / 2) in
+    if n land 1 = 1 then mul v rest else rest
+  end
+
+let is_int_singleton y =
+  Int64.equal y.lo y.hi
+  &&
+  let f = Int64.float_of_bits y.lo in
+  Float.is_finite f && Float.is_integer f && Float.abs f <= 4096.0
+
+let pow x y =
+  if S64.is_nan x.lo || S64.is_nan x.hi || S64.is_nan y.lo
+     || S64.is_nan y.hi
+  then nan_interval
+  else if is_int_singleton y then begin
+    let n = int_of_float (Int64.float_of_bits y.lo) in
+    if n >= 0 then ipow x n else div one_i (ipow x (-n))
+  end
+  else begin
+    let x_neg = S64.sign_bit x.lo = 1 && not (S64.is_zero x.lo) in
+    if x_neg then nan_interval
+      (* negative base, non-integer exponent: undefined over the reals *)
+    else begin
+      (* x >= 0: x^y is monotone in each variable separately, so the
+         envelope is attained at the four corners *)
+      let corner xb yb =
+        let bx = Bigfloat.of_float (Int64.float_of_bits xb) in
+        let by = Bigfloat.of_float (Int64.float_of_bits yb) in
+        let v = Elementary.pow ~prec:enc_prec bx by in
+        (Elementary.enclose_lo v, Elementary.enclose_hi v)
+      in
+      let c1 = corner x.lo y.lo and c2 = corner x.lo y.hi in
+      let c3 = corner x.hi y.lo and c4 = corner x.hi y.hi in
+      { lo = min4 dn (fst c1) (fst c2) (fst c3) (fst c4);
+        hi = max4 (snd c1) (snd c2) (snd c3) (snd c4) }
+    end
+  end
+
 let tan = lib1 Stdlib.tan
 let asin = lib1 Stdlib.asin
 let acos = lib1 Stdlib.acos
 let atan = lib1 Stdlib.atan
 let atan2 = lib2 Stdlib.atan2
-let exp = lib1 Stdlib.exp
-let log = lib1 Stdlib.log
 let log10 = lib1 Stdlib.log10
-let pow = lib2 ( ** )
 let fmod = lib2 Float.rem
 let hypot = lib2 Float.hypot
 

@@ -164,3 +164,23 @@ let add_quiesce sink f =
           (fun st ->
             g st;
             f st)
+
+let add_tel sink f =
+  match sink.on_tel with
+  | None -> sink.on_tel <- Some f
+  | Some g ->
+      sink.on_tel <-
+        Some
+          (fun st ev ->
+            g st ev;
+            f st ev)
+
+let add_num sink f =
+  match sink.on_num with
+  | None -> sink.on_num <- Some f
+  | Some g ->
+      sink.on_num <-
+        Some
+          (fun st ev ->
+            g st ev;
+            f st ev)

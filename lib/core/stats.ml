@@ -150,6 +150,22 @@ type t = {
       (* jit compile cycles elided because the artifact was already
          charged elsewhere (another guest, or a previous run via the
          persistent cache) — the off-guest compile bucket *)
+  (* FP-exception flight-recorder gauges (lib/telemetry Flowrec);
+     written by Telemetry.finalize. Like tel_* they are fingerprint-
+     and checkpoint-excluded: the recorder is pure observation and a
+     run must fingerprint identically with it on or off. *)
+  mutable flows_open : int; (* NaN/Inf flows still live at run end *)
+  mutable flows_completed : int; (* flows that reached a kill/sink *)
+  mutable flows_dropped : int;
+      (* flows whose chain links were overwritten in the drop-oldest
+         ring (the whole chain is dropped atomically) *)
+  mutable flows_real : int;
+      (* flows the interval ground-truth pass confirmed (the interval
+         port also excepts at the birth site, or its enclosure is
+         unbounded there) *)
+  mutable flows_spurious : int;
+      (* flows the interval port refutes: an artifact of the primary
+         port's finite precision, not a real numerical failure *)
 }
 
 let create () =
@@ -180,7 +196,9 @@ let create () =
     fpa_sites_proven = 0; fused_unguarded = 0; shadow_elided = 0;
     jit_fused_steps = 0; fpa_sub_violations = 0; fpa_nan_violations = 0;
     cache_hits = 0; cache_misses = 0; blocks_shared = 0;
-    cyc_compile_shared = 0 }
+    cyc_compile_shared = 0;
+    flows_open = 0; flows_completed = 0; flows_dropped = 0;
+    flows_real = 0; flows_spurious = 0 }
 
 (* Deterministic counters only: excludes wall-clock GC latency and the
    recorder's own bookkeeping, so a recorded run, its replay, and a
@@ -286,4 +304,12 @@ let pp fmt t =
   if t.cache_hits > 0 || t.cache_misses > 0 then
     Format.fprintf fmt
       " cache=%d/%d(hits/misses) blocks_shared=%d cyc_compile_shared=%d"
-      t.cache_hits t.cache_misses t.blocks_shared t.cyc_compile_shared
+      t.cache_hits t.cache_misses t.blocks_shared t.cyc_compile_shared;
+  if
+    t.flows_open > 0 || t.flows_completed > 0 || t.flows_dropped > 0
+    || t.flows_real > 0 || t.flows_spurious > 0
+  then
+    Format.fprintf fmt
+      " flows=%d/%d/%d(open/completed/dropped) flow_truth=%d/%d(real/spurious)"
+      t.flows_open t.flows_completed t.flows_dropped t.flows_real
+      t.flows_spurious

@@ -300,6 +300,11 @@ type guest_result = {
   r_cache_misses : int;
   r_blocks_shared : int;
   r_cyc_compile_shared : int; (* compile cycles elided off this guest *)
+  (* FP-exception flight-recorder gauges (fingerprint-excluded); all
+     zero unless [serve ~flows:true] attached a per-guest recorder *)
+  r_flows_open : int;
+  r_flows_completed : int;
+  r_flows_dropped : int;
 }
 
 (* ---- manifest ---------------------------------------------------------- *)
@@ -573,9 +578,11 @@ let partition ~domains (weights : int array) : int list array =
   Array.map (fun l -> List.sort compare l) shards
 
 (* Run one guest to completion on the current domain, yielding to the
-   co-scheduled guests every [batch] quiesce points. *)
-let run_guest ~batch ~facts ~artifacts ~on_switch (g : guest) :
-    Fpvm.Engine.result =
+   co-scheduled guests every [batch] quiesce points. When [flows] is
+   set, a per-guest flight recorder rides the same instrument hook
+   (observation only: the fingerprint is recorder-invariant). *)
+let run_guest ~batch ~flows ~facts ~artifacts ~on_switch (g : guest) :
+    Fpvm.Engine.result * Telemetry.Flowrec.t option =
   let entry =
     match W.find g.g_workload with
     | Some e -> e
@@ -588,30 +595,46 @@ let run_guest ~batch ~facts ~artifacts ~on_switch (g : guest) :
   let a = Facts.get facts ~key prog in
   let d = port_driver g.g_port in
   let quiesces = ref 0 in
-  d.d_run ~facts:a ~artifacts
-    ~instrument:(fun sink ->
-      P.add_quiesce sink (fun _st ->
-          incr quiesces;
-          if !quiesces >= batch then begin
-            quiesces := 0;
-            on_switch ();
-            Sched.yield ()
-          end))
-    ~config:g.g_config prog
+  let fr = if flows then Some (Telemetry.Flowrec.create ()) else None in
+  let r =
+    d.d_run ~facts:a ~artifacts
+      ~instrument:(fun sink ->
+        P.add_quiesce sink (fun _st ->
+            incr quiesces;
+            if !quiesces >= batch then begin
+              quiesces := 0;
+              on_switch ();
+              Sched.yield ()
+            end);
+        match fr with
+        | None -> ()
+        | Some fr ->
+            P.add_event sink (fun _st _ev -> Telemetry.Flowrec.saw_event fr);
+            P.add_num sink (fun st ev ->
+                Telemetry.Flowrec.record fr
+                  ~cycles:st.Machine.State.cycles ev))
+      ~config:g.g_config prog
+  in
+  (r, fr)
 
 (* Run one domain's shard cooperatively; returns results in shard
    order plus the switch count. *)
-let run_shard ~batch ~facts ~artifacts ~domain_id (guests : guest list) :
-    guest_result list * int =
+let run_shard ~batch ~flows ~facts ~artifacts ~domain_id
+    (guests : guest list) : guest_result list * int =
   let switches = ref 0 in
   let out = Array.make (List.length guests) None in
   Sched.run
     (List.mapi
        (fun i g () ->
-         let r =
-           run_guest ~batch ~facts ~artifacts
+         let r, fr =
+           run_guest ~batch ~flows ~facts ~artifacts
              ~on_switch:(fun () -> incr switches)
              g
+         in
+         let fl_open, fl_comp, fl_drop =
+           match fr with
+           | Some fr -> Telemetry.Flowrec.gauges fr
+           | None -> (0, 0, 0)
          in
          out.(i) <-
            Some
@@ -634,7 +657,10 @@ let run_shard ~batch ~facts ~artifacts ~domain_id (guests : guest list) :
                r_cache_misses = r.Fpvm.Engine.stats.Fpvm.Stats.cache_misses;
                r_blocks_shared = r.Fpvm.Engine.stats.Fpvm.Stats.blocks_shared;
                r_cyc_compile_shared =
-                 r.Fpvm.Engine.stats.Fpvm.Stats.cyc_compile_shared })
+                 r.Fpvm.Engine.stats.Fpvm.Stats.cyc_compile_shared;
+               r_flows_open = fl_open;
+               r_flows_completed = fl_comp;
+               r_flows_dropped = fl_drop })
        guests);
   ( Array.to_list out
     |> List.map (function
@@ -651,7 +677,8 @@ let run_shard ~batch ~facts ~artifacts ~domain_id (guests : guest list) :
    guest's result as it completes; it is called from worker domains
    under an internal mutex, in completion order. *)
 let serve ?(domains = 1) ?(batch = 8) ?(switch_cost = default_switch_cost)
-    ?weights ?on_result ?artifacts (guests : guest list) : fleet_result =
+    ?(flows = false) ?weights ?on_result ?artifacts (guests : guest list) :
+    fleet_result =
   (match validate_serve ~domains ~batch with
   | Ok () -> ()
   | Error m -> invalid_arg ("fleet: " ^ m));
@@ -699,7 +726,7 @@ let serve ?(domains = 1) ?(batch = 8) ?(switch_cost = default_switch_cost)
     let gl = List.map (fun i -> garr.(i)) shards.(d) in
     if gl = [] then ([], 0)
     else begin
-      let rs, sw = run_shard ~batch ~facts ~artifacts ~domain_id:d gl in
+      let rs, sw = run_shard ~batch ~flows ~facts ~artifacts ~domain_id:d gl in
       List.iter emit rs;
       (rs, sw)
     end

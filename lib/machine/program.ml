@@ -133,6 +133,48 @@ let rec strip_insn (i : Isa.insn) =
 
 let stripped_insns t = Array.map strip_insn t.insns
 
+(* NaN-injection harness for the flight-recorder/coach smoke path:
+   retarget the [nth] eligible scalar FP instruction (xmm destination,
+   counting stripped Fp_arith insns in program order) to a stub
+   appended past the end of the binary that overwrites the
+   destination with 0/0 before returning — a controlled NaN birth the
+   recorder must chain from there to wherever the program carries it.
+   Appending keeps every existing jump/call/branch target valid; memory
+   destinations are skipped because an rsp-relative one would shift
+   under the call's pushed return address. *)
+let inject_nan t ~nth =
+  if nth < 0 then invalid_arg "inject_nan: nth must be >= 0";
+  let n = Array.length t.insns in
+  let site = ref (-1) in
+  let seen = ref 0 in
+  (try
+     for i = 0 to n - 1 do
+       match strip_insn t.insns.(i) with
+       | Isa.Fp_arith { dst = Isa.Xmm _; _ } ->
+           if !seen = nth then begin
+             site := i;
+             raise Exit
+           end;
+           incr seen
+       | _ -> ()
+     done
+   with Exit -> ());
+  if !site < 0 then
+    invalid_arg
+      (Printf.sprintf
+         "inject_nan: program has only %d eligible FP site(s) (asked for #%d)"
+         !seen nth);
+  let site = !site in
+  match strip_insn t.insns.(site) with
+  | Isa.Fp_arith { w; dst; _ } ->
+      let stub = n in
+      let zero = Isa.Fp_arith { op = Isa.FSUB; w; packed = false; dst; src = dst } in
+      let nan = Isa.Fp_arith { op = Isa.FDIV; w; packed = false; dst; src = dst } in
+      let insns = Array.append t.insns [| zero; nan; Isa.Ret |] in
+      insns.(site) <- Isa.Call stub;
+      { t with insns; addrs = recompute_addrs insns }
+  | _ -> assert false
+
 let disassemble t =
   let buf = Buffer.create 1024 in
   Array.iteri

@@ -61,4 +61,12 @@ val stripped_insns : t -> Isa.insn array
 (** A fresh array of the program's instructions with all instrumentation
     wrappers stripped — what static analyses operate on. *)
 
+val inject_nan : t -> nth:int -> t
+(** Retarget the [nth] eligible scalar FP instruction (xmm destination,
+    0-based in program order) to an appended stub that overwrites its
+    destination with [0/0] — a controlled NaN birth for the
+    flight-recorder smoke path. The returned program shares no mutable
+    state with [t]; every original jump/call target stays valid.
+    Raises [Invalid_argument] if fewer than [nth+1] sites exist. *)
+
 val disassemble : t -> string

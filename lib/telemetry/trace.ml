@@ -156,7 +156,12 @@ let buf_event bb ~first ~ph ~ts ?dur ~name ~cat args =
       Buffer.add_char bb '}');
   Buffer.add_char bb '}'
 
-let export_json t bb =
+(* [extra] lets a caller append additional events inside the
+   [traceEvents] array (e.g. Flowrec's flow arrows) without this module
+   depending on the producer: it receives the buffer and the
+   first-event flag and must emit complete, comma-prefixed objects the
+   way [buf_event] does. *)
+let export_json ?extra t bb =
   Buffer.add_string bb
     (Printf.sprintf
        "{\n  \"schema_version\": %d,\n  \"recorded\": %d,\n  \"dropped\": %d,\n  \"traceEvents\": [\n"
@@ -243,11 +248,12 @@ let export_json t bb =
     in
     buf_event bb ~first ~ph:"E" ~ts:last_ts ~name:"trace" ~cat:"trace" []
   end;
+  (match extra with None -> () | Some f -> f bb first);
   Buffer.add_string bb "\n  ]\n}\n"
 
-let write_file t path =
+let write_file ?extra t path =
   let bb = Buffer.create 4096 in
-  export_json t bb;
+  export_json ?extra t bb;
   let oc = open_out path in
   output_string oc (Buffer.contents bb);
   close_out oc
